@@ -1,0 +1,279 @@
+//! Array dependence tests on affine subscripts.
+//!
+//! The test ladder the front-end runs per loop, per pair of accesses to the
+//! same array:
+//!
+//! * **ZIV** (zero index variable) — neither subscript mentions the loop
+//!   variable: equal ⇒ every iteration touches the same element
+//!   ([`DepTest::Invariant`]); unequal constants ⇒ independent;
+//! * **strong SIV** — both subscripts are `a·i + c` with the same `a`:
+//!   the dependence distance is exact: `(c1 − c2) / a`;
+//! * **weak-zero SIV** — one side's coefficient is 0: a single iteration
+//!   conflicts with all others (reported as an unknown-distance carry);
+//! * **general / MIV** — a GCD divisibility test, then Banerjee-style
+//!   bounds when the trip count is known, to *disprove* dependence;
+//!   otherwise [`DepTest::Unknown`].
+//!
+//! Results map directly onto the HLI tables: `SameIteration` feeds the
+//! equivalent-access table, `Carried` the LCDD table (normalized `>`
+//! direction with an exact distance), `Invariant` both, and `Unknown`
+//! produces maybe-entries.
+
+use crate::affine::Affine;
+use hli_lang::sema::SymId;
+
+/// Outcome of a dependence test between accesses `A` and `B` with respect
+/// to one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepTest {
+    /// The two accesses can never touch the same element.
+    Independent,
+    /// Same element exactly when the iterations coincide (distance 0).
+    SameIteration,
+    /// Same element when B's iteration is A's plus `distance` (> 0). If
+    /// `a_to_b` is false the relation is reversed (A later than B).
+    Carried { distance: i64, a_to_b: bool },
+    /// Both accesses touch one fixed element every iteration: equivalent
+    /// within an iteration *and* carried at every distance.
+    Invariant,
+    /// The test cannot decide: assume a maybe-dependence at unknown
+    /// distance (and maybe same-iteration overlap).
+    Unknown,
+}
+
+/// Test subscripts `fa` (access A) and `fb` (access B) against loop
+/// variable `ivar` with optional constant trip count.
+///
+/// Precondition (checked): the caller has already established that every
+/// non-`ivar` symbol in either subscript is loop-invariant; violating terms
+/// must instead make the caller report `Unknown`.
+pub fn siv_test(fa: &Affine, fb: &Affine, ivar: SymId, trip: Option<i64>) -> DepTest {
+    let a1 = fa.coeff(ivar);
+    let a2 = fb.coeff(ivar);
+    let ra = fa.without(ivar);
+    let rb = fb.without(ivar);
+
+    // The loop-invariant parts must differ by a known constant for the
+    // exact tests; otherwise only the conservative paths below apply.
+    let delta = ra.const_difference(&rb); // c1 - c2 when defined
+
+    match (a1, a2) {
+        (0, 0) => match delta {
+            Some(0) => DepTest::Invariant,
+            Some(_) => DepTest::Independent,
+            None => DepTest::Unknown,
+        },
+        (a, b) if a == b => {
+            // Strong SIV: a·i1 + c1 = a·i2 + c2  ⇒  i2 − i1 = (c1 − c2)/a.
+            let Some(d) = delta else { return DepTest::Unknown };
+            if d % a != 0 {
+                return DepTest::Independent;
+            }
+            let dist = d / a; // i2 - i1
+            if dist == 0 {
+                return DepTest::SameIteration;
+            }
+            if let Some(n) = trip {
+                if dist.abs() >= n {
+                    return DepTest::Independent;
+                }
+            }
+            if dist > 0 {
+                DepTest::Carried { distance: dist, a_to_b: true }
+            } else {
+                DepTest::Carried { distance: -dist, a_to_b: false }
+            }
+        }
+        (a, b) => {
+            // Weak-zero and the general case share the refutation logic.
+            let Some(d) = delta else { return DepTest::Unknown };
+            // Solve a·i1 − b·i2 = −d = (c2 − c1) over iteration space.
+            let rhs = -d;
+            let g = gcd(a.unsigned_abs(), b.unsigned_abs());
+            if g != 0 && rhs % (g as i64) != 0 {
+                return DepTest::Independent;
+            }
+            if let Some(n) = trip {
+                // Banerjee-style bounds of a·i1 − b·i2 over 0 ≤ i1,i2 < n.
+                let hi_i = n - 1;
+                let (amin, amax) = if a >= 0 { (0, a * hi_i) } else { (a * hi_i, 0) };
+                let (bmin, bmax) = if b >= 0 { (-b * hi_i, 0) } else { (0, -b * hi_i) };
+                let (lo, hi) = (amin + bmin, amax + bmax);
+                if rhs < lo || rhs > hi {
+                    return DepTest::Independent;
+                }
+            }
+            DepTest::Unknown
+        }
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const I: SymId = 0;
+    const N: SymId = 1;
+
+    fn lin(coeff: i64, c: i64) -> Affine {
+        Affine::var(I).scale(coeff).add(&Affine::constant(c))
+    }
+
+    #[test]
+    fn ziv_equal_is_invariant() {
+        assert_eq!(
+            siv_test(&Affine::constant(5), &Affine::constant(5), I, Some(10)),
+            DepTest::Invariant
+        );
+    }
+
+    #[test]
+    fn ziv_unequal_is_independent() {
+        assert_eq!(
+            siv_test(&Affine::constant(5), &Affine::constant(6), I, None),
+            DepTest::Independent
+        );
+    }
+
+    #[test]
+    fn ziv_symbolic_equal_is_invariant() {
+        // a[n] vs a[n]: identical symbolic subscripts.
+        let f = Affine::var(N);
+        assert_eq!(siv_test(&f, &f, I, None), DepTest::Invariant);
+    }
+
+    #[test]
+    fn ziv_symbolic_mismatch_unknown() {
+        // a[n] vs a[5]: cannot compare.
+        assert_eq!(
+            siv_test(&Affine::var(N), &Affine::constant(5), I, None),
+            DepTest::Unknown
+        );
+    }
+
+    #[test]
+    fn strong_siv_same_subscript() {
+        assert_eq!(siv_test(&lin(1, 0), &lin(1, 0), I, Some(10)), DepTest::SameIteration);
+        assert_eq!(siv_test(&lin(3, 7), &lin(3, 7), I, None), DepTest::SameIteration);
+    }
+
+    #[test]
+    fn strong_siv_distance_one() {
+        // A = a[i], B = a[i-1]: i1 = i2 - 1 ⇒ B@i reads what A wrote at i-1;
+        // c1 - c2 = 0 - (-1) = 1, a = 1 ⇒ distance 1, A→B.
+        assert_eq!(
+            siv_test(&lin(1, 0), &lin(1, -1), I, Some(10)),
+            DepTest::Carried { distance: 1, a_to_b: true }
+        );
+        // Reversed operands flip the direction.
+        assert_eq!(
+            siv_test(&lin(1, -1), &lin(1, 0), I, Some(10)),
+            DepTest::Carried { distance: 1, a_to_b: false }
+        );
+    }
+
+    #[test]
+    fn strong_siv_indivisible_offset_independent() {
+        // a[2i] vs a[2i+1]: parity differs forever.
+        assert_eq!(siv_test(&lin(2, 0), &lin(2, 1), I, None), DepTest::Independent);
+    }
+
+    #[test]
+    fn strong_siv_distance_beyond_trip_independent() {
+        // a[i] vs a[i-20] in a 10-trip loop.
+        assert_eq!(siv_test(&lin(1, 0), &lin(1, -20), I, Some(10)), DepTest::Independent);
+        // Without a trip count we must keep the dependence.
+        assert_eq!(
+            siv_test(&lin(1, 0), &lin(1, -20), I, None),
+            DepTest::Carried { distance: 20, a_to_b: true }
+        );
+    }
+
+    #[test]
+    fn strong_siv_larger_stride() {
+        // a[4i] vs a[4i-8]: distance 2.
+        assert_eq!(
+            siv_test(&lin(4, 0), &lin(4, -8), I, Some(100)),
+            DepTest::Carried { distance: 2, a_to_b: true }
+        );
+    }
+
+    #[test]
+    fn symbolic_invariant_parts_cancel() {
+        // a[i + n] vs a[i + n - 1].
+        let f1 = lin(1, 0).add(&Affine::var(N));
+        let f2 = lin(1, -1).add(&Affine::var(N));
+        assert_eq!(
+            siv_test(&f1, &f2, I, Some(50)),
+            DepTest::Carried { distance: 1, a_to_b: true }
+        );
+    }
+
+    #[test]
+    fn symbolic_mismatch_is_unknown() {
+        // a[i + n] vs a[i]: n unknown.
+        let f1 = lin(1, 0).add(&Affine::var(N));
+        let f2 = lin(1, 0);
+        assert_eq!(siv_test(&f1, &f2, I, Some(50)), DepTest::Unknown);
+    }
+
+    #[test]
+    fn weak_zero_siv_unknown_when_hit_possible() {
+        // a[i] vs a[5] in a 10-trip loop: iteration 5 conflicts.
+        assert_eq!(siv_test(&lin(1, 0), &Affine::constant(5), I, Some(10)), DepTest::Unknown);
+    }
+
+    #[test]
+    fn weak_zero_siv_refuted_when_out_of_range() {
+        // a[i] vs a[50] in a 10-trip loop: subscript never reaches 50.
+        assert_eq!(
+            siv_test(&lin(1, 0), &Affine::constant(50), I, Some(10)),
+            DepTest::Independent
+        );
+    }
+
+    #[test]
+    fn gcd_test_refutes_mixed_strides() {
+        // a[2i] vs a[2i'+1] (different coefficient signs as general case):
+        // 2·i1 − 2·i2 = 1 has no integer solution.
+        assert_eq!(siv_test(&lin(2, 0), &lin(2, 1), I, None), DepTest::Independent);
+        // a[4i] vs a[2i+1]: gcd(4,2)=2 does not divide 1.
+        assert_eq!(siv_test(&lin(4, 0), &lin(2, 1), I, None), DepTest::Independent);
+    }
+
+    #[test]
+    fn general_case_unknown_when_solvable() {
+        // a[2i] vs a[i]: overlaps at many pairs.
+        assert_eq!(siv_test(&lin(2, 0), &lin(1, 0), I, Some(10)), DepTest::Unknown);
+    }
+
+    #[test]
+    fn banerjee_refutes_disjoint_ranges() {
+        // a[i] vs a[i' + 100] in a 10-trip loop: ranges [0,9] and [100,109].
+        assert_eq!(
+            siv_test(&lin(1, 0), &lin(1, 100), I, Some(10)),
+            DepTest::Independent
+        );
+        // Negative-direction coefficients: a[-i] vs a[i + 100], trip 10:
+        // ranges [-9,0] and [100,109].
+        assert_eq!(
+            siv_test(&lin(-1, 0), &lin(1, 100), I, Some(10)),
+            DepTest::Independent
+        );
+    }
+
+    #[test]
+    fn crossing_accesses_stay_dependent() {
+        // a[i] vs a[9-i], trip 10: they cross at i pairs summing to 9.
+        assert_eq!(siv_test(&lin(1, 0), &lin(-1, 9), I, Some(10)), DepTest::Unknown);
+    }
+}

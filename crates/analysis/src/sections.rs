@@ -1,0 +1,269 @@
+//! Bounded regular array sections.
+//!
+//! When a loop's accesses are summarized at the enclosing region (the
+//! paper's `a[0..9]` in Figure 2), the front-end needs a compact
+//! over-approximation of *which elements* the loop touches. We use bounded
+//! regular sections: one inclusive `[lo, hi]` interval per array dimension,
+//! with `±∞` for unknown bounds.
+
+use crate::affine::Affine;
+use hli_lang::sema::{Bound, CanonLoop, SymId};
+use std::fmt;
+
+/// One end of a dimension interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecBound {
+    Const(i64),
+    NegInf,
+    PosInf,
+}
+
+impl SecBound {
+    fn min(self, other: SecBound) -> SecBound {
+        use SecBound::*;
+        match (self, other) {
+            (NegInf, _) | (_, NegInf) => NegInf,
+            (PosInf, x) | (x, PosInf) => x,
+            (Const(a), Const(b)) => Const(a.min(b)),
+        }
+    }
+
+    fn max(self, other: SecBound) -> SecBound {
+        use SecBound::*;
+        match (self, other) {
+            (PosInf, _) | (_, PosInf) => PosInf,
+            (NegInf, x) | (x, NegInf) => x,
+            (Const(a), Const(b)) => Const(a.max(b)),
+        }
+    }
+}
+
+/// An inclusive per-dimension interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimRange {
+    pub lo: SecBound,
+    pub hi: SecBound,
+}
+
+impl DimRange {
+    pub fn full() -> Self {
+        DimRange { lo: SecBound::NegInf, hi: SecBound::PosInf }
+    }
+
+    pub fn point(v: i64) -> Self {
+        DimRange { lo: SecBound::Const(v), hi: SecBound::Const(v) }
+    }
+
+    pub fn range(lo: i64, hi: i64) -> Self {
+        DimRange { lo: SecBound::Const(lo), hi: SecBound::Const(hi) }
+    }
+
+    /// Conservative overlap: unknown bounds overlap everything.
+    pub fn may_overlap(&self, other: &DimRange) -> bool {
+        let above = match (self.lo, other.hi) {
+            (SecBound::Const(a), SecBound::Const(b)) => a > b,
+            _ => false,
+        };
+        let below = match (self.hi, other.lo) {
+            (SecBound::Const(a), SecBound::Const(b)) => a < b,
+            _ => false,
+        };
+        !(above || below)
+    }
+
+    /// Smallest interval containing both.
+    pub fn hull(&self, other: &DimRange) -> DimRange {
+        DimRange { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    pub fn is_point(&self) -> bool {
+        matches!((self.lo, self.hi), (SecBound::Const(a), SecBound::Const(b)) if a == b)
+    }
+}
+
+impl fmt::Display for DimRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = |x: SecBound| match x {
+            SecBound::Const(v) => v.to_string(),
+            SecBound::NegInf => "-inf".into(),
+            SecBound::PosInf => "+inf".into(),
+        };
+        if self.is_point() {
+            write!(f, "{}", b(self.lo))
+        } else {
+            write!(f, "{}..{}", b(self.lo), b(self.hi))
+        }
+    }
+}
+
+/// A section of one array: an interval per dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    pub dims: Vec<DimRange>,
+}
+
+impl Section {
+    pub fn full(ndims: usize) -> Self {
+        Section { dims: vec![DimRange::full(); ndims] }
+    }
+
+    /// Two sections of the *same array* may overlap iff every dimension's
+    /// intervals may overlap.
+    pub fn may_overlap(&self, other: &Section) -> bool {
+        debug_assert_eq!(self.dims.len(), other.dims.len());
+        self.dims.iter().zip(&other.dims).all(|(a, b)| a.may_overlap(b))
+    }
+
+    pub fn hull(&self, other: &Section) -> Section {
+        debug_assert_eq!(self.dims.len(), other.dims.len());
+        Section {
+            dims: self.dims.iter().zip(&other.dims).map(|(a, b)| a.hull(b)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "[{d}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// The iteration range a canonical loop's variable covers, as constants
+/// when known.
+fn ivar_range(cl: &CanonLoop) -> (Option<i64>, Option<i64>) {
+    let lo = match cl.lower {
+        Bound::Const(v) => Some(v),
+        _ => None,
+    };
+    let hi = match cl.upper {
+        Bound::Const(v) => Some(if cl.inclusive { v } else { v - 1 }),
+        _ => None,
+    };
+    (lo, hi)
+}
+
+/// Range of an affine subscript over one loop's iteration space, holding
+/// every other symbol fixed — i.e. the per-dimension interval that replaces
+/// the `ivar` term when summarizing at the parent region. Symbols other
+/// than `ivar` widen the interval to ±∞ unless absent.
+pub fn subscript_range(f: &Affine, ivar: SymId, cl: &CanonLoop) -> DimRange {
+    // Any other symbolic term ⇒ unknown placement.
+    if f.symbols().any(|s| s != ivar) {
+        return DimRange::full();
+    }
+    let a = f.coeff(ivar);
+    if a == 0 {
+        return DimRange::point(f.constant);
+    }
+    let (lo, hi) = ivar_range(cl);
+    let (Some(lo), Some(hi)) = (lo, hi) else { return DimRange::full() };
+    if hi < lo {
+        // Zero-trip loop: empty; represent as the degenerate first point.
+        return DimRange::point(a * lo + f.constant);
+    }
+    let v1 = a * lo + f.constant;
+    let v2 = a * hi + f.constant;
+    DimRange::range(v1.min(v2), v1.max(v2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loop01(n: i64) -> CanonLoop {
+        CanonLoop { ivar: 0, lower: Bound::Const(0), upper: Bound::Const(n), inclusive: false, step: 1 }
+    }
+
+    #[test]
+    fn point_and_range_overlap() {
+        assert!(DimRange::point(5).may_overlap(&DimRange::range(0, 9)));
+        assert!(!DimRange::point(50).may_overlap(&DimRange::range(0, 9)));
+        assert!(DimRange::range(0, 4).may_overlap(&DimRange::range(4, 8)));
+        assert!(!DimRange::range(0, 4).may_overlap(&DimRange::range(5, 8)));
+    }
+
+    #[test]
+    fn unknown_bounds_overlap_everything() {
+        assert!(DimRange::full().may_overlap(&DimRange::point(3)));
+        let half = DimRange { lo: SecBound::Const(0), hi: SecBound::PosInf };
+        assert!(half.may_overlap(&DimRange::point(100)));
+        // But a fully-constant disjointness still refutes.
+        let neg = DimRange { lo: SecBound::NegInf, hi: SecBound::Const(-1) };
+        assert!(!neg.may_overlap(&DimRange::point(0)));
+    }
+
+    #[test]
+    fn hull_extends() {
+        let h = DimRange::range(0, 3).hull(&DimRange::range(7, 9));
+        assert_eq!(h, DimRange::range(0, 9));
+        let h2 = DimRange::full().hull(&DimRange::point(1));
+        assert_eq!(h2, DimRange::full());
+    }
+
+    #[test]
+    fn subscript_range_simple() {
+        // i over [0,10): a[i] covers 0..9, a[i+2] covers 2..11, a[2i] 0..18.
+        let cl = loop01(10);
+        assert_eq!(subscript_range(&Affine::var(0), 0, &cl), DimRange::range(0, 9));
+        let f = Affine::var(0).add(&Affine::constant(2));
+        assert_eq!(subscript_range(&f, 0, &cl), DimRange::range(2, 11));
+        let g = Affine::var(0).scale(2);
+        assert_eq!(subscript_range(&g, 0, &cl), DimRange::range(0, 18));
+    }
+
+    #[test]
+    fn subscript_range_negative_stride() {
+        let cl = loop01(10);
+        let f = Affine::var(0).scale(-1).add(&Affine::constant(9)); // 9 - i
+        assert_eq!(subscript_range(&f, 0, &cl), DimRange::range(0, 9));
+    }
+
+    #[test]
+    fn subscript_range_constant_subscript() {
+        let cl = loop01(10);
+        assert_eq!(subscript_range(&Affine::constant(4), 0, &cl), DimRange::point(4));
+    }
+
+    #[test]
+    fn subscript_range_foreign_symbol_is_full() {
+        let cl = loop01(10);
+        let f = Affine::var(0).add(&Affine::var(5));
+        assert_eq!(subscript_range(&f, 0, &cl), DimRange::full());
+    }
+
+    #[test]
+    fn subscript_range_symbolic_bound_is_full() {
+        let cl = CanonLoop {
+            ivar: 0,
+            lower: Bound::Const(0),
+            upper: Bound::Sym(9),
+            inclusive: false,
+            step: 1,
+        };
+        assert_eq!(subscript_range(&Affine::var(0), 0, &cl), DimRange::full());
+    }
+
+    #[test]
+    fn section_overlap_all_dims() {
+        let a = Section { dims: vec![DimRange::range(0, 4), DimRange::point(3)] };
+        let b = Section { dims: vec![DimRange::range(4, 9), DimRange::point(3)] };
+        let c = Section { dims: vec![DimRange::range(4, 9), DimRange::point(4)] };
+        assert!(a.may_overlap(&b));
+        assert!(!a.may_overlap(&c), "second dimension disjoint");
+        assert_eq!(a.hull(&b).dims[0], DimRange::range(0, 9));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DimRange::range(0, 9).to_string(), "0..9");
+        assert_eq!(DimRange::point(4).to_string(), "4");
+        let s = Section { dims: vec![DimRange::range(0, 9), DimRange::full()] };
+        assert_eq!(s.to_string(), "[0..9], [-inf..+inf]");
+    }
+}

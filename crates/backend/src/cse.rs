@@ -1,0 +1,332 @@
+//! Local common-subexpression elimination over memory loads, with the
+//! paper's Figure-4 call treatment.
+//!
+//! GCC's CSE keeps a table of available expressions; without
+//! interprocedural information *"all the subexpressions containing a
+//! memory reference will be purged from the table when a function call
+//! appears"*. With HLI, `HLI_GetCallAcc` purges selectively: only entries
+//! the call may **modify** go.
+//!
+//! This implementation covers the memory-bearing part of CSE (redundant
+//! load elimination with store forwarding-awareness), which is the part
+//! HLI changes. Eliminated loads delete their items through
+//! [`hli_core::maintain::delete_item`] — the first of the paper's
+//! Section 3.2.3 maintenance cases.
+
+use crate::ddg::DepMode;
+use crate::gccdep;
+use crate::mapping::HliMap;
+use crate::rtl::{InsnId, MemRef, Op, RtlFunc};
+use hli_core::maintain;
+use hli_core::query::HliQuery;
+use hli_core::{HliEntry, ItemId};
+
+/// Outcome of running CSE on one function.
+#[derive(Debug, Clone)]
+pub struct CseResult {
+    pub func: RtlFunc,
+    /// Redundant loads rewritten to register moves.
+    pub loads_eliminated: usize,
+    /// Available entries purged at calls.
+    pub purged_by_call: usize,
+    /// Entries that survived a call thanks to REF/MOD evidence.
+    pub kept_across_call: usize,
+    /// Items deleted from the HLI (already applied when HLI was supplied).
+    pub deleted_items: Vec<ItemId>,
+}
+
+/// One available memory value.
+#[derive(Debug, Clone)]
+struct Avail {
+    mem: MemRef,
+    value_reg: u32,
+    item: Option<ItemId>,
+}
+
+/// Run local CSE. When `hli` is provided, call purging uses REF/MOD and
+/// eliminated loads are maintained out of the entry and the mapping.
+pub fn cse_function(
+    f: &RtlFunc,
+    mut hli: Option<(&mut HliEntry, &mut HliMap)>,
+    mode: DepMode,
+) -> CseResult {
+    let use_hli = matches!(mode, DepMode::HliOnly | DepMode::Combined) && hli.is_some();
+    // Queries need an immutable view; clone the entry for querying and
+    // apply maintenance afterwards.
+    let query_entry = hli.as_ref().map(|(e, _)| (**e).clone());
+    let query = query_entry.as_ref().map(HliQuery::new);
+    let item_of = |map: &HliMap, insn: InsnId| map.item_of(insn);
+
+    let mut out: Vec<crate::rtl::Insn> = Vec::with_capacity(f.insns.len());
+    let mut avail: Vec<Avail> = Vec::new();
+    let mut loads_eliminated = 0;
+    let mut purged_by_call = 0;
+    let mut kept_across_call = 0;
+    let mut deleted_items = Vec::new();
+
+    for insn in &f.insns {
+        // Control flow boundaries flush availability (local CSE).
+        if insn.op.is_control() {
+            avail.clear();
+            out.push(insn.clone());
+            continue;
+        }
+        match &insn.op {
+            Op::Load(dst, m) => {
+                let hit = avail.iter().find(|a| a.mem == *m).map(|a| a.value_reg);
+                match hit {
+                    Some(src) => {
+                        loads_eliminated += 1;
+                        if let Some((_, map)) = hli.as_mut() {
+                            if let Some(item) = item_of(map, insn.id) {
+                                deleted_items.push(item);
+                                map.unbind_item(item);
+                            }
+                        }
+                        let mut new = insn.clone();
+                        new.op = Op::Move(*dst, src);
+                        // The defined register invalidates dependents below.
+                        invalidate_reg(&mut avail, *dst);
+                        avail.push(Avail {
+                            mem: *m,
+                            value_reg: *dst,
+                            item: None,
+                        });
+                        out.push(new);
+                        continue;
+                    }
+                    None => {
+                        invalidate_reg(&mut avail, *dst);
+                        avail.push(Avail {
+                            mem: *m,
+                            value_reg: *dst,
+                            item: hli.as_ref().and_then(|(_, map)| item_of(map, insn.id)),
+                        });
+                    }
+                }
+            }
+            Op::Store(m, src) => {
+                // Invalidate conflicting entries, then record the stored
+                // value as available (store-to-load forwarding).
+                let store_item = hli.as_ref().and_then(|(_, map)| item_of(map, insn.id));
+                avail.retain(|a| {
+                    !may_conflict_for_cse(a, m, store_item, query.as_ref(), use_hli)
+                });
+                avail.push(Avail {
+                    mem: *m,
+                    value_reg: *src,
+                    item: store_item,
+                });
+            }
+            Op::Call { dst, .. } => {
+                let call_item = hli.as_ref().and_then(|(_, map)| item_of(map, insn.id));
+                if use_hli {
+                    if let (Some(q), Some(call)) = (query.as_ref(), call_item) {
+                        // Figure 4: purge only what the call may modify.
+                        avail.retain(|a| {
+                            let purge = match a.item {
+                                Some(it) => q.get_call_acc(it, call).may_modify(),
+                                None => true,
+                            };
+                            if purge {
+                                purged_by_call += 1;
+                            } else {
+                                kept_across_call += 1;
+                            }
+                            !purge
+                        });
+                    } else {
+                        purged_by_call += avail.len();
+                        avail.clear();
+                    }
+                } else {
+                    // GCC without HLI: the call may change any memory.
+                    purged_by_call += avail.len();
+                    avail.clear();
+                }
+                if let Some(d) = dst {
+                    invalidate_reg(&mut avail, *d);
+                }
+            }
+            other => {
+                if let Some(d) = other.def() {
+                    invalidate_reg(&mut avail, d);
+                }
+            }
+        }
+        out.push(insn.clone());
+    }
+
+    // Apply maintenance for the eliminated items.
+    if let Some((entry, _)) = hli.as_mut() {
+        for &item in &deleted_items {
+            let _ = maintain::delete_item(entry, item);
+        }
+    }
+
+    let mut func = f.clone();
+    func.insns = out;
+    CseResult { func, loads_eliminated, purged_by_call, kept_across_call, deleted_items }
+}
+
+/// Conservative conflict for CSE invalidation at a store.
+fn may_conflict_for_cse(
+    a: &Avail,
+    store: &MemRef,
+    store_item: Option<ItemId>,
+    query: Option<&HliQuery<'_>>,
+    use_hli: bool,
+) -> bool {
+    let gcc = gccdep::may_conflict(&a.mem, store);
+    if !use_hli {
+        return gcc;
+    }
+    let hli = match (query, a.item, store_item) {
+        (Some(q), Some(x), Some(y)) => q.get_equiv_acc(x, y).may_overlap(),
+        _ => true,
+    };
+    gcc && hli
+}
+
+/// A redefined register invalidates entries addressing through it or
+/// holding their value in it.
+fn invalidate_reg(avail: &mut Vec<Avail>, reg: u32) {
+    avail.retain(|a| {
+        let addr_uses = matches!(a.mem.base, crate::rtl::BaseAddr::Reg(r) if r == reg)
+            || a.mem.index == Some(reg);
+        !(addr_uses || a.value_reg == reg)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use crate::mapping::map_function;
+    use hli_frontend::generate_hli;
+    use hli_lang::compile_to_ast;
+
+    fn run_cse(src: &str, func: &str, mode: DepMode, with_hli: bool) -> CseResult {
+        let (p, s) = compile_to_ast(src).unwrap();
+        let prog = lower_program(&p, &s);
+        let f = prog.func(func).unwrap();
+        if with_hli {
+            let hli = generate_hli(&p, &s);
+            let mut entry = hli.entry(func).unwrap().clone();
+            let mut map = map_function(f, &entry);
+            let r = cse_function(f, Some((&mut entry, &mut map)), mode);
+            assert!(entry.validate().is_empty(), "{:?}", entry.validate());
+            r
+        } else {
+            cse_function(f, None, mode)
+        }
+    }
+
+    #[test]
+    fn redundant_global_load_eliminated() {
+        let r = run_cse(
+            "int g;\nint main() { int a; int b; a = g; b = g; return a + b; }",
+            "main",
+            DepMode::GccOnly,
+            false,
+        );
+        assert_eq!(r.loads_eliminated, 1);
+    }
+
+    #[test]
+    fn store_forwarding_supplies_value() {
+        let r = run_cse(
+            "int g;\nint main() { g = 5; return g; }",
+            "main",
+            DepMode::GccOnly,
+            false,
+        );
+        // The load of g after the store is satisfied by forwarding.
+        assert_eq!(r.loads_eliminated, 1);
+    }
+
+    #[test]
+    fn intervening_conflicting_store_blocks_reuse() {
+        let r = run_cse(
+            "int g;\nint main() { int a; int b; a = g; g = 7; b = g; return a + b; }",
+            "main",
+            DepMode::GccOnly,
+            false,
+        );
+        // `b = g` is satisfied by forwarding from `g = 7`, but the original
+        // `a = g` availability must have been purged; eliminating with the
+        // old value would be wrong. Check semantics via the rewritten ops:
+        // exactly one Move-from-forwarding, no stale reuse.
+        assert_eq!(r.loads_eliminated, 1);
+    }
+
+    #[test]
+    fn call_purges_everything_without_hli() {
+        let r = run_cse(
+            "int g; int unrelated; void f() { unrelated = 1; }\nint main() { int a; int b; a = g; f(); b = g; return a + b; }",
+            "main",
+            DepMode::GccOnly,
+            false,
+        );
+        assert_eq!(r.loads_eliminated, 0, "call conservatively kills availability");
+        assert!(r.purged_by_call > 0);
+    }
+
+    #[test]
+    fn refmod_keeps_unrelated_values_across_call() {
+        let r = run_cse(
+            "int g; int unrelated; void f() { unrelated = 1; }\nint main() { int a; int b; a = g; f(); b = g; return a + b; }",
+            "main",
+            DepMode::Combined,
+            true,
+        );
+        assert_eq!(r.loads_eliminated, 1, "Figure 4: g survives the call");
+        assert!(r.kept_across_call > 0);
+        assert_eq!(r.deleted_items.len(), 1);
+    }
+
+    #[test]
+    fn call_that_mods_still_purges_with_hli() {
+        let r = run_cse(
+            "int g; void f() { g = g + 1; }\nint main() { int a; int b; a = g; f(); b = g; return a + b; }",
+            "main",
+            DepMode::Combined,
+            true,
+        );
+        assert_eq!(r.loads_eliminated, 0, "g is modified by the call");
+    }
+
+    #[test]
+    fn hli_distinguishes_array_elements() {
+        let r = run_cse(
+            "int a[8];\nint main() { int x; int y; x = a[1]; a[2] = 9; y = a[1]; return x + y; }",
+            "main",
+            DepMode::Combined,
+            true,
+        );
+        // a[1] reload after a store to a[2]: constant offsets let even GCC
+        // keep it; verify HLI agrees and it is eliminated.
+        assert_eq!(r.loads_eliminated, 1);
+    }
+
+    #[test]
+    fn eliminated_items_leave_valid_hli() {
+        let (p, s) = compile_to_ast(
+            "int g;\nint main() { int a; int b; a = g; b = g; return a + b; }",
+        )
+        .unwrap();
+        let prog = lower_program(&p, &s);
+        let f = prog.func("main").unwrap();
+        let hli = generate_hli(&p, &s);
+        let mut entry = hli.entry("main").unwrap().clone();
+        let before = entry.line_table.item_count();
+        let mut map = map_function(f, &entry);
+        let r = cse_function(f, Some((&mut entry, &mut map)), DepMode::Combined);
+        assert_eq!(entry.line_table.item_count(), before - r.deleted_items.len());
+        assert!(entry.validate().is_empty());
+        // The mapping no longer mentions deleted items.
+        for it in &r.deleted_items {
+            assert!(map.insn_of(*it).is_none());
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The baseline ("GCC") memory dependence test.
+//!
+//! GCC 2.7's `true_dependence`/`anti_dependence` family disambiguates with
+//! purely local, syntactic information: distinct named objects cannot
+//! conflict, constant offsets from the same base disambiguate, and anything
+//! addressed through a register (a pointer) conflicts with everything that
+//! isn't a provably different named object. Calls clobber all of memory.
+//! This is the `gcc_value` side of Figure 5 and the "GCC result" column of
+//! Table 2.
+
+use crate::rtl::{BaseAddr, MemRef};
+
+/// May two memory references touch the same location, by GCC-local rules?
+pub fn may_conflict(a: &MemRef, b: &MemRef) -> bool {
+    use BaseAddr::*;
+    match (a.base, b.base) {
+        // Distinct named objects never overlap; same object with constant
+        // offsets disambiguates (8-byte accesses).
+        (Sym(x), Sym(y)) => {
+            if x != y {
+                return false;
+            }
+            same_object_conflict(a, b)
+        }
+        (Stack(x), Stack(y)) => {
+            if x != y {
+                // Different frame objects.
+                return false;
+            }
+            same_object_conflict(a, b)
+        }
+        // Globals and frame objects live in different segments.
+        (Sym(_), Stack(_)) | (Stack(_), Sym(_)) => false,
+        // The argument-passing areas are compiler-controlled: disjoint from
+        // program objects and from each other unless the same slot.
+        (OutArg(x), OutArg(y)) => x == y,
+        (InArg(x), InArg(y)) => x == y,
+        (OutArg(_) | InArg(_), Sym(_) | Stack(_)) => false,
+        (Sym(_) | Stack(_), OutArg(_) | InArg(_)) => false,
+        (OutArg(_), InArg(_)) | (InArg(_), OutArg(_)) => false,
+        // A pointer can point anywhere the compiler can't refute — but not
+        // into the ABI argument areas, whose addresses are never exposed.
+        (Reg(_), OutArg(_) | InArg(_)) | (OutArg(_) | InArg(_), Reg(_)) => false,
+        (Reg(_), _) | (_, Reg(_)) => true,
+    }
+}
+
+/// Same base object: constant offsets (no index registers) disambiguate.
+fn same_object_conflict(a: &MemRef, b: &MemRef) -> bool {
+    if a.index.is_none() && b.index.is_none() {
+        // 8-byte accesses at constant offsets overlap iff equal (aligned).
+        return a.offset == b.offset;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtl::MemRef;
+
+    fn sym(s: u32, off: i64) -> MemRef {
+        MemRef { base: BaseAddr::Sym(s), index: None, scale: 8, offset: off }
+    }
+
+    fn sym_idx(s: u32, idx: u32) -> MemRef {
+        MemRef { base: BaseAddr::Sym(s), index: Some(idx), scale: 8, offset: 0 }
+    }
+
+    #[test]
+    fn distinct_globals_never_conflict() {
+        assert!(!may_conflict(&sym(0, 0), &sym(1, 0)));
+        assert!(!may_conflict(&sym_idx(0, 5), &sym_idx(1, 5)));
+    }
+
+    #[test]
+    fn same_global_const_offsets() {
+        assert!(may_conflict(&sym(0, 8), &sym(0, 8)));
+        assert!(!may_conflict(&sym(0, 0), &sym(0, 8)));
+    }
+
+    #[test]
+    fn same_global_with_index_conflicts() {
+        assert!(may_conflict(&sym_idx(0, 3), &sym(0, 8)));
+        assert!(may_conflict(&sym_idx(0, 3), &sym_idx(0, 4)));
+    }
+
+    #[test]
+    fn stack_vs_global_never() {
+        assert!(!may_conflict(&MemRef::stack(0), &sym(0, 0)));
+    }
+
+    #[test]
+    fn distinct_stack_slots_never() {
+        let a = MemRef { base: BaseAddr::Stack(0), index: Some(1), scale: 8, offset: 0 };
+        let b = MemRef { base: BaseAddr::Stack(128), index: Some(2), scale: 8, offset: 0 };
+        assert!(!may_conflict(&a, &b));
+        assert!(may_conflict(&a, &MemRef::stack(0)));
+    }
+
+    #[test]
+    fn pointer_conflicts_with_named_objects() {
+        let p = MemRef::reg(7);
+        assert!(may_conflict(&p, &sym(0, 0)));
+        assert!(may_conflict(&p, &MemRef::stack(8)));
+        assert!(may_conflict(&p, &MemRef::reg(9)));
+    }
+
+    #[test]
+    fn arg_areas_are_private() {
+        let out = MemRef { base: BaseAddr::OutArg(4), index: None, scale: 8, offset: 0 };
+        let out5 = MemRef { base: BaseAddr::OutArg(5), index: None, scale: 8, offset: 0 };
+        assert!(may_conflict(&out, &out));
+        assert!(!may_conflict(&out, &out5));
+        assert!(!may_conflict(&out, &sym(0, 0)));
+        assert!(!may_conflict(&out, &MemRef::reg(3)));
+    }
+}

@@ -1,0 +1,323 @@
+//! Basic-block list scheduling.
+//!
+//! The paper's performance experiment (Table 2's speedup columns) compiles
+//! each benchmark twice — dependence edges from GCC alone vs. gated by HLI
+//! (Figure 5) — and lets the scheduler reorder within basic blocks. This
+//! module is that scheduler: classic latency-weighted critical-path list
+//! scheduling over the [`crate::ddg`] graph. Labels stay at block starts,
+//! control transfers stay at block ends, and instruction *ids* are
+//! preserved so the HLI mapping survives scheduling.
+
+use crate::cfg::{blocks, Block};
+use crate::ddg::{build_block_ddg, DepMode, HliSide, QueryStats};
+use crate::rtl::{FBinOp, IBinOp, Insn, Op, RtlFunc};
+
+/// Operation latencies in cycles (defaults roughly match an R4600-class
+/// scalar core; the machine models have their own copies — the scheduler
+/// only needs relative weights).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    pub load: u32,
+    pub ialu: u32,
+    pub imul: u32,
+    pub idiv: u32,
+    pub fadd: u32,
+    pub fmul: u32,
+    pub fdiv: u32,
+    pub call: u32,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel { load: 2, ialu: 1, imul: 8, idiv: 36, fadd: 4, fmul: 8, fdiv: 36, call: 2 }
+    }
+}
+
+impl LatencyModel {
+    pub fn of(&self, op: &Op) -> u32 {
+        match op {
+            Op::Load(..) => self.load,
+            Op::IBin(IBinOp::Mul, ..) | Op::IBinI(IBinOp::Mul, ..) => self.imul,
+            Op::IBin(IBinOp::Div | IBinOp::Rem, ..) | Op::IBinI(IBinOp::Div | IBinOp::Rem, ..) => {
+                self.idiv
+            }
+            Op::FBin(FBinOp::Add | FBinOp::Sub, ..) => self.fadd,
+            Op::FBin(FBinOp::Mul, ..) => self.fmul,
+            Op::FBin(FBinOp::Div, ..) => self.fdiv,
+            Op::Call { .. } => self.call,
+            _ => self.ialu,
+        }
+    }
+}
+
+/// Result of scheduling one function.
+#[derive(Debug, Clone)]
+pub struct SchedResult {
+    pub func: RtlFunc,
+    pub stats: QueryStats,
+    /// Blocks whose instruction order actually changed.
+    pub blocks_changed: usize,
+    pub blocks_total: usize,
+}
+
+/// Schedule every basic block of `f`. `hli` supplies the mapping/query side
+/// when `mode` uses HLI answers; pass `None` for the pure-GCC build (the
+/// counters then still see GCC results but HLI columns count conservative
+/// answers).
+pub fn schedule_function(
+    f: &RtlFunc,
+    hli: Option<&HliSide<'_>>,
+    mode: DepMode,
+    lat: &LatencyModel,
+) -> SchedResult {
+    let mut stats = QueryStats::default();
+    let mut new_insns: Vec<Insn> = Vec::with_capacity(f.insns.len());
+    let mut blocks_changed = 0;
+    let bs = blocks(f);
+    let blocks_total = bs.len();
+    for b in &bs {
+        let order = schedule_block(f, b, hli, mode, lat, &mut stats);
+        let mut emitted: Vec<Insn> = Vec::with_capacity(b.len());
+        // Leading labels.
+        let mut i = b.start;
+        while i < b.end {
+            if matches!(f.insns[i].op, Op::Label(_)) {
+                emitted.push(f.insns[i].clone());
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        for &idx in &order {
+            emitted.push(f.insns[idx].clone());
+        }
+        // Trailing control (terminator) and any interior labels (none by
+        // construction, but keep whatever schedulable() excluded).
+        for j in i..b.end {
+            if f.insns[j].op.is_control() && !matches!(f.insns[j].op, Op::Label(_)) {
+                emitted.push(f.insns[j].clone());
+            }
+        }
+        debug_assert_eq!(emitted.len(), b.len(), "block size preserved");
+        let changed = emitted
+            .iter()
+            .zip(&f.insns[b.range()])
+            .any(|(a, b)| a.id != b.id);
+        if changed {
+            blocks_changed += 1;
+        }
+        new_insns.extend(emitted);
+    }
+    let mut func = f.clone();
+    func.insns = new_insns;
+    SchedResult { func, stats, blocks_changed, blocks_total }
+}
+
+/// List-schedule one block; returns function-relative indices in issue
+/// order.
+fn schedule_block(
+    f: &RtlFunc,
+    b: &Block,
+    hli: Option<&HliSide<'_>>,
+    mode: DepMode,
+    lat: &LatencyModel,
+    stats: &mut QueryStats,
+) -> Vec<usize> {
+    let g = build_block_ddg(f, b, hli, mode, stats);
+    let n = g.nodes.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Priority: latency-weighted height (critical path to a sink).
+    let mut height = vec![0u32; n];
+    for k in (0..n).rev() {
+        let own = lat.of(&f.insns[g.nodes[k]].op);
+        let best_succ = g.succs[k].iter().map(|&s| height[s]).max().unwrap_or(0);
+        height[k] = own + best_succ;
+    }
+    let mut remaining_preds: Vec<usize> = g.preds.iter().map(|p| p.len()).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&k| remaining_preds[k] == 0).collect();
+    let mut finish = vec![0u64; n];
+    let mut order = Vec::with_capacity(n);
+    let mut time: u64 = 0;
+    let mut scheduled = vec![false; n];
+    while order.len() < n {
+        // Earliest start per ready node.
+        let earliest = |k: usize| -> u64 {
+            g.preds[k]
+                .iter()
+                .map(|&p| finish[p])
+                .max()
+                .unwrap_or(0)
+        };
+        // Prefer nodes startable now, by height then program order.
+        let pick = ready
+            .iter()
+            .copied()
+            .filter(|&k| earliest(k) <= time)
+            .max_by_key(|&k| (height[k], std::cmp::Reverse(k)))
+            .or_else(|| ready.iter().copied().min_by_key(|&k| earliest(k)));
+        let Some(k) = pick else { unreachable!("acyclic graph always has ready nodes") };
+        let start = time.max(earliest(k));
+        finish[k] = start + lat.of(&f.insns[g.nodes[k]].op) as u64;
+        time = start + 1;
+        scheduled[k] = true;
+        ready.retain(|&r| r != k);
+        order.push(g.nodes[k]);
+        for &s in &g.succs[k] {
+            remaining_preds[s] -= 1;
+            if remaining_preds[s] == 0 && !scheduled[s] {
+                ready.push(s);
+            }
+        }
+    }
+    order
+}
+
+/// Schedule every function of a program against its HLI file (the
+/// harness's standard path). Returns the scheduled program and the
+/// aggregated Table-2 query counters.
+pub fn schedule_program(
+    prog: &crate::rtl::RtlProgram,
+    hli: &hli_core::HliFile,
+    mode: DepMode,
+    lat: &LatencyModel,
+) -> (crate::rtl::RtlProgram, QueryStats) {
+    let mut out = prog.clone();
+    let mut total = QueryStats::default();
+    for f in &mut out.funcs {
+        let entry = hli.entry(&f.name);
+        let r = match entry {
+            Some(e) => {
+                let q = hli_core::query::HliQuery::new(e);
+                let map = crate::mapping::map_function(f, e);
+                let side = HliSide { query: &q, map: &map };
+                schedule_function(f, Some(&side), mode, lat)
+            }
+            None => schedule_function(f, None, DepMode::GccOnly, lat),
+        };
+        total.add(&r.stats);
+        *f = r.func;
+    }
+    (out, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use crate::mapping::map_function;
+    use hli_core::query::HliQuery;
+    use hli_frontend::generate_hli;
+    use hli_lang::compile_to_ast;
+
+    fn sched(src: &str, func: &str, mode: DepMode) -> (RtlFunc, RtlFunc, QueryStats) {
+        let (p, s) = compile_to_ast(src).unwrap();
+        let hli = generate_hli(&p, &s);
+        let prog = lower_program(&p, &s);
+        let f = prog.func(func).unwrap();
+        let entry = hli.entry(func).unwrap();
+        let q = HliQuery::new(entry);
+        let map = map_function(f, entry);
+        let side = HliSide { query: &q, map: &map };
+        let r = schedule_function(f, Some(&side), mode, &LatencyModel::default());
+        (f.clone(), r.func, r.stats)
+    }
+
+    /// Verify the schedule is a permutation preserving all DDG edges.
+    fn assert_legal(orig: &RtlFunc, new: &RtlFunc, mode: DepMode) {
+        assert_eq!(orig.insns.len(), new.insns.len());
+        let mut ids: Vec<u32> = new.insns.iter().map(|i| i.id).collect();
+        ids.sort_unstable();
+        let mut orig_ids: Vec<u32> = orig.insns.iter().map(|i| i.id).collect();
+        orig_ids.sort_unstable();
+        assert_eq!(ids, orig_ids, "permutation of the same instructions");
+        // Rebuild the DDG on the original order and check the new order
+        // respects every edge.
+        let pos: std::collections::HashMap<u32, usize> =
+            new.insns.iter().enumerate().map(|(i, insn)| (insn.id, i)).collect();
+        let mut stats = QueryStats::default();
+        for b in blocks(orig) {
+            let g = build_block_ddg(orig, &b, None, mode, &mut stats);
+            for (k, preds) in g.preds.iter().enumerate() {
+                for &p in preds {
+                    let from = orig.insns[g.nodes[p]].id;
+                    let to = orig.insns[g.nodes[k]].id;
+                    assert!(
+                        pos[&from] < pos[&to],
+                        "edge {from} -> {to} violated by schedule"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_legal_permutation() {
+        let src = "int a[16]; int b[16]; int g;\n\
+            int main() {\n int i;\n for (i = 0; i < 16; i++) {\n  a[i] = g * 3;\n  b[i] = a[i] + g;\n }\n return b[7];\n}";
+        let (orig, new, _) = sched(src, "main", DepMode::GccOnly);
+        assert_legal(&orig, &new, DepMode::GccOnly);
+    }
+
+    #[test]
+    fn hli_schedule_hoists_independent_loads() {
+        // Pointer stores block following loads under GCC; HLI frees them.
+        let src = "double x[64]; double y[64];\n\
+            void k(double *p, double *q) {\n\
+              int i;\n\
+              for (i = 0; i < 64; i++) {\n\
+                p[i] = p[i] * 2.0;\n\
+                q[i] = q[i] + 1.0;\n\
+              }\n\
+            }\n\
+            int main() { k(x, y); return 0; }";
+        let (_, gcc_f, gcc_stats) = sched(src, "k", DepMode::GccOnly);
+        let (_, hli_f, hli_stats) = sched(src, "k", DepMode::Combined);
+        assert_eq!(gcc_stats.total_tests, hli_stats.total_tests);
+        assert!(hli_stats.combined_yes < gcc_stats.gcc_yes);
+        // The instruction orders must differ in the loop body.
+        let gcc_ids: Vec<u32> = gcc_f.insns.iter().map(|i| i.id).collect();
+        let hli_ids: Vec<u32> = hli_f.insns.iter().map(|i| i.id).collect();
+        assert_ne!(gcc_ids, hli_ids, "HLI should unlock a different schedule");
+    }
+
+    #[test]
+    fn labels_and_terminators_stay_pinned() {
+        let src = "int g;\nint main() { int i; for (i = 0; i < 4; i++) g += i; return g; }";
+        let (orig, new, _) = sched(src, "main", DepMode::Combined);
+        for (bo, bn) in blocks(&orig).iter().zip(blocks(&new).iter()) {
+            assert_eq!(bo.start, bn.start);
+            assert_eq!(bo.end, bn.end);
+        }
+        // Terminators in place.
+        for b in blocks(&new) {
+            for i in b.start..b.end.saturating_sub(1) {
+                assert!(
+                    !matches!(new.insns[i].op, Op::Jump(_) | Op::Branch(..) | Op::Ret(_)),
+                    "control instruction migrated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_block_critical_path_first() {
+        // A long-latency divide feeding the return should be issued before
+        // independent cheap ops when possible.
+        let src = "int g; int h; int z;\nint main() { int a; int b; a = g / h; b = z + 1; z = b; return a; }";
+        let (_, new, _) = sched(src, "main", DepMode::GccOnly);
+        let div_pos = new.insns.iter().position(|i| matches!(i.op, Op::IBin(IBinOp::Div, ..))).unwrap();
+        // The divide's operand loads + divide itself should come early; at
+        // minimum the schedule is legal and the divide is not last.
+        assert!(div_pos + 2 < new.insns.len());
+    }
+
+    #[test]
+    fn latency_model_classifies_ops() {
+        let lat = LatencyModel::default();
+        assert_eq!(lat.of(&Op::Load(0, crate::rtl::MemRef::sym(0))), 2);
+        assert!(lat.of(&Op::FBin(FBinOp::Div, 0, 1, 2)) > lat.of(&Op::FBin(FBinOp::Add, 0, 1, 2)));
+        assert_eq!(lat.of(&Op::LiI(0, 3)), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * Figure 4 — CSE across calls with vs without REF/MOD evidence
+//!   (measures both compile time and how many loads survive);
+//! * LICM with vs without HLI legality;
+//! * Figure 6 — unrolling factors with full HLI maintenance;
+//! * front-end precision knobs (array analysis, pointer analysis) against
+//!   the Table-2 combined-yes count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hli_backend::cse::cse_function;
+use hli_backend::ddg::DepMode;
+use hli_backend::licm::licm_function;
+use hli_backend::mapping::map_function;
+use hli_backend::sched::{schedule_program, LatencyModel};
+use hli_backend::unroll::unroll_function;
+use hli_frontend::FrontendOptions;
+use hli_suite::Scale;
+use std::hint::black_box;
+
+fn bench_cse_refmod(c: &mut Criterion) {
+    let p = hli_bench::prepare("015.doduc", Scale::tiny());
+    let f = p.rtl.func("main").unwrap();
+    let mut g = c.benchmark_group("ablations/cse");
+    g.bench_function("gcc-purge-all", |bench| {
+        bench.iter(|| black_box(cse_function(f, None, DepMode::GccOnly)))
+    });
+    g.bench_function("hli-refmod-purge", |bench| {
+        bench.iter(|| {
+            let mut entry = p.hli.entry("main").unwrap().clone();
+            let mut map = map_function(f, &entry);
+            black_box(cse_function(f, Some((&mut entry, &mut map)), DepMode::Combined))
+        })
+    });
+    g.finish();
+}
+
+fn bench_licm(c: &mut Criterion) {
+    let p = hli_bench::prepare("101.tomcatv", Scale::tiny());
+    let f = p.rtl.func("residuals").unwrap();
+    let mut g = c.benchmark_group("ablations/licm");
+    g.bench_function("gcc", |bench| {
+        bench.iter(|| black_box(licm_function(f, None, DepMode::GccOnly)))
+    });
+    g.bench_function("hli", |bench| {
+        bench.iter(|| {
+            let mut entry = p.hli.entry("residuals").unwrap().clone();
+            let mut map = map_function(f, &entry);
+            black_box(licm_function(f, Some((&mut entry, &mut map)), DepMode::Combined))
+        })
+    });
+    g.finish();
+}
+
+fn bench_unroll_factors(c: &mut Criterion) {
+    let b = hli_suite::by_name("034.mdljdp2", Scale::tiny()).unwrap();
+    let (prog, sema) = hli_lang::compile_to_ast(&b.source).unwrap();
+    let (rtl, loops) = hli_backend::lower::lower_with_loops(&prog, &sema);
+    let hli = hli_frontend::generate_hli(&prog, &sema);
+    let f = rtl.func("init_md").unwrap();
+    let metas = &loops["init_md"];
+    assert!(!metas.is_empty(), "init_md has a constant-trip loop");
+    let mut g = c.benchmark_group("ablations/unroll");
+    for factor in [2u32, 4, 8] {
+        g.bench_function(format!("factor-{factor}"), |bench| {
+            bench.iter(|| {
+                let mut entry = hli.entry("init_md").unwrap().clone();
+                let mut map = map_function(f, &entry);
+                black_box(unroll_function(f, metas, factor, Some((&mut entry, &mut map))))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_frontend_precision(c: &mut Criterion) {
+    let b = hli_suite::by_name("077.mdljsp2", Scale::tiny()).unwrap();
+    let (prog, sema) = hli_lang::compile_to_ast(&b.source).unwrap();
+    let rtl = hli_backend::lower::lower_program(&prog, &sema);
+    let lat = LatencyModel::default();
+    let variants = [
+        ("full", FrontendOptions::default()),
+        (
+            "no-array-analysis",
+            FrontendOptions { array_analysis: false, ..Default::default() },
+        ),
+        (
+            "no-pointer-analysis",
+            FrontendOptions { pointer_analysis: false, ..Default::default() },
+        ),
+        (
+            "no-refmod",
+            FrontendOptions { refmod_analysis: false, ..Default::default() },
+        ),
+    ];
+    let mut g = c.benchmark_group("ablations/frontend-precision");
+    for (label, opts) in variants {
+        g.bench_function(label, |bench| {
+            bench.iter(|| {
+                let hli = hli_frontend::generate_hli_with(&prog, &sema, opts);
+                let (_, stats) = schedule_program(&rtl, &hli, DepMode::Combined, &lat);
+                black_box(stats.combined_yes)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cse_refmod,
+    bench_licm,
+    bench_unroll_factors,
+    bench_frontend_precision
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! # hli-bench — Criterion benchmarks
+//!
+//! One bench target per paper table plus component microbenches and
+//! ablations:
+//!
+//! * `table1` — HLI generation + serialization cost per benchmark (the
+//!   front-end overhead behind Table 1's sizes);
+//! * `table2` — the scheduling pipeline (map + DDG + list schedule) under
+//!   GCC-only vs Combined dependence gating (Table 2's compile-time side);
+//! * `components` — parser, sema, points-to, dependence tests, query
+//!   throughput, mapping, machine-model replay;
+//! * `ablations` — CSE with/without REF/MOD, LICM with/without HLI,
+//!   unrolling factors with HLI maintenance, front-end precision knobs.
+//!
+//! The shared helpers here keep the bench targets small.
+
+use hli_backend::rtl::RtlProgram;
+use hli_core::HliFile;
+use hli_lang::ast::Program;
+use hli_lang::sema::Sema;
+
+/// A fully front-ended benchmark ready for back-end work.
+pub struct Prepared {
+    pub name: &'static str,
+    pub prog: Program,
+    pub sema: Sema,
+    pub hli: HliFile,
+    pub rtl: RtlProgram,
+}
+
+/// Compile a suite benchmark end to end (panics on error — bench setup).
+pub fn prepare(name: &'static str, scale: hli_suite::Scale) -> Prepared {
+    let b = hli_suite::by_name(name, scale).expect("known benchmark");
+    let (prog, sema) = hli_lang::compile_to_ast(&b.source).expect("compiles");
+    let hli = hli_frontend::generate_hli(&prog, &sema);
+    let rtl = hli_backend::lower::lower_program(&prog, &sema);
+    Prepared { name, prog, sema, hli, rtl }
+}

@@ -1,0 +1,48 @@
+//! Identifier newtypes for the HLI tables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an *item* — a memory access or call in the line table, or
+/// an equivalent access class (the paper gives classes IDs from the same
+/// space so class members can refer to sub-region classes uniformly).
+/// Unique within one program unit (one [`crate::tables::HliEntry`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+
+/// Identifier of a region within a program unit. Region 0 is always the
+/// program unit itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId(pub u32);
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The program-unit (outermost) region.
+pub const UNIT_REGION: RegionId = RegionId(0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ItemId(7).to_string(), "i7");
+        assert_eq!(RegionId(2).to_string(), "r2");
+    }
+
+    #[test]
+    fn ordering_follows_numeric() {
+        assert!(ItemId(3) < ItemId(10));
+        assert!(RegionId(0) < RegionId(1));
+    }
+}

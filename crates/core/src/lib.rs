@@ -1,0 +1,57 @@
+//! # hli-core — the High-Level Information format
+//!
+//! This crate is the paper's primary contribution rendered as a Rust
+//! library: the **HLI file format** (Section 2) plus the APIs the paper's
+//! Section 3 builds around it.
+//!
+//! An HLI file carries, for every program unit, the analysis results that
+//! are *"important for back-end optimizations, but only available or
+//! computable in the front-end"*:
+//!
+//! * a **line table** ([`tables::LineTable`]) connecting front-end *items*
+//!   (memory accesses and calls, in back-end emission order) to source
+//!   lines;
+//! * a **region table** ([`tables::Region`]) — a hierarchy of program-unit
+//!   and loop regions, each holding four sub-tables:
+//!   * the **equivalent access table** ([`tables::EquivClass`]) partitioning
+//!     every item in the region (including those of sub-regions) into
+//!     mutually-exclusive access classes, each *definitely* or *maybe*
+//!     equivalent;
+//!   * the **alias table** ([`tables::AliasEntry`]) — class sets that may
+//!     overlap within one iteration;
+//!   * the **LCDD table** ([`tables::LcddEntry`]) — loop-carried data
+//!     dependences with normalized (`>`) direction and distances;
+//!   * the **call REF/MOD table** ([`tables::CallRefMod`]) — interprocedural
+//!     side effects per call item or per sub-region.
+//!
+//! On top of the data model this crate provides:
+//!
+//! * [`serialize`] — the compact binary encoding whose size Table 1 of the
+//!   paper reports, plus a reader;
+//! * [`query`] — the *query function* interface of Section 3.2.2 (the five
+//!   basic queries: equivalent access, alias, LCDD, call REF/MOD, region
+//!   info), backed by a prebuilt index so back-end passes pay hash-lookup
+//!   cost, not table scans;
+//! * [`maintain`] — the *maintenance function* interface of Section 3.2.3:
+//!   deleting, generating, inheriting and moving items as CSE, LICM and
+//!   loop unrolling rewrite the back-end IR, including the Figure-6 LCDD
+//!   distance update for unrolling;
+//! * [`validate`](tables::HliEntry::validate) — structural invariants
+//!   (partition property, normalized distances, dangling references) used
+//!   by tests and by the front-end after construction;
+//! * [`textdump`] — a human-readable rendering in the style of the paper's
+//!   Figure 2.
+
+pub mod ids;
+pub mod maintain;
+pub mod query;
+pub mod serialize;
+pub mod tables;
+pub mod textdump;
+
+pub use ids::{ItemId, RegionId};
+pub use query::{CallAcc, EquivAcc, HliQuery};
+pub use tables::{
+    AliasEntry, CallRef, CallRefMod, DepKind, Distance, EquivClass, EquivKind, HliEntry, HliFile,
+    ItemEntry, ItemType, LcddEntry, LineEntry, LineTable, MemberRef, Region, RegionKind,
+};

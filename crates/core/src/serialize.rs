@@ -1,0 +1,578 @@
+//! Compact binary serialization of HLI files.
+//!
+//! Table 1 of the paper reports the HLI size in KB per benchmark (10–69
+//! bytes per source line); this module defines the byte format those
+//! numbers are measured against in the reproduction. IDs, lines and counts
+//! are LEB128 varints; enums are single bytes. Debug name hints are
+//! excluded unless [`SerializeOpts::include_names`] is set (the harness
+//! measures the compact form).
+
+use crate::ids::{ItemId, RegionId};
+use crate::tables::*;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Magic number of an HLI file: "HLI" + version 1.
+pub const MAGIC: [u8; 4] = *b"HLI\x01";
+
+/// Serialization options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerializeOpts {
+    /// Include class name hints (debug builds of the HLI).
+    pub include_names: bool,
+}
+
+/// A deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HLI decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialize a whole HLI file.
+pub fn encode_file(file: &HliFile, opts: SerializeOpts) -> Bytes {
+    let mut b = BytesMut::new();
+    b.put_slice(&MAGIC);
+    put_varint(&mut b, file.entries.len() as u64);
+    for e in &file.entries {
+        encode_entry_into(e, opts, &mut b);
+    }
+    b.freeze()
+}
+
+/// Serialize one program unit's entry (the on-demand per-function unit the
+/// back-end reads, Section 3.2.1).
+pub fn encode_entry(e: &HliEntry, opts: SerializeOpts) -> Bytes {
+    let mut b = BytesMut::new();
+    encode_entry_into(e, opts, &mut b);
+    b.freeze()
+}
+
+fn encode_entry_into(e: &HliEntry, opts: SerializeOpts, b: &mut BytesMut) {
+    put_str(b, &e.unit_name);
+    put_varint(b, e.next_id as u64);
+    // Line table.
+    put_varint(b, e.line_table.lines.len() as u64);
+    for l in &e.line_table.lines {
+        put_varint(b, l.line as u64);
+        put_varint(b, l.items.len() as u64);
+        for it in &l.items {
+            put_varint(b, it.id.0 as u64);
+            b.put_u8(match it.ty {
+                ItemType::Load => 0,
+                ItemType::Store => 1,
+                ItemType::Call => 2,
+            });
+        }
+    }
+    // Region table.
+    put_varint(b, e.regions.len() as u64);
+    for r in &e.regions {
+        put_varint(b, r.id.0 as u64);
+        match r.kind {
+            RegionKind::Unit => b.put_u8(0),
+            RegionKind::Loop { header_line } => {
+                b.put_u8(1);
+                put_varint(b, header_line as u64);
+            }
+        }
+        put_varint(b, r.parent.map(|p| p.0 as u64 + 1).unwrap_or(0));
+        put_varint(b, r.subregions.len() as u64);
+        for s in &r.subregions {
+            put_varint(b, s.0 as u64);
+        }
+        put_varint(b, r.scope.0 as u64);
+        put_varint(b, r.scope.1 as u64);
+        // Equivalent access table.
+        put_varint(b, r.equiv_classes.len() as u64);
+        for c in &r.equiv_classes {
+            put_varint(b, c.id.0 as u64);
+            b.put_u8(match c.kind {
+                EquivKind::Definite => 0,
+                EquivKind::Maybe => 1,
+            });
+            if opts.include_names {
+                put_str(b, &c.name_hint);
+            }
+            put_varint(b, c.members.len() as u64);
+            for m in &c.members {
+                match m {
+                    MemberRef::Item(it) => {
+                        b.put_u8(0);
+                        put_varint(b, it.0 as u64);
+                    }
+                    MemberRef::SubClass { region, class } => {
+                        b.put_u8(1);
+                        put_varint(b, region.0 as u64);
+                        put_varint(b, class.0 as u64);
+                    }
+                }
+            }
+        }
+        // Alias table.
+        put_varint(b, r.alias_table.len() as u64);
+        for a in &r.alias_table {
+            put_varint(b, a.classes.len() as u64);
+            for c in &a.classes {
+                put_varint(b, c.0 as u64);
+            }
+        }
+        // LCDD table.
+        put_varint(b, r.lcdd_table.len() as u64);
+        for d in &r.lcdd_table {
+            put_varint(b, d.src.0 as u64);
+            put_varint(b, d.dst.0 as u64);
+            b.put_u8(match d.kind {
+                DepKind::Definite => 0,
+                DepKind::Maybe => 1,
+            });
+            match d.distance {
+                Distance::Const(k) => {
+                    b.put_u8(0);
+                    put_varint(b, k as u64);
+                }
+                Distance::Unknown => b.put_u8(1),
+            }
+        }
+        // Call REF/MOD table.
+        put_varint(b, r.call_refmod.len() as u64);
+        for crm in &r.call_refmod {
+            match crm.callee {
+                CallRef::Item(it) => {
+                    b.put_u8(0);
+                    put_varint(b, it.0 as u64);
+                }
+                CallRef::SubRegion(s) => {
+                    b.put_u8(1);
+                    put_varint(b, s.0 as u64);
+                }
+            }
+            put_varint(b, crm.refs.len() as u64);
+            for c in &crm.refs {
+                put_varint(b, c.0 as u64);
+            }
+            put_varint(b, crm.mods.len() as u64);
+            for c in &crm.mods {
+                put_varint(b, c.0 as u64);
+            }
+        }
+    }
+}
+
+/// Deserialize a whole HLI file.
+pub fn decode_file(mut buf: &[u8], opts: SerializeOpts) -> Result<HliFile, DecodeError> {
+    let b = &mut buf;
+    let mut magic = [0u8; 4];
+    if b.remaining() < 4 {
+        return Err(DecodeError("truncated header".into()));
+    }
+    b.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(DecodeError("bad magic".into()));
+    }
+    let n = get_varint(b)? as usize;
+    let mut entries = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        entries.push(decode_entry(b, opts)?);
+    }
+    Ok(HliFile { entries })
+}
+
+fn decode_entry(b: &mut &[u8], opts: SerializeOpts) -> Result<HliEntry, DecodeError> {
+    let unit_name = get_str(b)?;
+    let next_id = get_varint(b)? as u32;
+    let mut line_table = LineTable::default();
+    let nlines = get_varint(b)? as usize;
+    for _ in 0..nlines {
+        let line = get_varint(b)? as u32;
+        let nitems = get_varint(b)? as usize;
+        let mut items = Vec::with_capacity(nitems.min(4096));
+        for _ in 0..nitems {
+            let id = ItemId(get_varint(b)? as u32);
+            let ty = match get_u8(b)? {
+                0 => ItemType::Load,
+                1 => ItemType::Store,
+                2 => ItemType::Call,
+                x => return Err(DecodeError(format!("bad item type {x}"))),
+            };
+            items.push(ItemEntry { id, ty });
+        }
+        line_table.lines.push(LineEntry { line, items });
+    }
+    let nregions = get_varint(b)? as usize;
+    let mut regions = Vec::with_capacity(nregions.min(4096));
+    for _ in 0..nregions {
+        let id = RegionId(get_varint(b)? as u32);
+        let kind = match get_u8(b)? {
+            0 => RegionKind::Unit,
+            1 => RegionKind::Loop { header_line: get_varint(b)? as u32 },
+            x => return Err(DecodeError(format!("bad region kind {x}"))),
+        };
+        let praw = get_varint(b)?;
+        let parent = if praw == 0 { None } else { Some(RegionId((praw - 1) as u32)) };
+        let nsub = get_varint(b)? as usize;
+        let mut subregions = Vec::with_capacity(nsub.min(4096));
+        for _ in 0..nsub {
+            subregions.push(RegionId(get_varint(b)? as u32));
+        }
+        let scope = (get_varint(b)? as u32, get_varint(b)? as u32);
+        let nclasses = get_varint(b)? as usize;
+        let mut equiv_classes = Vec::with_capacity(nclasses.min(4096));
+        for _ in 0..nclasses {
+            let cid = ItemId(get_varint(b)? as u32);
+            let kind = match get_u8(b)? {
+                0 => EquivKind::Definite,
+                1 => EquivKind::Maybe,
+                x => return Err(DecodeError(format!("bad equiv kind {x}"))),
+            };
+            let name_hint = if opts.include_names { get_str(b)? } else { String::new() };
+            let nm = get_varint(b)? as usize;
+            let mut members = Vec::with_capacity(nm.min(4096));
+            for _ in 0..nm {
+                members.push(match get_u8(b)? {
+                    0 => MemberRef::Item(ItemId(get_varint(b)? as u32)),
+                    1 => MemberRef::SubClass {
+                        region: RegionId(get_varint(b)? as u32),
+                        class: ItemId(get_varint(b)? as u32),
+                    },
+                    x => return Err(DecodeError(format!("bad member tag {x}"))),
+                });
+            }
+            equiv_classes.push(EquivClass { id: cid, kind, members, name_hint });
+        }
+        let nalias = get_varint(b)? as usize;
+        let mut alias_table = Vec::with_capacity(nalias.min(4096));
+        for _ in 0..nalias {
+            let nc = get_varint(b)? as usize;
+            let mut classes = Vec::with_capacity(nc.min(4096));
+            for _ in 0..nc {
+                classes.push(ItemId(get_varint(b)? as u32));
+            }
+            alias_table.push(AliasEntry { classes });
+        }
+        let nlcdd = get_varint(b)? as usize;
+        let mut lcdd_table = Vec::with_capacity(nlcdd.min(4096));
+        for _ in 0..nlcdd {
+            let src = ItemId(get_varint(b)? as u32);
+            let dst = ItemId(get_varint(b)? as u32);
+            let kind = match get_u8(b)? {
+                0 => DepKind::Definite,
+                1 => DepKind::Maybe,
+                x => return Err(DecodeError(format!("bad dep kind {x}"))),
+            };
+            let distance = match get_u8(b)? {
+                0 => Distance::Const(get_varint(b)? as u32),
+                1 => Distance::Unknown,
+                x => return Err(DecodeError(format!("bad distance tag {x}"))),
+            };
+            lcdd_table.push(LcddEntry { src, dst, kind, distance });
+        }
+        let ncrm = get_varint(b)? as usize;
+        let mut call_refmod = Vec::with_capacity(ncrm.min(4096));
+        for _ in 0..ncrm {
+            let callee = match get_u8(b)? {
+                0 => CallRef::Item(ItemId(get_varint(b)? as u32)),
+                1 => CallRef::SubRegion(RegionId(get_varint(b)? as u32)),
+                x => return Err(DecodeError(format!("bad callee tag {x}"))),
+            };
+            let nr = get_varint(b)? as usize;
+            let mut refs = Vec::with_capacity(nr.min(4096));
+            for _ in 0..nr {
+                refs.push(ItemId(get_varint(b)? as u32));
+            }
+            let nm = get_varint(b)? as usize;
+            let mut mods = Vec::with_capacity(nm.min(4096));
+            for _ in 0..nm {
+                mods.push(ItemId(get_varint(b)? as u32));
+            }
+            call_refmod.push(CallRefMod { callee, refs, mods });
+        }
+        regions.push(Region {
+            id,
+            kind,
+            parent,
+            subregions,
+            scope,
+            equiv_classes,
+            alias_table,
+            lcdd_table,
+            call_refmod,
+        });
+    }
+    Ok(HliEntry { unit_name, line_table, regions, next_id })
+}
+
+/// An indexed HLI file supporting the paper's on-demand import model:
+/// *"The HLI file is read on demand as GCC compiles a program function by
+/// function. This approach eliminates the need to keep all of the HLI in
+/// memory at the same time."*
+///
+/// [`encode_file_indexed`] prepends a directory of (unit name, byte offset,
+/// length); [`IndexedReader`] then decodes exactly one entry per request.
+pub struct IndexedReader {
+    data: Bytes,
+    directory: Vec<(String, usize, usize)>,
+    opts: SerializeOpts,
+}
+
+/// Encode with a leading directory for random access.
+pub fn encode_file_indexed(file: &HliFile, opts: SerializeOpts) -> Bytes {
+    // Encode entries first to learn their extents.
+    let mut bodies: Vec<(String, BytesMut)> = Vec::with_capacity(file.entries.len());
+    for e in &file.entries {
+        let mut b = BytesMut::new();
+        encode_entry_into(e, opts, &mut b);
+        bodies.push((e.unit_name.clone(), b));
+    }
+    let mut out = BytesMut::new();
+    out.put_slice(b"HLIX");
+    put_varint(&mut out, bodies.len() as u64);
+    // Directory: name, length (offsets are implied by order).
+    for (name, body) in &bodies {
+        put_str(&mut out, name);
+        put_varint(&mut out, body.len() as u64);
+    }
+    for (_, body) in &bodies {
+        out.put_slice(body);
+    }
+    out.freeze()
+}
+
+impl IndexedReader {
+    /// Open an indexed HLI image, parsing only the directory.
+    pub fn open(data: Bytes, opts: SerializeOpts) -> Result<Self, DecodeError> {
+        let mut buf = &data[..];
+        let b = &mut buf;
+        if b.remaining() < 4 {
+            return Err(DecodeError("truncated header".into()));
+        }
+        let mut magic = [0u8; 4];
+        b.copy_to_slice(&mut magic);
+        if &magic != b"HLIX" {
+            return Err(DecodeError("bad indexed magic".into()));
+        }
+        let n = get_varint(b)? as usize;
+        let mut lens = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let name = get_str(b)?;
+            let len = get_varint(b)? as usize;
+            lens.push((name, len));
+        }
+        let mut offset = data.len() - b.remaining();
+        let mut directory = Vec::with_capacity(lens.len());
+        for (name, len) in lens {
+            if offset + len > data.len() {
+                return Err(DecodeError(format!("entry `{name}` extends past end")));
+            }
+            directory.push((name, offset, len));
+            offset += len;
+        }
+        Ok(IndexedReader { data, directory, opts })
+    }
+
+    /// Unit names in file order.
+    pub fn units(&self) -> impl Iterator<Item = &str> {
+        self.directory.iter().map(|(n, _, _)| n.as_str())
+    }
+
+    pub fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.directory.is_empty()
+    }
+
+    /// Decode one program unit's entry on demand.
+    pub fn read(&self, unit: &str) -> Result<Option<HliEntry>, DecodeError> {
+        let Some((_, off, len)) = self.directory.iter().find(|(n, _, _)| n == unit) else {
+            return Ok(None);
+        };
+        let mut slice = &self.data[*off..*off + *len];
+        let entry = decode_entry(&mut slice, self.opts)?;
+        if !slice.is_empty() {
+            return Err(DecodeError(format!("trailing bytes after `{unit}`")));
+        }
+        Ok(Some(entry))
+    }
+}
+
+fn put_varint(b: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            b.put_u8(byte);
+            return;
+        }
+        b.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(b: &mut &[u8]) -> Result<u64, DecodeError> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let byte = get_u8(b)?;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(DecodeError("varint overflow".into()));
+        }
+    }
+}
+
+fn get_u8(b: &mut &[u8]) -> Result<u8, DecodeError> {
+    if b.remaining() < 1 {
+        return Err(DecodeError("unexpected end of input".into()));
+    }
+    Ok(b.get_u8())
+}
+
+fn put_str(b: &mut BytesMut, s: &str) {
+    put_varint(b, s.len() as u64);
+    b.put_slice(s.as_bytes());
+}
+
+fn get_str(b: &mut &[u8]) -> Result<String, DecodeError> {
+    let len = get_varint(b)? as usize;
+    if b.remaining() < len {
+        return Err(DecodeError("truncated string".into()));
+    }
+    let bytes = b.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|e| DecodeError(format!("bad utf8: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::tests::figure2_like;
+
+    #[test]
+    fn roundtrip_without_names() {
+        let mut e = figure2_like();
+        // Names are dropped in compact mode; blank them for comparison.
+        let file = HliFile { entries: vec![e.clone()] };
+        let bytes = encode_file(&file, SerializeOpts::default());
+        let back = decode_file(&bytes, SerializeOpts::default()).unwrap();
+        for r in &mut e.regions {
+            for c in &mut r.equiv_classes {
+                c.name_hint.clear();
+            }
+        }
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back.entries[0], e);
+    }
+
+    #[test]
+    fn roundtrip_with_names() {
+        let e = figure2_like();
+        let opts = SerializeOpts { include_names: true };
+        let file = HliFile { entries: vec![e.clone()] };
+        let bytes = encode_file(&file, opts);
+        let back = decode_file(&bytes, opts).unwrap();
+        assert_eq!(back.entries[0], e);
+    }
+
+    #[test]
+    fn compact_is_smaller_than_named() {
+        let e = figure2_like();
+        let file = HliFile { entries: vec![e] };
+        let compact = encode_file(&file, SerializeOpts::default());
+        let named = encode_file(&file, SerializeOpts { include_names: true });
+        assert!(compact.len() < named.len());
+    }
+
+    #[test]
+    fn entry_roundtrip() {
+        let e = figure2_like();
+        let bytes = encode_entry(&e, SerializeOpts { include_names: true });
+        let mut slice = &bytes[..];
+        let back = decode_entry(&mut slice, SerializeOpts { include_names: true }).unwrap();
+        assert_eq!(back, e);
+        assert!(slice.is_empty(), "decoder consumed everything");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = decode_file(b"NOPE....", SerializeOpts::default()).unwrap_err();
+        assert!(err.0.contains("bad magic"));
+    }
+
+    #[test]
+    fn truncation_rejected_not_panicking() {
+        let file = HliFile { entries: vec![figure2_like()] };
+        let bytes = encode_file(&file, SerializeOpts::default());
+        // Every prefix must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_file(&bytes[..cut], SerializeOpts::default()).is_err());
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u32::MAX as u64, u64::MAX] {
+            let mut b = BytesMut::new();
+            put_varint(&mut b, v);
+            let mut s = &b[..];
+            assert_eq!(get_varint(&mut s).unwrap(), v);
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let f = HliFile::default();
+        let bytes = encode_file(&f, SerializeOpts::default());
+        assert_eq!(decode_file(&bytes, SerializeOpts::default()).unwrap(), f);
+    }
+
+    #[test]
+    fn indexed_reader_reads_on_demand() {
+        let mut e2 = figure2_like();
+        e2.unit_name = "bar".into();
+        let file = HliFile { entries: vec![figure2_like(), e2.clone()] };
+        let opts = SerializeOpts { include_names: true };
+        let bytes = encode_file_indexed(&file, opts);
+        let rdr = IndexedReader::open(bytes, opts).unwrap();
+        assert_eq!(rdr.len(), 2);
+        assert_eq!(rdr.units().collect::<Vec<_>>(), vec!["foo", "bar"]);
+        // Random access: read the second unit without touching the first.
+        let bar = rdr.read("bar").unwrap().unwrap();
+        assert_eq!(bar, e2);
+        let foo = rdr.read("foo").unwrap().unwrap();
+        assert_eq!(foo.unit_name, "foo");
+        assert!(rdr.read("baz").unwrap().is_none());
+    }
+
+    #[test]
+    fn indexed_reader_rejects_corruption() {
+        let file = HliFile { entries: vec![figure2_like()] };
+        let bytes = encode_file_indexed(&file, SerializeOpts::default());
+        assert!(IndexedReader::open(Bytes::from_static(b"NOPE"), SerializeOpts::default()).is_err());
+        // Truncations fail at open or at read, never panic.
+        for cut in 0..bytes.len() {
+            let slice = bytes.slice(0..cut);
+            if let Ok(r) = IndexedReader::open(slice, SerializeOpts::default()) {
+                let _ = r.read("foo");
+            }
+        }
+    }
+
+    #[test]
+    fn size_is_modest() {
+        // The paper reports tens of bytes per source line; the figure-2
+        // fixture covers ~12 lines and should stay in the hundreds.
+        let e = figure2_like();
+        let bytes = encode_entry(&e, SerializeOpts::default());
+        assert!(bytes.len() < 400, "compact entry is {} bytes", bytes.len());
+    }
+}

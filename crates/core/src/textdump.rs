@@ -1,0 +1,152 @@
+//! Human-readable rendering of HLI entries, in the spirit of the paper's
+//! Figure 2 (region tree with equivalent access classes, alias sets, LCDD
+//! arcs and call REF/MOD facts).
+
+use crate::ids::{ItemId, RegionId, UNIT_REGION};
+use crate::tables::*;
+use std::fmt::Write as _;
+
+/// Render a full entry as an indented region tree.
+pub fn dump_entry(e: &HliEntry) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "HLI entry for `{}`", e.unit_name);
+    let _ = writeln!(
+        out,
+        "  line table: {} lines, {} items",
+        e.line_table.lines.len(),
+        e.line_table.item_count()
+    );
+    for l in &e.line_table.lines {
+        let items: Vec<String> = l
+            .items
+            .iter()
+            .map(|it| {
+                format!(
+                    "{}{}",
+                    it.id,
+                    match it.ty {
+                        ItemType::Load => ":ld",
+                        ItemType::Store => ":st",
+                        ItemType::Call => ":call",
+                    }
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "    line {:>4}: {}", l.line, items.join(" "));
+    }
+    dump_region(e, UNIT_REGION, 1, &mut out);
+    out
+}
+
+fn class_label(c: &EquivClass) -> String {
+    if c.name_hint.is_empty() {
+        c.id.to_string()
+    } else {
+        format!("{}({})", c.id, c.name_hint)
+    }
+}
+
+fn lookup_label(r: &Region, id: ItemId) -> String {
+    r.class(id).map(class_label).unwrap_or_else(|| id.to_string())
+}
+
+fn dump_region(e: &HliEntry, id: RegionId, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    let r = e.region(id);
+    match r.kind {
+        RegionKind::Unit => {
+            let _ = writeln!(out, "{pad}region {id} (unit) lines {}..{}", r.scope.0, r.scope.1);
+        }
+        RegionKind::Loop { header_line } => {
+            let _ = writeln!(
+                out,
+                "{pad}region {id} (loop @ line {header_line}) lines {}..{}",
+                r.scope.0, r.scope.1
+            );
+        }
+    }
+    for c in &r.equiv_classes {
+        let members: Vec<String> = c
+            .members
+            .iter()
+            .map(|m| match m {
+                MemberRef::Item(i) => i.to_string(),
+                MemberRef::SubClass { region, class } => format!("{region}/{class}"),
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{pad}  class {} [{}] = {{{}}}",
+            class_label(c),
+            match c.kind {
+                EquivKind::Definite => "definite",
+                EquivKind::Maybe => "maybe",
+            },
+            members.join(", ")
+        );
+    }
+    for a in &r.alias_table {
+        let names: Vec<String> = a.classes.iter().map(|&c| lookup_label(r, c)).collect();
+        let _ = writeln!(out, "{pad}  alias {{{}}}", names.join(", "));
+    }
+    for d in &r.lcdd_table {
+        let _ = writeln!(
+            out,
+            "{pad}  lcdd {} -> {} [{}] distance {}",
+            lookup_label(r, d.src),
+            lookup_label(r, d.dst),
+            match d.kind {
+                DepKind::Definite => "definite",
+                DepKind::Maybe => "maybe",
+            },
+            match d.distance {
+                Distance::Const(k) => k.to_string(),
+                Distance::Unknown => "?".into(),
+            }
+        );
+    }
+    for crm in &r.call_refmod {
+        let callee = match crm.callee {
+            CallRef::Item(i) => format!("call {i}"),
+            CallRef::SubRegion(s) => format!("calls in {s}"),
+        };
+        let refs: Vec<String> = crm.refs.iter().map(|&c| lookup_label(r, c)).collect();
+        let mods: Vec<String> = crm.mods.iter().map(|&c| lookup_label(r, c)).collect();
+        let _ = writeln!(
+            out,
+            "{pad}  refmod {callee}: ref {{{}}} mod {{{}}}",
+            refs.join(", "),
+            mods.join(", ")
+        );
+    }
+    for &s in &r.subregions {
+        dump_region(e, s, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::tests::figure2_like;
+
+    #[test]
+    fn dump_mentions_figure2_classes() {
+        let e = figure2_like();
+        let s = dump_entry(&e);
+        assert!(s.contains("b[0..9]"));
+        assert!(s.contains("a[0..9]"));
+        assert!(s.contains("lcdd"));
+        assert!(s.contains("alias"));
+        assert!(s.contains("(loop @ line 19)"));
+    }
+
+    #[test]
+    fn dump_region_nesting_is_indented() {
+        let e = figure2_like();
+        let s = dump_entry(&e);
+        let unit_line = s.lines().find(|l| l.contains("(unit)")).unwrap();
+        let inner_line = s.lines().find(|l| l.contains("loop @ line 19")).unwrap();
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(indent(inner_line) > indent(unit_line));
+    }
+}

@@ -1,0 +1,50 @@
+//! Decoder robustness: arbitrary bytes must produce errors, never panics
+//! or unbounded allocations.
+
+use hli_core::serialize::{decode_file, encode_file, IndexedReader, SerializeOpts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, .. ProptestConfig::default() })]
+
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_file(&bytes, SerializeOpts::default());
+        let _ = decode_file(&bytes, SerializeOpts { include_names: true });
+    }
+
+    #[test]
+    fn decode_never_panics_with_magic(
+        mut bytes in prop::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let mut data = b"HLI\x01".to_vec();
+        data.append(&mut bytes);
+        let _ = decode_file(&data, SerializeOpts::default());
+    }
+
+    #[test]
+    fn indexed_open_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(r) = IndexedReader::open(bytes::Bytes::from(bytes), SerializeOpts::default()) {
+            for unit in r.units().map(str::to_owned).collect::<Vec<_>>() {
+                let _ = r.read(&unit);
+            }
+        }
+    }
+
+    #[test]
+    fn bitflips_in_valid_files_fail_cleanly(
+        flip_at in 4usize..200,
+        flip_bit in 0u8..8,
+    ) {
+        // Take a real encoded file, flip one bit, decode: error or a
+        // (possibly different) valid structure — never a panic.
+        let src = "int a[10]; int main() { int i; for (i = 0; i < 10; i++) a[i] = i; return a[3]; }";
+        let (p, s) = hli_lang::compile_to_ast(src).unwrap();
+        let hli = hli_frontend::generate_hli(&p, &s);
+        let mut bytes = encode_file(&hli, SerializeOpts::default()).to_vec();
+        if flip_at < bytes.len() {
+            bytes[flip_at] ^= 1 << flip_bit;
+            let _ = decode_file(&bytes, SerializeOpts::default());
+        }
+    }
+}

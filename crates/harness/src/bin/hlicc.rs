@@ -1,0 +1,231 @@
+//! `hlicc` — the two-process compiler driver the paper's Figure 3 sketches.
+//!
+//! The paper's flow: the front-end (SUIF) compiles `foo.c` and writes
+//! `foo.hli`; the back-end (GCC) compiles the same source, importing
+//! `foo.hli` on demand function by function. This driver does both halves
+//! over a real file so the interchange format is exercised end to end:
+//!
+//! ```text
+//! hlicc front  <input.c> [-o out.hli]      # front end: write the HLI file
+//! hlicc back   <input.c> <in.hli> [flags]  # back end: import, schedule, run
+//! hlicc build  <input.c> [flags]           # both halves through a temp file
+//! ```
+//!
+//! Back-end flags: `--no-hli` (GCC-only build), `--dump-rtl`, `--unroll N`,
+//! `--cse`, `--licm`, `--time` (simulate on both machine models).
+
+use hli_backend::cse::cse_function;
+use hli_backend::ddg::DepMode;
+use hli_backend::licm::licm_function;
+use hli_backend::lower::lower_with_loops;
+use hli_backend::mapping::map_function;
+use hli_backend::rtl::dump_func;
+use hli_backend::sched::{schedule_function, LatencyModel};
+use hli_backend::unroll::unroll_function;
+use hli_core::query::HliQuery;
+use hli_core::serialize::{encode_file_indexed, IndexedReader, SerializeOpts};
+use hli_frontend::generate_hli;
+use hli_lang::compile_to_ast;
+use hli_machine::{r10000_cycles, r4600_cycles, R10000Config, R4600Config};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("hlicc: {msg}");
+    std::process::exit(1)
+}
+
+fn read_source(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
+}
+
+const OPTS: SerializeOpts = SerializeOpts { include_names: true };
+
+fn front(input: &str, out: Option<String>) {
+    let src = read_source(input);
+    let (prog, sema) = compile_to_ast(&src).unwrap_or_else(|e| fail(&e));
+    let hli = generate_hli(&prog, &sema);
+    for e in &hli.entries {
+        let errs = e.validate();
+        if !errs.is_empty() {
+            fail(&format!("internal: invalid HLI for `{}`: {errs:?}", e.unit_name));
+        }
+    }
+    let bytes = encode_file_indexed(&hli, OPTS);
+    let out = out.unwrap_or_else(|| format!("{}.hli", input.trim_end_matches(".c")));
+    std::fs::write(&out, &bytes).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    println!(
+        "{input}: {} unit(s), {} bytes of HLI -> {out}",
+        hli.entries.len(),
+        bytes.len()
+    );
+}
+
+struct BackFlags {
+    use_hli: bool,
+    dump_rtl: bool,
+    unroll: Option<u32>,
+    cse: bool,
+    licm: bool,
+    time: bool,
+}
+
+fn back(input: &str, hli_path: &str, flags: BackFlags) {
+    let src = read_source(input);
+    let (prog, sema) = compile_to_ast(&src).unwrap_or_else(|e| fail(&e));
+    let (rtl, loops) = lower_with_loops(&prog, &sema);
+    // On-demand import: open the index, decode per function (§3.2.1).
+    let image = std::fs::read(hli_path).unwrap_or_else(|e| fail(&format!("cannot read {hli_path}: {e}")));
+    let reader = IndexedReader::open(image.into(), OPTS).unwrap_or_else(|e| fail(&e.to_string()));
+    let mode = if flags.use_hli { DepMode::Combined } else { DepMode::GccOnly };
+    let lat = LatencyModel::default();
+
+    let mut out = rtl.clone();
+    let mut total_queries = hli_backend::ddg::QueryStats::default();
+    for f in &rtl.funcs {
+        let entry = reader
+            .read(&f.name)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        let mut cur = f.clone();
+        let scheduled = match entry {
+            Some(mut entry) if flags.use_hli => {
+                let mut map = map_function(&cur, &entry);
+                if !map.unmapped_insns.is_empty() || !map.unmapped_items.is_empty() {
+                    eprintln!(
+                        "warning: `{}`: {} refs / {} items unmapped (treated as unknown)",
+                        f.name,
+                        map.unmapped_insns.len(),
+                        map.unmapped_items.len()
+                    );
+                }
+                if let Some(u) = flags.unroll {
+                    let r = unroll_function(&cur, &loops[&f.name], u, Some((&mut entry, &mut map)));
+                    cur = r.func;
+                    if r.unrolled > 0 {
+                        eprintln!("`{}`: unrolled {} loop(s) by {u}", f.name, r.unrolled);
+                    }
+                }
+                if flags.cse {
+                    let r = cse_function(&cur, Some((&mut entry, &mut map)), mode);
+                    if r.loads_eliminated > 0 {
+                        eprintln!("`{}`: CSE removed {} load(s)", f.name, r.loads_eliminated);
+                    }
+                    cur = r.func;
+                }
+                if flags.licm {
+                    let r = licm_function(&cur, Some((&mut entry, &mut map)), mode);
+                    if r.hoisted > 0 {
+                        eprintln!("`{}`: LICM hoisted {} load(s)", f.name, r.hoisted);
+                    }
+                    cur = r.func;
+                }
+                let errs = entry.validate();
+                if !errs.is_empty() {
+                    fail(&format!("maintenance broke `{}`: {errs:?}", f.name));
+                }
+                let q = HliQuery::new(&entry);
+                let side = hli_backend::ddg::HliSide { query: &q, map: &map };
+                let r = schedule_function(&cur, Some(&side), mode, &lat);
+                total_queries.add(&r.stats);
+                r.func
+            }
+            _ => {
+                if flags.cse {
+                    cur = cse_function(&cur, None, DepMode::GccOnly).func;
+                }
+                if flags.licm {
+                    cur = licm_function(&cur, None, DepMode::GccOnly).func;
+                }
+                let r = schedule_function(&cur, None, DepMode::GccOnly, &lat);
+                total_queries.add(&r.stats);
+                r.func
+            }
+        };
+        if flags.dump_rtl {
+            print!("{}", dump_func(&scheduled));
+        }
+        *out.func_mut(&f.name).unwrap() = scheduled;
+    }
+
+    println!(
+        "dependence queries: {} (GCC yes {}, HLI yes {}, combined {})",
+        total_queries.total_tests,
+        total_queries.gcc_yes,
+        total_queries.hli_yes,
+        total_queries.combined_yes
+    );
+
+    let (res, trace) = hli_machine::execute_with_trace(&out)
+        .unwrap_or_else(|e| fail(&format!("execution fault: {e}")));
+    println!(
+        "program result: {} ({} dynamic instructions, {} loads, {} stores)",
+        res.ret, res.dyn_insns, res.loads, res.stores
+    );
+    if flags.time {
+        let a = r4600_cycles(&trace, &R4600Config::default());
+        let b = r10000_cycles(&trace, &R10000Config::default());
+        println!("R4600 : {} cycles ({} operand-stall)", a.cycles, a.stall_cycles);
+        println!("R10000: {} cycles ({} LSQ stalls)", b.cycles, b.lsq_stalls);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: hlicc front <input.c> [-o out.hli]\n       hlicc back <input.c> <in.hli> [--no-hli --dump-rtl --unroll N --cse --licm --time]\n       hlicc build <input.c> [back-end flags]";
+    let Some(cmd) = args.first() else { fail(usage) };
+    match cmd.as_str() {
+        "front" => {
+            let input = args.get(1).unwrap_or_else(|| fail(usage));
+            let out = match args.get(2).map(String::as_str) {
+                Some("-o") => Some(args.get(3).unwrap_or_else(|| fail(usage)).clone()),
+                _ => None,
+            };
+            front(input, out);
+        }
+        "back" | "build" => {
+            let input = args.get(1).unwrap_or_else(|| fail(usage)).clone();
+            let (hli_path, rest_from) = if cmd == "back" {
+                (args.get(2).unwrap_or_else(|| fail(usage)).clone(), 3)
+            } else {
+                // build: run the front end into a temp file first.
+                let tmp = std::env::temp_dir().join(format!(
+                    "hlicc-{}.hli",
+                    std::process::id()
+                ));
+                let tmp = tmp.to_string_lossy().into_owned();
+                front(&input, Some(tmp.clone()));
+                (tmp, 2)
+            };
+            let rest = &args[rest_from.min(args.len())..];
+            let mut flags = BackFlags {
+                use_hli: true,
+                dump_rtl: false,
+                unroll: None,
+                cse: false,
+                licm: false,
+                time: false,
+            };
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--no-hli" => flags.use_hli = false,
+                    "--dump-rtl" => flags.dump_rtl = true,
+                    "--cse" => flags.cse = true,
+                    "--licm" => flags.licm = true,
+                    "--time" => flags.time = true,
+                    "--unroll" => {
+                        let n: u32 = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| fail("--unroll needs a factor >= 2"));
+                        if n < 2 {
+                            fail("--unroll needs a factor >= 2");
+                        }
+                        flags.unroll = Some(n);
+                    }
+                    other => fail(&format!("unknown flag `{other}`\n{usage}")),
+                }
+            }
+            back(&input, &hli_path, flags);
+        }
+        _ => fail(usage),
+    }
+}

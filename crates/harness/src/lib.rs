@@ -1,0 +1,331 @@
+//! # hli-harness — the experiment driver
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (Section 4) over the synthetic suite:
+//!
+//! * `table1` — program characteristics: code size, HLI size in bytes,
+//!   HLI bytes per source line (paper Table 1);
+//! * `table2` — dependence-query counts (total, per line, GCC-yes,
+//!   HLI-yes, combined-yes), the edge-reduction percentage, and simulated
+//!   R4600/R10000 speedups of HLI-scheduled vs GCC-scheduled code
+//!   (paper Table 2);
+//! * `figures` binary — the Figure 2 region dump, the Figure 4 CSE-purge
+//!   demonstration, and the Figure 6 unrolling-maintenance demonstration.
+//!
+//! Every run cross-checks correctness: the GCC-scheduled and HLI-scheduled
+//! binaries must produce identical results, equal to the AST interpreter's
+//! (the differential oracle), or the harness reports the benchmark as
+//! miscompiled instead of mis-reporting a speedup.
+
+use hli_backend::ddg::{DepMode, QueryStats};
+use hli_backend::lower::lower_program;
+use hli_backend::sched::{schedule_program, LatencyModel};
+use hli_core::serialize::{encode_file, SerializeOpts};
+use hli_frontend::{generate_hli_with, FrontendOptions};
+use hli_lang::compile_to_ast;
+use hli_machine::{r10000_cycles, r4600_cycles, R10000Config, R4600Config};
+use hli_suite::{Benchmark, Scale};
+use rayon::prelude::*;
+
+/// Everything measured about one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    pub name: String,
+    pub suite: String,
+    pub is_fp: bool,
+    /// Source lines (Table 1 "Code size").
+    pub code_lines: usize,
+    /// Compact HLI encoding size (Table 1 "HLI size").
+    pub hli_bytes: usize,
+    /// Table 2 dependence-query counters (from the scheduling pass).
+    pub stats: QueryStats,
+    /// Simulated cycles: (GCC-sched, HLI-sched) on each machine.
+    pub r4600: (u64, u64),
+    pub r10000: (u64, u64),
+    /// Dynamic instructions executed (identical for both schedules).
+    pub dyn_insns: u64,
+    /// Correctness: all executions agreed with the AST interpreter.
+    pub validated: bool,
+}
+
+impl BenchReport {
+    /// Table 2 "Reduction": 1 − combined/gcc.
+    pub fn reduction(&self) -> f64 {
+        self.stats.reduction()
+    }
+
+    pub fn tests_per_line(&self) -> f64 {
+        self.stats.total_tests as f64 / self.code_lines.max(1) as f64
+    }
+
+    pub fn speedup_r4600(&self) -> f64 {
+        self.r4600.0 as f64 / self.r4600.1.max(1) as f64
+    }
+
+    pub fn speedup_r10000(&self) -> f64 {
+        self.r10000.0 as f64 / self.r10000.1.max(1) as f64
+    }
+
+    pub fn hli_bytes_per_line(&self) -> f64 {
+        self.hli_bytes as f64 / self.code_lines.max(1) as f64
+    }
+}
+
+/// Run the full measurement pipeline on one benchmark.
+pub fn run_benchmark(b: &Benchmark) -> Result<BenchReport, String> {
+    run_benchmark_with(b, FrontendOptions::default())
+}
+
+/// [`run_benchmark`] with explicit front-end precision options (the
+/// ablation knob).
+pub fn run_benchmark_with(b: &Benchmark, opts: FrontendOptions) -> Result<BenchReport, String> {
+    let (prog, sema) = compile_to_ast(&b.source).map_err(|e| format!("{}: {e}", b.name))?;
+
+    // Reference semantics.
+    let oracle = hli_lang::interp::run_program(&prog, &sema)
+        .map_err(|e| format!("{}: interpreter: {e}", b.name))?;
+
+    // Front-end: HLI generation + Table 1 size.
+    let hli = generate_hli_with(&prog, &sema, opts);
+    for e in &hli.entries {
+        let errs = e.validate();
+        if !errs.is_empty() {
+            return Err(format!("{}: invalid HLI for `{}`: {errs:?}", b.name, e.unit_name));
+        }
+    }
+    let hli_bytes = encode_file(&hli, SerializeOpts::default()).len();
+
+    // Back-end: lower once, schedule twice (the two compiler builds).
+    let rtl = lower_program(&prog, &sema);
+    let lat = LatencyModel::default();
+    let (gcc_build, _) = schedule_program(&rtl, &hli, DepMode::GccOnly, &lat);
+    let (hli_build, stats) = schedule_program(&rtl, &hli, DepMode::Combined, &lat);
+
+    // Machines: trace each build once, time on both models.
+    let (gcc_res, gcc_trace) = hli_machine::execute_with_trace(&gcc_build)
+        .map_err(|e| format!("{}: gcc build: {e}", b.name))?;
+    let (hli_res, hli_trace) = hli_machine::execute_with_trace(&hli_build)
+        .map_err(|e| format!("{}: hli build: {e}", b.name))?;
+
+    let validated = gcc_res.ret == oracle.ret
+        && hli_res.ret == oracle.ret
+        && gcc_res.global_checksum == oracle.global_checksum
+        && hli_res.global_checksum == oracle.global_checksum;
+
+    let c4 = R4600Config::default();
+    let c10 = R10000Config::default();
+    let g4 = r4600_cycles(&gcc_trace, &c4).cycles;
+    let h4 = r4600_cycles(&hli_trace, &c4).cycles;
+    let g10 = r10000_cycles(&gcc_trace, &c10).cycles;
+    let h10 = r10000_cycles(&hli_trace, &c10).cycles;
+
+    Ok(BenchReport {
+        name: b.name.to_string(),
+        suite: b.suite.to_string(),
+        is_fp: b.is_fp,
+        code_lines: b.source.lines().count(),
+        hli_bytes,
+        stats,
+        r4600: (g4, h4),
+        r10000: (g10, h10),
+        dyn_insns: gcc_res.dyn_insns,
+        validated,
+    })
+}
+
+/// Run the whole suite in parallel.
+pub fn run_suite(scale: Scale) -> Vec<Result<BenchReport, String>> {
+    hli_suite::all(scale)
+        .par_iter()
+        .map(run_benchmark)
+        .collect()
+}
+
+/// Format Table 1 (program characteristics).
+pub fn format_table1(reports: &[BenchReport]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:<7} {:>10} {:>10} {:>14}",
+        "Benchmark", "Suite", "Code lines", "HLI (B)", "HLI per line"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(60));
+    let mut int_bpl = Vec::new();
+    let mut fp_bpl = Vec::new();
+    for (i, r) in reports.iter().enumerate() {
+        if i == 4 {
+            let _ = writeln!(
+                out,
+                "{:<14} {:<7} {:>10} {:>10} {:>14.0}   (int mean)",
+                "mean", "-", "-", "-", mean(&int_bpl)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<14} {:<7} {:>10} {:>10} {:>14.0}",
+            r.name,
+            r.suite,
+            r.code_lines,
+            r.hli_bytes,
+            r.hli_bytes_per_line()
+        );
+        if r.is_fp {
+            fp_bpl.push(r.hli_bytes_per_line());
+        } else {
+            int_bpl.push(r.hli_bytes_per_line());
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{:<14} {:<7} {:>10} {:>10} {:>14.0}   (fp mean)",
+        "mean", "-", "-", "-", mean(&fp_bpl)
+    );
+    out
+}
+
+/// Format Table 2 (dependence tests and speedups).
+pub fn format_table2(reports: &[BenchReport]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>7} {:>9} {:>12} {:>12} {:>12} {:>6} {:>8} {:>8} {:>3}",
+        "Benchmark", "Tests", "Per line", "GCC yes", "HLI yes", "Combined", "Red%", "R4600", "R10000", "OK"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(100));
+    let split = |rs: &[&BenchReport], label: &str, out: &mut String| {
+        let red: Vec<f64> = rs.iter().map(|r| r.reduction() * 100.0).collect();
+        let s4: Vec<f64> = rs.iter().map(|r| r.speedup_r4600()).collect();
+        let s10: Vec<f64> = rs.iter().map(|r| r.speedup_r10000()).collect();
+        let tpl: Vec<f64> = rs.iter().map(|r| r.tests_per_line()).collect();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7} {:>9.2} {:>12} {:>12} {:>12} {:>6.0} {:>8.2} {:>8.2}      ({label} mean)",
+            "mean", "-", mean(&tpl), "-", "-", "-", mean(&red), geomean(&s4), geomean(&s10)
+        );
+    };
+    for (i, r) in reports.iter().enumerate() {
+        if i == 4 {
+            let ints: Vec<&BenchReport> = reports[..4].iter().collect();
+            split(&ints, "int", &mut out);
+        }
+        let pct = |num: u64| {
+            if r.stats.total_tests == 0 {
+                0.0
+            } else {
+                100.0 * num as f64 / r.stats.total_tests as f64
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7} {:>9.2} {:>6} ({:>3.0}%) {:>6} ({:>3.0}%) {:>6} ({:>3.0}%) {:>6.0} {:>8.2} {:>8.2} {:>3}",
+            r.name,
+            r.stats.total_tests,
+            r.tests_per_line(),
+            r.stats.gcc_yes,
+            pct(r.stats.gcc_yes),
+            r.stats.hli_yes,
+            pct(r.stats.hli_yes),
+            r.stats.combined_yes,
+            pct(r.stats.combined_yes),
+            r.reduction() * 100.0,
+            r.speedup_r4600(),
+            r.speedup_r10000(),
+            if r.validated { "ok" } else { "BAD" }
+        );
+    }
+    let fps: Vec<&BenchReport> = reports[4..].iter().collect();
+    split(&fps, "fp", &mut out);
+    out
+}
+
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+pub fn geomean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        (v.iter().map(|x| x.max(1e-9).ln()).sum::<f64>() / v.len() as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_fp_benchmark_end_to_end() {
+        let b = hli_suite::by_name("034.mdljdp2", Scale::tiny()).unwrap();
+        let r = run_benchmark(&b).unwrap();
+        assert!(r.validated, "schedules must preserve semantics");
+        assert!(r.stats.total_tests > 0);
+        assert!(r.stats.combined_yes <= r.stats.gcc_yes);
+        assert!(r.hli_bytes > 0);
+        assert!(r.r4600.0 > 0 && r.r10000.0 > 0);
+    }
+
+    #[test]
+    fn one_int_benchmark_end_to_end() {
+        let b = hli_suite::by_name("wc", Scale::tiny()).unwrap();
+        let r = run_benchmark(&b).unwrap();
+        assert!(r.validated);
+        assert!(r.reduction() >= 0.0);
+    }
+
+    #[test]
+    fn hli_never_slower_than_gcc_schedule_on_pointer_kernel() {
+        let b = hli_suite::by_name("077.mdljsp2", Scale::tiny()).unwrap();
+        let r = run_benchmark(&b).unwrap();
+        // HLI freed edges: schedule quality must not regress.
+        assert!(
+            r.speedup_r10000() > 0.95,
+            "r10000 speedup {:.3} collapsed",
+            r.speedup_r10000()
+        );
+    }
+
+    #[test]
+    fn ablation_reduces_precision() {
+        let b = hli_suite::by_name("034.mdljdp2", Scale::tiny()).unwrap();
+        let full = run_benchmark(&b).unwrap();
+        let blunt = run_benchmark_with(
+            &b,
+            FrontendOptions { pointer_analysis: false, ..Default::default() },
+        )
+        .unwrap();
+        assert!(
+            blunt.stats.combined_yes >= full.stats.combined_yes,
+            "turning off points-to cannot improve the combined column"
+        );
+    }
+
+    #[test]
+    fn table_formatters_cover_all_rows() {
+        let reports: Vec<BenchReport> = hli_suite::all(Scale::tiny())
+            .iter()
+            .map(|b| run_benchmark(b).unwrap())
+            .collect();
+        let t1 = format_table1(&reports);
+        let t2 = format_table2(&reports);
+        for b in hli_suite::all(Scale::tiny()) {
+            assert!(t1.contains(b.name), "table1 missing {}", b.name);
+            assert!(t2.contains(b.name), "table2 missing {}", b.name);
+        }
+        assert!(t1.contains("(fp mean)"));
+        assert!(t2.contains("(int mean)"));
+    }
+
+    #[test]
+    fn stat_helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,374 @@
+//! The MiniC abstract syntax tree.
+//!
+//! Every expression and statement carries a stable numeric identity
+//! ([`ExprId`], [`StmtId`]) assigned densely by the parser, plus the 1-based
+//! source line it starts on. Analyses (types, symbol resolution, affine
+//! subscripts, memory items) attach facts to those identities in side tables
+//! instead of mutating the tree, mirroring how SUIF annotations decorate its
+//! IR in the paper.
+
+use crate::types::Type;
+
+/// Dense identity of an expression node within one [`Program`].
+pub type ExprId = u32;
+/// Dense identity of a statement node within one [`Program`].
+pub type StmtId = u32;
+
+/// A whole translation unit.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub globals: Vec<GlobalDecl>,
+    pub funcs: Vec<FuncDef>,
+    /// One past the highest [`ExprId`] assigned (side tables size to this).
+    pub num_exprs: u32,
+    /// One past the highest [`StmtId`] assigned.
+    pub num_stmts: u32,
+}
+
+impl Program {
+    /// Find a function definition by name.
+    pub fn func(&self, name: &str) -> Option<&FuncDef> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+/// A file-scope variable declaration.
+#[derive(Debug, Clone)]
+pub struct GlobalDecl {
+    pub name: String,
+    pub ty: Type,
+    pub line: u32,
+    /// Optional scalar initializer (constant only, as in C static init).
+    pub init: Option<ConstInit>,
+}
+
+/// Constant initializer for a global scalar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstInit {
+    Int(i64),
+    Double(f64),
+}
+
+/// A function definition.
+#[derive(Debug, Clone)]
+pub struct FuncDef {
+    pub name: String,
+    pub ret: Type,
+    pub params: Vec<ParamDecl>,
+    pub body: Block,
+    /// Line of the `name(` in the definition.
+    pub line: u32,
+}
+
+/// A formal parameter. Array-typed parameters decay to pointers (as in C);
+/// the parser performs the decay so `ty` is never `Type::Array` here.
+#[derive(Debug, Clone)]
+pub struct ParamDecl {
+    pub name: String,
+    pub ty: Type,
+    pub line: u32,
+}
+
+/// A `{ ... }` statement list.
+#[derive(Debug, Clone)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement node.
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    pub id: StmtId,
+    pub line: u32,
+    pub kind: StmtKind,
+}
+
+/// A local variable declaration (one declarator; the parser splits
+/// comma-separated declarations into several `Decl` statements).
+#[derive(Debug, Clone)]
+pub struct LocalDecl {
+    pub name: String,
+    pub ty: Type,
+    /// Optional initializer expression.
+    pub init: Option<Expr>,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone)]
+pub enum StmtKind {
+    Decl(LocalDecl),
+    Expr(Expr),
+    Block(Block),
+    If {
+        cond: Expr,
+        then_body: Box<Stmt>,
+        else_body: Option<Box<Stmt>>,
+    },
+    While {
+        cond: Expr,
+        body: Box<Stmt>,
+    },
+    DoWhile {
+        body: Box<Stmt>,
+        cond: Expr,
+    },
+    /// A C `for`. All three header parts are optional expressions; the
+    /// canonical-loop recognizer in `sema` decides whether this is a
+    /// countable loop (and therefore an HLI region with analyzable bounds).
+    For {
+        init: Option<Expr>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Box<Stmt>,
+    },
+    Return(Option<Expr>),
+    Break,
+    Continue,
+    /// `;`
+    Empty,
+}
+
+/// An expression node.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    pub id: ExprId,
+    pub line: u32,
+    pub kind: ExprKind,
+}
+
+/// Binary operators (arithmetic, bitwise, comparison, logical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// Short-circuit `&&`.
+    LogAnd,
+    /// Short-circuit `||`.
+    LogOr,
+}
+
+impl BinOp {
+    /// True for operators that always yield `int` (comparisons, logicals).
+    pub fn is_boolean(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::LogAnd
+                | BinOp::LogOr
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// Pre/post increment/decrement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IncDec {
+    PreInc,
+    PreDec,
+    PostInc,
+    PostDec,
+}
+
+impl IncDec {
+    pub fn is_inc(self) -> bool {
+        matches!(self, IncDec::PreInc | IncDec::PostInc)
+    }
+    pub fn is_pre(self) -> bool {
+        matches!(self, IncDec::PreInc | IncDec::PreDec)
+    }
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    IntLit(i64),
+    FloatLit(f64),
+    /// A variable reference; resolution to a symbol happens in sema.
+    Ident(String),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `base[index]` — multi-dimensional accesses nest: `a[i][j]` is
+    /// `Index(Index(a, i), j)`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `*ptr`
+    Deref(Box<Expr>),
+    /// `&lvalue`
+    Addr(Box<Expr>),
+    /// `lhs = rhs`
+    Assign(Box<Expr>, Box<Expr>),
+    /// `lhs op= rhs` (desugared semantics: load-modify-store).
+    CompoundAssign(BinOp, Box<Expr>, Box<Expr>),
+    /// `++x`, `x--`, ...
+    IncDec(IncDec, Box<Expr>),
+    /// Direct call `name(args...)`. MiniC has no function pointers.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Is this expression syntactically an lvalue?
+    pub fn is_lvalue(&self) -> bool {
+        matches!(
+            self.kind,
+            ExprKind::Ident(_) | ExprKind::Index(..) | ExprKind::Deref(_)
+        )
+    }
+
+    /// Walk this expression and all sub-expressions, pre-order.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match &self.kind {
+            ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::Ident(_) => {}
+            ExprKind::Unary(_, a)
+            | ExprKind::Deref(a)
+            | ExprKind::Addr(a)
+            | ExprKind::IncDec(_, a) => a.walk(f),
+            ExprKind::Binary(_, a, b)
+            | ExprKind::Index(a, b)
+            | ExprKind::Assign(a, b)
+            | ExprKind::CompoundAssign(_, a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            ExprKind::Call(_, args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+        }
+    }
+}
+
+impl Stmt {
+    /// Walk this statement and all nested statements, pre-order.
+    pub fn walk_stmts<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        f(self);
+        match &self.kind {
+            StmtKind::Block(b) => {
+                for s in &b.stmts {
+                    s.walk_stmts(f);
+                }
+            }
+            StmtKind::If { then_body, else_body, .. } => {
+                then_body.walk_stmts(f);
+                if let Some(e) = else_body {
+                    e.walk_stmts(f);
+                }
+            }
+            StmtKind::While { body, .. }
+            | StmtKind::DoWhile { body, .. }
+            | StmtKind::For { body, .. } => body.walk_stmts(f),
+            _ => {}
+        }
+    }
+
+    /// Walk every expression directly contained in this statement (not in
+    /// nested statements).
+    pub fn own_exprs<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        match &self.kind {
+            StmtKind::Decl(d) => {
+                if let Some(e) = &d.init {
+                    f(e);
+                }
+            }
+            StmtKind::Expr(e) => f(e),
+            StmtKind::If { cond, .. } => f(cond),
+            StmtKind::While { cond, .. } | StmtKind::DoWhile { cond, .. } => f(cond),
+            StmtKind::For { init, cond, step, .. } => {
+                if let Some(e) = init {
+                    f(e);
+                }
+                if let Some(e) = cond {
+                    f(e);
+                }
+                if let Some(e) = step {
+                    f(e);
+                }
+            }
+            StmtKind::Return(Some(e)) => f(e),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(id: ExprId, kind: ExprKind) -> Expr {
+        Expr { id, line: 1, kind }
+    }
+
+    #[test]
+    fn lvalue_classification() {
+        assert!(e(0, ExprKind::Ident("x".into())).is_lvalue());
+        assert!(e(
+            0,
+            ExprKind::Deref(Box::new(e(1, ExprKind::Ident("p".into()))))
+        )
+        .is_lvalue());
+        assert!(!e(0, ExprKind::IntLit(3)).is_lvalue());
+        assert!(!e(
+            0,
+            ExprKind::Addr(Box::new(e(1, ExprKind::Ident("x".into()))))
+        )
+        .is_lvalue());
+    }
+
+    #[test]
+    fn walk_visits_all_subexprs() {
+        let tree = e(
+            0,
+            ExprKind::Binary(
+                BinOp::Add,
+                Box::new(e(1, ExprKind::IntLit(1))),
+                Box::new(e(
+                    2,
+                    ExprKind::Call("f".into(), vec![e(3, ExprKind::IntLit(2))]),
+                )),
+            ),
+        );
+        let mut ids = Vec::new();
+        tree.walk(&mut |x| ids.push(x.id));
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        assert!(BinOp::Lt.is_boolean());
+        assert!(BinOp::LogAnd.is_boolean());
+        assert!(!BinOp::Add.is_boolean());
+    }
+
+    #[test]
+    fn incdec_helpers() {
+        assert!(IncDec::PreInc.is_inc() && IncDec::PreInc.is_pre());
+        assert!(!IncDec::PostDec.is_pre());
+        assert!(!IncDec::PostDec.is_inc());
+    }
+}

@@ -1,0 +1,424 @@
+//! The MiniC lexer.
+//!
+//! A hand-written scanner producing [`Token`]s with 1-based line/column
+//! positions. Supports `//` and `/* */` comments; block comments may span
+//! lines (line accounting stays correct, which matters because HLI items are
+//! keyed by line).
+
+use crate::token::{TokKind, Token};
+use std::fmt;
+
+/// A lexical error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub msg: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a full source string. Returns the token stream terminated by a
+/// single [`TokKind::Eof`] token.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LexError {
+        LexError { msg: msg.into(), line: self.line, col: self.col }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.peek() != b'\n' && self.peek() != 0 {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let (sl, sc) = (self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.peek() == 0 {
+                            return Err(LexError {
+                                msg: "unterminated block comment".into(),
+                                line: sl,
+                                col: sc,
+                            });
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let (line, col) = (self.line, self.col);
+            let c = self.peek();
+            if c == 0 {
+                out.push(Token { kind: TokKind::Eof, line, col });
+                return Ok(out);
+            }
+            let kind = if c.is_ascii_digit() {
+                self.number()?
+            } else if c.is_ascii_alphabetic() || c == b'_' {
+                self.ident_or_kw()
+            } else {
+                self.operator()?
+            };
+            out.push(Token { kind, line, col });
+        }
+    }
+
+    fn number(&mut self) -> Result<TokKind, LexError> {
+        let start = self.pos;
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if self.peek() == b'e' || self.peek() == b'E' {
+            let save = (self.pos, self.line, self.col);
+            self.bump();
+            if self.peek() == b'+' || self.peek() == b'-' {
+                self.bump();
+            }
+            if self.peek().is_ascii_digit() {
+                is_float = true;
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            } else {
+                // Not an exponent after all (e.g. `1end` is `1` then ident).
+                self.pos = save.0;
+                self.line = save.1;
+                self.col = save.2;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        if is_float {
+            text.parse::<f64>()
+                .map(TokKind::FloatLit)
+                .map_err(|e| self.err(format!("bad float literal `{text}`: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(TokKind::IntLit)
+                .map_err(|e| self.err(format!("bad integer literal `{text}`: {e}")))
+        }
+    }
+
+    fn ident_or_kw(&mut self) -> TokKind {
+        let start = self.pos;
+        while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        match text {
+            "int" => TokKind::KwInt,
+            "double" | "float" => TokKind::KwDouble,
+            "void" => TokKind::KwVoid,
+            "if" => TokKind::KwIf,
+            "else" => TokKind::KwElse,
+            "while" => TokKind::KwWhile,
+            "for" => TokKind::KwFor,
+            "return" => TokKind::KwReturn,
+            "break" => TokKind::KwBreak,
+            "continue" => TokKind::KwContinue,
+            "do" => TokKind::KwDo,
+            _ => TokKind::Ident(text.to_string()),
+        }
+    }
+
+    fn operator(&mut self) -> Result<TokKind, LexError> {
+        let c = self.bump();
+        let kind = match c {
+            b'(' => TokKind::LParen,
+            b')' => TokKind::RParen,
+            b'{' => TokKind::LBrace,
+            b'}' => TokKind::RBrace,
+            b'[' => TokKind::LBracket,
+            b']' => TokKind::RBracket,
+            b';' => TokKind::Semi,
+            b',' => TokKind::Comma,
+            b'~' => TokKind::Tilde,
+            b'^' => TokKind::Caret,
+            b'+' => match self.peek() {
+                b'+' => {
+                    self.bump();
+                    TokKind::PlusPlus
+                }
+                b'=' => {
+                    self.bump();
+                    TokKind::PlusAssign
+                }
+                _ => TokKind::Plus,
+            },
+            b'-' => match self.peek() {
+                b'-' => {
+                    self.bump();
+                    TokKind::MinusMinus
+                }
+                b'=' => {
+                    self.bump();
+                    TokKind::MinusAssign
+                }
+                _ => TokKind::Minus,
+            },
+            b'*' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokKind::StarAssign
+                } else {
+                    TokKind::Star
+                }
+            }
+            b'/' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokKind::SlashAssign
+                } else {
+                    TokKind::Slash
+                }
+            }
+            b'%' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokKind::PercentAssign
+                } else {
+                    TokKind::Percent
+                }
+            }
+            b'&' => {
+                if self.peek() == b'&' {
+                    self.bump();
+                    TokKind::AmpAmp
+                } else {
+                    TokKind::Amp
+                }
+            }
+            b'|' => {
+                if self.peek() == b'|' {
+                    self.bump();
+                    TokKind::PipePipe
+                } else {
+                    TokKind::Pipe
+                }
+            }
+            b'<' => match self.peek() {
+                b'=' => {
+                    self.bump();
+                    TokKind::Le
+                }
+                b'<' => {
+                    self.bump();
+                    TokKind::Shl
+                }
+                _ => TokKind::Lt,
+            },
+            b'>' => match self.peek() {
+                b'=' => {
+                    self.bump();
+                    TokKind::Ge
+                }
+                b'>' => {
+                    self.bump();
+                    TokKind::Shr
+                }
+                _ => TokKind::Gt,
+            },
+            b'=' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokKind::EqEq
+                } else {
+                    TokKind::Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokKind::NotEq
+                } else {
+                    TokKind::Bang
+                }
+            }
+            other => {
+                return Err(self.err(format!("unexpected character `{}`", other as char)));
+            }
+        };
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_empty() {
+        assert_eq!(kinds(""), vec![TokKind::Eof]);
+        assert_eq!(kinds("   \n\t "), vec![TokKind::Eof]);
+    }
+
+    #[test]
+    fn lex_keywords_and_idents() {
+        assert_eq!(
+            kinds("int foo while whilex"),
+            vec![
+                TokKind::KwInt,
+                TokKind::Ident("foo".into()),
+                TokKind::KwWhile,
+                TokKind::Ident("whilex".into()),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn float_keyword_maps_to_double() {
+        assert_eq!(kinds("float"), vec![TokKind::KwDouble, TokKind::Eof]);
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            kinds("42 3.5 1e3 7e-2 9"),
+            vec![
+                TokKind::IntLit(42),
+                TokKind::FloatLit(3.5),
+                TokKind::FloatLit(1000.0),
+                TokKind::FloatLit(0.07),
+                TokKind::IntLit(9),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn number_followed_by_ident_not_exponent() {
+        assert_eq!(
+            kinds("1end"),
+            vec![TokKind::IntLit(1), TokKind::Ident("end".into()), TokKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_compound_operators() {
+        assert_eq!(
+            kinds("+= ++ -- <= >= == != << >> && || ="),
+            vec![
+                TokKind::PlusAssign,
+                TokKind::PlusPlus,
+                TokKind::MinusMinus,
+                TokKind::Le,
+                TokKind::Ge,
+                TokKind::EqEq,
+                TokKind::NotEq,
+                TokKind::Shl,
+                TokKind::Shr,
+                TokKind::AmpAmp,
+                TokKind::PipePipe,
+                TokKind::Assign,
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_and_comments() {
+        let toks = lex("a\nb /* c\nd */ e // f\ng").unwrap();
+        let lines: Vec<(String, u32)> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some((s.clone(), t.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            lines,
+            vec![("a".into(), 1), ("b".into(), 2), ("e".into(), 3), ("g".into(), 4)]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        let e = lex("x /* oops").unwrap_err();
+        assert!(e.msg.contains("unterminated"));
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("a @ b").is_err());
+    }
+
+    #[test]
+    fn columns_are_one_based() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].col, 1);
+        assert_eq!(toks[1].col, 4);
+    }
+}

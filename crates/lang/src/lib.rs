@@ -1,0 +1,56 @@
+//! # hli-lang — the MiniC language substrate
+//!
+//! The HLI paper integrates the SUIF front-end with the GCC back-end over C
+//! and Fortran sources. Neither SUIF nor GCC is available as a Rust library,
+//! so this crate provides the *source language substrate* the rest of the
+//! reproduction is built on: **MiniC**, a C subset rich enough to exercise
+//! every feature the HLI format describes:
+//!
+//! * `int` and `double` scalars, multi-dimensional fixed-size arrays,
+//!   pointers (including pointer parameters and address-of), so the alias
+//!   table has something to say;
+//! * functions with by-value scalar and by-reference array/pointer
+//!   parameters, so the call REF/MOD table has something to say;
+//! * canonical `for` loops (recognized into the region tree), `while`,
+//!   `if`/`else`, so the loop-carried dependence table has something to say.
+//!
+//! The crate provides:
+//!
+//! * [`lexer`] / [`parser`] — text to AST, with source-line tracking on every
+//!   node (the line table of the HLI file is keyed by source line);
+//! * [`ast`] — the tree itself, with stable [`ast::ExprId`]/[`ast::StmtId`]
+//!   node identities used by analyses to attach facts;
+//! * [`sema`] — symbol resolution, type checking, address-taken analysis and
+//!   canonical-loop recognition;
+//! * [`interp`] — a reference AST interpreter used as the correctness oracle
+//!   for the back-end and the machine simulators (a program's observable
+//!   behaviour is `main`'s return value plus a checksum of global memory);
+//! * [`memwalk`] — the *memory-access enumeration contract*: the single
+//!   definition of which source constructs touch memory and in which order
+//!   the back-end will emit them, shared by the front-end's ITEMGEN phase and
+//!   verified against the back-end's lowering (Section 3.1.1 of the paper);
+//! * [`pretty`] — AST printing, used by tests and the `hli_explorer` example.
+
+pub mod ast;
+pub mod interp;
+pub mod lexer;
+pub mod memwalk;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+pub mod token;
+pub mod types;
+
+pub use ast::{Expr, ExprId, ExprKind, FuncDef, Program, Stmt, StmtId, StmtKind};
+pub use parser::parse_program;
+pub use sema::{analyze, Sema, SemaError, Storage, SymId, SymInfo};
+pub use types::Type;
+
+/// Convenience: parse and semantically analyze a MiniC source string.
+///
+/// Returns the AST and the semantic model, or the first error encountered.
+pub fn compile_to_ast(src: &str) -> Result<(Program, Sema), String> {
+    let prog = parse_program(src).map_err(|e| e.to_string())?;
+    let sema = analyze(&prog).map_err(|e| e.to_string())?;
+    Ok((prog, sema))
+}

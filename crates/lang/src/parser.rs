@@ -1,0 +1,813 @@
+//! Recursive-descent parser for MiniC.
+//!
+//! Produces the [`crate::ast`] tree with dense node identities and per-node
+//! source lines. The grammar is a C subset; see the crate docs for scope.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError};
+use crate::token::{TokKind, Token};
+use crate::types::Type;
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub msg: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { msg: e.msg, line: e.line, col: e.col }
+    }
+}
+
+/// Parse a full MiniC translation unit.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    Parser::new(toks).program()
+}
+
+/// Maximum expression nesting depth. Each level costs a dozen host stack
+/// frames through the precedence ladder; the cap keeps adversarial inputs
+/// (e.g. ten thousand open parens) a clean parse error instead of a stack
+/// overflow.
+const MAX_EXPR_DEPTH: u32 = 48;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    next_expr: ExprId,
+    next_stmt: StmtId,
+    expr_depth: u32,
+}
+
+impl Parser {
+    fn new(toks: Vec<Token>) -> Self {
+        Parser { toks, pos: 0, next_expr: 0, next_stmt: 0, expr_depth: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokKind {
+        &self.peek().kind
+    }
+
+    fn peek2_kind(&self) -> &TokKind {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, k: &TokKind) -> bool {
+        self.peek_kind() == k
+    }
+
+    fn eat(&mut self, k: &TokKind) -> bool {
+        if self.at(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, k: &TokKind) -> Result<Token, ParseError> {
+        if self.at(k) {
+            Ok(self.bump())
+        } else {
+            Err(self.err_here(format!(
+                "expected {}, found {}",
+                k.describe(),
+                self.peek_kind().describe()
+            )))
+        }
+    }
+
+    fn err_here(&self, msg: String) -> ParseError {
+        let t = self.peek();
+        ParseError { msg, line: t.line, col: t.col }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, u32), ParseError> {
+        match self.peek_kind().clone() {
+            TokKind::Ident(s) => {
+                let t = self.bump();
+                Ok((s, t.line))
+            }
+            other => Err(self.err_here(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn new_expr(&mut self, line: u32, kind: ExprKind) -> Expr {
+        let id = self.next_expr;
+        self.next_expr += 1;
+        Expr { id, line, kind }
+    }
+
+    fn new_stmt(&mut self, line: u32, kind: StmtKind) -> Stmt {
+        let id = self.next_stmt;
+        self.next_stmt += 1;
+        Stmt { id, line, kind }
+    }
+
+    // ---- declarations -----------------------------------------------------
+
+    fn base_type(&mut self) -> Result<Type, ParseError> {
+        match self.peek_kind() {
+            TokKind::KwInt => {
+                self.bump();
+                Ok(Type::Int)
+            }
+            TokKind::KwDouble => {
+                self.bump();
+                Ok(Type::Double)
+            }
+            TokKind::KwVoid => {
+                self.bump();
+                Ok(Type::Void)
+            }
+            other => Err(self.err_here(format!("expected type, found {}", other.describe()))),
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek_kind(),
+            TokKind::KwInt | TokKind::KwDouble | TokKind::KwVoid
+        )
+    }
+
+    /// Parse `'*'* IDENT ('[' INT ']')*` applying pointers/arrays to `base`.
+    fn declarator(&mut self, base: &Type) -> Result<(String, Type, u32), ParseError> {
+        let mut ty = base.clone();
+        while self.eat(&TokKind::Star) {
+            ty = Type::Ptr(Box::new(ty));
+        }
+        let (name, line) = self.expect_ident()?;
+        let mut dims = Vec::new();
+        while self.eat(&TokKind::LBracket) {
+            match self.peek_kind().clone() {
+                TokKind::IntLit(n) if n > 0 => {
+                    self.bump();
+                    dims.push(n as usize);
+                }
+                other => {
+                    return Err(self.err_here(format!(
+                        "expected positive array length, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+            self.expect(&TokKind::RBracket)?;
+        }
+        for n in dims.into_iter().rev() {
+            ty = Type::Array(Box::new(ty), n);
+        }
+        Ok((name, ty, line))
+    }
+
+    fn program(mut self) -> Result<Program, ParseError> {
+        let mut globals = Vec::new();
+        let mut funcs = Vec::new();
+        while !self.at(&TokKind::Eof) {
+            let base = self.base_type()?;
+            // Look ahead: `type '*'* IDENT '('` is a function definition.
+            let save = self.pos;
+            let mut stars = 0;
+            while self.at(&TokKind::Star) {
+                self.bump();
+                stars += 1;
+            }
+            let is_func = matches!(self.peek_kind(), TokKind::Ident(_))
+                && *self.peek2_kind() == TokKind::LParen;
+            self.pos = save;
+            if is_func {
+                let mut ret = base;
+                for _ in 0..stars {
+                    self.bump();
+                    ret = Type::Ptr(Box::new(ret));
+                }
+                funcs.push(self.func_def(ret)?);
+            } else {
+                if base == Type::Void {
+                    return Err(self.err_here("`void` variables are not allowed".into()));
+                }
+                loop {
+                    let (name, ty, line) = self.declarator(&base)?;
+                    let init = if self.eat(&TokKind::Assign) {
+                        Some(self.const_init(&ty)?)
+                    } else {
+                        None
+                    };
+                    globals.push(GlobalDecl { name, ty, line, init });
+                    if !self.eat(&TokKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokKind::Semi)?;
+            }
+        }
+        Ok(Program {
+            globals,
+            funcs,
+            num_exprs: self.next_expr,
+            num_stmts: self.next_stmt,
+        })
+    }
+
+    fn const_init(&mut self, ty: &Type) -> Result<ConstInit, ParseError> {
+        if ty.is_array() {
+            return Err(self.err_here("array initializers are not supported".into()));
+        }
+        let neg = self.eat(&TokKind::Minus);
+        let init = match self.peek_kind().clone() {
+            TokKind::IntLit(v) => {
+                self.bump();
+                let v = if neg { -v } else { v };
+                if ty.is_float() {
+                    ConstInit::Double(v as f64)
+                } else {
+                    ConstInit::Int(v)
+                }
+            }
+            TokKind::FloatLit(v) => {
+                self.bump();
+                let v = if neg { -v } else { v };
+                ConstInit::Double(v)
+            }
+            other => {
+                return Err(self.err_here(format!(
+                    "expected constant initializer, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        Ok(init)
+    }
+
+    fn func_def(&mut self, ret: Type) -> Result<FuncDef, ParseError> {
+        let (name, line) = self.expect_ident()?;
+        self.expect(&TokKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokKind::RParen) {
+            // Allow `(void)`.
+            if self.at(&TokKind::KwVoid) && *self.peek2_kind() == TokKind::RParen {
+                self.bump();
+            } else {
+                loop {
+                    let base = self.base_type()?;
+                    if base == Type::Void {
+                        return Err(self.err_here("`void` parameter not allowed here".into()));
+                    }
+                    let mut ty = base;
+                    while self.eat(&TokKind::Star) {
+                        ty = Type::Ptr(Box::new(ty));
+                    }
+                    let (pname, pline) = self.expect_ident()?;
+                    // Array parameters: `int a[]`, `int a[10]`, `int a[10][20]`.
+                    // The first dimension decays; inner dimensions shape the
+                    // pointee so subscript lowering can linearize.
+                    let mut dims: Vec<Option<usize>> = Vec::new();
+                    while self.eat(&TokKind::LBracket) {
+                        match self.peek_kind().clone() {
+                            TokKind::RBracket => dims.push(None),
+                            TokKind::IntLit(n) if n > 0 => {
+                                self.bump();
+                                dims.push(Some(n as usize));
+                            }
+                            other => {
+                                return Err(self.err_here(format!(
+                                    "expected array length or `]`, found {}",
+                                    other.describe()
+                                )))
+                            }
+                        }
+                        self.expect(&TokKind::RBracket)?;
+                    }
+                    if !dims.is_empty() {
+                        // Inner dims must be concrete.
+                        let mut inner = ty;
+                        for d in dims[1..].iter().rev() {
+                            match d {
+                                Some(n) => inner = Type::Array(Box::new(inner), *n),
+                                None => {
+                                    return Err(self.err_here(
+                                        "inner array dimensions must have a length".into(),
+                                    ))
+                                }
+                            }
+                        }
+                        ty = Type::Ptr(Box::new(inner));
+                    }
+                    params.push(ParamDecl { name: pname, ty, line: pline });
+                    if !self.eat(&TokKind::Comma) {
+                        break;
+                    }
+                }
+            }
+        }
+        self.expect(&TokKind::RParen)?;
+        let body = self.block()?;
+        Ok(FuncDef { name, ret, params, body, line })
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(&TokKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.at(&TokKind::RBrace) {
+            if self.at(&TokKind::Eof) {
+                return Err(self.err_here("unexpected end of input in block".into()));
+            }
+            self.stmt_into(&mut stmts)?;
+        }
+        self.expect(&TokKind::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    /// Parse one statement; local declarations may expand to several `Decl`
+    /// statements (one per declarator), so this appends into `out`.
+    fn stmt_into(&mut self, out: &mut Vec<Stmt>) -> Result<(), ParseError> {
+        if self.is_type_start() {
+            let base = self.base_type()?;
+            if base == Type::Void {
+                return Err(self.err_here("`void` variables are not allowed".into()));
+            }
+            loop {
+                let (name, ty, line) = self.declarator(&base)?;
+                let init = if self.eat(&TokKind::Assign) {
+                    if ty.is_array() {
+                        return Err(self.err_here("array initializers are not supported".into()));
+                    }
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                let s = self.new_stmt(line, StmtKind::Decl(LocalDecl { name, ty, init }));
+                out.push(s);
+                if !self.eat(&TokKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokKind::Semi)?;
+            return Ok(());
+        }
+        let s = self.stmt()?;
+        out.push(s);
+        Ok(())
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.peek().line;
+        match self.peek_kind() {
+            TokKind::LBrace => {
+                let b = self.block()?;
+                Ok(self.new_stmt(line, StmtKind::Block(b)))
+            }
+            TokKind::KwIf => {
+                self.bump();
+                self.expect(&TokKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokKind::RParen)?;
+                let then_body = Box::new(self.stmt()?);
+                let else_body = if self.eat(&TokKind::KwElse) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(self.new_stmt(line, StmtKind::If { cond, then_body, else_body }))
+            }
+            TokKind::KwWhile => {
+                self.bump();
+                self.expect(&TokKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokKind::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(self.new_stmt(line, StmtKind::While { cond, body }))
+            }
+            TokKind::KwDo => {
+                self.bump();
+                let body = Box::new(self.stmt()?);
+                self.expect(&TokKind::KwWhile)?;
+                self.expect(&TokKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokKind::RParen)?;
+                self.expect(&TokKind::Semi)?;
+                Ok(self.new_stmt(line, StmtKind::DoWhile { body, cond }))
+            }
+            TokKind::KwFor => {
+                self.bump();
+                self.expect(&TokKind::LParen)?;
+                let init = if self.at(&TokKind::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&TokKind::Semi)?;
+                let cond = if self.at(&TokKind::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&TokKind::Semi)?;
+                let step = if self.at(&TokKind::RParen) { None } else { Some(self.expr()?) };
+                self.expect(&TokKind::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(self.new_stmt(line, StmtKind::For { init, cond, step, body }))
+            }
+            TokKind::KwReturn => {
+                self.bump();
+                let val = if self.at(&TokKind::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&TokKind::Semi)?;
+                Ok(self.new_stmt(line, StmtKind::Return(val)))
+            }
+            TokKind::KwBreak => {
+                self.bump();
+                self.expect(&TokKind::Semi)?;
+                Ok(self.new_stmt(line, StmtKind::Break))
+            }
+            TokKind::KwContinue => {
+                self.bump();
+                self.expect(&TokKind::Semi)?;
+                Ok(self.new_stmt(line, StmtKind::Continue))
+            }
+            TokKind::Semi => {
+                self.bump();
+                Ok(self.new_stmt(line, StmtKind::Empty))
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect(&TokKind::Semi)?;
+                Ok(self.new_stmt(line, StmtKind::Expr(e)))
+            }
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        if self.expr_depth >= MAX_EXPR_DEPTH {
+            return Err(self.err_here("expression too deeply nested".into()));
+        }
+        self.expr_depth += 1;
+        let r = self.assignment();
+        self.expr_depth -= 1;
+        r
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.binary(0)?;
+        let op = match self.peek_kind() {
+            TokKind::Assign => None,
+            TokKind::PlusAssign => Some(BinOp::Add),
+            TokKind::MinusAssign => Some(BinOp::Sub),
+            TokKind::StarAssign => Some(BinOp::Mul),
+            TokKind::SlashAssign => Some(BinOp::Div),
+            TokKind::PercentAssign => Some(BinOp::Rem),
+            _ => return Ok(lhs),
+        };
+        let line = self.peek().line;
+        if !lhs.is_lvalue() {
+            return Err(self.err_here("left side of assignment is not an lvalue".into()));
+        }
+        self.bump();
+        let rhs = self.assignment()?;
+        let kind = match op {
+            None => ExprKind::Assign(Box::new(lhs), Box::new(rhs)),
+            Some(b) => ExprKind::CompoundAssign(b, Box::new(lhs), Box::new(rhs)),
+        };
+        Ok(self.new_expr(line, kind))
+    }
+
+    /// Binary-operator precedence levels, loosest first.
+    fn bin_op_at(&self, level: usize) -> Option<BinOp> {
+        let k = self.peek_kind();
+        let op = match (level, k) {
+            (0, TokKind::PipePipe) => BinOp::LogOr,
+            (1, TokKind::AmpAmp) => BinOp::LogAnd,
+            (2, TokKind::Pipe) => BinOp::BitOr,
+            (3, TokKind::Caret) => BinOp::BitXor,
+            (4, TokKind::Amp) => BinOp::BitAnd,
+            (5, TokKind::EqEq) => BinOp::Eq,
+            (5, TokKind::NotEq) => BinOp::Ne,
+            (6, TokKind::Lt) => BinOp::Lt,
+            (6, TokKind::Le) => BinOp::Le,
+            (6, TokKind::Gt) => BinOp::Gt,
+            (6, TokKind::Ge) => BinOp::Ge,
+            (7, TokKind::Shl) => BinOp::Shl,
+            (7, TokKind::Shr) => BinOp::Shr,
+            (8, TokKind::Plus) => BinOp::Add,
+            (8, TokKind::Minus) => BinOp::Sub,
+            (9, TokKind::Star) => BinOp::Mul,
+            (9, TokKind::Slash) => BinOp::Div,
+            (9, TokKind::Percent) => BinOp::Rem,
+            _ => return None,
+        };
+        Some(op)
+    }
+
+    const MAX_LEVEL: usize = 9;
+
+    fn binary(&mut self, level: usize) -> Result<Expr, ParseError> {
+        if level > Self::MAX_LEVEL {
+            return self.unary();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        while let Some(op) = self.bin_op_at(level) {
+            let line = self.peek().line;
+            self.bump();
+            let rhs = self.binary(level + 1)?;
+            lhs = self.new_expr(line, ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.peek().line;
+        match self.peek_kind() {
+            TokKind::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(self.new_expr(line, ExprKind::Unary(UnOp::Neg, Box::new(e))))
+            }
+            TokKind::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(self.new_expr(line, ExprKind::Unary(UnOp::Not, Box::new(e))))
+            }
+            TokKind::Tilde => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(self.new_expr(line, ExprKind::Unary(UnOp::BitNot, Box::new(e))))
+            }
+            TokKind::Star => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(self.new_expr(line, ExprKind::Deref(Box::new(e))))
+            }
+            TokKind::Amp => {
+                self.bump();
+                let e = self.unary()?;
+                if !e.is_lvalue() {
+                    return Err(self.err_here("`&` requires an lvalue".into()));
+                }
+                Ok(self.new_expr(line, ExprKind::Addr(Box::new(e))))
+            }
+            TokKind::PlusPlus => {
+                self.bump();
+                let e = self.unary()?;
+                if !e.is_lvalue() {
+                    return Err(self.err_here("`++` requires an lvalue".into()));
+                }
+                Ok(self.new_expr(line, ExprKind::IncDec(IncDec::PreInc, Box::new(e))))
+            }
+            TokKind::MinusMinus => {
+                self.bump();
+                let e = self.unary()?;
+                if !e.is_lvalue() {
+                    return Err(self.err_here("`--` requires an lvalue".into()));
+                }
+                Ok(self.new_expr(line, ExprKind::IncDec(IncDec::PreDec, Box::new(e))))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.peek().line;
+            match self.peek_kind() {
+                TokKind::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&TokKind::RBracket)?;
+                    e = self.new_expr(line, ExprKind::Index(Box::new(e), Box::new(idx)));
+                }
+                TokKind::PlusPlus => {
+                    self.bump();
+                    if !e.is_lvalue() {
+                        return Err(self.err_here("`++` requires an lvalue".into()));
+                    }
+                    e = self.new_expr(line, ExprKind::IncDec(IncDec::PostInc, Box::new(e)));
+                }
+                TokKind::MinusMinus => {
+                    self.bump();
+                    if !e.is_lvalue() {
+                        return Err(self.err_here("`--` requires an lvalue".into()));
+                    }
+                    e = self.new_expr(line, ExprKind::IncDec(IncDec::PostDec, Box::new(e)));
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.peek().line;
+        match self.peek_kind().clone() {
+            TokKind::IntLit(v) => {
+                self.bump();
+                Ok(self.new_expr(line, ExprKind::IntLit(v)))
+            }
+            TokKind::FloatLit(v) => {
+                self.bump();
+                Ok(self.new_expr(line, ExprKind::FloatLit(v)))
+            }
+            TokKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.at(&TokKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokKind::RParen)?;
+                    Ok(self.new_expr(line, ExprKind::Call(name, args)))
+                } else {
+                    Ok(self.new_expr(line, ExprKind::Ident(name)))
+                }
+            }
+            TokKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.err_here(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        parse_program(src).unwrap()
+    }
+
+    #[test]
+    fn parse_minimal_main() {
+        let p = parse_ok("int main() { return 0; }");
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+        assert_eq!(p.funcs[0].ret, Type::Int);
+    }
+
+    #[test]
+    fn parse_globals_with_arrays_and_init() {
+        let p = parse_ok("int a[10][20];\ndouble x = 1.5, y = -2.0;\nint n = -3;\nint main(){return 0;}");
+        assert_eq!(p.globals.len(), 4);
+        assert_eq!(p.globals[0].ty.array_dims(), vec![10, 20]);
+        assert_eq!(p.globals[1].init, Some(ConstInit::Double(1.5)));
+        assert_eq!(p.globals[2].init, Some(ConstInit::Double(-2.0)));
+        assert_eq!(p.globals[3].init, Some(ConstInit::Int(-3)));
+    }
+
+    #[test]
+    fn parse_pointer_params_and_array_decay() {
+        let p = parse_ok("void f(int *p, double a[], int m[4][8]) { }");
+        let f = &p.funcs[0];
+        assert_eq!(f.params[0].ty, Type::Ptr(Box::new(Type::Int)));
+        assert_eq!(f.params[1].ty, Type::Ptr(Box::new(Type::Double)));
+        assert_eq!(
+            f.params[2].ty,
+            Type::Ptr(Box::new(Type::Array(Box::new(Type::Int), 8)))
+        );
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_ok("int main() { int x; x = 1 + 2 * 3; return x; }");
+        let body = &p.funcs[0].body.stmts;
+        let StmtKind::Expr(e) = &body[1].kind else { panic!() };
+        let ExprKind::Assign(_, rhs) = &e.kind else { panic!() };
+        let ExprKind::Binary(BinOp::Add, _, r) = &rhs.kind else {
+            panic!("expected + at top: {:?}", rhs.kind)
+        };
+        assert!(matches!(r.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn assignment_is_right_associative() {
+        let p = parse_ok("int g; int h; int main() { g = h = 1; return g; }");
+        let body = &p.funcs[0].body.stmts;
+        let StmtKind::Expr(e) = &body[0].kind else { panic!() };
+        let ExprKind::Assign(l, r) = &e.kind else { panic!() };
+        assert!(matches!(l.kind, ExprKind::Ident(_)));
+        assert!(matches!(r.kind, ExprKind::Assign(_, _)));
+    }
+
+    #[test]
+    fn multi_declarator_splits_into_stmts() {
+        let p = parse_ok("int main() { int a = 1, b, c = 2; return a; }");
+        let body = &p.funcs[0].body.stmts;
+        assert_eq!(body.len(), 4);
+        assert!(matches!(&body[0].kind, StmtKind::Decl(d) if d.name == "a" && d.init.is_some()));
+        assert!(matches!(&body[1].kind, StmtKind::Decl(d) if d.name == "b" && d.init.is_none()));
+        assert!(matches!(&body[2].kind, StmtKind::Decl(d) if d.name == "c"));
+    }
+
+    #[test]
+    fn nested_index_parses_left_to_right() {
+        let p = parse_ok("int a[4][5]; int main() { return a[1][2]; }");
+        let StmtKind::Return(Some(e)) = &p.funcs[0].body.stmts[0].kind else { panic!() };
+        let ExprKind::Index(inner, _) = &e.kind else { panic!() };
+        assert!(matches!(inner.kind, ExprKind::Index(_, _)));
+    }
+
+    #[test]
+    fn for_loop_parses_all_parts() {
+        let p = parse_ok("int main() { int i; int s = 0; for (i = 0; i < 10; i++) s += i; return s; }");
+        let body = &p.funcs[0].body.stmts;
+        let StmtKind::For { init, cond, step, .. } = &body[2].kind else { panic!() };
+        assert!(init.is_some() && cond.is_some() && step.is_some());
+    }
+
+    #[test]
+    fn for_loop_parts_optional() {
+        let p = parse_ok("int main() { for (;;) break; return 0; }");
+        let StmtKind::For { init, cond, step, .. } = &p.funcs[0].body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+
+    #[test]
+    fn assignment_to_rvalue_rejected() {
+        assert!(parse_program("int main() { 3 = 4; return 0; }").is_err());
+        assert!(parse_program("int main() { int x; (x+1) = 4; return 0; }").is_err());
+    }
+
+    #[test]
+    fn addr_of_rvalue_rejected() {
+        assert!(parse_program("int main() { int x; x = &3; }").is_err());
+    }
+
+    #[test]
+    fn void_variable_rejected() {
+        assert!(parse_program("void v; int main() { return 0; }").is_err());
+        assert!(parse_program("int main() { void v; return 0; }").is_err());
+    }
+
+    #[test]
+    fn calls_with_args() {
+        let p = parse_ok("int f(int a, int b) { return a + b; } int main() { return f(1, f(2, 3)); }");
+        let StmtKind::Return(Some(e)) = &p.funcs[1].body.stmts[0].kind else { panic!() };
+        let ExprKind::Call(name, args) = &e.kind else { panic!() };
+        assert_eq!(name, "f");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn void_param_list() {
+        let p = parse_ok("int f(void) { return 1; } int main() { return f(); }");
+        assert!(p.funcs[0].params.is_empty());
+    }
+
+    #[test]
+    fn expr_ids_are_dense_and_unique() {
+        let p = parse_ok("int main() { int x = 1 + 2 * 3; return x; }");
+        let mut seen = vec![false; p.num_exprs as usize];
+        for f in &p.funcs {
+            for s in &f.body.stmts {
+                s.own_exprs(&mut |e| {
+                    e.walk(&mut |x| {
+                        assert!(!seen[x.id as usize], "duplicate expr id");
+                        seen[x.id as usize] = true;
+                    })
+                });
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "gap in expr ids");
+    }
+
+    #[test]
+    fn do_while_parses() {
+        let p = parse_ok("int main() { int i = 0; do { i++; } while (i < 3); return i; }");
+        assert!(matches!(&p.funcs[0].body.stmts[1].kind, StmtKind::DoWhile { .. }));
+    }
+
+    #[test]
+    fn error_messages_carry_position() {
+        let e = parse_program("int main() {\n  return 0\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("expected `;`"));
+    }
+}

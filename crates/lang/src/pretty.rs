@@ -1,0 +1,208 @@
+//! AST pretty-printer, used by tests, examples and diagnostics.
+
+use crate::ast::*;
+
+/// Render a program back to MiniC-ish source.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for g in &p.globals {
+        let decl = declarator(&g.ty, &g.name);
+        match g.init {
+            Some(ConstInit::Int(v)) => out.push_str(&format!("{decl} = {v};\n")),
+            Some(ConstInit::Double(v)) => out.push_str(&format!("{decl} = {v:?};\n")),
+            None => out.push_str(&format!("{decl};\n")),
+        }
+    }
+    for f in &p.funcs {
+        let params: Vec<String> =
+            f.params.iter().map(|pd| format!("{} {}", pd.ty, pd.name)).collect();
+        out.push_str(&format!("{} {}({}) ", f.ret, f.name, params.join(", ")));
+        block_to_string(&f.body, 0, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a C-style declarator: dims after the name (`int a[10][20]`),
+/// pointers before it (`int *p`).
+fn declarator(ty: &crate::types::Type, name: &str) -> String {
+    use crate::types::Type;
+    let mut dims = String::new();
+    let mut t = ty;
+    while let Type::Array(elem, n) = t {
+        dims.push_str(&format!("[{n}]"));
+        t = elem;
+    }
+    format!("{t} {name}{dims}")
+}
+
+fn indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("    ");
+    }
+}
+
+fn block_to_string(b: &Block, depth: usize, out: &mut String) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        stmt_to_string(s, depth + 1, out);
+    }
+    indent(depth, out);
+    out.push('}');
+}
+
+fn stmt_to_string(s: &Stmt, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match &s.kind {
+        StmtKind::Decl(d) => {
+            let decl = declarator(&d.ty, &d.name);
+            match &d.init {
+                Some(e) => out.push_str(&format!("{decl} = {};\n", expr_to_string(e))),
+                None => out.push_str(&format!("{decl};\n")),
+            }
+        }
+        StmtKind::Expr(e) => out.push_str(&format!("{};\n", expr_to_string(e))),
+        StmtKind::Block(b) => {
+            block_to_string(b, depth, out);
+            out.push('\n');
+        }
+        StmtKind::If { cond, then_body, else_body } => {
+            out.push_str(&format!("if ({}) ", expr_to_string(cond)));
+            nested(then_body, depth, out);
+            if let Some(e) = else_body {
+                indent(depth, out);
+                out.push_str("else ");
+                nested(e, depth, out);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            out.push_str(&format!("while ({}) ", expr_to_string(cond)));
+            nested(body, depth, out);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            out.push_str("do ");
+            nested(body, depth, out);
+            indent(depth, out);
+            out.push_str(&format!("while ({});\n", expr_to_string(cond)));
+        }
+        StmtKind::For { init, cond, step, body } => {
+            let part = |e: &Option<Expr>| e.as_ref().map(expr_to_string).unwrap_or_default();
+            out.push_str(&format!(
+                "for ({}; {}; {}) ",
+                part(init),
+                part(cond),
+                part(step)
+            ));
+            nested(body, depth, out);
+        }
+        StmtKind::Return(Some(e)) => out.push_str(&format!("return {};\n", expr_to_string(e))),
+        StmtKind::Return(None) => out.push_str("return;\n"),
+        StmtKind::Break => out.push_str("break;\n"),
+        StmtKind::Continue => out.push_str("continue;\n"),
+        StmtKind::Empty => out.push_str(";\n"),
+    }
+}
+
+fn nested(s: &Stmt, depth: usize, out: &mut String) {
+    if let StmtKind::Block(b) = &s.kind {
+        block_to_string(b, depth, out);
+        out.push('\n');
+    } else {
+        out.push('\n');
+        stmt_to_string(s, depth + 1, out);
+    }
+}
+
+/// Render one expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::IntLit(v) => v.to_string(),
+        ExprKind::FloatLit(v) => format!("{v:?}"),
+        ExprKind::Ident(n) => n.clone(),
+        ExprKind::Unary(op, a) => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::BitNot => "~",
+            };
+            format!("{sym}({})", expr_to_string(a))
+        }
+        ExprKind::Binary(op, a, b) => {
+            format!("({} {} {})", expr_to_string(a), binop_str(*op), expr_to_string(b))
+        }
+        ExprKind::Index(a, i) => format!("{}[{}]", expr_to_string(a), expr_to_string(i)),
+        ExprKind::Deref(p) => format!("*({})", expr_to_string(p)),
+        ExprKind::Addr(l) => format!("&({})", expr_to_string(l)),
+        ExprKind::Assign(l, r) => format!("{} = {}", expr_to_string(l), expr_to_string(r)),
+        ExprKind::CompoundAssign(op, l, r) => {
+            format!("{} {}= {}", expr_to_string(l), binop_str(*op), expr_to_string(r))
+        }
+        ExprKind::IncDec(k, l) => match k {
+            IncDec::PreInc => format!("++{}", expr_to_string(l)),
+            IncDec::PreDec => format!("--{}", expr_to_string(l)),
+            IncDec::PostInc => format!("{}++", expr_to_string(l)),
+            IncDec::PostDec => format!("{}--", expr_to_string(l)),
+        },
+        ExprKind::Call(name, args) => {
+            let a: Vec<String> = args.iter().map(expr_to_string).collect();
+            format!("{name}({})", a.join(", "))
+        }
+    }
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::BitAnd => "&",
+        BinOp::BitOr => "|",
+        BinOp::BitXor => "^",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::LogAnd => "&&",
+        BinOp::LogOr => "||",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn roundtrip_reparses_to_same_shape() {
+        let src = "int a[10];\nint main() { int i; for (i = 0; i < 10; i++) a[i] = i * 2; if (a[3] > 4) return 1; else return 0; }";
+        let p1 = parse_program(src).unwrap();
+        let printed = program_to_string(&p1);
+        let p2 = parse_program(&printed).expect("pretty output reparses");
+        // Shape check: same function/global/statement counts.
+        assert_eq!(p1.globals.len(), p2.globals.len());
+        assert_eq!(p1.funcs.len(), p2.funcs.len());
+    }
+
+    #[test]
+    fn expr_rendering() {
+        let p = parse_program("int main() { return (1 + 2) * 3; }").unwrap();
+        let StmtKind::Return(Some(e)) = &p.funcs[0].body.stmts[0].kind else { panic!() };
+        assert_eq!(expr_to_string(e), "((1 + 2) * 3)");
+    }
+
+    #[test]
+    fn pretty_do_while_and_incdec() {
+        let src = "int main() { int i; i = 0; do { i++; } while (i < 3); return i; }";
+        let p = parse_program(src).unwrap();
+        let printed = program_to_string(&p);
+        assert!(printed.contains("do "));
+        assert!(printed.contains("i++"));
+        parse_program(&printed).unwrap();
+    }
+}

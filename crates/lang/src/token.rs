@@ -1,0 +1,162 @@
+//! Token definitions for the MiniC lexer.
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokKind,
+    /// 1-based source line. Line numbers are load-bearing throughout the
+    /// system: the HLI line table keys items by source line.
+    pub line: u32,
+    /// 1-based source column (diagnostics only).
+    pub col: u32,
+}
+
+/// The kinds of MiniC tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    // Literals and identifiers.
+    IntLit(i64),
+    FloatLit(f64),
+    Ident(String),
+
+    // Keywords.
+    KwInt,
+    KwDouble,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwDo,
+
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    Bang,
+    Tilde,
+    AmpAmp,
+    PipePipe,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    PlusPlus,
+    MinusMinus,
+
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokKind {
+    /// Short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokKind::IntLit(v) => format!("integer literal `{v}`"),
+            TokKind::FloatLit(v) => format!("float literal `{v}`"),
+            TokKind::Ident(s) => format!("identifier `{s}`"),
+            TokKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    /// The literal spelling for fixed tokens (empty for variable ones).
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            TokKind::KwInt => "int",
+            TokKind::KwDouble => "double",
+            TokKind::KwVoid => "void",
+            TokKind::KwIf => "if",
+            TokKind::KwElse => "else",
+            TokKind::KwWhile => "while",
+            TokKind::KwFor => "for",
+            TokKind::KwReturn => "return",
+            TokKind::KwBreak => "break",
+            TokKind::KwContinue => "continue",
+            TokKind::KwDo => "do",
+            TokKind::LParen => "(",
+            TokKind::RParen => ")",
+            TokKind::LBrace => "{",
+            TokKind::RBrace => "}",
+            TokKind::LBracket => "[",
+            TokKind::RBracket => "]",
+            TokKind::Semi => ";",
+            TokKind::Comma => ",",
+            TokKind::Plus => "+",
+            TokKind::Minus => "-",
+            TokKind::Star => "*",
+            TokKind::Slash => "/",
+            TokKind::Percent => "%",
+            TokKind::Amp => "&",
+            TokKind::Pipe => "|",
+            TokKind::Caret => "^",
+            TokKind::Shl => "<<",
+            TokKind::Shr => ">>",
+            TokKind::Bang => "!",
+            TokKind::Tilde => "~",
+            TokKind::AmpAmp => "&&",
+            TokKind::PipePipe => "||",
+            TokKind::Lt => "<",
+            TokKind::Le => "<=",
+            TokKind::Gt => ">",
+            TokKind::Ge => ">=",
+            TokKind::EqEq => "==",
+            TokKind::NotEq => "!=",
+            TokKind::Assign => "=",
+            TokKind::PlusAssign => "+=",
+            TokKind::MinusAssign => "-=",
+            TokKind::StarAssign => "*=",
+            TokKind::SlashAssign => "/=",
+            TokKind::PercentAssign => "%=",
+            TokKind::PlusPlus => "++",
+            TokKind::MinusMinus => "--",
+            TokKind::IntLit(_) | TokKind::FloatLit(_) | TokKind::Ident(_) | TokKind::Eof => "",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_fixed_tokens() {
+        assert_eq!(TokKind::PlusAssign.describe(), "`+=`");
+        assert_eq!(TokKind::KwWhile.describe(), "`while`");
+    }
+
+    #[test]
+    fn describe_variable_tokens() {
+        assert_eq!(TokKind::IntLit(42).describe(), "integer literal `42`");
+        assert_eq!(TokKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokKind::Eof.describe(), "end of input");
+    }
+}

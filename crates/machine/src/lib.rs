@@ -1,0 +1,42 @@
+//! # hli-machine — the target-machine substrate
+//!
+//! The paper measures wall-clock speedups of HLI-scheduled binaries on two
+//! MIPS machines: a pipelined in-order **R4600** and a 4-issue out-of-order
+//! **R10000** whose load/store queue holds loads back until all preceding
+//! stores are known independent (Section 4.3 attributes the R10000's larger
+//! speedups to exactly that mechanism). Neither machine is available here,
+//! so this crate provides deterministic simulators in their image:
+//!
+//! * [`exec`] — the RTL executor: functional semantics (the differential
+//!   oracle against `hli-lang`'s AST interpreter) plus a dynamic
+//!   instruction trace;
+//! * [`r4600`] — a single-issue in-order pipeline timing model: issue one
+//!   instruction per cycle, stall on operand latency (the compile-time
+//!   schedule directly determines stalls);
+//! * [`r10000`] — a 4-wide out-of-order model with a finite instruction
+//!   window, function-unit contention, in-order retirement, and a
+//!   load/store queue in which a load may not begin until every earlier
+//!   store in the window has computed its address (and must wait for
+//!   overlapping store data);
+//!
+//! Simulated cycle counts replace the paper's wall-clock seconds; speedup
+//! ratios (GCC-scheduled vs HLI-scheduled code on the same model) are the
+//! reproduced quantity.
+
+pub mod exec;
+pub mod r10000;
+pub mod r4600;
+
+pub use exec::{execute, execute_with_trace, DynInsn, DynKind, ExecError, RunResult};
+pub use r10000::{r10000_cycles, R10000Config, R10000Stats};
+pub use r4600::{r4600_cycles, R4600Config, R4600Stats};
+
+/// Convenience: run a program on both machine models.
+pub fn time_on_both(
+    prog: &hli_backend::RtlProgram,
+) -> Result<(RunResult, R4600Stats, R10000Stats), ExecError> {
+    let (res, trace) = execute_with_trace(prog)?;
+    let a = r4600_cycles(&trace, &R4600Config::default());
+    let b = r10000_cycles(&trace, &R10000Config::default());
+    Ok((res, a, b))
+}

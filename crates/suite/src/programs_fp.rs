@@ -1,0 +1,779 @@
+//! Floating-point benchmark analogs: loop nests over arrays and pointer
+//! parameters, dense memory traffic per line — the CFP profile of the
+//! paper's Tables 1/2.
+//!
+//! The per-benchmark shapes are chosen to reproduce the paper's *relative*
+//! behaviour:
+//!
+//! * the molecular-dynamics pair (`mdljdp2`, `mdljsp2`) routes everything
+//!   through pointer parameters with long division chains feeding stores —
+//!   the GCC test loses completely (>80% edge reduction) and the freed
+//!   loads matter to the R10000's load/store queue (the paper's 1.42×/1.59×);
+//! * `tomcatv` is engineered as the cautionary row: huge edge reduction but
+//!   a serial floating-point reduction chain, so scheduling freedom buys
+//!   almost nothing (the paper: 93% reduction, 1.00×/1.01×);
+//! * `mgrid`/`apsi` use distinct global arrays that GCC can already
+//!   disambiguate by symbol, leaving only same-array pairs — the paper's
+//!   small reductions (15%, 33%).
+
+use crate::Scale;
+
+/// 015.doduc: Monte-Carlo reactor kernels — many small routines of
+/// straight-line double arithmetic called from nested loops.
+pub fn doduc(s: Scale) -> String {
+    let n = s.n;
+    let iters = s.iters;
+    format!(
+        r#"double state[{n}][8];
+double coeff[8];
+double result[{n}];
+int seed = 31415;
+
+int next() {{
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}}
+
+void init_state() {{
+    int i;
+    int j;
+    for (i = 0; i < {n}; i++) {{
+        for (j = 0; j < 8; j++) {{
+            state[i][j] = (next() & 255) * 0.0039 + 0.1;
+        }}
+    }}
+    for (j = 0; j < 8; j++) {{
+        coeff[j] = 0.3 + j * 0.07;
+    }}
+}}
+
+double interp2(double a, double b, double t) {{
+    return a + (b - a) * t;
+}}
+
+double cross_section(double e, double t) {{
+    double u;
+    double v;
+    u = e * 0.7 + t * 0.3;
+    v = 1.0 / (u + 0.5);
+    return v * interp2(u, v, 0.25) + 0.01;
+}}
+
+void sweep(double *row, double *out, int idx) {{
+    double acc;
+    double sig;
+    int j;
+    acc = 0.0;
+    for (j = 0; j < 8; j++) {{
+        sig = cross_section(row[j], coeff[j]);
+        acc = acc + sig * row[j] + coeff[j] * 0.5;
+    }}
+    out[idx] = acc;
+}}
+
+void relax_rows(double *a, double *b, int n) {{
+    int j;
+    for (j = 1; j < n - 1; j++) {{
+        a[j] = a[j] * 0.9 + b[j] * 0.1; b[j] = b[j] + a[j-1] * 0.01 + a[j+1] * 0.01;
+    }}
+}}
+
+int main() {{
+    int r;
+    int i;
+    double total;
+    init_state();
+    for (r = 0; r < {iters}; r++) {{
+        for (i = 0; i < {n}; i++) {{
+            sweep(state[i], result, i);
+        }}
+        for (i = 0; i < {n}; i++) {{
+            relax_rows(state[i], result, 8);
+        }}
+    }}
+    total = 0.0;
+    for (i = 0; i < {n}; i++) {{
+        total = total + result[i];
+    }}
+    return total * 10.0;
+}}
+"#
+    )
+}
+
+/// 034.mdljdp2: double-precision molecular dynamics — pairwise forces
+/// through pointer parameters; division-fed stores followed by loads the
+/// HLI can prove independent (the paper's biggest R10000 winner).
+pub fn mdljdp2(s: Scale) -> String {
+    let n = s.n;
+    let iters = s.iters;
+    format!(
+        r#"double pos[{n}];
+double vel[{n}];
+double force[{n}];
+double pot[{n}];
+int seed = 2718;
+
+int next() {{
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}}
+
+void init_md() {{
+    int i;
+    for (i = 0; i < {n}; i++) {{
+        pos[i] = (next() & 1023) * 0.001 + i * 1.2;
+        vel[i] = 0.0;
+        force[i] = 0.0;
+        pot[i] = 0.0;
+    }}
+}}
+
+void forces(double *x, double *f, double *p, int n) {{
+    int i;
+    double dx;
+    double r2;
+    double w;
+    for (i = 1; i < n; i++) {{
+        dx = x[i] - x[i-1];
+        r2 = dx * dx + 0.01;
+        w = 1.0 / (r2 * r2);
+        f[i] = f[i] + w * dx; p[i] = p[i] + w * r2; dx = x[i] * 0.5;
+        f[i-1] = f[i-1] - w * dx;
+    }}
+}}
+
+void integrate(double *x, double *v, double *f, int n) {{
+    int i;
+    for (i = 0; i < n; i++) {{
+        v[i] = v[i] + f[i] * 0.0005; x[i] = x[i] + v[i] * 0.01; f[i] = 0.0;
+    }}
+}}
+
+int main() {{
+    int r;
+    int i;
+    double e;
+    init_md();
+    for (r = 0; r < {iters}; r++) {{
+        forces(pos, force, pot, {n});
+        integrate(pos, vel, force, {n});
+    }}
+    e = 0.0;
+    for (i = 0; i < {n}; i++) {{
+        e = e + pos[i] * 0.001 + pot[i];
+    }}
+    return e;
+}}
+"#
+    )
+}
+
+/// 077.mdljsp2: the single-precision twin — same dynamics shape with a
+/// second interaction table, even more pointer traffic per line.
+pub fn mdljsp2(s: Scale) -> String {
+    let n = s.n;
+    let iters = s.iters;
+    format!(
+        r#"double xs[{n}];
+double vs[{n}];
+double fs[{n}];
+double side[{n}];
+int seed = 1618;
+
+int next() {{
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}}
+
+void init_sp() {{
+    int i;
+    for (i = 0; i < {n}; i++) {{
+        xs[i] = (next() & 511) * 0.002 + i;
+        vs[i] = 0.001 * (i & 7);
+        fs[i] = 0.0;
+        side[i] = 1.0 + (i & 3) * 0.25;
+    }}
+}}
+
+void pair_forces(double *x, double *f, double *tbl, int n) {{
+    int i;
+    double d;
+    double q;
+    double w;
+    for (i = 2; i < n; i++) {{
+        d = x[i] - x[i-2];
+        q = d * d + 0.05;
+        w = tbl[i] / q;
+        f[i] = f[i] + w * d; f[i-2] = f[i-2] - w * d; d = tbl[i-1] * 0.5;
+        f[i-1] = f[i-1] + d / q;
+    }}
+}}
+
+void advance(double *x, double *v, double *f, double *tbl, int n) {{
+    int i;
+    for (i = 0; i < n; i++) {{
+        v[i] = v[i] * 0.999 + f[i] * 0.001; x[i] = x[i] + v[i]; f[i] = tbl[i] * 0.0;
+    }}
+}}
+
+int main() {{
+    int r;
+    int i;
+    double h;
+    init_sp();
+    for (r = 0; r < {iters}; r++) {{
+        pair_forces(xs, fs, side, {n});
+        advance(xs, vs, fs, side, {n});
+    }}
+    h = 0.0;
+    for (i = 0; i < {n}; i++) {{
+        h = h + xs[i] * 0.01 + vs[i];
+    }}
+    return h;
+}}
+"#
+    )
+}
+
+/// 048.ora: optical ray tracing — almost pure scalar double arithmetic
+/// (surface intersections) with little array traffic, the low-query row.
+pub fn ora(s: Scale) -> String {
+    let rays = s.n * s.iters.max(1);
+    format!(
+        r#"double acc_x;
+double acc_y;
+double image[16];
+double weight[16];
+int seed = 55555;
+
+int next() {{
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}}
+
+double refract(double dir, double nrm, double eta) {{
+    double c;
+    double k;
+    c = dir * nrm;
+    if (c < 0.0) {{
+        c = -c;
+    }}
+    k = 1.0 - eta * eta * (1.0 - c * c);
+    if (k < 0.0) {{
+        return dir - 2.0 * c * nrm;
+    }}
+    return eta * dir + (eta * c - k * 0.5) * nrm;
+}}
+
+double trace_ray(double x, double y) {{
+    double d;
+    double t;
+    int surf;
+    d = x * 0.8 + y * 0.2;
+    for (surf = 0; surf < 6; surf++) {{
+        t = refract(d, 0.5 + surf * 0.1, 0.9);
+        d = t * 0.95 + d * 0.05;
+        if (d > 10.0) {{
+            d = d - 10.0;
+        }}
+    }}
+    return d;
+}}
+
+void collect(double *img, double *wgt, int n) {{
+    int i;
+    for (i = 1; i < n; i++) {{
+        img[i] = img[i] * 0.75 + wgt[i] * 0.25; wgt[i] = wgt[i] + img[i-1] * 0.125;
+    }}
+}}
+
+int main() {{
+    int i;
+    double rx;
+    double ry;
+    acc_x = 0.0;
+    acc_y = 0.0;
+    for (i = 0; i < {rays}; i++) {{
+        rx = (next() & 255) * 0.004;
+        ry = (next() & 255) * 0.004;
+        acc_x = acc_x + trace_ray(rx, ry);
+        acc_y = acc_y + trace_ray(ry, rx) * 0.5;
+        image[i & 15] = image[i & 15] + acc_x * 0.001;
+    }}
+    collect(image, weight, 16);
+    return acc_x + acc_y + image[3] + weight[7];
+}}
+"#
+    )
+}
+
+/// 052.alvinn: neural-net training — matrix-vector products through
+/// pointer parameters with accumulators (the tiny-code, dense-loop row).
+pub fn alvinn(s: Scale) -> String {
+    let inputs = s.n;
+    let hidden = (s.n / 2).max(4);
+    let iters = s.iters;
+    format!(
+        r#"double in_act[{inputs}];
+double hid_act[{hidden}];
+double weights[{hidden}][{inputs}];
+double deltas[{hidden}];
+int seed = 8088;
+
+int next() {{
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}}
+
+void init_net() {{
+    int i;
+    int j;
+    for (i = 0; i < {inputs}; i++) {{
+        in_act[i] = (next() & 127) * 0.007;
+    }}
+    for (j = 0; j < {hidden}; j++) {{
+        for (i = 0; i < {inputs}; i++) {{
+            weights[j][i] = (next() & 63) * 0.01 - 0.3;
+        }}
+    }}
+}}
+
+void forward(double *inp, double *hid, int ni, int nh) {{
+    int i;
+    int j;
+    double sum;
+    for (j = 0; j < nh; j++) {{
+        sum = 0.0;
+        for (i = 0; i < ni; i++) {{
+            sum = sum + weights[j][i] * inp[i];
+        }}
+        hid[j] = sum / (1.0 + sum * sum);
+    }}
+}}
+
+void backward(double *hid, double *dl, int nh) {{
+    int j;
+    for (j = 0; j < nh; j++) {{
+        dl[j] = hid[j] * (1.0 - hid[j]) * 0.3; hid[j] = hid[j] + dl[j] * 0.1;
+    }}
+}}
+
+int main() {{
+    int r;
+    int j;
+    double out;
+    init_net();
+    for (r = 0; r < {iters}; r++) {{
+        forward(in_act, hid_act, {inputs}, {hidden});
+        backward(hid_act, deltas, {hidden});
+    }}
+    out = 0.0;
+    for (j = 0; j < {hidden}; j++) {{
+        out = out + hid_act[j];
+    }}
+    return out * 100.0;
+}}
+"#
+    )
+}
+
+/// 101.tomcatv: mesh generation — the cautionary row: enormous dependence
+/// reduction (the mesh arrays reach the kernels as pointer parameters with
+/// linearized affine subscripts, exactly how f2c-style translation hands
+/// Fortran arrays to GCC — the local test loses every query, the HLI wins
+/// almost all) but a serial floating-point reduction chain per point, so
+/// scheduling freedom barely moves execution time.
+pub fn tomcatv(s: Scale) -> String {
+    let n = s.n.min(48);
+    let nn = n * n;
+    let iters = s.iters;
+    format!(
+        r#"double mesh_x[{nn}];
+double mesh_y[{nn}];
+double res_x[{nn}];
+double res_y[{nn}];
+int seed = 10101;
+
+int next() {{
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}}
+
+void init_mesh() {{
+    int i;
+    for (i = 0; i < {nn}; i++) {{
+        mesh_x[i] = (i / {n}) * 0.5 + (next() & 15) * 0.01;
+        mesh_y[i] = (i % {n}) * 0.5 + (next() & 15) * 0.01;
+        res_x[i] = 0.0;
+        res_y[i] = 0.0;
+    }}
+}}
+
+void residuals(double *x, double *y, double *rx, double *ry) {{
+    int i;
+    int j;
+    double xx;
+    double yx;
+    double a;
+    double b;
+    for (i = 1; i < {n} - 1; i++) {{
+        for (j = 1; j < {n} - 1; j++) {{
+            xx = x[i*{n}+j+1] - x[i*{n}+j-1]; yx = y[i*{n}+j+1] - y[i*{n}+j-1];
+            a = 0.25 * (xx * xx + yx * yx);
+            b = a + x[(i+1)*{n}+j] * 0.125 + x[(i-1)*{n}+j] * 0.125;
+            b = b * a + y[(i+1)*{n}+j] * 0.125;
+            b = b * a + y[(i-1)*{n}+j] * 0.125;
+            b = b * a + xx * yx;
+            rx[i*{n}+j] = b * 0.5; ry[i*{n}+j] = b * 0.25 + yx;
+        }}
+    }}
+}}
+
+void relax(double *x, double *y, double *rx, double *ry) {{
+    int i;
+    int j;
+    for (i = 1; i < {n} - 1; i++) {{
+        for (j = 1; j < {n} - 1; j++) {{
+            x[i*{n}+j] = x[i*{n}+j] + rx[i*{n}+j] * 0.3; y[i*{n}+j] = y[i*{n}+j] + ry[i*{n}+j] * 0.3;
+        }}
+    }}
+}}
+
+int main() {{
+    int r;
+    int i;
+    double h;
+    init_mesh();
+    for (r = 0; r < {iters}; r++) {{
+        residuals(mesh_x, mesh_y, res_x, res_y);
+        relax(mesh_x, mesh_y, res_x, res_y);
+    }}
+    h = 0.0;
+    for (i = 1; i < {n} - 1; i++) {{
+        h = h + mesh_x[i*{n}+i] + mesh_y[i*{n}+{n} - 1 - i];
+    }}
+    return h;
+}}
+"#
+    )
+}
+
+/// 102.swim: shallow-water equations — the classic three-field stencil
+/// (U/V/P) with the paper's highest refs-per-line density.
+pub fn swim(s: Scale) -> String {
+    let n = s.n.min(48);
+    let nn = n * n;
+    let iters = s.iters;
+    format!(
+        r#"double u[{nn}];
+double v[{nn}];
+double p[{nn}];
+double unew[{nn}];
+double vnew[{nn}];
+double pnew[{nn}];
+int seed = 20202;
+
+int next() {{
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}}
+
+void init_fields() {{
+    int i;
+    for (i = 0; i < {nn}; i++) {{
+        u[i] = (next() & 31) * 0.03;
+        v[i] = (next() & 31) * 0.02;
+        p[i] = 50.0 + (next() & 15) * 0.1;
+        unew[i] = 0.0; vnew[i] = 0.0; pnew[i] = 0.0;
+    }}
+}}
+
+void calc_uvp(double *cu, double *cv, double *cp, double *nu, double *nv, double *np) {{
+    int i;
+    int j;
+    for (i = 1; i < {n} - 1; i++) {{
+        for (j = 1; j < {n} - 1; j++) {{
+            nu[i*{n}+j] = cu[i*{n}+j] + 0.1 * (cp[(i-1)*{n}+j] - cp[(i+1)*{n}+j]) + 0.05 * (cv[i*{n}+j-1] + cv[i*{n}+j+1]);
+            nv[i*{n}+j] = cv[i*{n}+j] + 0.1 * (cp[i*{n}+j-1] - cp[i*{n}+j+1]) + 0.05 * (cu[(i-1)*{n}+j] + cu[(i+1)*{n}+j]);
+            np[i*{n}+j] = cp[i*{n}+j] - 0.2 * (cu[(i+1)*{n}+j] - cu[(i-1)*{n}+j]) - 0.2 * (cv[i*{n}+j+1] - cv[i*{n}+j-1]);
+        }}
+    }}
+}}
+
+void copy_back(double *cu, double *cv, double *cp, double *nu, double *nv, double *np) {{
+    int i;
+    int j;
+    for (i = 1; i < {n} - 1; i++) {{
+        for (j = 1; j < {n} - 1; j++) {{
+            cu[i*{n}+j] = nu[i*{n}+j]; cv[i*{n}+j] = nv[i*{n}+j]; cp[i*{n}+j] = np[i*{n}+j];
+        }}
+    }}
+}}
+
+int main() {{
+    int r;
+    int i;
+    double check;
+    init_fields();
+    for (r = 0; r < {iters}; r++) {{
+        calc_uvp(u, v, p, unew, vnew, pnew);
+        copy_back(u, v, p, unew, vnew, pnew);
+    }}
+    check = 0.0;
+    for (i = 0; i < {n}; i++) {{
+        check = check + p[i*{n}+i] + u[i*{n}+{n} - 1 - i] * 10.0;
+    }}
+    return check;
+}}
+"#
+    )
+}
+
+/// 103.su2cor: quark propagators — small complex-matrix algebra over
+/// flattened lattices, mixing pointer-parameter kernels and direct arrays.
+pub fn su2cor(s: Scale) -> String {
+    let n = s.n;
+    let iters = s.iters;
+    format!(
+        r#"double gauge_re[{n}][4];
+double gauge_im[{n}][4];
+double prop_re[{n}];
+double prop_im[{n}];
+int seed = 30303;
+
+int next() {{
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}}
+
+void init_lattice() {{
+    int i;
+    int mu;
+    for (i = 0; i < {n}; i++) {{
+        for (mu = 0; mu < 4; mu++) {{
+            gauge_re[i][mu] = 0.5 + (next() & 31) * 0.01;
+            gauge_im[i][mu] = (next() & 31) * 0.01 - 0.15;
+        }}
+        prop_re[i] = 1.0;
+        prop_im[i] = 0.0;
+    }}
+}}
+
+void apply_links(double *pr, double *pi, int n) {{
+    int i;
+    int mu;
+    double ar;
+    double ai;
+    for (i = 1; i < n; i++) {{
+        ar = pr[i]; ai = pi[i];
+        for (mu = 0; mu < 4; mu++) {{
+            ar = ar * gauge_re[i][mu] - ai * gauge_im[i][mu] + pr[i-1] * 0.1;
+            ai = ai * gauge_re[i][mu] + ar * gauge_im[i][mu] + pi[i-1] * 0.1;
+        }}
+        pr[i] = ar * 0.98; pi[i] = ai * 0.98;
+    }}
+}}
+
+double correlate(double *pr, double *pi, int n) {{
+    int i;
+    double c;
+    c = 0.0;
+    for (i = 0; i < n; i++) {{
+        c = c + pr[i] * pr[i] + pi[i] * pi[i];
+    }}
+    return c;
+}}
+
+void normalize(double *pr, double *pi, int n) {{
+    int i;
+    for (i = 0; i < n; i++) {{
+        pr[i] = pr[i] * 0.995; pi[i] = pi[i] * 0.995 + pr[i] * 0.001;
+    }}
+}}
+
+int main() {{
+    int r;
+    double corr;
+    init_lattice();
+    corr = 0.0;
+    for (r = 0; r < {iters}; r++) {{
+        apply_links(prop_re, prop_im, {n});
+        normalize(prop_re, prop_im, {n});
+        corr = corr + correlate(prop_re, prop_im, {n});
+    }}
+    return corr;
+}}
+"#
+    )
+}
+
+/// 107.mgrid: multigrid V-cycles — 3D stencils through pointer parameters
+/// with a *walking linear index* (the f2c idiom for triple loops). The
+/// walking index defeats the HLI's affine analysis almost as badly as it
+/// defeats GCC's local test, reproducing the paper's smallest reduction
+/// (15%): the only queries HLI wins are the cross-pointer (grid vs rhs)
+/// pairs.
+pub fn mgrid(s: Scale) -> String {
+    let n = s.n.clamp(6, 20);
+    let nnn = n * n * n;
+    let iters = s.iters;
+    format!(
+        r#"double uf[{nnn}];
+double rf[{nnn}];
+int seed = 40404;
+
+int next() {{
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}}
+
+void init_grid() {{
+    int i;
+    for (i = 0; i < {nnn}; i++) {{
+        uf[i] = 0.0;
+        rf[i] = (next() & 15) * 0.05;
+    }}
+}}
+
+void smooth(double *g, double *rhs) {{
+    int i;
+    int j;
+    int k;
+    int c;
+    for (i = 1; i < {n} - 1; i++) {{
+        for (j = 1; j < {n} - 1; j++) {{
+            c = (i * {n} + j) * {n} + 1;
+            for (k = 1; k < {n} - 1; k++) {{
+                g[c] = g[c] * 0.4 + 0.1 * (g[c-1] + g[c+1] + g[c-{n}] + g[c+{n}] + g[c-{nsq}] + g[c+{nsq}]) + rhs[c] * 0.2;
+                c++;
+            }}
+        }}
+    }}
+}}
+
+void residual(double *g, double *rhs) {{
+    int i;
+    int j;
+    int k;
+    int c;
+    for (i = 1; i < {n} - 1; i++) {{
+        for (j = 1; j < {n} - 1; j++) {{
+            c = (i * {n} + j) * {n} + 1;
+            for (k = 1; k < {n} - 1; k++) {{
+                rhs[c] = rhs[c] * 0.9 - g[c] * 0.05;
+                c++;
+            }}
+        }}
+    }}
+}}
+
+int main() {{
+    int r;
+    int i;
+    double h;
+    init_grid();
+    for (r = 0; r < {iters}; r++) {{
+        smooth(uf, rf);
+        residual(uf, rf);
+    }}
+    h = 0.0;
+    for (i = 1; i < {n} - 1; i++) {{
+        h = h + uf[(i * {n} + i) * {n} + i] * 100.0 + rf[(i * {n} + 1) * {n} + i];
+    }}
+    return h;
+}}
+"#,
+        nsq = n * n
+    )
+}
+
+/// 141.apsi: mesoscale weather — the widest code of the suite: several
+/// physics phases over distinct global fields with mixed access patterns
+/// (the paper's highest query count, moderate 33% reduction).
+pub fn apsi(s: Scale) -> String {
+    let n = s.n.min(40);
+    let iters = s.iters;
+    format!(
+        r#"double temp[{n}][{n}];
+double wind_u[{n}][{n}];
+double wind_v[{n}][{n}];
+double humid[{n}][{n}];
+double press[{n}];
+int seed = 50505;
+
+int next() {{
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}}
+
+void init_atmos() {{
+    int i;
+    int j;
+    for (i = 0; i < {n}; i++) {{
+        press[i] = 1000.0 - i * 2.5;
+        for (j = 0; j < {n}; j++) {{
+            temp[i][j] = 280.0 + (next() & 15) * 0.2;
+            wind_u[i][j] = (next() & 7) * 0.4;
+            wind_v[i][j] = (next() & 7) * 0.3;
+            humid[i][j] = 0.4 + (next() & 7) * 0.05;
+        }}
+    }}
+}}
+
+void advect() {{
+    int i;
+    int j;
+    int jup;
+    for (i = 1; i < {n} - 1; i++) {{
+        for (j = 1; j < {n} - 1; j++) {{
+            jup = j - 1;
+            if (wind_u[i][j] < 0.0) {{
+                jup = j + 1;
+            }}
+            temp[i][j] = temp[i][j] - 0.02 * wind_u[i][j] * (temp[i][jup] - temp[i][j-1]) - 0.02 * wind_v[i][j] * (temp[i+1][j] - temp[i-1][j]);
+        }}
+    }}
+}}
+
+void diffuse_moisture() {{
+    int i;
+    int j;
+    for (i = 1; i < {n} - 1; i++) {{
+        for (j = 1; j < {n} - 1; j++) {{
+            humid[i][j] = humid[i][j] * 0.96 + 0.01 * (humid[i-1][j] + humid[i+1][j] + humid[i][j-1] + humid[i][j+1]);
+        }}
+    }}
+}}
+
+void geostrophic() {{
+    int i;
+    int j;
+    double dp;
+    for (i = 1; i < {n} - 1; i++) {{
+        dp = press[i+1] - press[i-1];
+        for (j = 1; j < {n} - 1; j++) {{
+            wind_u[i][j] = wind_u[i][j] * 0.99 - dp * 0.001; wind_v[i][j] = wind_v[i][j] * 0.99 + dp * 0.0005 + temp[i][j] * 0.00001;
+        }}
+    }}
+}}
+
+int main() {{
+    int r;
+    int i;
+    double h;
+    init_atmos();
+    for (r = 0; r < {iters}; r++) {{
+        advect();
+        diffuse_moisture();
+        geostrophic();
+    }}
+    h = 0.0;
+    for (i = 0; i < {n}; i++) {{
+        h = h + temp[i][i] + humid[i][{n} - 1 - i] * 10.0;
+    }}
+    return h;
+}}
+"#
+    )
+}

@@ -1,0 +1,353 @@
+//! Integer benchmark analogs: branchy control flow, few memory references
+//! per line, small basic blocks — the integer-side profile of Table 1/2.
+
+use crate::Scale;
+
+/// GNU `wc`: classify a synthesized character stream into line/word/char
+/// counts. Dominated by a byte loop full of compare-and-branch with one
+/// load per iteration (the paper's 0.12 tests/line profile).
+pub fn wc(s: Scale) -> String {
+    let n = s.n * 64;
+    let iters = s.iters;
+    format!(
+        r#"int text[{n}];
+int nl;
+int nw;
+int nc;
+int seed = 99991;
+
+int next_char() {{
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed % 96;
+}}
+
+void make_text() {{
+    int i;
+    for (i = 0; i < {n}; i++) {{
+        text[i] = next_char();
+    }}
+}}
+
+void count(int *buf, int n) {{
+    int i;
+    int c;
+    int in_word;
+    in_word = 0;
+    for (i = 0; i < n; i++) {{
+        c = buf[i];
+        nc++;
+        if (c == 7) {{
+            nl++;
+        }}
+        if (c < 24) {{
+            in_word = 0;
+        }} else {{
+            if (!in_word) {{
+                nw++;
+            }}
+            in_word = 1;
+        }}
+    }}
+}}
+
+int main() {{
+    int r;
+    nl = 0; nw = 0; nc = 0;
+    make_text();
+    for (r = 0; r < {iters}; r++) {{
+        count(text, {n});
+    }}
+    return nl + nw * 7 + nc % 1000;
+}}
+"#
+    )
+}
+
+/// 008.espresso: two-level logic minimization — bitwise cube operations
+/// over covers, with data-dependent branches (containment and distance
+/// tests) and sparse memory traffic.
+pub fn espresso(s: Scale) -> String {
+    let cubes = s.n * 2;
+    let iters = s.iters;
+    format!(
+        r#"int cover_a[{cubes}];
+int cover_b[{cubes}];
+int cover_r[{cubes}];
+int ncubes;
+int seed = 12347;
+
+int next() {{
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}}
+
+void init_covers() {{
+    int i;
+    for (i = 0; i < {cubes}; i++) {{
+        cover_a[i] = next() & 65535;
+        cover_b[i] = next() & 65535;
+        cover_r[i] = 0;
+    }}
+    ncubes = {cubes};
+}}
+
+int cube_distance(int x, int y) {{
+    int d;
+    int v;
+    d = 0;
+    v = x ^ y;
+    while (v) {{
+        d = d + (v & 1);
+        v = v >> 1;
+    }}
+    return d;
+}}
+
+int contains(int x, int y) {{
+    if ((x & y) == y) {{
+        return 1;
+    }}
+    return 0;
+}}
+
+void sharp_pass(int *ca, int *cb, int *cr) {{
+    int i;
+    int j;
+    int acc;
+    for (i = 0; i < ncubes; i++) {{
+        acc = ca[i];
+        j = i & 15;
+        while (j > 0) {{
+            if (contains(acc, cb[j])) {{
+                acc = acc & ~cb[j];
+            }} else {{
+                if (cube_distance(acc, cb[j]) < 3) {{
+                    acc = acc | (cb[j] & 255);
+                }}
+            }}
+            j--;
+        }}
+        cr[i] = acc;
+    }}
+}}
+
+void lift_pass(int *ca, int *cb, int *cr, int n) {{
+    int i;
+    for (i = 1; i < n; i++) {{
+        cr[i] = (cr[i] & 4095) | (ca[i] >> 4); cb[i] = cb[i] ^ (cr[i-1] & 15);
+    }}
+}}
+
+int main() {{
+    int r;
+    int i;
+    int sum;
+    init_covers();
+    for (r = 0; r < {iters}; r++) {{
+        sharp_pass(cover_a, cover_b, cover_r);
+        lift_pass(cover_a, cover_b, cover_r, ncubes);
+    }}
+    sum = 0;
+    for (i = 0; i < ncubes; i++) {{
+        sum = sum ^ cover_r[i];
+    }}
+    return sum & 32767;
+}}
+"#
+    )
+}
+
+/// 023.eqntott: truth-table construction — the hot spot of the original is
+/// `cmppt`, a comparison function called from quicksort. The analog sorts
+/// term vectors with an insertion sort calling a comparison function.
+pub fn eqntott(s: Scale) -> String {
+    let terms = s.n * 2;
+    let iters = s.iters;
+    format!(
+        r#"int table[{terms}];
+int perm[{terms}];
+int packed[{terms}];
+int seed = 777;
+
+int next() {{
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}}
+
+void build_table() {{
+    int i;
+    for (i = 0; i < {terms}; i++) {{
+        table[i] = next() & 4095;
+        perm[i] = i;
+    }}
+}}
+
+int cmppt(int *t, int a, int b) {{
+    int x;
+    int y;
+    x = t[a];
+    y = t[b];
+    if (x < y) {{
+        return -1;
+    }}
+    if (x > y) {{
+        return 1;
+    }}
+    if (a < b) {{
+        return -1;
+    }}
+    return 1;
+}}
+
+void sort_terms(int *pm, int *t) {{
+    int i;
+    int j;
+    int key;
+    for (i = 1; i < {terms}; i++) {{
+        key = pm[i];
+        j = i - 1;
+        while (j >= 0 && cmppt(t, pm[j], key) > 0) {{
+            pm[j + 1] = pm[j];
+            j--;
+        }}
+        pm[j + 1] = key;
+    }}
+}}
+
+void pack_terms(int *pm, int *t, int *out, int n) {{
+    int i;
+    for (i = 0; i < n - 1; i++) {{
+        out[i] = pm[i] ^ (t[i] & 255); out[i] = out[i] + (pm[i+1] & 15);
+    }}
+}}
+
+int check_sorted() {{
+    int i;
+    int bad;
+    bad = 0;
+    for (i = 1; i < {terms}; i++) {{
+        if (table[perm[i - 1]] > table[perm[i]]) {{
+            bad++;
+        }}
+    }}
+    return bad;
+}}
+
+int main() {{
+    int r;
+    int h;
+    h = 0;
+    for (r = 0; r < {iters}; r++) {{
+        seed = 777 + r;
+        build_table();
+        sort_terms(perm, table);
+        pack_terms(perm, table, packed, {terms});
+        h = h * 31 + table[perm[0]] + table[perm[{terms} - 1]] + check_sorted() + packed[3];
+        h = h & 1048575;
+    }}
+    return h;
+}}
+"#
+    )
+}
+
+/// 129.compress: LZW coding — hash-table probing with open addressing,
+/// data-dependent control, modulo/mask arithmetic, modest memory traffic.
+pub fn compress(s: Scale) -> String {
+    let input = s.n * 24;
+    let htab = 1 << 12;
+    let iters = s.iters;
+    format!(
+        r#"int input[{input}];
+int htab[{htab}];
+int codetab[{htab}];
+int free_ent;
+int out_len;
+int seed = 4242;
+
+int next() {{
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}}
+
+void make_input() {{
+    int i;
+    for (i = 0; i < {input}; i++) {{
+        input[i] = next() & 63;
+    }}
+}}
+
+void clear_tables() {{
+    int i;
+    for (i = 0; i < {htab}; i++) {{
+        htab[i] = -1;
+        codetab[i] = 0;
+    }}
+    free_ent = 257;
+    out_len = 0;
+}}
+
+int do_compress(int *inp, int *ht, int *codes) {{
+    int i;
+    int ent;
+    int c;
+    int fcode;
+    int h;
+    int disp;
+    int emitted;
+    emitted = 0;
+    ent = inp[0];
+    for (i = 1; i < {input}; i++) {{
+        c = inp[i];
+        fcode = (c << 16) + ent;
+        h = ((c << 4) ^ ent) & {hmask};
+        if (ht[h] == fcode) {{
+            ent = codes[h];
+            continue;
+        }}
+        if (ht[h] >= 0) {{
+            disp = {htab} - h;
+            if (h == 0) {{
+                disp = 1;
+            }}
+            do {{
+                h = h - disp;
+                if (h < 0) {{
+                    h = h + {htab};
+                }}
+                if (ht[h] == fcode) {{
+                    break;
+                }}
+            }} while (ht[h] >= 0);
+            if (ht[h] == fcode) {{
+                ent = codes[h];
+                continue;
+            }}
+        }}
+        out_len++;
+        emitted = emitted + ent;
+        if (free_ent < {htab}) {{
+            codes[h] = free_ent;
+            ht[h] = fcode;
+            free_ent++;
+        }}
+        ent = c;
+    }}
+    return emitted;
+}}
+
+int main() {{
+    int r;
+    int acc;
+    acc = 0;
+    make_input();
+    for (r = 0; r < {iters}; r++) {{
+        clear_tables();
+        acc = acc ^ do_compress(input, htab, codetab);
+    }}
+    return (acc + out_len + free_ent) & 1048575;
+}}
+"#,
+        hmask = htab - 1
+    )
+}

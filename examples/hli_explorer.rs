@@ -1,0 +1,75 @@
+//! HLI explorer: dump the line table and region tree (Figure-2 style) of
+//! every function in a MiniC file.
+//!
+//! ```text
+//! cargo run -p hli-harness --example hli_explorer [path/to/file.c]
+//! ```
+//!
+//! Without an argument it explores a built-in stencil demo. Pass a path to
+//! inspect your own program; pass a suite benchmark name prefixed with `@`
+//! (e.g. `@102.swim`) to inspect a generated workload.
+
+use hli_core::textdump::dump_entry;
+use hli_frontend::generate_hli;
+use hli_lang::compile_to_ast;
+
+const DEMO: &str = "double grid[32][32]; double tmp[32][32];
+void relax() {
+    int i;
+    int j;
+    for (i = 1; i < 31; i++) {
+        for (j = 1; j < 31; j++) {
+            tmp[i][j] = 0.25 * (grid[i-1][j] + grid[i+1][j] + grid[i][j-1] + grid[i][j+1]);
+        }
+    }
+}
+int main() {
+    int i;
+    for (i = 0; i < 32; i++) grid[i][i] = 1.0;
+    relax();
+    return tmp[5][5] * 1000.0;
+}
+";
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let src = match arg.as_deref() {
+        None => DEMO.to_string(),
+        Some(name) if name.starts_with('@') => {
+            match hli_suite::by_name(&name[1..], hli_suite::Scale::default()) {
+                Some(b) => b.source,
+                None => {
+                    eprintln!("unknown benchmark `{}`", &name[1..]);
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+    };
+    let (prog, sema) = match compile_to_ast(&src) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let hli = generate_hli(&prog, &sema);
+    let bytes = hli_core::serialize::encode_file(&hli, Default::default());
+    println!(
+        "{} program unit(s), {} bytes of compact HLI ({:.1} bytes per source line)\n",
+        hli.entries.len(),
+        bytes.len(),
+        bytes.len() as f64 / src.lines().count() as f64
+    );
+    for e in &hli.entries {
+        print!("{}", dump_entry(e));
+        let errs = e.validate();
+        if !errs.is_empty() {
+            println!("  !! INVALID: {errs:?}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,72 @@
+//! LCDD-driven software-pipelining bounds (the paper's Section 3.2.2
+//! "indispensable for cyclic scheduling" use of the HLI).
+//!
+//! ```text
+//! cargo run -p hli-harness --example software_pipelining
+//! ```
+//!
+//! For a set of loop kernels, prints the modulo-scheduling lower bound
+//! (MII = max(ResMII, RecMII)) a cyclic scheduler would see with GCC-local
+//! dependence information vs with the HLI's loop-carried distances.
+
+use hli_backend::ddg::DepMode;
+use hli_backend::lower::lower_program;
+use hli_backend::mapping::map_function;
+use hli_backend::swp::{analyze_function, Resources, SwpLatency};
+use hli_core::query::HliQuery;
+use hli_frontend::generate_hli;
+use hli_lang::compile_to_ast;
+
+const KERNELS: &[(&str, &str)] = &[
+    (
+        "independent stream  x[i] = y[i]*2",
+        "double a[64]; double b[64];\nvoid k(double *x, double *y) { int i; for (i = 0; i < 64; i++) x[i] = y[i] * 2.0; }\nint main() { k(a, b); return 0; }",
+    ),
+    (
+        "distance-1 stencil  v[i] = v[i-1]*c",
+        "double v[128];\nvoid k(double *v) { int i; for (i = 1; i < 128; i++) v[i] = v[i-1] * 1.5; }\nint main() { k(v); return 0; }",
+    ),
+    (
+        "distance-4 stencil  v[i] = v[i-4]*c",
+        "double v[128];\nvoid k(double *v) { int i; for (i = 4; i < 128; i++) v[i] = v[i-4] * 1.5; }\nint main() { k(v); return 0; }",
+    ),
+    (
+        "accumulator         s += x[i]",
+        "double a[64]; double s;\nvoid k(double *x) { int i; for (i = 0; i < 64; i++) s = s + x[i]; }\nint main() { k(a); return 0; }",
+    ),
+];
+
+fn main() {
+    println!(
+        "{:<36} {:>8} {:>8} | {:>11} {:>11}",
+        "kernel", "ops", "ResMII", "RecMII(GCC)", "RecMII(HLI)"
+    );
+    println!("{}", "-".repeat(82));
+    for (label, src) in KERNELS {
+        let (prog, sema) = compile_to_ast(src).unwrap();
+        let rtl = lower_program(&prog, &sema);
+        let hli = generate_hli(&prog, &sema);
+        let f = rtl.func("k").unwrap();
+        let entry = hli.entry("k").unwrap();
+        let q = HliQuery::new(entry);
+        let map = map_function(f, entry);
+        let lat = SwpLatency::default();
+        let res = Resources::default();
+        let gcc = analyze_function(f, None, DepMode::GccOnly, &lat, &res);
+        let smart = analyze_function(f, Some((&q, &map)), DepMode::Combined, &lat, &res);
+        let (g, h) = (&gcc[0], &smart[0]);
+        println!(
+            "{label:<36} {:>8} {:>8} | {:>11} {:>11}",
+            g.body_ops,
+            g.res_mii,
+            g.rec_mii,
+            h.rec_mii
+        );
+    }
+    println!(
+        "\nRecMII = max over dependence cycles of ceil(latency/distance). Without the\n\
+         LCDD table every may-conflict memory pair is a distance-1 recurrence; with it,\n\
+         independent streams pipeline at the resource bound and a distance-4 recurrence\n\
+         initiates 4x more often than a distance-1 one."
+    );
+}

@@ -1,0 +1,135 @@
+//! Cross-crate integration: the full pipeline (source → sema → HLI → RTL →
+//! mapping → scheduling → machines) over the whole benchmark suite, with
+//! the AST interpreter as semantic oracle.
+
+use hli_backend::ddg::DepMode;
+use hli_backend::lower::lower_program;
+use hli_backend::mapping::map_function;
+use hli_backend::sched::{schedule_program, LatencyModel};
+use hli_frontend::generate_hli;
+use hli_lang::compile_to_ast;
+use hli_suite::Scale;
+
+#[test]
+fn every_benchmark_validates_and_agrees_across_all_schedules() {
+    for b in hli_suite::all(Scale::tiny()) {
+        let (prog, sema) =
+            compile_to_ast(&b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let oracle = hli_lang::interp::run_program(&prog, &sema)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let hli = generate_hli(&prog, &sema);
+        for e in &hli.entries {
+            let errs = e.validate();
+            assert!(errs.is_empty(), "{} `{}`: {errs:?}", b.name, e.unit_name);
+        }
+        let rtl = lower_program(&prog, &sema);
+        for mode in [DepMode::GccOnly, DepMode::HliOnly, DepMode::Combined] {
+            let (build, _) = schedule_program(&rtl, &hli, mode, &LatencyModel::default());
+            let res = hli_machine::execute(&build)
+                .unwrap_or_else(|e| panic!("{} {mode:?}: {e}", b.name));
+            assert_eq!(res.ret, oracle.ret, "{} {mode:?}: wrong result", b.name);
+            assert_eq!(
+                res.global_checksum, oracle.global_checksum,
+                "{} {mode:?}: wrong memory state",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_benchmark_maps_all_items() {
+    for b in hli_suite::all(Scale::tiny()) {
+        let (prog, sema) = compile_to_ast(&b.source).unwrap();
+        let hli = generate_hli(&prog, &sema);
+        let rtl = lower_program(&prog, &sema);
+        for f in &rtl.funcs {
+            let entry = hli.entry(&f.name).unwrap();
+            let map = map_function(f, entry);
+            assert!(
+                map.unmapped_insns.is_empty() && map.unmapped_items.is_empty(),
+                "{} `{}`: {} unmapped insns, {} unmapped items",
+                b.name,
+                f.name,
+                map.unmapped_insns.len(),
+                map.unmapped_items.len()
+            );
+            assert_eq!(map.insn_to_item.len(), entry.line_table.item_count());
+        }
+    }
+}
+
+#[test]
+fn combined_yes_never_exceeds_either_side() {
+    for b in hli_suite::all(Scale::tiny()) {
+        let (prog, sema) = compile_to_ast(&b.source).unwrap();
+        let hli = generate_hli(&prog, &sema);
+        let rtl = lower_program(&prog, &sema);
+        let (_, stats) = schedule_program(&rtl, &hli, DepMode::Combined, &LatencyModel::default());
+        assert!(stats.combined_yes <= stats.gcc_yes, "{}", b.name);
+        assert!(stats.combined_yes <= stats.hli_yes, "{}", b.name);
+        assert!(stats.gcc_yes <= stats.total_tests, "{}", b.name);
+        assert!(stats.hli_yes <= stats.total_tests, "{}", b.name);
+    }
+}
+
+#[test]
+fn serialization_roundtrips_whole_suite() {
+    use hli_core::serialize::{decode_file, encode_file, SerializeOpts};
+    for b in hli_suite::all(Scale::tiny()) {
+        let (prog, sema) = compile_to_ast(&b.source).unwrap();
+        let hli = generate_hli(&prog, &sema);
+        for opts in [SerializeOpts::default(), SerializeOpts { include_names: true }] {
+            let bytes = encode_file(&hli, opts);
+            let back = decode_file(&bytes, opts).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert_eq!(back.entries.len(), hli.entries.len(), "{}", b.name);
+            for (a, z) in hli.entries.iter().zip(&back.entries) {
+                assert_eq!(a.unit_name, z.unit_name);
+                assert_eq!(a.line_table, z.line_table, "{}", b.name);
+                assert_eq!(a.regions.len(), z.regions.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn query_answers_are_symmetric_over_suite() {
+    use hli_core::query::HliQuery;
+    for b in hli_suite::all(Scale::tiny()).into_iter().take(6) {
+        let (prog, sema) = compile_to_ast(&b.source).unwrap();
+        let hli = generate_hli(&prog, &sema);
+        for e in &hli.entries {
+            let q = HliQuery::new(e);
+            let items: Vec<_> = e
+                .line_table
+                .items()
+                .filter(|(_, it)| it.ty != hli_core::ItemType::Call)
+                .map(|(_, it)| it.id)
+                .collect();
+            for (i, &a) in items.iter().enumerate() {
+                for &z in items.iter().skip(i) {
+                    assert_eq!(
+                        q.get_equiv_acc(a, z),
+                        q.get_equiv_acc(z, a),
+                        "{} `{}`: asymmetric answer for {a} vs {z}",
+                        b.name,
+                        e.unit_name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn interpreter_and_machine_count_same_memory_traffic() {
+    // Loads/stores attributable to the program (not ABI) should broadly
+    // agree between the two executors on pointer-free programs.
+    let src = "int a[32]; int g;\nint main() { int i; for (i = 0; i < 32; i++) { a[i] = g + i; g = a[i] - 1; } return g; }";
+    let (prog, sema) = compile_to_ast(src).unwrap();
+    let interp = hli_lang::interp::run_program(&prog, &sema).unwrap();
+    let rtl = lower_program(&prog, &sema);
+    let mach = hli_machine::execute(&rtl).unwrap();
+    assert_eq!(interp.stats.loads, mach.loads);
+    assert_eq!(interp.stats.stores, mach.stores);
+}

@@ -1,0 +1,222 @@
+//! Property-based tests over randomly generated MiniC programs.
+//!
+//! A structural generator produces arbitrary (but well-typed, terminating,
+//! in-bounds) programs; every pipeline invariant must hold on all of them:
+//!
+//! * the pretty-printer's output reparses to a behaviorally identical
+//!   program;
+//! * the AST interpreter and the RTL machine agree (return value and
+//!   global-memory checksum);
+//! * ITEMGEN's event stream equals the lowerer's memory-reference stream
+//!   (the Section 3.1.1 contract);
+//! * generated HLI validates structurally and survives a serialization
+//!   round trip;
+//! * the (line, order) mapping binds every item;
+//! * scheduling under any dependence mode preserves semantics.
+
+use hli_backend::ddg::DepMode;
+use hli_backend::lower::lower_program;
+use hli_backend::mapping::map_function;
+use hli_backend::sched::{schedule_program, LatencyModel};
+use hli_frontend::generate_hli;
+use hli_lang::compile_to_ast;
+use hli_lang::interp::run_program_limited;
+use hli_lang::memwalk::{walk_function, AccessKind};
+use proptest::prelude::*;
+
+/// Generate an integer expression of bounded depth. Every variable it can
+/// mention is defined and initialized in the template below; array indices
+/// are masked in-bounds; divisors are non-zero literals.
+fn expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(|v| v.to_string()),
+        Just("x".to_string()),
+        Just("g0".to_string()),
+        Just("g1".to_string()),
+        Just("arr[x & 15]".to_string()),
+        Just("arr[g0 & 15]".to_string()),
+        Just("*gp".to_string()),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^"),
+                Just("<"), Just("<="), Just("=="), Just("!=")
+            ])
+                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+            (inner.clone(), 2i64..9).prop_map(|(a, d)| format!("({a} / {d})")),
+            (inner.clone(), 2i64..9).prop_map(|(a, m)| format!("({a} % {m})")),
+            inner.clone().prop_map(|a| format!("(0 - {a})")),
+            inner.clone().prop_map(|a| format!("(!{a})")),
+            inner.clone().prop_map(|a| format!("f1({a})")),
+        ]
+    })
+    .boxed()
+}
+
+/// Generate a statement (possibly compound) of bounded nesting.
+fn stmt(depth: u32) -> BoxedStrategy<String> {
+    let simple = prop_oneof![
+        expr(2).prop_map(|e| format!("x = {e};")),
+        expr(2).prop_map(|e| format!("g0 = {e};")),
+        expr(2).prop_map(|e| format!("g1 += {e};")),
+        expr(2).prop_map(|e| format!("arr[x & 15] = {e};")),
+        expr(2).prop_map(|e| format!("arr[g1 & 15] = {e};")),
+        expr(1).prop_map(|e| format!("*gp = {e};")),
+        expr(1).prop_map(|e| format!("y = y * 0.5 + {e};")),
+        Just("f2();".to_string()),
+        Just("g0++;".to_string()),
+        Just("x--;".to_string()),
+    ];
+    if depth == 0 {
+        return simple.boxed();
+    }
+    let nested = prop_oneof![
+        6 => simple.clone(),
+        2 => (1u32..6, prop::collection::vec(stmt(depth - 1), 1..4)).prop_map(move |(n, body)| {
+            // Each nesting depth owns its induction variable, or nested
+            // loops would reset their parent's counter and never finish.
+            let v = if depth >= 2 { "i" } else { "i2" };
+            format!("for ({v} = 0; {v} < {n}; {v}++) {{ {} }}", body.join(" "))
+        }),
+        2 => (expr(1), prop::collection::vec(stmt(depth - 1), 1..3), prop::collection::vec(stmt(depth - 1), 0..2))
+            .prop_map(|(c, t, e)| {
+                if e.is_empty() {
+                    format!("if ({c}) {{ {} }}", t.join(" "))
+                } else {
+                    format!("if ({c}) {{ {} }} else {{ {} }}", t.join(" "), e.join(" "))
+                }
+            }),
+    ];
+    nested.boxed()
+}
+
+/// A whole program around the generated body.
+fn program() -> impl Strategy<Value = String> {
+    prop::collection::vec(stmt(2), 1..8).prop_map(|body| {
+        format!(
+            "int g0; int g1 = 3; int arr[16]; int target; int *gp;\n\
+             double acc;\n\
+             int f1(int a) {{ return a * 3 + g0; }}\n\
+             void f2() {{ g1 = g1 + 1; }}\n\
+             int main() {{\n\
+               int i; int i2; int x; double y;\n\
+               x = 1; y = 0.5; gp = &target;\n\
+               {}\n\
+               acc = y;\n\
+               return (x ^ g0 ^ g1 ^ arr[3] ^ arr[12] ^ target) & 65535;\n\
+             }}",
+            body.join("\n  ")
+        )
+    })
+}
+
+const STEP_BUDGET: u64 = 3_000_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn generated_programs_compile_and_run(src in program()) {
+        let (prog, sema) = compile_to_ast(&src)
+            .unwrap_or_else(|e| panic!("generator produced invalid program: {e}\n{src}"));
+        // Division by zero cannot happen (non-zero literal divisors);
+        // interpretation must succeed.
+        run_program_limited(&prog, &sema, STEP_BUDGET)
+            .unwrap_or_else(|e| panic!("interp failed: {e}\n{src}"));
+    }
+
+    #[test]
+    fn pretty_print_roundtrip_preserves_behaviour(src in program()) {
+        let (p1, s1) = compile_to_ast(&src).unwrap();
+        let r1 = run_program_limited(&p1, &s1, STEP_BUDGET).unwrap();
+        let printed = hli_lang::pretty::program_to_string(&p1);
+        let (p2, s2) = compile_to_ast(&printed)
+            .unwrap_or_else(|e| panic!("pretty output fails to parse: {e}\n{printed}"));
+        let r2 = run_program_limited(&p2, &s2, STEP_BUDGET).unwrap();
+        prop_assert_eq!(r1.ret, r2.ret);
+        prop_assert_eq!(r1.global_checksum, r2.global_checksum);
+    }
+
+    #[test]
+    fn interpreter_and_machine_agree(src in program()) {
+        let (prog, sema) = compile_to_ast(&src).unwrap();
+        let oracle = run_program_limited(&prog, &sema, STEP_BUDGET).unwrap();
+        let rtl = lower_program(&prog, &sema);
+        let mach = hli_machine::execute(&rtl)
+            .unwrap_or_else(|e| panic!("machine failed: {e}\n{src}"));
+        prop_assert_eq!(oracle.ret, mach.ret, "return value diverged\n{}", src);
+        prop_assert_eq!(oracle.global_checksum, mach.global_checksum, "memory diverged\n{}", src);
+    }
+
+    #[test]
+    fn itemgen_matches_lowering_order(src in program()) {
+        let (prog, sema) = compile_to_ast(&src).unwrap();
+        let rtl = lower_program(&prog, &sema);
+        for f in &prog.funcs {
+            let events: Vec<(u32, AccessKind)> = walk_function(f, &sema)
+                .into_iter()
+                .map(|ev| (ev.line, ev.kind))
+                .collect();
+            let rf = rtl.func(&f.name).unwrap();
+            let refs: Vec<(u32, AccessKind)> = rf
+                .insns
+                .iter()
+                .filter_map(|i| match &i.op {
+                    hli_backend::rtl::Op::Load(..) => Some((i.line, AccessKind::Load)),
+                    hli_backend::rtl::Op::Store(..) => Some((i.line, AccessKind::Store)),
+                    hli_backend::rtl::Op::Call { .. } => Some((i.line, AccessKind::Call)),
+                    _ => None,
+                })
+                .collect();
+            prop_assert_eq!(&events, &refs, "contract broken for `{}`\n{}", f.name, src);
+        }
+    }
+
+    #[test]
+    fn hli_validates_and_roundtrips(src in program()) {
+        let (prog, sema) = compile_to_ast(&src).unwrap();
+        let hli = generate_hli(&prog, &sema);
+        for e in &hli.entries {
+            let errs = e.validate();
+            prop_assert!(errs.is_empty(), "invalid HLI for `{}`: {errs:?}\n{src}", e.unit_name);
+        }
+        let bytes = hli_core::serialize::encode_file(&hli, Default::default());
+        let back = hli_core::serialize::decode_file(&bytes, Default::default()).unwrap();
+        prop_assert_eq!(back.entries.len(), hli.entries.len());
+        for (a, b) in hli.entries.iter().zip(&back.entries) {
+            prop_assert_eq!(&a.line_table, &b.line_table);
+        }
+    }
+
+    #[test]
+    fn mapping_is_total(src in program()) {
+        let (prog, sema) = compile_to_ast(&src).unwrap();
+        let hli = generate_hli(&prog, &sema);
+        let rtl = lower_program(&prog, &sema);
+        for f in &rtl.funcs {
+            let entry = hli.entry(&f.name).unwrap();
+            let map = map_function(f, entry);
+            prop_assert!(map.unmapped_insns.is_empty(), "unmapped insns in `{}`\n{}", f.name, src);
+            prop_assert!(map.unmapped_items.is_empty(), "unmapped items in `{}`\n{}", f.name, src);
+        }
+    }
+
+    #[test]
+    fn scheduling_preserves_semantics(src in program()) {
+        let (prog, sema) = compile_to_ast(&src).unwrap();
+        let oracle = run_program_limited(&prog, &sema, STEP_BUDGET).unwrap();
+        let hli = generate_hli(&prog, &sema);
+        let rtl = lower_program(&prog, &sema);
+        for mode in [DepMode::GccOnly, DepMode::HliOnly, DepMode::Combined] {
+            let (build, stats) = schedule_program(&rtl, &hli, mode, &LatencyModel::default());
+            let res = hli_machine::execute(&build)
+                .unwrap_or_else(|e| panic!("{mode:?} failed: {e}\n{src}"));
+            prop_assert_eq!(oracle.ret, res.ret, "{:?} changed the result\n{}", mode, src);
+            prop_assert_eq!(oracle.global_checksum, res.global_checksum,
+                "{:?} changed memory\n{}", mode, src);
+            prop_assert!(stats.combined_yes <= stats.gcc_yes);
+            prop_assert!(stats.combined_yes <= stats.hli_yes);
+        }
+    }
+}
