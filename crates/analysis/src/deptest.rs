@@ -97,7 +97,11 @@ pub fn siv_test(fa: &Affine, fb: &Affine, ivar: SymId, trip: Option<i64>) -> Dep
                 // Banerjee-style bounds of a·i1 − b·i2 over 0 ≤ i1,i2 < n.
                 let hi_i = n - 1;
                 let (amin, amax) = if a >= 0 { (0, a * hi_i) } else { (a * hi_i, 0) };
-                let (bmin, bmax) = if b >= 0 { (-b * hi_i, 0) } else { (0, -b * hi_i) };
+                let (bmin, bmax) = if b >= 0 {
+                    (-b * hi_i, 0)
+                } else {
+                    (0, -b * hi_i)
+                };
                 let (lo, hi) = (amin + bmin, amax + bmax);
                 if rhs < lo || rhs > hi {
                     return DepTest::Independent;
@@ -229,7 +233,10 @@ mod tests {
     #[test]
     fn weak_zero_siv_unknown_when_hit_possible() {
         // a[i] vs a[5] in a 10-trip loop: iteration 5 conflicts.
-        assert_eq!(siv_test(&lin(1, 0), &Affine::constant(5), I, Some(10)), DepTest::Unknown);
+        assert_eq!(
+            siv_test(&lin(1, 0), &Affine::constant(5), I, Some(10)),
+            DepTest::Unknown
+        );
     }
 
     #[test]
@@ -259,16 +266,10 @@ mod tests {
     #[test]
     fn banerjee_refutes_disjoint_ranges() {
         // a[i] vs a[i' + 100] in a 10-trip loop: ranges [0,9] and [100,109].
-        assert_eq!(
-            siv_test(&lin(1, 0), &lin(1, 100), I, Some(10)),
-            DepTest::Independent
-        );
+        assert_eq!(siv_test(&lin(1, 0), &lin(1, 100), I, Some(10)), DepTest::Independent);
         // Negative-direction coefficients: a[-i] vs a[i + 100], trip 10:
         // ranges [-9,0] and [100,109].
-        assert_eq!(
-            siv_test(&lin(-1, 0), &lin(1, 100), I, Some(10)),
-            DepTest::Independent
-        );
+        assert_eq!(siv_test(&lin(-1, 0), &lin(1, 100), I, Some(10)), DepTest::Independent);
     }
 
     #[test]

@@ -373,7 +373,8 @@ fn solve(cx: Collector<'_>) -> PointsTo {
     loop {
         let mut changed = false;
         for (dst, src) in &cx.copy {
-            let add: Vec<SymId> = pts.get(src).map(|s| s.iter().copied().collect()).unwrap_or_default();
+            let add: Vec<SymId> =
+                pts.get(src).map(|s| s.iter().copied().collect()).unwrap_or_default();
             if !add.is_empty() {
                 let d = pts.entry(*dst).or_default();
                 for s in add {
@@ -382,7 +383,8 @@ fn solve(cx: Collector<'_>) -> PointsTo {
             }
         }
         for (dst, from) in &cx.load {
-            let objs: Vec<SymId> = pts.get(from).map(|s| s.iter().copied().collect()).unwrap_or_default();
+            let objs: Vec<SymId> =
+                pts.get(from).map(|s| s.iter().copied().collect()).unwrap_or_default();
             let mut add = Vec::new();
             for o in objs {
                 if let Some(s) = pts.get(&Node::Sym(o)) {
@@ -397,8 +399,10 @@ fn solve(cx: Collector<'_>) -> PointsTo {
             }
         }
         for (into, src) in &cx.store {
-            let objs: Vec<SymId> = pts.get(into).map(|s| s.iter().copied().collect()).unwrap_or_default();
-            let vals: Vec<SymId> = pts.get(src).map(|s| s.iter().copied().collect()).unwrap_or_default();
+            let objs: Vec<SymId> =
+                pts.get(into).map(|s| s.iter().copied().collect()).unwrap_or_default();
+            let vals: Vec<SymId> =
+                pts.get(src).map(|s| s.iter().copied().collect()).unwrap_or_default();
             if vals.is_empty() {
                 continue;
             }
@@ -477,9 +481,8 @@ mod tests {
             "int a[10]; int b[10]; int main() { int *p; int *q; p = a; q = b; return *p + *q; }",
         );
         assert!(!pt.may_alias(sym(&s, "p"), sym(&s, "q")));
-        let (pt2, s2) = pts_of(
-            "int a[10]; int main() { int *p; int *q; p = a; q = &a[5]; return *p + *q; }",
-        );
+        let (pt2, s2) =
+            pts_of("int a[10]; int main() { int *p; int *q; p = a; q = &a[5]; return *p + *q; }");
         assert!(pt2.may_alias(sym(&s2, "p"), sym(&s2, "q")));
     }
 
@@ -526,9 +529,8 @@ mod tests {
 
     #[test]
     fn deref_assignment_through_ptr_to_ptr() {
-        let (pt, s) = pts_of(
-            "int x; int main() { int *p; int **h; p = &x; h = &p; *h = &x; return *p; }",
-        );
+        let (pt, s) =
+            pts_of("int x; int main() { int *p; int **h; p = &x; h = &p; *h = &x; return *p; }");
         assert!(pt.may_point_to(sym(&s, "h"), sym(&s, "p")));
         assert!(pt.may_point_to(sym(&s, "p"), sym(&s, "x")));
     }

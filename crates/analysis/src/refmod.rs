@@ -118,12 +118,7 @@ pub fn analyze(prog: &Program, sema: &Sema, pts: &PointsTo) -> RefMod {
         }
     }
 
-    let by_name = prog
-        .funcs
-        .iter()
-        .enumerate()
-        .map(|(i, f)| (f.name.clone(), i))
-        .collect();
+    let by_name = prog.funcs.iter().enumerate().map(|(i, f)| (f.name.clone(), i)).collect();
     RefMod { per_func: sets, by_name }
 }
 
@@ -211,9 +206,7 @@ mod tests {
 
     #[test]
     fn unbounded_pointer_poisons_summary() {
-        let (rm, _) = rm_of(
-            "int *gp; int main() { return *gp; }",
-        );
+        let (rm, _) = rm_of("int *gp; int main() { return *gp; }");
         // gp is never assigned: the deref is unbounded.
         assert!(rm.of("main").unwrap().unknown);
     }

@@ -177,7 +177,13 @@ mod tests {
     use super::*;
 
     fn loop01(n: i64) -> CanonLoop {
-        CanonLoop { ivar: 0, lower: Bound::Const(0), upper: Bound::Const(n), inclusive: false, step: 1 }
+        CanonLoop {
+            ivar: 0,
+            lower: Bound::Const(0),
+            upper: Bound::Const(n),
+            inclusive: false,
+            step: 1,
+        }
     }
 
     #[test]

@@ -61,9 +61,7 @@ pub fn blocks(f: &RtlFunc) -> Vec<Block> {
 /// The schedulable instructions of a block: everything except labels and
 /// the terminating control transfer (which stays last).
 pub fn schedulable(f: &RtlFunc, b: &Block) -> Vec<usize> {
-    b.range()
-        .filter(|&i| !f.insns[i].op.is_control())
-        .collect()
+    b.range().filter(|&i| !f.insns[i].op.is_control()).collect()
 }
 
 /// Instructions of a block, for inspection.
@@ -131,10 +129,7 @@ mod tests {
             "int g;\nint f2() { return g; }\nint main() { g = 1; g = f2() + g; return g; }",
         );
         // All of main's work is one block (no branches), despite the call.
-        let with_call = bs
-            .iter()
-            .find(|b| b.range().any(|i| f.insns[i].op.is_call()))
-            .unwrap();
+        let with_call = bs.iter().find(|b| b.range().any(|i| f.insns[i].op.is_call())).unwrap();
         assert!(with_call.len() > 3, "call did not split the block");
         // Main body + unreachable epilogue only.
         assert_eq!(bs.len(), 2);

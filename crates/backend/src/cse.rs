@@ -87,11 +87,7 @@ pub fn cse_function(
                         new.op = Op::Move(*dst, src);
                         // The defined register invalidates dependents below.
                         invalidate_reg(&mut avail, *dst);
-                        avail.push(Avail {
-                            mem: *m,
-                            value_reg: *dst,
-                            item: None,
-                        });
+                        avail.push(Avail { mem: *m, value_reg: *dst, item: None });
                         out.push(new);
                         continue;
                     }
@@ -109,14 +105,8 @@ pub fn cse_function(
                 // Invalidate conflicting entries, then record the stored
                 // value as available (store-to-load forwarding).
                 let store_item = hli.as_ref().and_then(|(_, map)| item_of(map, insn.id));
-                avail.retain(|a| {
-                    !may_conflict_for_cse(a, m, store_item, query.as_ref(), use_hli)
-                });
-                avail.push(Avail {
-                    mem: *m,
-                    value_reg: *src,
-                    item: store_item,
-                });
+                avail.retain(|a| !may_conflict_for_cse(a, m, store_item, query.as_ref(), use_hli));
+                avail.push(Avail { mem: *m, value_reg: *src, item: store_item });
             }
             Op::Call { dst, .. } => {
                 let call_item = hli.as_ref().and_then(|(_, map)| item_of(map, insn.id));
@@ -166,7 +156,18 @@ pub fn cse_function(
 
     let mut func = f.clone();
     func.insns = out;
-    CseResult { func, loads_eliminated, purged_by_call, kept_across_call, deleted_items }
+    let reg = hli_obs::metrics::cur();
+    reg.counter("backend.cse.loads_eliminated").add(loads_eliminated as u64);
+    reg.counter("backend.cse.purged_by_call").add(purged_by_call as u64);
+    reg.counter("backend.cse.kept_across_call").add(kept_across_call as u64);
+    reg.counter("backend.cse.items_deleted").add(deleted_items.len() as u64);
+    CseResult {
+        func,
+        loads_eliminated,
+        purged_by_call,
+        kept_across_call,
+        deleted_items,
+    }
 }
 
 /// Conservative conflict for CSE invalidation at a store.
@@ -311,10 +312,9 @@ mod tests {
 
     #[test]
     fn eliminated_items_leave_valid_hli() {
-        let (p, s) = compile_to_ast(
-            "int g;\nint main() { int a; int b; a = g; b = g; return a + b; }",
-        )
-        .unwrap();
+        let (p, s) =
+            compile_to_ast("int g;\nint main() { int a; int b; a = g; b = g; return a + b; }")
+                .unwrap();
         let prog = lower_program(&p, &s);
         let f = prog.func("main").unwrap();
         let hli = generate_hli(&p, &s);

@@ -59,6 +59,30 @@ impl QueryStats {
             1.0 - self.combined_yes as f64 / self.gcc_yes as f64
         }
     }
+
+    /// Mirror these totals into the `backend.ddg.*` counters of `reg`.
+    /// The struct itself stays the unit of accumulation inside DDG
+    /// construction (so Table-2 arithmetic is untouched); the registry gets
+    /// the same totals for `--stats` output and cross-layer reports.
+    pub fn record(&self, reg: &hli_obs::MetricsRegistry) {
+        reg.counter("backend.ddg.total_tests").add(self.total_tests);
+        reg.counter("backend.ddg.gcc_yes").add(self.gcc_yes);
+        reg.counter("backend.ddg.hli_yes").add(self.hli_yes);
+        reg.counter("backend.ddg.combined_yes").add(self.combined_yes);
+        reg.counter("backend.ddg.call_queries").add(self.call_queries);
+    }
+
+    /// View constructor: rebuild Table-2 totals from a metrics snapshot
+    /// (the inverse of [`QueryStats::record`]).
+    pub fn from_registry(snap: &hli_obs::MetricsSnapshot) -> QueryStats {
+        QueryStats {
+            total_tests: snap.counter("backend.ddg.total_tests"),
+            gcc_yes: snap.counter("backend.ddg.gcc_yes"),
+            hli_yes: snap.counter("backend.ddg.hli_yes"),
+            combined_yes: snap.counter("backend.ddg.combined_yes"),
+            call_queries: snap.counter("backend.ddg.call_queries"),
+        }
+    }
 }
 
 /// The dependence graph of one basic block, over the block's schedulable
@@ -103,12 +127,13 @@ pub fn build_block_ddg(
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut mem_edges = 0usize;
 
-    let add_edge = |from: usize, to: usize, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
-        if !preds[to].contains(&from) {
-            preds[to].push(from);
-            succs[from].push(to);
-        }
-    };
+    let add_edge =
+        |from: usize, to: usize, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
+            if !preds[to].contains(&from) {
+                preds[to].push(from);
+                succs[from].push(to);
+            }
+        };
 
     // Register dependences.
     use std::collections::HashMap;
@@ -139,6 +164,7 @@ pub fn build_block_ddg(
     }
 
     // Memory and call dependences.
+    let ring = hli_obs::ring::global();
     for k in 0..n {
         let opk = &f.insns[nodes[k]].op;
         let k_mem = opk.mem_ref().copied();
@@ -167,6 +193,12 @@ pub fn build_block_ddg(
                     if gcc && hli_ans {
                         stats.combined_yes += 1;
                     }
+                    ring.push_with("ddg.test", || {
+                        format!(
+                            "{}: mem pair insn#{} vs insn#{}: gcc={gcc} hli={hli_ans}",
+                            f.name, nodes[j], nodes[k]
+                        )
+                    });
                     match mode {
                         DepMode::GccOnly => gcc,
                         DepMode::HliOnly => hli_ans,
@@ -177,8 +209,11 @@ pub fn build_block_ddg(
                 (Some(m), _, _, true) | (_, true, Some(m), _) => {
                     stats.call_queries += 1;
                     let mem_is_store = (j_call && opk.is_store()) || (k_call && opj.is_store());
-                    let (mem_idx, call_idx) =
-                        if j_call { (nodes[k], nodes[j]) } else { (nodes[j], nodes[k]) };
+                    let (mem_idx, call_idx) = if j_call {
+                        (nodes[k], nodes[j])
+                    } else {
+                        (nodes[j], nodes[k])
+                    };
                     let hli_ans = hli_call_answer(f, mem_idx, call_idx, mem_is_store, hli);
                     let _ = m;
                     match mode {
@@ -195,6 +230,10 @@ pub fn build_block_ddg(
         }
     }
 
+    let reg = hli_obs::metrics::cur();
+    reg.counter("backend.ddg.blocks").inc();
+    reg.counter("backend.ddg.mem_edges").add(mem_edges as u64);
+
     Ddg { nodes, preds, succs, mem_edges }
 }
 
@@ -202,10 +241,8 @@ pub fn build_block_ddg(
 /// Unmapped references answer *yes* (the paper's unknown).
 fn hli_pair_answer(f: &RtlFunc, i: usize, j: usize, hli: Option<&HliSide<'_>>) -> bool {
     let Some(side) = hli else { return true };
-    let (Some(a), Some(b)) = (
-        side.map.item_of(f.insns[i].id),
-        side.map.item_of(f.insns[j].id),
-    ) else {
+    let (Some(a), Some(b)) = (side.map.item_of(f.insns[i].id), side.map.item_of(f.insns[j].id))
+    else {
         return true;
     };
     side.query.get_equiv_acc(a, b).may_overlap()
@@ -333,8 +370,10 @@ mod tests {
         let mut gcc_edges = 0;
         let mut hli_edges = 0;
         for b in blocks(f) {
-            gcc_edges += build_block_ddg(f, &b, Some(&side), DepMode::GccOnly, &mut st_gcc).mem_edges;
-            hli_edges += build_block_ddg(f, &b, Some(&side), DepMode::Combined, &mut st_hli).mem_edges;
+            gcc_edges +=
+                build_block_ddg(f, &b, Some(&side), DepMode::GccOnly, &mut st_gcc).mem_edges;
+            hli_edges +=
+                build_block_ddg(f, &b, Some(&side), DepMode::Combined, &mut st_hli).mem_edges;
         }
         assert!(
             hli_edges < gcc_edges,
@@ -344,8 +383,53 @@ mod tests {
     }
 
     #[test]
+    fn call_on_loop_line_keeps_mod_edge() {
+        // Regression: when a loop and the statements after its closing brace
+        // share one source line, the call's owning region must come from the
+        // REF/MOD naming, not the line scope — otherwise `get_call_acc`
+        // matches the loop's SubRegion summary (f1: reads g0 only) for f2
+        // and the scheduler hoists the g1 load across the call.
+        let src = "int g0; int g1;\n\
+             int f1(int a) { return a + g0; }\n\
+             void f2() { g1 = g1 + 1; }\n\
+             int main() {\n\
+             int i; int x;\n\
+             x = 1;\n\
+             for (i = 0; i < 1; i++) { g0 = f1(x); } f2(); g1 += x;\n\
+             return g1;\n\
+             }";
+        let (p, s) = compile_to_ast(src).unwrap();
+        let hli = generate_hli(&p, &s);
+        let prog = lower_program(&p, &s);
+        let f = prog.func("main").unwrap();
+        let entry = hli.entry("main").unwrap();
+        let q = HliQuery::new(entry);
+        let map = map_function(f, entry);
+        let side = HliSide { query: &q, map: &map };
+        let mut stats = QueryStats::default();
+        for b in blocks(f) {
+            let g = build_block_ddg(f, &b, Some(&side), DepMode::HliOnly, &mut stats);
+            let call_pos = g.nodes.iter().position(
+                |&i| matches!(&f.insns[i].op, crate::rtl::Op::Call { func, .. } if func == "f2"),
+            );
+            let Some(cp) = call_pos else { continue };
+            let load_pos = g.nodes.iter().position(|&i| {
+                i > g.nodes[cp] && matches!(&f.insns[i].op, crate::rtl::Op::Load(..))
+            });
+            let lp = load_pos.expect("a g1 load follows the f2 call");
+            assert!(
+                g.preds[lp].contains(&cp),
+                "f2 modifies g1; the load must stay ordered after the call"
+            );
+            return;
+        }
+        panic!("no block contains the f2 call");
+    }
+
+    #[test]
     fn ddg_is_acyclic_and_respects_program_order() {
-        let src = "int a[8];\nint main() { int i; for (i=1;i<8;i++) a[i] = a[i-1] + 1; return a[7]; }";
+        let src =
+            "int a[8];\nint main() { int i; for (i=1;i<8;i++) a[i] = a[i-1] + 1; return a[7]; }";
         let (p, s) = compile_to_ast(src).unwrap();
         let prog = lower_program(&p, &s);
         let f = prog.func("main").unwrap();

@@ -64,7 +64,12 @@ mod tests {
     }
 
     fn sym_idx(s: u32, idx: u32) -> MemRef {
-        MemRef { base: BaseAddr::Sym(s), index: Some(idx), scale: 8, offset: 0 }
+        MemRef {
+            base: BaseAddr::Sym(s),
+            index: Some(idx),
+            scale: 8,
+            offset: 0,
+        }
     }
 
     #[test]
@@ -92,8 +97,18 @@ mod tests {
 
     #[test]
     fn distinct_stack_slots_never() {
-        let a = MemRef { base: BaseAddr::Stack(0), index: Some(1), scale: 8, offset: 0 };
-        let b = MemRef { base: BaseAddr::Stack(128), index: Some(2), scale: 8, offset: 0 };
+        let a = MemRef {
+            base: BaseAddr::Stack(0),
+            index: Some(1),
+            scale: 8,
+            offset: 0,
+        };
+        let b = MemRef {
+            base: BaseAddr::Stack(128),
+            index: Some(2),
+            scale: 8,
+            offset: 0,
+        };
         assert!(!may_conflict(&a, &b));
         assert!(may_conflict(&a, &MemRef::stack(0)));
     }

@@ -61,9 +61,10 @@ fn innermost(loops: &[RtlLoop]) -> Vec<RtlLoop> {
         .iter()
         .copied()
         .filter(|a| {
-            !loops
-                .iter()
-                .any(|b| (b.head > a.head && b.tail <= a.tail || b.head >= a.head && b.tail < a.tail) && !(b.head == a.head && b.tail == a.tail))
+            !loops.iter().any(|b| {
+                (b.head > a.head && b.tail <= a.tail || b.head >= a.head && b.tail < a.tail)
+                    && !(b.head == a.head && b.tail == a.tail)
+            })
         })
         .collect()
 }
@@ -86,18 +87,14 @@ pub fn licm_function(
     for lp in &loops {
         let range = lp.head..=lp.tail;
         // Registers defined inside the loop.
-        let defined: HashSet<u32> = range
-            .clone()
-            .filter_map(|i| f.insns[i].op.def())
-            .collect();
+        let defined: HashSet<u32> = range.clone().filter_map(|i| f.insns[i].op.def()).collect();
         // Instructions before the loop's first control transfer execute on
         // every trip of the header — including the final failing test — so
         // hoisting them can never introduce an execution the original
         // program did not perform. Anything after that point is
         // conditionally executed within the iteration.
-        let first_ctrl = (lp.head + 1..=lp.tail)
-            .find(|&i| f.insns[i].op.is_control())
-            .unwrap_or(lp.tail);
+        let first_ctrl =
+            (lp.head + 1..=lp.tail).find(|&i| f.insns[i].op.is_control()).unwrap_or(lp.tail);
         for i in range.clone() {
             let Op::Load(dst, m) = &f.insns[i].op else { continue };
             if taken.contains(&i) {
@@ -114,19 +111,14 @@ pub fn licm_function(
             }
             // Address must be loop-invariant.
             let addr_regs: Vec<u32> = match m.base {
-                crate::rtl::BaseAddr::Reg(r) => {
-                    std::iter::once(r).chain(m.index).collect()
-                }
+                crate::rtl::BaseAddr::Reg(r) => std::iter::once(r).chain(m.index).collect(),
                 _ => m.index.into_iter().collect(),
             };
             if addr_regs.iter().any(|r| defined.contains(r)) {
                 continue;
             }
             // The destination must be defined only here within the loop.
-            let dst_defs = range
-                .clone()
-                .filter(|&j| f.insns[j].op.def() == Some(*dst))
-                .count();
+            let dst_defs = range.clone().filter(|&j| f.insns[j].op.def() == Some(*dst)).count();
             if dst_defs != 1 {
                 continue;
             }
@@ -137,7 +129,8 @@ pub fn licm_function(
                     Op::Store(sm, _) => {
                         let gcc = gccdep::may_conflict(m, sm);
                         let conflict = if use_hli {
-                            let h = hli_pair(f, i, j, hli.as_ref().map(|(_, m)| &**m), query.as_ref());
+                            let h =
+                                hli_pair(f, i, j, hli.as_ref().map(|(_, m)| &**m), query.as_ref());
                             gcc && h
                         } else {
                             gcc
@@ -195,11 +188,8 @@ pub fn licm_function(
             if let Some(item) = map.item_of(insn_id) {
                 if let Some(owner) = entry.owning_region(item) {
                     if let Some(parent) = entry.region(owner).parent {
-                        let line = entry
-                            .line_table
-                            .find(item)
-                            .map(|(l, _)| l)
-                            .unwrap_or(f.insns[i].line);
+                        let line =
+                            entry.line_table.find(item).map(|(l, _)| l).unwrap_or(f.insns[i].line);
                         let _ = maintain::move_item_to_region(entry, item, parent, line);
                     }
                 }
@@ -207,6 +197,7 @@ pub fn licm_function(
         }
     }
 
+    hli_obs::metrics::cur().counter("backend.licm.hoisted").add(hoist.len() as u64);
     LicmResult { func, hoisted: hoist.len() }
 }
 

@@ -57,8 +57,11 @@ pub fn lower_with_loops(
     }
     let mut funcs = Vec::with_capacity(prog.funcs.len());
     let mut loop_metas = HashMap::new();
+    let reg = hli_obs::metrics::cur();
     for f in &prog.funcs {
         let (rf, metas) = Lowerer::new(sema, &global_addr).func(f);
+        reg.counter("backend.lower.funcs").inc();
+        reg.counter("backend.lower.insns").add(rf.insns.len() as u64);
         loop_metas.insert(rf.name.clone(), metas);
         funcs.push(rf);
     }
@@ -86,7 +89,8 @@ enum Val {
 
 struct Lowerer<'a> {
     sema: &'a Sema,
-    #[allow(dead_code)] global_addr: &'a HashMap<SymId, i64>,
+    #[allow(dead_code)]
+    global_addr: &'a HashMap<SymId, i64>,
     insns: Vec<Insn>,
     next_reg: Reg,
     next_label: Label,
@@ -169,7 +173,12 @@ impl<'a> Lowerer<'a> {
                 let r = self.reg();
                 self.emit(Op::Load(
                     r,
-                    MemRef { base: BaseAddr::InArg(i as u32), index: None, scale: 8, offset: 0 },
+                    MemRef {
+                        base: BaseAddr::InArg(i as u32),
+                        index: None,
+                        scale: 8,
+                        offset: 0,
+                    },
                 ));
                 self.reg_of.insert(sym, r);
             }
@@ -318,18 +327,16 @@ impl<'a> Lowerer<'a> {
                 self.emit(Op::Jump(l_cond));
                 self.emit(Op::Label(l_exit));
             }
-            StmtKind::Return(v) => {
-                match v {
-                    Some(e) => {
-                        let r = self.rvalue(e);
-                        let ety = self.sema.ty_of(e).clone();
-                        let rty = self.ret_ty.clone();
-                        let r = self.convert(r, &ety, &rty);
-                        self.emit(Op::Ret(Some(r)));
-                    }
-                    None => self.emit(Op::Ret(None)),
+            StmtKind::Return(v) => match v {
+                Some(e) => {
+                    let r = self.rvalue(e);
+                    let ety = self.sema.ty_of(e).clone();
+                    let rty = self.ret_ty.clone();
+                    let r = self.convert(r, &ety, &rty);
+                    self.emit(Op::Ret(Some(r)));
                 }
-            }
+                None => self.emit(Op::Ret(None)),
+            },
             StmtKind::Break => {
                 let (l_exit, _) = *self.loop_stack.last().expect("break inside loop");
                 self.emit(Op::Jump(l_exit));
@@ -355,7 +362,9 @@ impl<'a> Lowerer<'a> {
     /// Branch to `target` when `e`'s truth equals `when`.
     fn branch_cond(&mut self, e: &Expr, target: Label, when: bool) {
         match &e.kind {
-            ExprKind::Binary(op, a, b) if op.is_boolean() && !matches!(op, BinOp::LogAnd | BinOp::LogOr) => {
+            ExprKind::Binary(op, a, b)
+                if op.is_boolean() && !matches!(op, BinOp::LogAnd | BinOp::LogOr) =>
+            {
                 let ta = self.sema.ty_of(a).decayed();
                 let tb = self.sema.ty_of(b).decayed();
                 let cmp = cmp_of(*op);
@@ -764,7 +773,11 @@ impl<'a> Lowerer<'a> {
                         ));
                     }
                 }
-                let dst = if sig.ret == Type::Void { None } else { Some(self.reg()) };
+                let dst = if sig.ret == Type::Void {
+                    None
+                } else {
+                    Some(self.reg())
+                };
                 self.emit(Op::Call { dst, func: name.clone(), args: reg_args });
                 dst.unwrap_or_else(|| {
                     // Void calls in expression position only occur as
@@ -967,10 +980,8 @@ mod tests {
     fn check_contract(src: &str) {
         let (r, p, s) = lowered(src);
         for f in &p.funcs {
-            let events: Vec<(u32, AccessKind)> = walk_function(f, &s)
-                .into_iter()
-                .map(|ev| (ev.line, ev.kind))
-                .collect();
+            let events: Vec<(u32, AccessKind)> =
+                walk_function(f, &s).into_iter().map(|ev| (ev.line, ev.kind)).collect();
             let rf = r.func(&f.name).unwrap();
             let refs: Vec<(u32, AccessKind)> = rf
                 .insns
@@ -983,7 +994,8 @@ mod tests {
                 })
                 .collect();
             assert_eq!(
-                events, refs,
+                events,
+                refs,
                 "ITEMGEN/lowering contract broken for `{}`:\n{}",
                 f.name,
                 dump_func(rf)
@@ -1068,9 +1080,8 @@ mod tests {
 
     #[test]
     fn mixed_subscript_keeps_offset_and_index() {
-        let (r, _, _) = lowered(
-            "int m[4][8];\nint main() { int i; for (i=0;i<4;i++) m[i][3] = 1; return 0; }",
-        );
+        let (r, _, _) =
+            lowered("int m[4][8];\nint main() { int i; for (i=0;i<4;i++) m[i][3] = 1; return 0; }");
         let f = r.func("main").unwrap();
         let mem = f.insns.iter().find_map(|i| i.op.mem_ref()).unwrap();
         assert_eq!(mem.offset, 24, "constant inner subscript folds");
@@ -1079,9 +1090,8 @@ mod tests {
 
     #[test]
     fn frame_allocates_arrays_and_spills() {
-        let (r, _, _) = lowered(
-            "int main() { int a[16]; int x; int *p; p = &x; a[0] = *p; return a[0]; }",
-        );
+        let (r, _, _) =
+            lowered("int main() { int a[16]; int x; int *p; p = &x; a[0] = *p; return a[0]; }");
         let f = r.func("main").unwrap();
         assert!(f.frame_size >= 16 * 8 + 8, "frame {} too small", f.frame_size);
     }

@@ -108,6 +108,12 @@ pub fn map_function(f: &RtlFunc, entry: &HliEntry) -> HliMap {
     map.unmapped_insns.dedup();
     map.unmapped_items.sort_unstable();
     map.unmapped_items.dedup();
+    // Mapping quality: bound pairs are the paper's "hash hits"; the
+    // unmapped lists are what forces conservative (Unknown) answers.
+    let reg = hli_obs::metrics::cur();
+    reg.counter("backend.map.bound").add(map.insn_to_item.len() as u64);
+    reg.counter("backend.map.unmapped_insns").add(map.unmapped_insns.len() as u64);
+    reg.counter("backend.map.unmapped_items").add(map.unmapped_items.len() as u64);
     map
 }
 
@@ -137,21 +143,15 @@ mod tests {
         assert!(m.unmapped_insns.is_empty(), "unmapped insns: {:?}", m.unmapped_insns);
         assert!(m.unmapped_items.is_empty(), "unmapped items: {:?}", m.unmapped_items);
         // Every memory/call instruction is bound.
-        let expected = f
-            .insns
-            .iter()
-            .filter(|i| rtl_kind(&i.op).is_some())
-            .count();
+        let expected = f.insns.iter().filter(|i| rtl_kind(&i.op).is_some()).count();
         assert_eq!(m.insn_to_item.len(), expected);
         assert_eq!(m.insn_to_item.len(), e.line_table.item_count());
     }
 
     #[test]
     fn mapping_is_bijective() {
-        let (m, _, _) = mapped(
-            "int g; int h;\nint main() { g = h; h = g + h; return g * h; }",
-            "main",
-        );
+        let (m, _, _) =
+            mapped("int g; int h;\nint main() { g = h; h = g + h; return g * h; }", "main");
         assert_eq!(m.insn_to_item.len(), m.item_to_insn.len());
         for (insn, item) in &m.insn_to_item {
             assert_eq!(m.item_to_insn[item], *insn);

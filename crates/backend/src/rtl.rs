@@ -125,7 +125,11 @@ pub enum Op {
     Store(MemRef, Reg),
     /// Direct call; `args` are the register-passed arguments in order
     /// (stack-passed args were stored to `OutArg` slots beforehand).
-    Call { dst: Option<Reg>, func: String, args: Vec<Reg> },
+    Call {
+        dst: Option<Reg>,
+        func: String,
+        args: Vec<Reg>,
+    },
     Label(Label),
     Jump(Label),
     /// Fused compare-and-branch on integer registers.
@@ -165,7 +169,9 @@ impl Op {
         match self {
             Op::LiI(..) | Op::LiF(..) | Op::Label(_) | Op::Jump(_) => vec![],
             Op::Move(_, s) | Op::CvtIF(_, s) | Op::CvtFI(_, s) => vec![*s],
-            Op::IBin(_, _, a, b) | Op::FBin(_, _, a, b) | Op::ICmp(_, _, a, b)
+            Op::IBin(_, _, a, b)
+            | Op::FBin(_, _, a, b)
+            | Op::ICmp(_, _, a, b)
             | Op::FCmp(_, _, a, b) => vec![*a, *b],
             Op::IBinI(_, _, a, _) => vec![*a],
             Op::La(..) => vec![],
@@ -288,7 +294,11 @@ impl fmt::Display for Insn {
 pub fn dump_func(f: &RtlFunc) -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    let _ = writeln!(out, "func {} (frame {} bytes, {} regs):", f.name, f.frame_size, f.num_regs);
+    let _ = writeln!(
+        out,
+        "func {} (frame {} bytes, {} regs):",
+        f.name, f.frame_size, f.num_regs
+    );
     for insn in &f.insns {
         let _ = writeln!(out, "  {insn}");
     }

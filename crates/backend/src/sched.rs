@@ -29,7 +29,16 @@ pub struct LatencyModel {
 
 impl Default for LatencyModel {
     fn default() -> Self {
-        LatencyModel { load: 2, ialu: 1, imul: 8, idiv: 36, fadd: 4, fmul: 8, fdiv: 36, call: 2 }
+        LatencyModel {
+            load: 2,
+            ialu: 1,
+            imul: 8,
+            idiv: 36,
+            fadd: 4,
+            fmul: 8,
+            fdiv: 36,
+            call: 2,
+        }
     }
 }
 
@@ -70,13 +79,15 @@ pub fn schedule_function(
     mode: DepMode,
     lat: &LatencyModel,
 ) -> SchedResult {
+    let reg = hli_obs::metrics::cur();
+    let ready_hist = reg.histogram("backend.sched.ready_list");
     let mut stats = QueryStats::default();
     let mut new_insns: Vec<Insn> = Vec::with_capacity(f.insns.len());
     let mut blocks_changed = 0;
     let bs = blocks(f);
     let blocks_total = bs.len();
     for b in &bs {
-        let order = schedule_block(f, b, hli, mode, lat, &mut stats);
+        let order = schedule_block(f, b, hli, mode, lat, &mut stats, &ready_hist);
         let mut emitted: Vec<Insn> = Vec::with_capacity(b.len());
         // Leading labels.
         let mut i = b.start;
@@ -99,10 +110,7 @@ pub fn schedule_function(
             }
         }
         debug_assert_eq!(emitted.len(), b.len(), "block size preserved");
-        let changed = emitted
-            .iter()
-            .zip(&f.insns[b.range()])
-            .any(|(a, b)| a.id != b.id);
+        let changed = emitted.iter().zip(&f.insns[b.range()]).any(|(a, b)| a.id != b.id);
         if changed {
             blocks_changed += 1;
         }
@@ -110,11 +118,18 @@ pub fn schedule_function(
     }
     let mut func = f.clone();
     func.insns = new_insns;
+    // Mirror the Table-2 counters (and scheduler effect totals) into the
+    // registry; `stats` itself remains the harness's unit of aggregation.
+    stats.record(&reg);
+    reg.counter("backend.sched.funcs").inc();
+    reg.counter("backend.sched.blocks_total").add(blocks_total as u64);
+    reg.counter("backend.sched.blocks_changed").add(blocks_changed as u64);
     SchedResult { func, stats, blocks_changed, blocks_total }
 }
 
 /// List-schedule one block; returns function-relative indices in issue
 /// order.
+#[allow(clippy::too_many_arguments)]
 fn schedule_block(
     f: &RtlFunc,
     b: &Block,
@@ -122,6 +137,7 @@ fn schedule_block(
     mode: DepMode,
     lat: &LatencyModel,
     stats: &mut QueryStats,
+    ready_hist: &hli_obs::Histogram,
 ) -> Vec<usize> {
     let g = build_block_ddg(f, b, hli, mode, stats);
     let n = g.nodes.len();
@@ -142,14 +158,10 @@ fn schedule_block(
     let mut time: u64 = 0;
     let mut scheduled = vec![false; n];
     while order.len() < n {
+        ready_hist.observe(ready.len() as u64);
         // Earliest start per ready node.
-        let earliest = |k: usize| -> u64 {
-            g.preds[k]
-                .iter()
-                .map(|&p| finish[p])
-                .max()
-                .unwrap_or(0)
-        };
+        let earliest =
+            |k: usize| -> u64 { g.preds[k].iter().map(|&p| finish[p]).max().unwrap_or(0) };
         // Prefer nodes startable now, by height then program order.
         let pick = ready
             .iter()
@@ -157,7 +169,9 @@ fn schedule_block(
             .filter(|&k| earliest(k) <= time)
             .max_by_key(|&k| (height[k], std::cmp::Reverse(k)))
             .or_else(|| ready.iter().copied().min_by_key(|&k| earliest(k)));
-        let Some(k) = pick else { unreachable!("acyclic graph always has ready nodes") };
+        let Some(k) = pick else {
+            unreachable!("acyclic graph always has ready nodes")
+        };
         let start = time.max(earliest(k));
         finish[k] = start + lat.of(&f.insns[g.nodes[k]].op) as u64;
         time = start + 1;
@@ -243,10 +257,7 @@ mod tests {
                 for &p in preds {
                     let from = orig.insns[g.nodes[p]].id;
                     let to = orig.insns[g.nodes[k]].id;
-                    assert!(
-                        pos[&from] < pos[&to],
-                        "edge {from} -> {to} violated by schedule"
-                    );
+                    assert!(pos[&from] < pos[&to], "edge {from} -> {to} violated by schedule");
                 }
             }
         }
@@ -307,7 +318,11 @@ mod tests {
         // independent cheap ops when possible.
         let src = "int g; int h; int z;\nint main() { int a; int b; a = g / h; b = z + 1; z = b; return a; }";
         let (_, new, _) = sched(src, "main", DepMode::GccOnly);
-        let div_pos = new.insns.iter().position(|i| matches!(i.op, Op::IBin(IBinOp::Div, ..))).unwrap();
+        let div_pos = new
+            .insns
+            .iter()
+            .position(|i| matches!(i.op, Op::IBin(IBinOp::Div, ..)))
+            .unwrap();
         // The divide's operand loads + divide itself should come early; at
         // minimum the schedule is legal and the divide is not last.
         assert!(div_pos + 2 < new.insns.len());

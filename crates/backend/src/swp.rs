@@ -54,7 +54,15 @@ pub struct SwpLatency {
 
 impl Default for SwpLatency {
     fn default() -> Self {
-        SwpLatency { load: 2, ialu: 1, imul: 6, idiv: 35, fadd: 2, fmul: 3, fdiv: 19 }
+        SwpLatency {
+            load: 2,
+            ialu: 1,
+            imul: 6,
+            idiv: 35,
+            fadd: 2,
+            fmul: 3,
+            fdiv: 19,
+        }
     }
 }
 
@@ -63,8 +71,9 @@ impl SwpLatency {
         match op {
             Op::Load(..) => self.load,
             Op::IBin(IBinOp::Mul, ..) | Op::IBinI(IBinOp::Mul, ..) => self.imul,
-            Op::IBin(IBinOp::Div | IBinOp::Rem, ..)
-            | Op::IBinI(IBinOp::Div | IBinOp::Rem, ..) => self.idiv,
+            Op::IBin(IBinOp::Div | IBinOp::Rem, ..) | Op::IBinI(IBinOp::Div | IBinOp::Rem, ..) => {
+                self.idiv
+            }
             Op::FBin(FBinOp::Add | FBinOp::Sub, ..) => self.fadd,
             Op::FBin(FBinOp::Mul, ..) => self.fmul,
             Op::FBin(FBinOp::Div, ..) => self.fdiv,
@@ -121,11 +130,7 @@ fn innermost_loops(f: &RtlFunc) -> Vec<(usize, usize)> {
     loops
         .iter()
         .copied()
-        .filter(|&(h, t)| {
-            !loops
-                .iter()
-                .any(|&(h2, t2)| (h2, t2) != (h, t) && h2 >= h && t2 <= t)
-        })
+        .filter(|&(h, t)| !loops.iter().any(|&(h2, t2)| (h2, t2) != (h, t) && h2 >= h && t2 <= t))
         .collect()
 }
 
@@ -195,12 +200,7 @@ fn estimate(
                     // previous iteration's value: a carried register edge.
                     if let Some(&d) = defs.get(&u) {
                         if d > k || (d == k && f.insns[idx].op.def() == Some(u)) {
-                            edges.push(Edge {
-                                from: d,
-                                to: k,
-                                latency: lat_of(d),
-                                distance: 1,
-                            });
+                            edges.push(Edge { from: d, to: k, latency: lat_of(d), distance: 1 });
                         }
                     }
                 }
@@ -426,8 +426,7 @@ mod tests {
                 let lat = SwpLatency::default();
                 let res = Resources::default();
                 let gcc = analyze_function(f, None, DepMode::GccOnly, &lat, &res);
-                let smart =
-                    analyze_function(f, Some((&q, &map)), DepMode::Combined, &lat, &res);
+                let smart = analyze_function(f, Some((&q, &map)), DepMode::Combined, &lat, &res);
                 for (g, h) in gcc.iter().zip(&smart) {
                     assert!(
                         h.rec_mii <= g.rec_mii,

@@ -65,6 +65,9 @@ pub fn unroll_function(
             Err(()) => skipped += 1,
         }
     }
+    let reg = hli_obs::metrics::cur();
+    reg.counter("backend.unroll.loops_unrolled").add(unrolled as u64);
+    reg.counter("backend.unroll.loops_skipped").add(skipped as u64);
     UnrollResult { func, unrolled, skipped }
 }
 
@@ -171,11 +174,19 @@ fn unroll_one(
     // Main unrolled loop: Label(l_cond); t = main_bound; branch out when
     // done — to the remainder loop when there is one, else straight out.
     let after_main = if r > 0 { l_pre_cond } else { meta.l_exit };
-    seq.push(Insn { id: func.insns[cond_at].id, line: cond_line, op: Op::Label(meta.l_cond) });
+    seq.push(Insn {
+        id: func.insns[cond_at].id,
+        line: cond_line,
+        op: Op::Label(meta.l_cond),
+    });
     {
         let t = func.num_regs;
         func.num_regs += 1;
-        seq.push(Insn { id: alloc.insn(), line: cond_line, op: Op::LiI(t, main_bound) });
+        seq.push(Insn {
+            id: alloc.insn(),
+            line: cond_line,
+            op: Op::LiI(t, main_bound),
+        });
         seq.push(Insn {
             id: alloc.insn(),
             line: cond_line,
@@ -208,7 +219,11 @@ fn unroll_one(
         seq.push(Insn { id: alloc.insn(), line: cond_line, op: Op::Label(l_pre_cond) });
         let t = func.num_regs;
         func.num_regs += 1;
-        seq.push(Insn { id: alloc.insn(), line: cond_line, op: Op::LiI(t, full_bound) });
+        seq.push(Insn {
+            id: alloc.insn(),
+            line: cond_line,
+            op: Op::LiI(t, full_bound),
+        });
         seq.push(Insn {
             id: alloc.insn(),
             line: cond_line,
@@ -228,7 +243,11 @@ fn unroll_one(
         seq.extend(clone_insns(&orig_step, &mut alloc, func));
         seq.push(Insn { id: alloc.insn(), line: cond_line, op: Op::Jump(l_pre_cond) });
     }
-    seq.push(Insn { id: func.insns[exit_at].id, line: func.insns[exit_at].line, op: Op::Label(meta.l_exit) });
+    seq.push(Insn {
+        id: func.insns[exit_at].id,
+        line: func.insns[exit_at].line,
+        op: Op::Label(meta.l_exit),
+    });
 
     // Splice: everything before l_cond + seq + everything after l_exit,
     // dropping the original cond/body/step instructions.
@@ -321,7 +340,8 @@ mod tests {
 
     #[test]
     fn too_short_loops_skip() {
-        let src = "int a[3];\nint main() {\n int i;\n for (i = 0; i < 3; i++) a[i] = i;\n return 0;\n}";
+        let src =
+            "int a[3];\nint main() {\n int i;\n for (i = 0; i < 3; i++) a[i] = i;\n return 0;\n}";
         let (r, _) = unrolled(src, "main", 4, false);
         assert_eq!(r.unrolled, 0);
         assert_eq!(r.skipped, 1);
@@ -388,7 +408,8 @@ mod tests {
 
     #[test]
     fn while_loops_are_not_candidates() {
-        let src = "int g;\nint main() {\n int i; i = 0;\n while (i < 8) { g += i; i++; }\n return g;\n}";
+        let src =
+            "int g;\nint main() {\n int i; i = 0;\n while (i < 8) { g += i; i++; }\n return g;\n}";
         let (p, s) = compile_to_ast(src).unwrap();
         let (prog, loops) = lower_with_loops(&p, &s);
         let f = prog.func("main").unwrap();

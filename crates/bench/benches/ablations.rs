@@ -7,52 +7,41 @@
 //! * front-end precision knobs (array analysis, pointer analysis) against
 //!   the Table-2 combined-yes count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hli_backend::cse::cse_function;
 use hli_backend::ddg::DepMode;
 use hli_backend::licm::licm_function;
 use hli_backend::mapping::map_function;
 use hli_backend::sched::{schedule_program, LatencyModel};
 use hli_backend::unroll::unroll_function;
+use hli_bench::bench;
 use hli_frontend::FrontendOptions;
 use hli_suite::Scale;
-use std::hint::black_box;
 
-fn bench_cse_refmod(c: &mut Criterion) {
+fn bench_cse_refmod() {
     let p = hli_bench::prepare("015.doduc", Scale::tiny());
     let f = p.rtl.func("main").unwrap();
-    let mut g = c.benchmark_group("ablations/cse");
-    g.bench_function("gcc-purge-all", |bench| {
-        bench.iter(|| black_box(cse_function(f, None, DepMode::GccOnly)))
+    bench("ablations/cse/gcc-purge-all", || {
+        cse_function(f, None, DepMode::GccOnly)
     });
-    g.bench_function("hli-refmod-purge", |bench| {
-        bench.iter(|| {
-            let mut entry = p.hli.entry("main").unwrap().clone();
-            let mut map = map_function(f, &entry);
-            black_box(cse_function(f, Some((&mut entry, &mut map)), DepMode::Combined))
-        })
+    bench("ablations/cse/hli-refmod-purge", || {
+        let mut entry = p.hli.entry("main").unwrap().clone();
+        let mut map = map_function(f, &entry);
+        cse_function(f, Some((&mut entry, &mut map)), DepMode::Combined)
     });
-    g.finish();
 }
 
-fn bench_licm(c: &mut Criterion) {
+fn bench_licm() {
     let p = hli_bench::prepare("101.tomcatv", Scale::tiny());
     let f = p.rtl.func("residuals").unwrap();
-    let mut g = c.benchmark_group("ablations/licm");
-    g.bench_function("gcc", |bench| {
-        bench.iter(|| black_box(licm_function(f, None, DepMode::GccOnly)))
+    bench("ablations/licm/gcc", || licm_function(f, None, DepMode::GccOnly));
+    bench("ablations/licm/hli", || {
+        let mut entry = p.hli.entry("residuals").unwrap().clone();
+        let mut map = map_function(f, &entry);
+        licm_function(f, Some((&mut entry, &mut map)), DepMode::Combined)
     });
-    g.bench_function("hli", |bench| {
-        bench.iter(|| {
-            let mut entry = p.hli.entry("residuals").unwrap().clone();
-            let mut map = map_function(f, &entry);
-            black_box(licm_function(f, Some((&mut entry, &mut map)), DepMode::Combined))
-        })
-    });
-    g.finish();
 }
 
-fn bench_unroll_factors(c: &mut Criterion) {
+fn bench_unroll_factors() {
     let b = hli_suite::by_name("034.mdljdp2", Scale::tiny()).unwrap();
     let (prog, sema) = hli_lang::compile_to_ast(&b.source).unwrap();
     let (rtl, loops) = hli_backend::lower::lower_with_loops(&prog, &sema);
@@ -60,20 +49,16 @@ fn bench_unroll_factors(c: &mut Criterion) {
     let f = rtl.func("init_md").unwrap();
     let metas = &loops["init_md"];
     assert!(!metas.is_empty(), "init_md has a constant-trip loop");
-    let mut g = c.benchmark_group("ablations/unroll");
     for factor in [2u32, 4, 8] {
-        g.bench_function(format!("factor-{factor}"), |bench| {
-            bench.iter(|| {
-                let mut entry = hli.entry("init_md").unwrap().clone();
-                let mut map = map_function(f, &entry);
-                black_box(unroll_function(f, metas, factor, Some((&mut entry, &mut map))))
-            })
+        bench(&format!("ablations/unroll/factor-{factor}"), || {
+            let mut entry = hli.entry("init_md").unwrap().clone();
+            let mut map = map_function(f, &entry);
+            unroll_function(f, metas, factor, Some((&mut entry, &mut map)))
         });
     }
-    g.finish();
 }
 
-fn bench_frontend_precision(c: &mut Criterion) {
+fn bench_frontend_precision() {
     let b = hli_suite::by_name("077.mdljsp2", Scale::tiny()).unwrap();
     let (prog, sema) = hli_lang::compile_to_ast(&b.source).unwrap();
     let rtl = hli_backend::lower::lower_program(&prog, &sema);
@@ -93,24 +78,19 @@ fn bench_frontend_precision(c: &mut Criterion) {
             FrontendOptions { refmod_analysis: false, ..Default::default() },
         ),
     ];
-    let mut g = c.benchmark_group("ablations/frontend-precision");
     for (label, opts) in variants {
-        g.bench_function(label, |bench| {
-            bench.iter(|| {
-                let hli = hli_frontend::generate_hli_with(&prog, &sema, opts);
-                let (_, stats) = schedule_program(&rtl, &hli, DepMode::Combined, &lat);
-                black_box(stats.combined_yes)
-            })
+        bench(&format!("ablations/frontend-precision/{label}"), || {
+            let hli = hli_frontend::generate_hli_with(&prog, &sema, opts);
+            let (_, stats) = schedule_program(&rtl, &hli, DepMode::Combined, &lat);
+            stats.combined_yes
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cse_refmod,
-    bench_licm,
-    bench_unroll_factors,
-    bench_frontend_precision
-);
-criterion_main!(benches);
+fn main() {
+    hli_bench::quiesce_observability();
+    bench_cse_refmod();
+    bench_licm();
+    bench_unroll_factors();
+    bench_frontend_precision();
+}

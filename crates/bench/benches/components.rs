@@ -1,37 +1,31 @@
 //! Component microbenches: every analysis and data-structure layer the
 //! pipeline is built from.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hli_analysis::affine::Affine;
 use hli_analysis::deptest::siv_test;
+use hli_bench::bench;
 use hli_core::query::HliQuery;
 use hli_suite::Scale;
 use std::hint::black_box;
 
-fn bench_parse_and_sema(c: &mut Criterion) {
+fn bench_parse_and_sema() {
     let b = hli_suite::by_name("141.apsi", Scale::tiny()).unwrap();
-    c.bench_function("components/parse", |bench| {
-        bench.iter(|| black_box(hli_lang::parse_program(&b.source).unwrap()))
-    });
+    bench("components/parse", || hli_lang::parse_program(&b.source).unwrap());
     let prog = hli_lang::parse_program(&b.source).unwrap();
-    c.bench_function("components/sema", |bench| {
-        bench.iter(|| black_box(hli_lang::analyze(&prog).unwrap()))
-    });
+    bench("components/sema", || hli_lang::analyze(&prog).unwrap());
 }
 
-fn bench_analyses(c: &mut Criterion) {
+fn bench_analyses() {
     let b = hli_suite::by_name("103.su2cor", Scale::tiny()).unwrap();
     let (prog, sema) = hli_lang::compile_to_ast(&b.source).unwrap();
-    c.bench_function("components/points-to", |bench| {
-        bench.iter(|| black_box(hli_analysis::pointsto::analyze(&prog, &sema)))
-    });
+    bench("components/points-to", || hli_analysis::pointsto::analyze(&prog, &sema));
     let pts = hli_analysis::pointsto::analyze(&prog, &sema);
-    c.bench_function("components/refmod", |bench| {
-        bench.iter(|| black_box(hli_analysis::refmod::analyze(&prog, &sema, &pts)))
+    bench("components/refmod", || {
+        hli_analysis::refmod::analyze(&prog, &sema, &pts)
     });
 }
 
-fn bench_deptest(c: &mut Criterion) {
+fn bench_deptest() {
     // Strong-SIV ladder on synthetic affine pairs.
     let pairs: Vec<(Affine, Affine)> = (0..64)
         .map(|k| {
@@ -40,57 +34,45 @@ fn bench_deptest(c: &mut Criterion) {
             (f, g)
         })
         .collect();
-    c.bench_function("components/siv-test-64-pairs", |bench| {
-        bench.iter(|| {
-            for (f, g) in &pairs {
-                black_box(siv_test(f, g, 0, Some(100)));
-            }
-        })
+    bench("components/siv-test-64-pairs", || {
+        for (f, g) in &pairs {
+            black_box(siv_test(f, g, 0, Some(100)));
+        }
     });
 }
 
-fn bench_query_throughput(c: &mut Criterion) {
+fn bench_query_throughput() {
     let p = hli_bench::prepare("102.swim", Scale::tiny());
-    let entry = p
-        .hli
-        .entries
-        .iter()
-        .max_by_key(|e| e.line_table.item_count())
-        .unwrap();
+    let entry = p.hli.entries.iter().max_by_key(|e| e.line_table.item_count()).unwrap();
     let items: Vec<_> = entry.line_table.items().map(|(_, it)| it.id).collect();
-    c.bench_function("components/query-index-build", |bench| {
-        bench.iter(|| black_box(HliQuery::new(entry)))
-    });
+    bench("components/query-index-build", || HliQuery::new(entry));
     let q = HliQuery::new(entry);
-    c.bench_function("components/get-equiv-acc-all-pairs", |bench| {
-        bench.iter(|| {
-            let mut yes = 0u32;
-            for (i, &a) in items.iter().enumerate() {
-                for &b in &items[i + 1..] {
-                    if q.get_equiv_acc(a, b).may_overlap() {
-                        yes += 1;
-                    }
+    bench("components/get-equiv-acc-all-pairs", || {
+        let mut yes = 0u32;
+        for (i, &a) in items.iter().enumerate() {
+            for &b in &items[i + 1..] {
+                if q.get_equiv_acc(a, b).may_overlap() {
+                    yes += 1;
                 }
             }
-            black_box(yes)
-        })
+        }
+        yes
     });
 }
 
-fn bench_lowering(c: &mut Criterion) {
+fn bench_lowering() {
     let b = hli_suite::by_name("015.doduc", Scale::tiny()).unwrap();
     let (prog, sema) = hli_lang::compile_to_ast(&b.source).unwrap();
-    c.bench_function("components/lowering", |bench| {
-        bench.iter(|| black_box(hli_backend::lower::lower_program(&prog, &sema)))
+    bench("components/lowering", || {
+        hli_backend::lower::lower_program(&prog, &sema)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_parse_and_sema,
-    bench_analyses,
-    bench_deptest,
-    bench_query_throughput,
-    bench_lowering
-);
-criterion_main!(benches);
+fn main() {
+    hli_bench::quiesce_observability();
+    bench_parse_and_sema();
+    bench_analyses();
+    bench_deptest();
+    bench_query_throughput();
+    bench_lowering();
+}

@@ -1,56 +1,45 @@
 //! Table 1 bench: the front-end cost of producing the HLI (generation and
 //! compact serialization) for representative int and fp benchmarks.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hli_bench::bench;
 use hli_core::serialize::{encode_file, SerializeOpts};
 use hli_suite::Scale;
-use std::hint::black_box;
 
-fn bench_hli_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1/hli-generation");
+fn bench_hli_generation() {
     for name in ["129.compress", "102.swim", "034.mdljdp2"] {
         let b = hli_suite::by_name(name, Scale::tiny()).unwrap();
         let (prog, sema) = hli_lang::compile_to_ast(&b.source).unwrap();
-        g.bench_function(name, |bench| {
-            bench.iter(|| black_box(hli_frontend::generate_hli(&prog, &sema)))
+        bench(&format!("table1/hli-generation/{name}"), || {
+            hli_frontend::generate_hli(&prog, &sema)
         });
     }
-    g.finish();
 }
 
-fn bench_serialization(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1/serialization");
+fn bench_serialization() {
     for name in ["102.swim", "141.apsi"] {
         let p = hli_bench::prepare(name, Scale::tiny());
-        g.bench_function(format!("{name}/encode"), |bench| {
-            bench.iter(|| black_box(encode_file(&p.hli, SerializeOpts::default())))
+        bench(&format!("table1/serialization/{name}/encode"), || {
+            encode_file(&p.hli, SerializeOpts::default())
         });
         let bytes = encode_file(&p.hli, SerializeOpts::default());
-        g.bench_function(format!("{name}/decode"), |bench| {
-            bench.iter(|| {
-                black_box(
-                    hli_core::serialize::decode_file(&bytes, SerializeOpts::default()).unwrap(),
-                )
-            })
+        bench(&format!("table1/serialization/{name}/decode"), || {
+            hli_core::serialize::decode_file(&bytes, SerializeOpts::default()).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_full_frontend(c: &mut Criterion) {
+fn bench_full_frontend() {
     let b = hli_suite::by_name("101.tomcatv", Scale::tiny()).unwrap();
-    c.bench_function("table1/source-to-hli-bytes", |bench| {
-        bench.iter_batched(
-            || b.source.clone(),
-            |src| {
-                let (prog, sema) = hli_lang::compile_to_ast(&src).unwrap();
-                let hli = hli_frontend::generate_hli(&prog, &sema);
-                black_box(encode_file(&hli, SerializeOpts::default()).len())
-            },
-            BatchSize::SmallInput,
-        )
+    bench("table1/source-to-hli-bytes", || {
+        let (prog, sema) = hli_lang::compile_to_ast(&b.source).unwrap();
+        let hli = hli_frontend::generate_hli(&prog, &sema);
+        encode_file(&hli, SerializeOpts::default()).len()
     });
 }
 
-criterion_group!(benches, bench_hli_generation, bench_serialization, bench_full_frontend);
-criterion_main!(benches);
+fn main() {
+    hli_bench::quiesce_observability();
+    bench_hli_generation();
+    bench_serialization();
+    bench_full_frontend();
+}

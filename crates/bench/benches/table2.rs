@@ -3,57 +3,54 @@
 //! scheduling — compared with GCC-only vs Combined (Figure 5) gating, plus
 //! machine-model replay throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hli_backend::ddg::DepMode;
 use hli_backend::sched::{schedule_program, LatencyModel};
+use hli_bench::bench;
 use hli_machine::{r10000_cycles, r4600_cycles, R10000Config, R4600Config};
 use hli_suite::Scale;
-use std::hint::black_box;
 
-fn bench_schedule_modes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2/schedule");
+fn bench_schedule_modes() {
     for name in ["034.mdljdp2", "102.swim"] {
         let p = hli_bench::prepare(name, Scale::tiny());
         let lat = LatencyModel::default();
         for (label, mode) in [("gcc", DepMode::GccOnly), ("combined", DepMode::Combined)] {
-            g.bench_function(format!("{name}/{label}"), |bench| {
-                bench.iter(|| black_box(schedule_program(&p.rtl, &p.hli, mode, &lat)))
+            bench(&format!("table2/schedule/{name}/{label}"), || {
+                schedule_program(&p.rtl, &p.hli, mode, &lat)
             });
         }
     }
-    g.finish();
 }
 
-fn bench_mapping(c: &mut Criterion) {
+fn bench_mapping() {
     let p = hli_bench::prepare("102.swim", Scale::tiny());
-    c.bench_function("table2/map-all-functions", |bench| {
-        bench.iter(|| {
-            for f in &p.rtl.funcs {
-                if let Some(e) = p.hli.entry(&f.name) {
-                    black_box(hli_backend::mapping::map_function(f, e));
-                }
+    bench("table2/map-all-functions", || {
+        for f in &p.rtl.funcs {
+            if let Some(e) = p.hli.entry(&f.name) {
+                std::hint::black_box(hli_backend::mapping::map_function(f, e));
             }
-        })
+        }
     });
 }
 
-fn bench_machines(c: &mut Criterion) {
+fn bench_machines() {
     let p = hli_bench::prepare("129.compress", Scale::tiny());
     let (sched, _) = schedule_program(&p.rtl, &p.hli, DepMode::Combined, &LatencyModel::default());
     let (_, trace) = hli_machine::execute_with_trace(&sched).unwrap();
-    let mut g = c.benchmark_group("table2/machines");
-    g.throughput(criterion::Throughput::Elements(trace.len() as u64));
-    g.bench_function("r4600-replay", |bench| {
-        bench.iter(|| black_box(r4600_cycles(&trace, &R4600Config::default())))
+    println!("table2/machines: replaying {} dynamic insns", trace.len());
+    bench("table2/machines/r4600-replay", || {
+        r4600_cycles(&trace, &R4600Config::default())
     });
-    g.bench_function("r10000-replay", |bench| {
-        bench.iter(|| black_box(r10000_cycles(&trace, &R10000Config::default())))
+    bench("table2/machines/r10000-replay", || {
+        r10000_cycles(&trace, &R10000Config::default())
     });
-    g.bench_function("functional-execute", |bench| {
-        bench.iter(|| black_box(hli_machine::execute(&sched).unwrap()))
+    bench("table2/machines/functional-execute", || {
+        hli_machine::execute(&sched).unwrap()
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_schedule_modes, bench_mapping, bench_machines);
-criterion_main!(benches);
+fn main() {
+    hli_bench::quiesce_observability();
+    bench_schedule_modes();
+    bench_mapping();
+    bench_machines();
+}

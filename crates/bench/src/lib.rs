@@ -1,7 +1,7 @@
-//! # hli-bench — Criterion benchmarks
+//! # hli-bench — timing harness benchmarks
 //!
 //! One bench target per paper table plus component microbenches and
-//! ablations:
+//! ablations (all plain `fn main()` programs, `harness = false`):
 //!
 //! * `table1` — HLI generation + serialization cost per benchmark (the
 //!   front-end overhead behind Table 1's sizes);
@@ -12,12 +12,16 @@
 //! * `ablations` — CSE with/without REF/MOD, LICM with/without HLI,
 //!   unrolling factors with HLI maintenance, front-end precision knobs.
 //!
-//! The shared helpers here keep the bench targets small.
+//! The shared helpers here keep the bench targets small: [`prepare`] does
+//! the common front-end work, [`bench`] is a self-calibrating wall-clock
+//! timer (run with `cargo bench`; results print as ns/iter).
 
 use hli_backend::rtl::RtlProgram;
 use hli_core::HliFile;
 use hli_lang::ast::Program;
 use hli_lang::sema::Sema;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 /// A fully front-ended benchmark ready for back-end work.
 pub struct Prepared {
@@ -35,4 +39,45 @@ pub fn prepare(name: &'static str, scale: hli_suite::Scale) -> Prepared {
     let hli = hli_frontend::generate_hli(&prog, &sema);
     let rtl = hli_backend::lower::lower_program(&prog, &sema);
     Prepared { name, prog, sema, hli, rtl }
+}
+
+/// Mute the observability layer for timing runs: spans and ring events
+/// off, so benches measure the pipeline, not the instrumentation.
+pub fn quiesce_observability() {
+    hli_obs::trace::global().set_enabled(false);
+    hli_obs::ring::global().set_enabled(false);
+}
+
+/// Minimum measurement window per bench.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// Time `f` until the window fills (with warmup) and print one
+/// `name  ns/iter` line. Dependency-free stand-in for a bench harness.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let start = Instant::now();
+    let mut iters: u64 = 0;
+    while iters < 5 || (start.elapsed() < TARGET && iters < 1_000_000) {
+        black_box(f());
+        iters += 1;
+    }
+    let per = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<48} {per:>14.0} ns/iter   ({iters} iters)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_at_least_five_iters() {
+        let mut n = 0u64;
+        bench("test/no-op", || {
+            n += 1;
+            n
+        });
+        assert!(n >= 5);
+    }
 }

@@ -1,18 +1,17 @@
 //! Identifier newtypes for the HLI tables.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an *item* — a memory access or call in the line table, or
 /// an equivalent access class (the paper gives classes IDs from the same
 /// space so class members can refer to sub-region classes uniformly).
 /// Unique within one program unit (one [`crate::tables::HliEntry`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ItemId(pub u32);
 
 /// Identifier of a region within a program unit. Region 0 is always the
 /// program unit itself.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegionId(pub u32);
 
 impl fmt::Display for ItemId {

@@ -43,6 +43,7 @@ fn err<T>(msg: impl Into<String>) -> Result<T, MaintainError> {
 /// become empty are removed, and every table referencing them is cleaned,
 /// cascading upward through enclosing regions.
 pub fn delete_item(e: &mut HliEntry, id: ItemId) -> Result<(), MaintainError> {
+    hli_obs::metrics::cur().counter("hli.maintain.delete_item").inc();
     if !e.line_table.remove_item(id) {
         return err(format!("item {id} not in line table"));
     }
@@ -71,17 +72,14 @@ pub fn gen_item_like(
     line: u32,
     ty: ItemType,
 ) -> Result<ItemId, MaintainError> {
+    hli_obs::metrics::cur().counter("hli.maintain.gen_item").inc();
     let Some(region) = e.owning_region(proto) else {
         return err(format!("prototype {proto} has no owning class"));
     };
     let class = class_of_direct_item(e, region, proto).expect("owning class");
     let id = e.fresh_id();
     e.line_table.push_item(line, ItemEntry { id, ty });
-    e.region_mut(region)
-        .class_mut(class)
-        .unwrap()
-        .members
-        .push(MemberRef::Item(id));
+    e.region_mut(region).class_mut(class).unwrap().members.push(MemberRef::Item(id));
     Ok(id)
 }
 
@@ -94,6 +92,7 @@ pub fn move_item_to_region(
     target: RegionId,
     new_line: u32,
 ) -> Result<(), MaintainError> {
+    hli_obs::metrics::cur().counter("hli.maintain.move_item").inc();
     let Some(cur) = e.owning_region(id) else {
         return err(format!("item {id} has no owning class"));
     };
@@ -155,6 +154,7 @@ pub fn unroll_loop(
     factor: u32,
     make_precond: bool,
 ) -> Result<UnrollMaps, MaintainError> {
+    hli_obs::metrics::cur().counter("hli.maintain.unroll_loop").inc();
     if factor < 2 {
         return err("unroll factor must be at least 2");
     }
@@ -511,11 +511,7 @@ mod tests {
             delete_item(&mut e, ItemId(id)).unwrap();
         }
         assert!(e.validate().is_empty(), "{:?}", e.validate());
-        assert!(e
-            .region(UNIT_REGION)
-            .equiv_classes
-            .iter()
-            .all(|c| c.name_hint != "sum"));
+        assert!(e.region(UNIT_REGION).equiv_classes.iter().all(|c| c.name_hint != "sum"));
     }
 
     #[test]
@@ -612,9 +608,7 @@ mod tests {
         // d=1, u=4: k=0,1,2 give distance 0 (alias); k=3 gives distance 1.
         assert_eq!(r.lcdd_table.len(), 1);
         assert_eq!(r.lcdd_table[0].distance, Distance::Const(1));
-        assert!(
-            r.alias_table.iter().filter(|a| a.classes.len() == 2).count() >= 3
-        );
+        assert!(r.alias_table.iter().filter(|a| a.classes.len() == 2).count() >= 3);
     }
 
     #[test]

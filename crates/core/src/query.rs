@@ -27,6 +27,7 @@
 
 use crate::ids::{ItemId, RegionId, UNIT_REGION};
 use crate::tables::*;
+use hli_obs::Counter;
 use std::collections::{HashMap, HashSet};
 
 /// Answer of an equivalent-access query.
@@ -102,8 +103,35 @@ pub struct HliQuery<'a> {
     owner: HashMap<ItemId, RegionId>,
     /// Item → (line, type).
     item_info: HashMap<ItemId, (u32, ItemType)>,
-    /// Call item → innermost region whose scope covers its line.
+    /// Call item → its direct region: the one whose call REF/MOD table
+    /// names it as an `Item`, falling back to innermost line scope for
+    /// calls named by no table (hand-built entries).
     call_region: HashMap<ItemId, RegionId>,
+    /// Per-query call counters (`hli.query.*`), resolved once at index
+    /// construction so each query pays one relaxed atomic add.
+    counters: QueryCounters,
+}
+
+/// Cached `hli.query.*` counter handles, one per basic query function.
+struct QueryCounters {
+    equiv_acc: Counter,
+    alias: Counter,
+    lcdd: Counter,
+    call_acc: Counter,
+    region_info: Counter,
+}
+
+impl QueryCounters {
+    fn new() -> Self {
+        let r = hli_obs::metrics::cur();
+        QueryCounters {
+            equiv_acc: r.counter("hli.query.get_equiv_acc"),
+            alias: r.counter("hli.query.get_alias"),
+            lcdd: r.counter("hli.query.get_lcdd"),
+            call_acc: r.counter("hli.query.get_call_acc"),
+            region_info: r.counter("hli.query.region_info"),
+        }
+    }
 }
 
 impl<'a> HliQuery<'a> {
@@ -143,23 +171,49 @@ impl<'a> HliQuery<'a> {
             for a in &r.alias_table {
                 for i in 0..a.classes.len() {
                     for j in i + 1..a.classes.len() {
-                        let (x, y) = (a.classes[i].min(a.classes[j]), a.classes[i].max(a.classes[j]));
+                        let (x, y) =
+                            (a.classes[i].min(a.classes[j]), a.classes[i].max(a.classes[j]));
                         alias_pairs[idx].insert((x, y));
                     }
                 }
             }
         }
 
-        let mut item_info = HashMap::new();
+        // A call belongs to the region whose REF/MOD table names it as a
+        // direct `CallRef::Item`. Deriving this from the call's source line
+        // instead is wrong: one line can span several regions (a loop body
+        // plus the statements after the closing brace), and a misattributed
+        // call makes the LCA walk in `get_call_acc` match another call's
+        // SubRegion summary — answering `None` for locations the call does
+        // modify.
         let mut call_region = HashMap::new();
+        for r in &entry.regions {
+            for crm in &r.call_refmod {
+                if let CallRef::Item(it) = crm.callee {
+                    call_region.entry(it).or_insert(r.id);
+                }
+            }
+        }
+        let mut item_info = HashMap::new();
         for (line, it) in entry.line_table.items() {
             item_info.insert(it.id, (line, it.ty));
             if it.ty == ItemType::Call {
-                call_region.insert(it.id, innermost_region_by_line(entry, line));
+                call_region
+                    .entry(it.id)
+                    .or_insert_with(|| innermost_region_by_line(entry, line));
             }
         }
 
-        HliQuery { entry, class_at, class_kind, alias_pairs, owner, item_info, call_region }
+        HliQuery {
+            entry,
+            class_at,
+            class_kind,
+            alias_pairs,
+            owner,
+            item_info,
+            call_region,
+            counters: QueryCounters::new(),
+        }
     }
 
     /// The entry this index serves.
@@ -169,16 +223,15 @@ impl<'a> HliQuery<'a> {
 
     /// Basic query 5a: region metadata.
     pub fn region_info(&self, r: RegionId) -> &'a Region {
+        self.counters.region_info.inc();
         self.entry.region(r)
     }
 
     /// Basic query 5b: the innermost region owning an item (for call items,
     /// the innermost region whose scope covers the call's line).
     pub fn region_of_item(&self, item: ItemId) -> Option<RegionId> {
-        self.owner
-            .get(&item)
-            .or_else(|| self.call_region.get(&item))
-            .copied()
+        self.counters.region_info.inc();
+        self.owner.get(&item).or_else(|| self.call_region.get(&item)).copied()
     }
 
     /// Line and access type of an item.
@@ -194,6 +247,7 @@ impl<'a> HliQuery<'a> {
     /// Basic query 1 (`HLI_GetEquivAcc`): may two memory items touch the
     /// same location within a single iteration of every enclosing loop?
     pub fn get_equiv_acc(&self, a: ItemId, b: ItemId) -> EquivAcc {
+        self.counters.equiv_acc.inc();
         if a == b {
             return EquivAcc::Definite;
         }
@@ -220,6 +274,7 @@ impl<'a> HliQuery<'a> {
 
     /// Basic query 2: are two classes of `region` listed as aliased?
     pub fn get_alias(&self, region: RegionId, ca: ItemId, cb: ItemId) -> bool {
+        self.counters.alias.inc();
         let key = (ca.min(cb), ca.max(cb));
         self.alias_pairs[region.0 as usize].contains(&key)
     }
@@ -228,6 +283,7 @@ impl<'a> HliQuery<'a> {
     /// respect to the innermost loop enclosing both. Returns `None` when
     /// the table has no arc between their classes.
     pub fn get_lcdd(&self, a: ItemId, b: ItemId) -> Option<LcddAnswer> {
+        self.counters.lcdd.inc();
         let (&ra, &rb) = (self.owner.get(&a)?, self.owner.get(&b)?);
         let lca = self.entry.region_lca(ra, rb);
         self.get_lcdd_at(lca, a, b)
@@ -251,6 +307,7 @@ impl<'a> HliQuery<'a> {
     /// Basic query 4 (`HLI_GetCallAcc`): how does `call` affect the memory
     /// accessed by `mem`?
     pub fn get_call_acc(&self, mem: ItemId, call: ItemId) -> CallAcc {
+        self.counters.call_acc.inc();
         let Some(&rmem) = self.owner.get(&mem) else { return CallAcc::Unknown };
         let Some(&rcall) = self.call_region.get(&call) else { return CallAcc::Unknown };
         let lca = self.entry.region_lca(rmem, rcall);
@@ -269,10 +326,8 @@ impl<'a> HliQuery<'a> {
                 let pos = call_path.iter().position(|&r| r == cur).expect("on path");
                 CallRef::SubRegion(call_path[pos + 1])
             };
-            if let Some(entry) = self.entry.regions[l]
-                .call_refmod
-                .iter()
-                .find(|c| c.callee == callee_ref)
+            if let Some(entry) =
+                self.entry.regions[l].call_refmod.iter().find(|c| c.callee == callee_ref)
             {
                 let Some(&cmem) = self.class_at[l].get(&mem) else {
                     return CallAcc::Unknown;

@@ -6,10 +6,13 @@
 //! are LEB128 varints; enums are single bytes. Debug name hints are
 //! excluded unless [`SerializeOpts::include_names`] is set (the harness
 //! measures the compact form).
+//!
+//! Byte sizes crossing this boundary are mirrored into the metrics
+//! registry (`hli.serialize.bytes` / `hli.deserialize.bytes`), making the
+//! paper's §4 HLI-size claim a measured metric.
 
 use crate::ids::{ItemId, RegionId};
 use crate::tables::*;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// Magic number of an HLI file: "HLI" + version 1.
@@ -34,26 +37,40 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+fn count_encoded(n: usize) {
+    let r = hli_obs::metrics::cur();
+    r.counter("hli.serialize.bytes").add(n as u64);
+    r.counter("hli.serialize.calls").inc();
+}
+
+fn count_decoded(n: usize) {
+    let r = hli_obs::metrics::cur();
+    r.counter("hli.deserialize.bytes").add(n as u64);
+    r.counter("hli.deserialize.calls").inc();
+}
+
 /// Serialize a whole HLI file.
-pub fn encode_file(file: &HliFile, opts: SerializeOpts) -> Bytes {
-    let mut b = BytesMut::new();
-    b.put_slice(&MAGIC);
+pub fn encode_file(file: &HliFile, opts: SerializeOpts) -> Vec<u8> {
+    let mut b = Vec::new();
+    b.extend_from_slice(&MAGIC);
     put_varint(&mut b, file.entries.len() as u64);
     for e in &file.entries {
         encode_entry_into(e, opts, &mut b);
     }
-    b.freeze()
+    count_encoded(b.len());
+    b
 }
 
 /// Serialize one program unit's entry (the on-demand per-function unit the
 /// back-end reads, Section 3.2.1).
-pub fn encode_entry(e: &HliEntry, opts: SerializeOpts) -> Bytes {
-    let mut b = BytesMut::new();
+pub fn encode_entry(e: &HliEntry, opts: SerializeOpts) -> Vec<u8> {
+    let mut b = Vec::new();
     encode_entry_into(e, opts, &mut b);
-    b.freeze()
+    count_encoded(b.len());
+    b
 }
 
-fn encode_entry_into(e: &HliEntry, opts: SerializeOpts, b: &mut BytesMut) {
+fn encode_entry_into(e: &HliEntry, opts: SerializeOpts, b: &mut Vec<u8>) {
     put_str(b, &e.unit_name);
     put_varint(b, e.next_id as u64);
     // Line table.
@@ -63,7 +80,7 @@ fn encode_entry_into(e: &HliEntry, opts: SerializeOpts, b: &mut BytesMut) {
         put_varint(b, l.items.len() as u64);
         for it in &l.items {
             put_varint(b, it.id.0 as u64);
-            b.put_u8(match it.ty {
+            b.push(match it.ty {
                 ItemType::Load => 0,
                 ItemType::Store => 1,
                 ItemType::Call => 2,
@@ -75,9 +92,9 @@ fn encode_entry_into(e: &HliEntry, opts: SerializeOpts, b: &mut BytesMut) {
     for r in &e.regions {
         put_varint(b, r.id.0 as u64);
         match r.kind {
-            RegionKind::Unit => b.put_u8(0),
+            RegionKind::Unit => b.push(0),
             RegionKind::Loop { header_line } => {
-                b.put_u8(1);
+                b.push(1);
                 put_varint(b, header_line as u64);
             }
         }
@@ -92,7 +109,7 @@ fn encode_entry_into(e: &HliEntry, opts: SerializeOpts, b: &mut BytesMut) {
         put_varint(b, r.equiv_classes.len() as u64);
         for c in &r.equiv_classes {
             put_varint(b, c.id.0 as u64);
-            b.put_u8(match c.kind {
+            b.push(match c.kind {
                 EquivKind::Definite => 0,
                 EquivKind::Maybe => 1,
             });
@@ -103,11 +120,11 @@ fn encode_entry_into(e: &HliEntry, opts: SerializeOpts, b: &mut BytesMut) {
             for m in &c.members {
                 match m {
                     MemberRef::Item(it) => {
-                        b.put_u8(0);
+                        b.push(0);
                         put_varint(b, it.0 as u64);
                     }
                     MemberRef::SubClass { region, class } => {
-                        b.put_u8(1);
+                        b.push(1);
                         put_varint(b, region.0 as u64);
                         put_varint(b, class.0 as u64);
                     }
@@ -127,16 +144,16 @@ fn encode_entry_into(e: &HliEntry, opts: SerializeOpts, b: &mut BytesMut) {
         for d in &r.lcdd_table {
             put_varint(b, d.src.0 as u64);
             put_varint(b, d.dst.0 as u64);
-            b.put_u8(match d.kind {
+            b.push(match d.kind {
                 DepKind::Definite => 0,
                 DepKind::Maybe => 1,
             });
             match d.distance {
                 Distance::Const(k) => {
-                    b.put_u8(0);
+                    b.push(0);
                     put_varint(b, k as u64);
                 }
-                Distance::Unknown => b.put_u8(1),
+                Distance::Unknown => b.push(1),
             }
         }
         // Call REF/MOD table.
@@ -144,11 +161,11 @@ fn encode_entry_into(e: &HliEntry, opts: SerializeOpts, b: &mut BytesMut) {
         for crm in &r.call_refmod {
             match crm.callee {
                 CallRef::Item(it) => {
-                    b.put_u8(0);
+                    b.push(0);
                     put_varint(b, it.0 as u64);
                 }
                 CallRef::SubRegion(s) => {
-                    b.put_u8(1);
+                    b.push(1);
                     put_varint(b, s.0 as u64);
                 }
             }
@@ -165,13 +182,15 @@ fn encode_entry_into(e: &HliEntry, opts: SerializeOpts, b: &mut BytesMut) {
 }
 
 /// Deserialize a whole HLI file.
-pub fn decode_file(mut buf: &[u8], opts: SerializeOpts) -> Result<HliFile, DecodeError> {
+pub fn decode_file(buf: &[u8], opts: SerializeOpts) -> Result<HliFile, DecodeError> {
+    let total = buf.len();
+    let mut buf = buf;
     let b = &mut buf;
-    let mut magic = [0u8; 4];
-    if b.remaining() < 4 {
+    if b.len() < 4 {
         return Err(DecodeError("truncated header".into()));
     }
-    b.copy_to_slice(&mut magic);
+    let magic: [u8; 4] = b[..4].try_into().unwrap();
+    *b = &b[4..];
     if magic != MAGIC {
         return Err(DecodeError("bad magic".into()));
     }
@@ -180,6 +199,7 @@ pub fn decode_file(mut buf: &[u8], opts: SerializeOpts) -> Result<HliFile, Decod
     for _ in 0..n {
         entries.push(decode_entry(b, opts)?);
     }
+    count_decoded(total);
     Ok(HliFile { entries })
 }
 
@@ -214,7 +234,11 @@ fn decode_entry(b: &mut &[u8], opts: SerializeOpts) -> Result<HliEntry, DecodeEr
             x => return Err(DecodeError(format!("bad region kind {x}"))),
         };
         let praw = get_varint(b)?;
-        let parent = if praw == 0 { None } else { Some(RegionId((praw - 1) as u32)) };
+        let parent = if praw == 0 {
+            None
+        } else {
+            Some(RegionId((praw - 1) as u32))
+        };
         let nsub = get_varint(b)? as usize;
         let mut subregions = Vec::with_capacity(nsub.min(4096));
         for _ in 0..nsub {
@@ -230,7 +254,11 @@ fn decode_entry(b: &mut &[u8], opts: SerializeOpts) -> Result<HliEntry, DecodeEr
                 1 => EquivKind::Maybe,
                 x => return Err(DecodeError(format!("bad equiv kind {x}"))),
             };
-            let name_hint = if opts.include_names { get_str(b)? } else { String::new() };
+            let name_hint = if opts.include_names {
+                get_str(b)?
+            } else {
+                String::new()
+            };
             let nm = get_varint(b)? as usize;
             let mut members = Vec::with_capacity(nm.min(4096));
             for _ in 0..nm {
@@ -315,22 +343,22 @@ fn decode_entry(b: &mut &[u8], opts: SerializeOpts) -> Result<HliEntry, DecodeEr
 /// [`encode_file_indexed`] prepends a directory of (unit name, byte offset,
 /// length); [`IndexedReader`] then decodes exactly one entry per request.
 pub struct IndexedReader {
-    data: Bytes,
+    data: Vec<u8>,
     directory: Vec<(String, usize, usize)>,
     opts: SerializeOpts,
 }
 
 /// Encode with a leading directory for random access.
-pub fn encode_file_indexed(file: &HliFile, opts: SerializeOpts) -> Bytes {
+pub fn encode_file_indexed(file: &HliFile, opts: SerializeOpts) -> Vec<u8> {
     // Encode entries first to learn their extents.
-    let mut bodies: Vec<(String, BytesMut)> = Vec::with_capacity(file.entries.len());
+    let mut bodies: Vec<(String, Vec<u8>)> = Vec::with_capacity(file.entries.len());
     for e in &file.entries {
-        let mut b = BytesMut::new();
+        let mut b = Vec::new();
         encode_entry_into(e, opts, &mut b);
         bodies.push((e.unit_name.clone(), b));
     }
-    let mut out = BytesMut::new();
-    out.put_slice(b"HLIX");
+    let mut out = Vec::new();
+    out.extend_from_slice(b"HLIX");
     put_varint(&mut out, bodies.len() as u64);
     // Directory: name, length (offsets are implied by order).
     for (name, body) in &bodies {
@@ -338,21 +366,22 @@ pub fn encode_file_indexed(file: &HliFile, opts: SerializeOpts) -> Bytes {
         put_varint(&mut out, body.len() as u64);
     }
     for (_, body) in &bodies {
-        out.put_slice(body);
+        out.extend_from_slice(body);
     }
-    out.freeze()
+    count_encoded(out.len());
+    out
 }
 
 impl IndexedReader {
     /// Open an indexed HLI image, parsing only the directory.
-    pub fn open(data: Bytes, opts: SerializeOpts) -> Result<Self, DecodeError> {
+    pub fn open(data: Vec<u8>, opts: SerializeOpts) -> Result<Self, DecodeError> {
         let mut buf = &data[..];
         let b = &mut buf;
-        if b.remaining() < 4 {
+        if b.len() < 4 {
             return Err(DecodeError("truncated header".into()));
         }
-        let mut magic = [0u8; 4];
-        b.copy_to_slice(&mut magic);
+        let magic: [u8; 4] = b[..4].try_into().unwrap();
+        *b = &b[4..];
         if &magic != b"HLIX" {
             return Err(DecodeError("bad indexed magic".into()));
         }
@@ -363,7 +392,7 @@ impl IndexedReader {
             let len = get_varint(b)? as usize;
             lens.push((name, len));
         }
-        let mut offset = data.len() - b.remaining();
+        let mut offset = data.len() - b.len();
         let mut directory = Vec::with_capacity(lens.len());
         for (name, len) in lens {
             if offset + len > data.len() {
@@ -398,19 +427,20 @@ impl IndexedReader {
         if !slice.is_empty() {
             return Err(DecodeError(format!("trailing bytes after `{unit}`")));
         }
+        count_decoded(*len);
         Ok(Some(entry))
     }
 }
 
-fn put_varint(b: &mut BytesMut, mut v: u64) {
+fn put_varint(b: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            b.put_u8(byte);
+            b.push(byte);
             return;
         }
-        b.put_u8(byte | 0x80);
+        b.push(byte | 0x80);
     }
 }
 
@@ -431,24 +461,26 @@ fn get_varint(b: &mut &[u8]) -> Result<u64, DecodeError> {
 }
 
 fn get_u8(b: &mut &[u8]) -> Result<u8, DecodeError> {
-    if b.remaining() < 1 {
-        return Err(DecodeError("unexpected end of input".into()));
-    }
-    Ok(b.get_u8())
+    let (&first, rest) =
+        b.split_first().ok_or_else(|| DecodeError("unexpected end of input".into()))?;
+    *b = rest;
+    Ok(first)
 }
 
-fn put_str(b: &mut BytesMut, s: &str) {
+fn put_str(b: &mut Vec<u8>, s: &str) {
     put_varint(b, s.len() as u64);
-    b.put_slice(s.as_bytes());
+    b.extend_from_slice(s.as_bytes());
 }
 
 fn get_str(b: &mut &[u8]) -> Result<String, DecodeError> {
     let len = get_varint(b)? as usize;
-    if b.remaining() < len {
+    if b.len() < len {
         return Err(DecodeError("truncated string".into()));
     }
-    let bytes = b.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec()).map_err(|e| DecodeError(format!("bad utf8: {e}")))
+    let (head, rest) = b.split_at(len);
+    let s = String::from_utf8(head.to_vec()).map_err(|e| DecodeError(format!("bad utf8: {e}")))?;
+    *b = rest;
+    Ok(s)
 }
 
 #[cfg(test)]
@@ -520,7 +552,7 @@ mod tests {
     #[test]
     fn varint_roundtrip_extremes() {
         for v in [0u64, 1, 127, 128, 300, 1 << 20, u32::MAX as u64, u64::MAX] {
-            let mut b = BytesMut::new();
+            let mut b = Vec::new();
             put_varint(&mut b, v);
             let mut s = &b[..];
             assert_eq!(get_varint(&mut s).unwrap(), v);
@@ -557,10 +589,10 @@ mod tests {
     fn indexed_reader_rejects_corruption() {
         let file = HliFile { entries: vec![figure2_like()] };
         let bytes = encode_file_indexed(&file, SerializeOpts::default());
-        assert!(IndexedReader::open(Bytes::from_static(b"NOPE"), SerializeOpts::default()).is_err());
+        assert!(IndexedReader::open(b"NOPE".to_vec(), SerializeOpts::default()).is_err());
         // Truncations fail at open or at read, never panic.
         for cut in 0..bytes.len() {
-            let slice = bytes.slice(0..cut);
+            let slice = bytes[..cut].to_vec();
             if let Ok(r) = IndexedReader::open(slice, SerializeOpts::default()) {
                 let _ = r.read("foo");
             }
@@ -574,5 +606,19 @@ mod tests {
         let e = figure2_like();
         let bytes = encode_entry(&e, SerializeOpts::default());
         assert!(bytes.len() < 400, "compact entry is {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn serialize_sizes_are_metered() {
+        let reg = std::sync::Arc::new(hli_obs::MetricsRegistry::new());
+        let _g = hli_obs::metrics::scoped(reg.clone());
+        let file = HliFile { entries: vec![figure2_like()] };
+        let bytes = encode_file(&file, SerializeOpts::default());
+        decode_file(&bytes, SerializeOpts::default()).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("hli.serialize.bytes"), bytes.len() as u64);
+        assert_eq!(snap.counter("hli.deserialize.bytes"), bytes.len() as u64);
+        assert_eq!(snap.counter("hli.serialize.calls"), 1);
+        assert_eq!(snap.counter("hli.deserialize.calls"), 1);
     }
 }

@@ -2,11 +2,10 @@
 //! sub-tables (Section 2 of the paper), plus structural validation.
 
 use crate::ids::{ItemId, RegionId, UNIT_REGION};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Access type of an item (the line-table `type` field).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ItemType {
     Load,
     Store,
@@ -14,7 +13,7 @@ pub enum ItemType {
 }
 
 /// One item in a line's item list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ItemEntry {
     pub id: ItemId,
     pub ty: ItemType,
@@ -22,14 +21,14 @@ pub struct ItemEntry {
 
 /// One line's entry: the items generated for that source line, **in
 /// back-end emission order** (this order is the whole mapping contract).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LineEntry {
     pub line: u32,
     pub items: Vec<ItemEntry>,
 }
 
 /// The line table of a program unit.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LineTable {
     /// Sorted by `line`.
     pub lines: Vec<LineEntry>,
@@ -38,16 +37,11 @@ pub struct LineTable {
 impl LineTable {
     /// All items in line order then intra-line order.
     pub fn items(&self) -> impl Iterator<Item = (u32, ItemEntry)> + '_ {
-        self.lines
-            .iter()
-            .flat_map(|l| l.items.iter().map(move |it| (l.line, *it)))
+        self.lines.iter().flat_map(|l| l.items.iter().map(move |it| (l.line, *it)))
     }
 
     pub fn entry(&self, line: u32) -> Option<&LineEntry> {
-        self.lines
-            .binary_search_by_key(&line, |l| l.line)
-            .ok()
-            .map(|i| &self.lines[i])
+        self.lines.binary_search_by_key(&line, |l| l.line).ok().map(|i| &self.lines[i])
     }
 
     /// Append an item to a line, creating the line entry if needed,
@@ -81,7 +75,7 @@ impl LineTable {
 }
 
 /// What a region is (region-header `type` field).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RegionKind {
     /// The whole program unit (always region 0).
     Unit,
@@ -90,7 +84,7 @@ pub enum RegionKind {
 }
 
 /// Is a class's membership definitely-equivalent or merged ("maybe")?
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EquivKind {
     Definite,
     Maybe,
@@ -99,7 +93,7 @@ pub enum EquivKind {
 /// A member of an equivalent access class: either an item directly enclosed
 /// by the region (not inside any sub-region), or a whole class of an
 /// immediate sub-region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemberRef {
     Item(ItemId),
     SubClass { region: RegionId, class: ItemId },
@@ -108,7 +102,7 @@ pub enum MemberRef {
 /// An equivalent access class. Class IDs share the item ID space (the paper:
 /// *"Each equivalent access class has a unique item ID"*), so an item may
 /// also "represent an equivalent access class or a whole region".
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EquivClass {
     pub id: ItemId,
     pub kind: EquivKind,
@@ -119,13 +113,13 @@ pub struct EquivClass {
 
 /// An alias entry: a set of classes (defined at this region) that may touch
 /// the same memory within one iteration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AliasEntry {
     pub classes: Vec<ItemId>,
 }
 
 /// Is a dependence definite or maybe?
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DepKind {
     Definite,
     Maybe,
@@ -133,14 +127,14 @@ pub enum DepKind {
 
 /// A loop-carried dependence distance. Direction is always normalized `>`
 /// (from an earlier to a later iteration), so distances are ≥ 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Distance {
     Const(u32),
     Unknown,
 }
 
 /// One loop-carried data dependence arc between two classes of this region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LcddEntry {
     /// Source class (earlier iteration).
     pub src: ItemId,
@@ -152,14 +146,14 @@ pub struct LcddEntry {
 
 /// What a call REF/MOD entry describes: one call item directly enclosed by
 /// the region, or all calls inside a sub-region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CallRef {
     Item(ItemId),
     SubRegion(RegionId),
 }
 
 /// Side effects of calls on this region's classes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CallRefMod {
     pub callee: CallRef,
     /// Classes possibly read by the call(s).
@@ -169,7 +163,7 @@ pub struct CallRefMod {
 }
 
 /// One region entry: header plus the four sub-tables.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Region {
     pub id: RegionId,
     pub kind: RegionKind,
@@ -199,7 +193,7 @@ impl Region {
 }
 
 /// The HLI entry of one program unit.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HliEntry {
     pub unit_name: String,
     pub line_table: LineTable,
@@ -211,7 +205,7 @@ pub struct HliEntry {
 }
 
 /// A whole HLI file: one entry per program unit.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HliFile {
     pub entries: Vec<HliEntry>,
 }
@@ -262,7 +256,12 @@ impl HliEntry {
     }
 
     /// Add a sub-region under `parent`; returns its ID.
-    pub fn add_region(&mut self, parent: RegionId, kind: RegionKind, scope: (u32, u32)) -> RegionId {
+    pub fn add_region(
+        &mut self,
+        parent: RegionId,
+        kind: RegionKind,
+        scope: (u32, u32),
+    ) -> RegionId {
         let id = RegionId(self.regions.len() as u32);
         self.regions.push(Region {
             id,
@@ -472,10 +471,8 @@ impl HliEntry {
                 match crm.callee {
                     CallRef::Item(it) => match line_items.get(&it) {
                         Some(ItemType::Call) => {}
-                        _ => errs.push(format!(
-                            "call REF/MOD in {} names non-call item {}",
-                            r.id, it
-                        )),
+                        _ => errs
+                            .push(format!("call REF/MOD in {} names non-call item {}", r.id, it)),
                     },
                     CallRef::SubRegion(s) => {
                         if self.regions.get(s.0 as usize).map(|x| x.parent) != Some(Some(r.id)) {
@@ -498,10 +495,7 @@ impl HliEntry {
 
     /// Total number of memory-access (non-call) items.
     pub fn mem_item_count(&self) -> usize {
-        self.line_table
-            .items()
-            .filter(|(_, it)| it.ty != ItemType::Call)
-            .count()
+        self.line_table.items().filter(|(_, it)| it.ty != ItemType::Call).count()
     }
 }
 
@@ -524,18 +518,18 @@ pub(crate) mod tests {
         let ids: Vec<ItemId> = (0..12).map(|_| e.fresh_id()).collect();
         use ItemType::*;
         for (line, id, ty) in [
-            (13, ids[0], Load),  // sum
-            (13, ids[1], Load),  // a[i]
-            (13, ids[2], Store), // sum
-            (17, ids[3], Load),  // b[0]
-            (17, ids[4], Store), // a[i]
-            (20, ids[5], Load),  // b[j]
-            (20, ids[6], Load),  // b[j-1]
-            (20, ids[7], Store), // b[j]
-            (20, ids[8], Load),  // a[i]
-            (20, ids[9], Load),  // sum
+            (13, ids[0], Load),   // sum
+            (13, ids[1], Load),   // a[i]
+            (13, ids[2], Store),  // sum
+            (17, ids[3], Load),   // b[0]
+            (17, ids[4], Store),  // a[i]
+            (20, ids[5], Load),   // b[j]
+            (20, ids[6], Load),   // b[j-1]
+            (20, ids[7], Store),  // b[j]
+            (20, ids[8], Load),   // a[i]
+            (20, ids[9], Load),   // sum
             (20, ids[10], Store), // sum
-            (20, ids[11], Load), // extra a[i]
+            (20, ids[11], Load),  // extra a[i]
         ] {
             e.line_table.push_item(line, ItemEntry { id, ty });
         }
@@ -720,10 +714,7 @@ pub(crate) mod tests {
     #[test]
     fn region_path_and_lca() {
         let e = figure2_like();
-        assert_eq!(
-            e.region_path(RegionId(3)),
-            vec![RegionId(0), RegionId(2), RegionId(3)]
-        );
+        assert_eq!(e.region_path(RegionId(3)), vec![RegionId(0), RegionId(2), RegionId(3)]);
         assert_eq!(e.region_lca(RegionId(1), RegionId(3)), RegionId(0));
         assert_eq!(e.region_lca(RegionId(3), RegionId(2)), RegionId(2));
         assert_eq!(e.region_lca(RegionId(3), RegionId(3)), RegionId(3));
@@ -757,9 +748,9 @@ pub(crate) mod tests {
     #[test]
     fn validate_catches_foreign_alias_class() {
         let mut e = figure2_like();
-        e.region_mut(RegionId(1)).alias_table.push(AliasEntry {
-            classes: vec![ItemId(900), ItemId(901)],
-        });
+        e.region_mut(RegionId(1))
+            .alias_table
+            .push(AliasEntry { classes: vec![ItemId(900), ItemId(901)] });
         assert!(e.validate().iter().any(|m| m.contains("foreign class")));
     }
 

@@ -39,6 +39,9 @@ pub fn run(f: &FuncDef, sema: &Sema) -> ItemGen {
         line_table.push_item(event.line, ItemEntry { id, ty });
         items.push(Item { id, event });
     }
+    let reg = hli_obs::metrics::cur();
+    reg.counter("frontend.itemgen.funcs").inc();
+    reg.counter("frontend.itemgen.items").add(items.len() as u64);
     ItemGen { items, line_table }
 }
 
@@ -74,7 +77,12 @@ mod tests {
         let types: Vec<ItemType> = entry.items.iter().map(|e| e.ty).collect();
         assert_eq!(
             types,
-            vec![ItemType::Load, ItemType::Load, ItemType::Store, ItemType::Load]
+            vec![
+                ItemType::Load,
+                ItemType::Load,
+                ItemType::Store,
+                ItemType::Load
+            ]
         );
         // IDs within a line ascend (emission order).
         let ids: Vec<u32> = entry.items.iter().map(|e| e.id.0).collect();
@@ -85,16 +93,16 @@ mod tests {
 
     #[test]
     fn register_only_function_generates_no_items() {
-        let (g, _) = gen("int add(int a, int b) { int t; t = a + b; return t; } int main() { return add(1,2); }", "add");
+        let (g, _) = gen(
+            "int add(int a, int b) { int t; t = a + b; return t; } int main() { return add(1,2); }",
+            "add",
+        );
         assert!(g.items.is_empty());
     }
 
     #[test]
     fn call_items_present() {
-        let (g, _) = gen(
-            "int f(int x) { return x; } int main() { return f(1) + f(2); }",
-            "main",
-        );
+        let (g, _) = gen("int f(int x) { return x; } int main() { return f(1) + f(2); }", "main");
         let calls = g.items.iter().filter(|i| matches!(i.event.kind, AccessKind::Call)).count();
         assert_eq!(calls, 2);
     }

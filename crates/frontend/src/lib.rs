@@ -42,7 +42,11 @@ pub struct FrontendOptions {
 
 impl Default for FrontendOptions {
     fn default() -> Self {
-        FrontendOptions { array_analysis: true, pointer_analysis: true, refmod_analysis: true }
+        FrontendOptions {
+            array_analysis: true,
+            pointer_analysis: true,
+            refmod_analysis: true,
+        }
     }
 }
 
@@ -53,20 +57,33 @@ pub fn generate_hli(prog: &Program, sema: &Sema) -> HliFile {
 
 /// [`generate_hli`] with explicit precision options.
 pub fn generate_hli_with(prog: &Program, sema: &Sema, opts: FrontendOptions) -> HliFile {
-    let pts = if opts.pointer_analysis {
-        hli_analysis::pointsto::analyze(prog, sema)
-    } else {
-        hli_analysis::PointsTo::default()
+    let _phase = hli_obs::span("frontend.generate_hli");
+    let pts = {
+        let _s = hli_obs::span("frontend.pointsto");
+        if opts.pointer_analysis {
+            hli_analysis::pointsto::analyze(prog, sema)
+        } else {
+            hli_analysis::PointsTo::default()
+        }
     };
-    let refmod = if opts.refmod_analysis {
-        Some(hli_analysis::refmod::analyze(prog, sema, &pts))
-    } else {
-        None
+    let refmod = {
+        let _s = hli_obs::span("frontend.refmod");
+        if opts.refmod_analysis {
+            Some(hli_analysis::refmod::analyze(prog, sema, &pts))
+        } else {
+            None
+        }
     };
     let mut file = HliFile::default();
     for f in &prog.funcs {
-        let items = itemgen::run(f, sema);
-        let entry = tblconst::run(f, sema, items, &pts, refmod.as_ref(), opts);
+        let items = {
+            let _s = hli_obs::span("frontend.itemgen");
+            itemgen::run(f, sema)
+        };
+        let entry = {
+            let _s = hli_obs::span("frontend.tblconst");
+            tblconst::run(f, sema, items, &pts, refmod.as_ref(), opts)
+        };
         file.entries.push(entry);
     }
     file

@@ -53,10 +53,7 @@ pub fn run(
     entry.line_table = items.line_table.clone();
     entry.region_mut(RegionId(0)).scope = tree.unit().span;
     for node in tree.nodes.iter().skip(1) {
-        let header_line = node
-            .stmt
-            .map(|_| node.span.0)
-            .expect("loop regions have statements");
+        let header_line = node.stmt.map(|_| node.span.0).expect("loop regions have statements");
         let id = entry.add_region(
             RegionId(node.parent.unwrap() as u32),
             RegionKind::Loop { header_line },
@@ -75,6 +72,9 @@ pub fn run(
         modified: modified_per_region(f, &tree, sema),
     };
     cx.fill(&mut entry, &items.items);
+    let reg = hli_obs::metrics::cur();
+    reg.counter("frontend.tblconst.funcs").inc();
+    reg.counter("frontend.tblconst.regions").add(entry.regions.len() as u64);
     entry
 }
 
@@ -301,9 +301,10 @@ impl<'a> Builder<'a> {
                     // The call reads its own stack-argument slots.
                     if let Some(args) = stack_args.get(&c.id) {
                         for cls in &classes {
-                            let holds = cls.members.iter().any(|m| {
-                                matches!(m, MemberRef::Item(i) if args.contains(i))
-                            });
+                            let holds = cls
+                                .members
+                                .iter()
+                                .any(|m| matches!(m, MemberRef::Item(i) if args.contains(i)));
                             if holds && !e.0.contains(&cls.id) {
                                 e.0.push(cls.id);
                             }
@@ -359,11 +360,7 @@ impl<'a> Builder<'a> {
                 summaries[node] = classes
                     .into_iter()
                     .map(|mut c| {
-                        c.dims = c
-                            .dims
-                            .into_iter()
-                            .map(|d| self.summarize_dim(d, canon))
-                            .collect();
+                        c.dims = c.dims.into_iter().map(|d| self.summarize_dim(d, canon)).collect();
                         c
                     })
                     .collect();
@@ -387,8 +384,7 @@ impl<'a> Builder<'a> {
             }
             AccessPath::PtrAccess(root, expr) => match root {
                 Some(p) => {
-                    let dims = if self.modified[node].contains(p)
-                        && !self.is_region_ivar(node, *p)
+                    let dims = if self.modified[node].contains(p) && !self.is_region_ivar(node, *p)
                     {
                         // Walking pointer: location varies within the region.
                         vec![DimSummary::Vague]
@@ -408,7 +404,14 @@ impl<'a> Builder<'a> {
             }
             AccessPath::Call { .. } => unreachable!(),
         };
-        Unit { base, dims, kind: EquivKind::Definite, member, has_store, has_load }
+        Unit {
+            base,
+            dims,
+            kind: EquivKind::Definite,
+            member,
+            has_store,
+            has_load,
+        }
     }
 
     fn is_region_ivar(&self, node: usize, sym: SymId) -> bool {
@@ -475,7 +478,12 @@ impl<'a> Builder<'a> {
     }
 
     /// Group units into classes per the Figure-2 rules.
-    fn group(&self, entry: &mut HliEntry, units: Vec<Unit>, is_unit_region: bool) -> Vec<ClassBuild> {
+    fn group(
+        &self,
+        entry: &mut HliEntry,
+        units: Vec<Unit>,
+        is_unit_region: bool,
+    ) -> Vec<ClassBuild> {
         let mut classes: Vec<ClassBuild> = Vec::new();
         'units: for u in units {
             for c in &mut classes {
@@ -605,7 +613,11 @@ impl<'a> Builder<'a> {
                 Scalar(_) => Some(LcddEntry {
                     src: a.id,
                     dst: a.id,
-                    kind: if a.kind == EquivKind::Definite { DepKind::Definite } else { DepKind::Maybe },
+                    kind: if a.kind == EquivKind::Definite {
+                        DepKind::Definite
+                    } else {
+                        DepKind::Maybe
+                    },
                     distance: Distance::Const(1),
                 }),
                 PtrUnknown(_) => maybe_arc(DepKind::Maybe),
@@ -695,10 +707,21 @@ impl<'a> Builder<'a> {
         if a_exact && b_exact && a.dims.len() == b.dims.len() {
             let trip = cl.trip_count();
             let mut signed: Option<i64> = None;
+            let reg = hli_obs::metrics::cur();
             for (da, db) in a.dims.iter().zip(&b.dims) {
                 let (DimSummary::Exact(fa), DimSummary::Exact(fb)) = (da, db) else {
                     unreachable!()
                 };
+                // Classify the ladder rung (same structure `siv_test` keys
+                // off: induction-variable coefficients on both sides).
+                let (c1, c2) = (fa.coeff(cl.ivar), fb.coeff(cl.ivar));
+                let rung = match (c1, c2) {
+                    (0, 0) => "frontend.deptest.ziv",
+                    (0, _) | (_, 0) => "frontend.deptest.weak_zero_siv",
+                    _ if c1 == c2 => "frontend.deptest.strong_siv",
+                    _ => "frontend.deptest.miv",
+                };
+                reg.counter(rung).inc();
                 match siv_test(fa, fb, cl.ivar, trip) {
                     DepTest::Independent => return None,
                     DepTest::Unknown => {
@@ -759,7 +782,12 @@ impl<'a> Builder<'a> {
             // same array never meet.
             return None;
         }
-        Some(LcddEntry { src: a.id, dst: b.id, kind: DepKind::Maybe, distance: Distance::Unknown })
+        Some(LcddEntry {
+            src: a.id,
+            dst: b.id,
+            kind: DepKind::Maybe,
+            distance: Distance::Unknown,
+        })
     }
 
     /// Summarize a dimension for the parent region.
@@ -850,9 +878,7 @@ fn merge_dims(c: &[DimSummary], u: &[DimSummary]) -> Vec<DimSummary> {
         .zip(u)
         .map(|(a, b)| match (a, b) {
             (DimSummary::Exact(x), DimSummary::Exact(y)) if x == y => DimSummary::Exact(x.clone()),
-            (DimSummary::Exact(x), DimSummary::Exact(y))
-                if x.is_constant() && y.is_constant() =>
-            {
+            (DimSummary::Exact(x), DimSummary::Exact(y)) if x.is_constant() && y.is_constant() => {
                 DimSummary::Range(DimRange::range(
                     x.constant.min(y.constant),
                     x.constant.max(y.constant),
@@ -878,10 +904,9 @@ fn associate_stack_args(items: &[Item]) -> HashMap<ItemId, HashSet<ItemId>> {
     for it in items {
         match &it.event.path {
             AccessPath::StackArg { .. } => pending.push(it.id),
-            AccessPath::Call { .. }
-                if !pending.is_empty() => {
-                    map.insert(it.id, pending.drain(..).collect());
-                }
+            AccessPath::Call { .. } if !pending.is_empty() => {
+                map.insert(it.id, pending.drain(..).collect());
+            }
             _ => {}
         }
     }
@@ -962,11 +987,8 @@ mod tests {
 
         // The j-loop has the b[j] → b[j-1] distance-1 LCDD.
         let jl = e.region(j_loop);
-        let dist1: Vec<&LcddEntry> = jl
-            .lcdd_table
-            .iter()
-            .filter(|d| d.distance == Distance::Const(1))
-            .collect();
+        let dist1: Vec<&LcddEntry> =
+            jl.lcdd_table.iter().filter(|d| d.distance == Distance::Const(1)).collect();
         assert!(
             !dist1.is_empty(),
             "expected a distance-1 arc in the j loop:\n{}",
@@ -987,9 +1009,9 @@ mod tests {
             .expect("b section class");
         assert_eq!(bsec.kind, EquivKind::Maybe);
         assert!(
-            r3.alias_table.iter().any(|a| {
-                a.classes.contains(&b0.id) && a.classes.contains(&bsec.id)
-            }),
+            r3.alias_table
+                .iter()
+                .any(|a| { a.classes.contains(&b0.id) && a.classes.contains(&bsec.id) }),
             "b[0] must alias the section:\n{}",
             dump_entry(e)
         );
@@ -1187,7 +1209,11 @@ mod tests {
         let ld = line6.items[0].id;
         let st = line6.items[1].id;
         assert_eq!(q.get_equiv_acc(ld, st), EquivAcc::Definite);
-        assert!(q.get_lcdd(ld, st).is_none(), "m[i][j] never carried:\n{}", dump_entry(e));
+        assert!(
+            q.get_lcdd(ld, st).is_none(),
+            "m[i][j] never carried:\n{}",
+            dump_entry(e)
+        );
         assert!(e.validate().is_empty());
     }
 

@@ -3,17 +3,22 @@
 //! analysis contribute? Runs the whole suite under four precision settings
 //! and prints the reduction each achieves.
 //!
-//! Usage: `cargo run --release -p hli-harness --bin ablation [n iters]`
+//! Usage: `cargo run --release -p hli-harness --bin ablation [n iters]
+//! [--stats text|json] [--trace-out t.json]`
 
 use hli_frontend::FrontendOptions;
-use hli_harness::{mean, run_benchmark_with};
+use hli_harness::cli::ObsArgs;
+use hli_harness::{mean, par_map, run_benchmark_with};
 use hli_suite::Scale;
-use rayon::prelude::*;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
-    let iters = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = ObsArgs::extract(&mut args).unwrap_or_else(|e| {
+        eprintln!("ablation: {e}");
+        std::process::exit(1);
+    });
+    let n = args.first().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let iters = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(12);
     let scale = Scale { n, iters };
     let variants: Vec<(&str, FrontendOptions)> = vec![
         ("full HLI", FrontendOptions::default()),
@@ -39,7 +44,10 @@ fn main() {
         ),
     ];
 
-    eprintln!("running {} suite passes at scale n={n} iters={iters}...", variants.len());
+    eprintln!(
+        "running {} suite passes at scale n={n} iters={iters}...",
+        variants.len()
+    );
     let suite = hli_suite::all(scale);
 
     println!(
@@ -48,20 +56,15 @@ fn main() {
     );
     println!("{}", "-".repeat(70));
 
-    // benchmark-major, variant-minor; parallel over the cross product.
-    let cells: Vec<Vec<f64>> = suite
-        .par_iter()
-        .map(|b| {
-            variants
-                .iter()
-                .map(|(_, opts)| {
-                    run_benchmark_with(b, *opts)
-                        .map(|r| r.reduction() * 100.0)
-                        .unwrap_or(f64::NAN)
-                })
-                .collect()
-        })
-        .collect();
+    // benchmark-major, variant-minor; parallel over the benchmarks.
+    let cells: Vec<Vec<f64>> = par_map(&suite, |b| {
+        variants
+            .iter()
+            .map(|(_, opts)| {
+                run_benchmark_with(b, *opts).map(|r| r.reduction() * 100.0).unwrap_or(f64::NAN)
+            })
+            .collect()
+    });
 
     let mut means = vec![Vec::new(); variants.len()];
     for (b, row) in suite.iter().zip(&cells) {
@@ -83,4 +86,5 @@ fn main() {
          analysis disabled; the paper's Section 4.2 attributes its HLI-vs-combined gap\n\
          to exactly these front-end precision limits."
     );
+    obs.emit();
 }

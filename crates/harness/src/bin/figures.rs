@@ -98,7 +98,11 @@ fn figure6() {
     let errs = entry.validate();
     println!(
         "\nvalidation: {}",
-        if errs.is_empty() { "ok".to_string() } else { format!("{errs:?}") }
+        if errs.is_empty() {
+            "ok".to_string()
+        } else {
+            format!("{errs:?}")
+        }
     );
 }
 

@@ -13,6 +13,11 @@
 //!
 //! Back-end flags: `--no-hli` (GCC-only build), `--dump-rtl`, `--unroll N`,
 //! `--cse`, `--licm`, `--time` (simulate on both machine models).
+//!
+//! Every subcommand also accepts the observability flags:
+//! `--stats [text|json]` prints the metrics registry after the normal
+//! output, `--trace-out <file.json>` writes the phase trace as Chrome
+//! `trace_event` JSON.
 
 use hli_backend::cse::cse_function;
 use hli_backend::ddg::DepMode;
@@ -40,6 +45,7 @@ fn read_source(path: &str) -> String {
 const OPTS: SerializeOpts = SerializeOpts { include_names: true };
 
 fn front(input: &str, out: Option<String>) {
+    let _phase = hli_obs::span("hlicc.front");
     let src = read_source(input);
     let (prog, sema) = compile_to_ast(&src).unwrap_or_else(|e| fail(&e));
     let hli = generate_hli(&prog, &sema);
@@ -69,21 +75,29 @@ struct BackFlags {
 }
 
 fn back(input: &str, hli_path: &str, flags: BackFlags) {
+    let _phase = hli_obs::span("hlicc.back");
     let src = read_source(input);
     let (prog, sema) = compile_to_ast(&src).unwrap_or_else(|e| fail(&e));
-    let (rtl, loops) = lower_with_loops(&prog, &sema);
+    let (rtl, loops) = {
+        let _s = hli_obs::span("backend.lower");
+        lower_with_loops(&prog, &sema)
+    };
     // On-demand import: open the index, decode per function (§3.2.1).
-    let image = std::fs::read(hli_path).unwrap_or_else(|e| fail(&format!("cannot read {hli_path}: {e}")));
-    let reader = IndexedReader::open(image.into(), OPTS).unwrap_or_else(|e| fail(&e.to_string()));
-    let mode = if flags.use_hli { DepMode::Combined } else { DepMode::GccOnly };
+    let image =
+        std::fs::read(hli_path).unwrap_or_else(|e| fail(&format!("cannot read {hli_path}: {e}")));
+    let reader = IndexedReader::open(image, OPTS).unwrap_or_else(|e| fail(&e.to_string()));
+    let mode = if flags.use_hli {
+        DepMode::Combined
+    } else {
+        DepMode::GccOnly
+    };
     let lat = LatencyModel::default();
 
     let mut out = rtl.clone();
     let mut total_queries = hli_backend::ddg::QueryStats::default();
     for f in &rtl.funcs {
-        let entry = reader
-            .read(&f.name)
-            .unwrap_or_else(|e| fail(&e.to_string()));
+        let _s = hli_obs::span(format!("backend.func.{}", f.name));
+        let entry = reader.read(&f.name).unwrap_or_else(|e| fail(&e.to_string()));
         let mut cur = f.clone();
         let scheduled = match entry {
             Some(mut entry) if flags.use_hli => {
@@ -153,8 +167,10 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
         total_queries.combined_yes
     );
 
+    let _exec_span = hli_obs::span("machine.execute");
     let (res, trace) = hli_machine::execute_with_trace(&out)
         .unwrap_or_else(|e| fail(&format!("execution fault: {e}")));
+    drop(_exec_span);
     println!(
         "program result: {} ({} dynamic instructions, {} loads, {} stores)",
         res.ret, res.dyn_insns, res.loads, res.stores
@@ -168,8 +184,9 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: hlicc front <input.c> [-o out.hli]\n       hlicc back <input.c> <in.hli> [--no-hli --dump-rtl --unroll N --cse --licm --time]\n       hlicc build <input.c> [back-end flags]";
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: hlicc front <input.c> [-o out.hli]\n       hlicc back <input.c> <in.hli> [--no-hli --dump-rtl --unroll N --cse --licm --time]\n       hlicc build <input.c> [back-end flags]\n       (all: --stats [text|json], --trace-out <file.json>)";
+    let obs = hli_harness::cli::ObsArgs::extract(&mut args).unwrap_or_else(|e| fail(&e));
     let Some(cmd) = args.first() else { fail(usage) };
     match cmd.as_str() {
         "front" => {
@@ -186,10 +203,7 @@ fn main() {
                 (args.get(2).unwrap_or_else(|| fail(usage)).clone(), 3)
             } else {
                 // build: run the front end into a temp file first.
-                let tmp = std::env::temp_dir().join(format!(
-                    "hlicc-{}.hli",
-                    std::process::id()
-                ));
+                let tmp = std::env::temp_dir().join(format!("hlicc-{}.hli", std::process::id()));
                 let tmp = tmp.to_string_lossy().into_owned();
                 front(&input, Some(tmp.clone()));
                 (tmp, 2)
@@ -228,4 +242,5 @@ fn main() {
         }
         _ => fail(usage),
     }
+    obs.emit();
 }

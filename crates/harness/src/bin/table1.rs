@@ -1,27 +1,28 @@
 //! Regenerate the paper's **Table 1** — benchmark program characteristics:
 //! code size in lines, HLI size, and HLI bytes per source line.
 //!
-//! Usage: `cargo run --release -p hli-harness --bin table1 [n iters]`
+//! Usage: `cargo run --release -p hli-harness --bin table1 [n iters]
+//! [--stats text|json] [--trace-out t.json]`
 
-use hli_harness::{format_table1, run_suite};
+use hli_harness::cli::ObsArgs;
+use hli_harness::format_table1;
+use hli_harness::report::collect_suite;
 use hli_suite::Scale;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
-    let iters = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = ObsArgs::extract(&mut args).unwrap_or_else(|e| {
+        eprintln!("table1: {e}");
+        std::process::exit(1);
+    });
+    let n = args.first().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let iters = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(12);
     let scale = Scale { n, iters };
     eprintln!("running suite at scale n={n} iters={iters}...");
-    let mut reports = Vec::new();
-    for r in run_suite(scale) {
-        match r {
-            Ok(rep) => reports.push(rep),
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
+    let reports = collect_suite(scale).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     println!("Table 1. Benchmark program characteristics.");
     println!();
     print!("{}", format_table1(&reports));
@@ -30,4 +31,5 @@ fn main() {
         "paper shape check: fp programs need more HLI bytes per line than int programs \
          (paper: 27 vs 13)."
     );
+    obs.emit();
 }

@@ -3,27 +3,28 @@
 //! the dependence-edge reduction, and execution speedups of HLI-scheduled
 //! vs GCC-scheduled code on the R4600-like and R10000-like machine models.
 //!
-//! Usage: `cargo run --release -p hli-harness --bin table2 [n iters]`
+//! Usage: `cargo run --release -p hli-harness --bin table2 [n iters]
+//! [--stats text|json] [--trace-out t.json]`
 
-use hli_harness::{format_table2, run_suite};
+use hli_harness::cli::ObsArgs;
+use hli_harness::format_table2;
+use hli_harness::report::collect_suite;
 use hli_suite::Scale;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
-    let iters = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = ObsArgs::extract(&mut args).unwrap_or_else(|e| {
+        eprintln!("table2: {e}");
+        std::process::exit(1);
+    });
+    let n = args.first().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let iters = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(12);
     let scale = Scale { n, iters };
     eprintln!("running suite at scale n={n} iters={iters}...");
-    let mut reports = Vec::new();
-    for r in run_suite(scale) {
-        match r {
-            Ok(rep) => reports.push(rep),
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
+    let reports = collect_suite(scale).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     println!("Table 2. Dependence queries, edge reduction, and speedups.");
     println!("(speedups = cycles of GCC-scheduled / cycles of HLI-scheduled)");
     println!();
@@ -35,6 +36,7 @@ fn main() {
     println!(" - mdljdp2/mdljsp2-class rows reduce >80% and win most on the R10000;");
     println!(" - tomcatv-class rows reduce heavily yet barely speed up (serial fp chain);");
     println!(" - R10000 speedups >= R4600 speedups (LSQ rewards scheduling).");
+    obs.emit();
     if reports.iter().any(|r| !r.validated) {
         eprintln!("WARNING: some benchmarks failed semantic validation!");
         std::process::exit(2);

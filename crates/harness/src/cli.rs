@@ -1,0 +1,131 @@
+//! Shared handling of the observability flags every harness binary
+//! accepts:
+//!
+//! * `--stats [text|json]` — after the normal output, print the metrics
+//!   registry (everything the instrumented crates counted during the run);
+//! * `--trace-out <file.json>` — write the phase trace as Chrome
+//!   `trace_event` JSON (loadable in `chrome://tracing` / Perfetto).
+//!
+//! [`ObsArgs::extract`] strips the flags out of an argument vector before
+//! the binary's own parsing, so every binary gains them with two lines.
+
+use hli_obs::MetricsSnapshot;
+
+/// Output format for `--stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    Text,
+    Json,
+}
+
+/// The parsed observability flags.
+#[derive(Debug, Clone, Default)]
+pub struct ObsArgs {
+    pub stats: Option<StatsFormat>,
+    pub trace_out: Option<String>,
+}
+
+impl ObsArgs {
+    /// Remove `--stats [text|json]` and `--trace-out <file>` from `args`
+    /// (leaving the binary's own arguments untouched) and return them.
+    pub fn extract(args: &mut Vec<String>) -> Result<ObsArgs, String> {
+        let mut obs = ObsArgs::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--stats" => {
+                    args.remove(i);
+                    obs.stats = Some(match args.get(i).map(String::as_str) {
+                        Some("json") => {
+                            args.remove(i);
+                            StatsFormat::Json
+                        }
+                        Some("text") => {
+                            args.remove(i);
+                            StatsFormat::Text
+                        }
+                        // Bare `--stats` defaults to the human format.
+                        _ => StatsFormat::Text,
+                    });
+                }
+                "--trace-out" => {
+                    args.remove(i);
+                    if i >= args.len() {
+                        return Err("--trace-out needs a file path".into());
+                    }
+                    obs.trace_out = Some(args.remove(i));
+                }
+                _ => i += 1,
+            }
+        }
+        Ok(obs)
+    }
+
+    /// Emit whatever was requested, reading the global registry/tracer.
+    pub fn emit(&self) {
+        self.emit_snapshot(&hli_obs::metrics::global().snapshot());
+    }
+
+    /// Emit with an explicit metrics snapshot (stats go to stdout after
+    /// the normal output; the trace goes to the requested file).
+    pub fn emit_snapshot(&self, snap: &MetricsSnapshot) {
+        match self.stats {
+            Some(StatsFormat::Text) => print!("{}", snap.to_text()),
+            Some(StatsFormat::Json) => print!("{}", snap.to_json()),
+            None => {}
+        }
+        if let Some(path) = &self.trace_out {
+            let tracer = hli_obs::trace::global();
+            match std::fs::write(path, tracer.to_chrome_json()) {
+                Ok(()) => eprintln!(
+                    "wrote {} span(s) to {path} (chrome://tracing format)",
+                    tracer.finished_spans().len()
+                ),
+                Err(e) => {
+                    eprintln!("cannot write trace to {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn extract_strips_obs_flags_only() {
+        let mut args = v(&["64", "--stats", "json", "12", "--trace-out", "t.json"]);
+        let obs = ObsArgs::extract(&mut args).unwrap();
+        assert_eq!(obs.stats, Some(StatsFormat::Json));
+        assert_eq!(obs.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(args, v(&["64", "12"]));
+    }
+
+    #[test]
+    fn bare_stats_defaults_to_text() {
+        let mut args = v(&["--stats"]);
+        let obs = ObsArgs::extract(&mut args).unwrap();
+        assert_eq!(obs.stats, Some(StatsFormat::Text));
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn trace_out_requires_a_path() {
+        let mut args = v(&["--trace-out"]);
+        assert!(ObsArgs::extract(&mut args).is_err());
+    }
+
+    #[test]
+    fn untouched_without_flags() {
+        let mut args = v(&["build", "x.c", "--cse"]);
+        let obs = ObsArgs::extract(&mut args).unwrap();
+        assert!(obs.stats.is_none() && obs.trace_out.is_none());
+        assert_eq!(args, v(&["build", "x.c", "--cse"]));
+    }
+}

@@ -24,8 +24,13 @@ use hli_core::serialize::{encode_file, SerializeOpts};
 use hli_frontend::{generate_hli_with, FrontendOptions};
 use hli_lang::compile_to_ast;
 use hli_machine::{r10000_cycles, r4600_cycles, R10000Config, R4600Config};
+use hli_obs::{MetricsRegistry, MetricsSnapshot};
 use hli_suite::{Benchmark, Scale};
-use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub mod cli;
+pub mod report;
 
 /// Everything measured about one benchmark.
 #[derive(Debug, Clone)]
@@ -46,6 +51,10 @@ pub struct BenchReport {
     pub dyn_insns: u64,
     /// Correctness: all executions agreed with the AST interpreter.
     pub validated: bool,
+    /// Metrics recorded by every layer while this benchmark ran (the
+    /// pipeline runs under a scoped [`MetricsRegistry`], so the snapshot
+    /// contains only this run's counters).
+    pub metrics: MetricsSnapshot,
 }
 
 impl BenchReport {
@@ -78,12 +87,40 @@ pub fn run_benchmark(b: &Benchmark) -> Result<BenchReport, String> {
 
 /// [`run_benchmark`] with explicit front-end precision options (the
 /// ablation knob).
+///
+/// The pipeline runs under a scoped per-run [`MetricsRegistry`]; the
+/// resulting snapshot is carried on the report and also absorbed into the
+/// registry that was current at entry (normally the global one), so both
+/// per-benchmark and whole-suite totals stay available.
 pub fn run_benchmark_with(b: &Benchmark, opts: FrontendOptions) -> Result<BenchReport, String> {
-    let (prog, sema) = compile_to_ast(&b.source).map_err(|e| format!("{}: {e}", b.name))?;
+    let parent = hli_obs::metrics::cur();
+    let local = Arc::new(MetricsRegistry::new());
+    let result = {
+        let _scope = hli_obs::metrics::scoped(local.clone());
+        run_pipeline(b, opts)
+    };
+    let metrics = local.snapshot();
+    parent.absorb(&metrics);
+    let mut report = result?;
+    report.metrics = metrics;
+    Ok(report)
+}
+
+/// The measurement pipeline proper, writing to whatever registry is
+/// current. Phase spans land on the global tracer.
+fn run_pipeline(b: &Benchmark, opts: FrontendOptions) -> Result<BenchReport, String> {
+    let _run = hli_obs::span(format!("bench.{}", b.name));
+    let (prog, sema) = {
+        let _s = hli_obs::span("harness.compile");
+        compile_to_ast(&b.source).map_err(|e| format!("{}: {e}", b.name))?
+    };
 
     // Reference semantics.
-    let oracle = hli_lang::interp::run_program(&prog, &sema)
-        .map_err(|e| format!("{}: interpreter: {e}", b.name))?;
+    let oracle = {
+        let _s = hli_obs::span("harness.oracle");
+        hli_lang::interp::run_program(&prog, &sema)
+            .map_err(|e| format!("{}: interpreter: {e}", b.name))?
+    };
 
     // Front-end: HLI generation + Table 1 size.
     let hli = generate_hli_with(&prog, &sema, opts);
@@ -93,31 +130,43 @@ pub fn run_benchmark_with(b: &Benchmark, opts: FrontendOptions) -> Result<BenchR
             return Err(format!("{}: invalid HLI for `{}`: {errs:?}", b.name, e.unit_name));
         }
     }
-    let hli_bytes = encode_file(&hli, SerializeOpts::default()).len();
+    let hli_bytes = {
+        let _s = hli_obs::span("harness.encode_hli");
+        encode_file(&hli, SerializeOpts::default()).len()
+    };
 
     // Back-end: lower once, schedule twice (the two compiler builds).
-    let rtl = lower_program(&prog, &sema);
+    let rtl = {
+        let _s = hli_obs::span("backend.lower");
+        lower_program(&prog, &sema)
+    };
     let lat = LatencyModel::default();
+    let _sched_span = hli_obs::span("backend.schedule");
     let (gcc_build, _) = schedule_program(&rtl, &hli, DepMode::GccOnly, &lat);
     let (hli_build, stats) = schedule_program(&rtl, &hli, DepMode::Combined, &lat);
+    drop(_sched_span);
 
     // Machines: trace each build once, time on both models.
+    let _mach_span = hli_obs::span("machine.execute");
     let (gcc_res, gcc_trace) = hli_machine::execute_with_trace(&gcc_build)
         .map_err(|e| format!("{}: gcc build: {e}", b.name))?;
     let (hli_res, hli_trace) = hli_machine::execute_with_trace(&hli_build)
         .map_err(|e| format!("{}: hli build: {e}", b.name))?;
+    drop(_mach_span);
 
     let validated = gcc_res.ret == oracle.ret
         && hli_res.ret == oracle.ret
         && gcc_res.global_checksum == oracle.global_checksum
         && hli_res.global_checksum == oracle.global_checksum;
 
+    let _time_span = hli_obs::span("machine.models");
     let c4 = R4600Config::default();
     let c10 = R10000Config::default();
     let g4 = r4600_cycles(&gcc_trace, &c4).cycles;
     let h4 = r4600_cycles(&hli_trace, &c4).cycles;
     let g10 = r10000_cycles(&gcc_trace, &c10).cycles;
     let h10 = r10000_cycles(&hli_trace, &c10).cycles;
+    drop(_time_span);
 
     Ok(BenchReport {
         name: b.name.to_string(),
@@ -130,15 +179,55 @@ pub fn run_benchmark_with(b: &Benchmark, opts: FrontendOptions) -> Result<BenchR
         r10000: (g10, h10),
         dyn_insns: gcc_res.dyn_insns,
         validated,
+        metrics: MetricsSnapshot::default(),
     })
+}
+
+/// Ordered parallel map over a slice on a scoped-thread worker pool.
+///
+/// Workers pull the next index from a shared atomic, so long items don't
+/// serialize behind a static partition; results come back in input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let slots = Mutex::new(slots);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("worker filled every claimed slot"))
+        .collect()
 }
 
 /// Run the whole suite in parallel.
 pub fn run_suite(scale: Scale) -> Vec<Result<BenchReport, String>> {
-    hli_suite::all(scale)
-        .par_iter()
-        .map(run_benchmark)
-        .collect()
+    let suite = hli_suite::all(scale);
+    par_map(&suite, run_benchmark)
 }
 
 /// Format Table 1 (program characteristics).
@@ -158,7 +247,11 @@ pub fn format_table1(reports: &[BenchReport]) -> String {
             let _ = writeln!(
                 out,
                 "{:<14} {:<7} {:>10} {:>10} {:>14.0}   (int mean)",
-                "mean", "-", "-", "-", mean(&int_bpl)
+                "mean",
+                "-",
+                "-",
+                "-",
+                mean(&int_bpl)
             );
         }
         let _ = writeln!(
@@ -179,7 +272,11 @@ pub fn format_table1(reports: &[BenchReport]) -> String {
     let _ = writeln!(
         out,
         "{:<14} {:<7} {:>10} {:>10} {:>14.0}   (fp mean)",
-        "mean", "-", "-", "-", mean(&fp_bpl)
+        "mean",
+        "-",
+        "-",
+        "-",
+        mean(&fp_bpl)
     );
     out
 }
@@ -191,7 +288,16 @@ pub fn format_table2(reports: &[BenchReport]) -> String {
     let _ = writeln!(
         out,
         "{:<14} {:>7} {:>9} {:>12} {:>12} {:>12} {:>6} {:>8} {:>8} {:>3}",
-        "Benchmark", "Tests", "Per line", "GCC yes", "HLI yes", "Combined", "Red%", "R4600", "R10000", "OK"
+        "Benchmark",
+        "Tests",
+        "Per line",
+        "GCC yes",
+        "HLI yes",
+        "Combined",
+        "Red%",
+        "R4600",
+        "R10000",
+        "OK"
     );
     let _ = writeln!(out, "{}", "-".repeat(100));
     let split = |rs: &[&BenchReport], label: &str, out: &mut String| {
@@ -199,7 +305,8 @@ pub fn format_table2(reports: &[BenchReport]) -> String {
         let s4: Vec<f64> = rs.iter().map(|r| r.speedup_r4600()).collect();
         let s10: Vec<f64> = rs.iter().map(|r| r.speedup_r10000()).collect();
         let tpl: Vec<f64> = rs.iter().map(|r| r.tests_per_line()).collect();
-        let _ = writeln!(
+        let _ =
+            writeln!(
             out,
             "{:<14} {:>7} {:>9.2} {:>12} {:>12} {:>12} {:>6.0} {:>8.2} {:>8.2}      ({label} mean)",
             "mean", "-", mean(&tpl), "-", "-", "-", mean(&red), geomean(&s4), geomean(&s10)

@@ -233,10 +233,7 @@ pub enum ExprKind {
 impl Expr {
     /// Is this expression syntactically an lvalue?
     pub fn is_lvalue(&self) -> bool {
-        matches!(
-            self.kind,
-            ExprKind::Ident(_) | ExprKind::Index(..) | ExprKind::Deref(_)
-        )
+        matches!(self.kind, ExprKind::Ident(_) | ExprKind::Index(..) | ExprKind::Deref(_))
     }
 
     /// Walk this expression and all sub-expressions, pre-order.
@@ -327,17 +324,9 @@ mod tests {
     #[test]
     fn lvalue_classification() {
         assert!(e(0, ExprKind::Ident("x".into())).is_lvalue());
-        assert!(e(
-            0,
-            ExprKind::Deref(Box::new(e(1, ExprKind::Ident("p".into()))))
-        )
-        .is_lvalue());
+        assert!(e(0, ExprKind::Deref(Box::new(e(1, ExprKind::Ident("p".into()))))).is_lvalue());
         assert!(!e(0, ExprKind::IntLit(3)).is_lvalue());
-        assert!(!e(
-            0,
-            ExprKind::Addr(Box::new(e(1, ExprKind::Ident("x".into()))))
-        )
-        .is_lvalue());
+        assert!(!e(0, ExprKind::Addr(Box::new(e(1, ExprKind::Ident("x".into()))))).is_lvalue());
     }
 
     #[test]
@@ -347,10 +336,7 @@ mod tests {
             ExprKind::Binary(
                 BinOp::Add,
                 Box::new(e(1, ExprKind::IntLit(1))),
-                Box::new(e(
-                    2,
-                    ExprKind::Call("f".into(), vec![e(3, ExprKind::IntLit(2))]),
-                )),
+                Box::new(e(2, ExprKind::Call("f".into(), vec![e(3, ExprKind::IntLit(2))]))),
             ),
         );
         let mut ids = Vec::new();

@@ -449,11 +449,9 @@ impl<'a> Interp<'a> {
 
     fn read_place(&mut self, p: Place, line: u32) -> Result<Value, InterpError> {
         match p {
-            Place::Reg(sym) => Ok(*self
-                .frame()
-                .regs
-                .get(&sym)
-                .unwrap_or(&default_value(&self.sema.sym(sym).ty))),
+            Place::Reg(sym) => {
+                Ok(*self.frame().regs.get(&sym).unwrap_or(&default_value(&self.sema.sym(sym).ty)))
+            }
             Place::Mem(addr, ty) => {
                 let bits = self.mem_read(addr, line)?;
                 Ok(Value::from_bits(bits, &ty))
@@ -590,7 +588,11 @@ impl<'a> Interp<'a> {
                 let ty = self.sema.ty_of(lv).clone();
                 let p = self.place(lv)?;
                 let old = self.read_place(p.clone(), e.line)?;
-                let delta = if let Type::Ptr(t) = &ty { t.size().max(8) as i64 } else { 1 };
+                let delta = if let Type::Ptr(t) = &ty {
+                    t.size().max(8) as i64
+                } else {
+                    1
+                };
                 let delta = if kind.is_inc() { delta } else { -delta };
                 let new = match old {
                     Value::Double(d) => Value::Double(d + delta as f64),
@@ -618,7 +620,13 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn binary(&mut self, e: &'a Expr, op: BinOp, a: &'a Expr, b: &'a Expr) -> Result<Value, InterpError> {
+    fn binary(
+        &mut self,
+        e: &'a Expr,
+        op: BinOp,
+        a: &'a Expr,
+        b: &'a Expr,
+    ) -> Result<Value, InterpError> {
         // Short-circuit logicals first.
         match op {
             BinOp::LogAnd => {
@@ -780,7 +788,10 @@ mod tests {
 
     #[test]
     fn comparisons_and_logicals() {
-        assert_eq!(ret("int main() { return (3 < 4) + (4 <= 4) + (5 > 4) + (1 == 1) + (1 != 1); }"), 4);
+        assert_eq!(
+            ret("int main() { return (3 < 4) + (4 <= 4) + (5 > 4) + (1 == 1) + (1 != 1); }"),
+            4
+        );
         assert_eq!(ret("int main() { return (1 && 0) || (2 && 3); }"), 1);
         assert_eq!(ret("int main() { return !5 + !0; }"), 1);
     }
@@ -839,10 +850,7 @@ mod tests {
 
     #[test]
     fn pointers_and_address_of() {
-        assert_eq!(
-            ret("int main() { int x; int *p; x = 5; p = &x; *p = 9; return x; }"),
-            9
-        );
+        assert_eq!(ret("int main() { int x; int *p; x = 5; p = &x; *p = 9; return x; }"), 9);
         assert_eq!(
             ret("int a[4]; int main() { int *p; p = &a[1]; *p = 7; *(p+1) = 8; return a[1] + a[2]; }"),
             15
@@ -926,8 +934,9 @@ mod tests {
 
     #[test]
     fn call_stack_overflow_faults() {
-        let (p, s) = compile_to_ast("int f(int n) { return f(n + 1); } int main() { return f(0); }")
-            .unwrap();
+        let (p, s) =
+            compile_to_ast("int f(int n) { return f(n + 1); } int main() { return f(0); }")
+                .unwrap();
         let e = run_program(&p, &s).unwrap_err();
         assert!(e.msg.contains("overflow") || e.msg.contains("step budget"));
     }

@@ -361,7 +361,11 @@ mod tests {
     fn number_followed_by_ident_not_exponent() {
         assert_eq!(
             kinds("1end"),
-            vec![TokKind::IntLit(1), TokKind::Ident("end".into()), TokKind::Eof]
+            vec![
+                TokKind::IntLit(1),
+                TokKind::Ident("end".into()),
+                TokKind::Eof
+            ]
         );
     }
 
@@ -399,7 +403,12 @@ mod tests {
             .collect();
         assert_eq!(
             lines,
-            vec![("a".into(), 1), ("b".into(), 2), ("e".into(), 3), ("g".into(), 4)]
+            vec![
+                ("a".into(), 1),
+                ("b".into(), 2),
+                ("e".into(), 3),
+                ("g".into(), 4)
+            ]
         );
     }
 

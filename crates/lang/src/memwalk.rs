@@ -86,10 +86,7 @@ pub fn walk_function(f: &FuncDef, sema: &Sema) -> Vec<MemEvent> {
 /// array variable. Returns the base symbol and the subscript expressions,
 /// outermost dimension first. Returns `None` when the base is a pointer or
 /// is not a plain identifier.
-pub fn resolve_array_access<'a>(
-    e: &'a Expr,
-    sema: &Sema,
-) -> Option<(SymId, Vec<&'a Expr>)> {
+pub fn resolve_array_access<'a>(e: &'a Expr, sema: &Sema) -> Option<(SymId, Vec<&'a Expr>)> {
     let mut subs: Vec<&'a Expr> = Vec::new();
     let mut cur = e;
     loop {
@@ -128,12 +125,7 @@ impl<'a> Walker<'a> {
         let params = &self.sema.func_params[idx];
         for (i, &sym) in params.iter().enumerate() {
             if i >= NUM_ARG_REGS {
-                self.emit(
-                    f.line,
-                    AccessKind::Load,
-                    AccessPath::StackParamEntry { index: i },
-                    None,
-                );
+                self.emit(f.line, AccessKind::Load, AccessPath::StackParamEntry { index: i }, None);
             }
             if self.sema.sym(sym).is_mem_resident() {
                 self.emit(f.line, AccessKind::Store, AccessPath::Var(sym), None);
@@ -195,10 +187,7 @@ impl<'a> Walker<'a> {
                 }
             }
             StmtKind::Return(Some(e)) => self.rvalue(e),
-            StmtKind::Return(None)
-            | StmtKind::Break
-            | StmtKind::Continue
-            | StmtKind::Empty => {}
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue | StmtKind::Empty => {}
         }
     }
 
@@ -405,10 +394,7 @@ mod tests {
             "int a[10]; int b[10]; int main() { int i; i = 1; a[i] = b[i+1]; return 0; }",
             "main",
         );
-        assert_eq!(
-            ev,
-            vec![(1, Load, "elem:b".into()), (1, Store, "elem:a".into())]
-        );
+        assert_eq!(ev, vec![(1, Load, "elem:b".into()), (1, Store, "elem:a".into())]);
     }
 
     #[test]
@@ -474,10 +460,7 @@ mod tests {
 
     #[test]
     fn local_pointer_deref_suppresses_pointer_load() {
-        let ev = events(
-            "int g; int main() { int *p; p = &g; return *p; }",
-            "main",
-        );
+        let ev = events("int g; int main() { int *p; p = &g; return *p; }", "main");
         assert_eq!(ev, vec![(1, Load, "ptr:p".into())]);
     }
 
@@ -498,14 +481,8 @@ mod tests {
 
     #[test]
     fn address_taken_local_becomes_memory() {
-        let ev = events(
-            "int main() { int x; int *p; p = &x; x = 3; return x; }",
-            "main",
-        );
-        assert_eq!(
-            ev,
-            vec![(1, Store, "var:x".into()), (1, Load, "var:x".into())]
-        );
+        let ev = events("int main() { int x; int *p; p = &x; x = 3; return x; }", "main");
+        assert_eq!(ev, vec![(1, Store, "var:x".into()), (1, Load, "var:x".into())]);
     }
 
     #[test]
@@ -514,10 +491,7 @@ mod tests {
             "int g; int f(int a, int b) { return a + b; } int main() { return f(g, 2); }",
             "main",
         );
-        assert_eq!(
-            ev,
-            vec![(1, Load, "var:g".into()), (1, Call, "call:f".into())]
-        );
+        assert_eq!(ev, vec![(1, Load, "var:g".into()), (1, Call, "call:f".into())]);
     }
 
     #[test]
@@ -594,16 +568,15 @@ mod tests {
     #[test]
     fn short_circuit_operands_enumerated_statically() {
         let ev = events("int g; int h; int main() { return g && h; }", "main");
-        assert_eq!(
-            ev,
-            vec![(1, Load, "var:g".into()), (1, Load, "var:h".into())]
-        );
+        assert_eq!(ev, vec![(1, Load, "var:g".into()), (1, Load, "var:h".into())]);
     }
 
     #[test]
     fn resolve_array_access_on_nested_index() {
         let (p, s) = compile_to_ast("int m[4][5]; int main() { return m[1][2]; }").unwrap();
-        let StmtKind::Return(Some(e)) = &p.funcs[0].body.stmts[0].kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &p.funcs[0].body.stmts[0].kind else {
+            panic!()
+        };
         let (sym, subs) = resolve_array_access(e, &s).unwrap();
         assert_eq!(s.sym(sym).name, "m");
         assert_eq!(subs.len(), 2);
@@ -611,7 +584,8 @@ mod tests {
 
     #[test]
     fn resolve_array_access_rejects_pointer_base() {
-        let (p, s) = compile_to_ast("void f(int *p) { p[0] = 1; } int main() { return 0; }").unwrap();
+        let (p, s) =
+            compile_to_ast("void f(int *p) { p[0] = 1; } int main() { return 0; }").unwrap();
         let StmtKind::Expr(e) = &p.funcs[0].body.stmts[0].kind else { panic!() };
         let ExprKind::Assign(lhs, _) = &e.kind else { panic!() };
         assert!(resolve_array_access(lhs, &s).is_none());
@@ -619,10 +593,7 @@ mod tests {
 
     #[test]
     fn decl_init_of_address_taken_local_stores() {
-        let ev = events(
-            "int g; int main() { int x = g; int *p; p = &x; return *p; }",
-            "main",
-        );
+        let ev = events("int g; int main() { int x = g; int *p; p = &x; return *p; }", "main");
         assert_eq!(
             ev,
             vec![

@@ -149,10 +149,7 @@ impl Parser {
     }
 
     fn is_type_start(&self) -> bool {
-        matches!(
-            self.peek_kind(),
-            TokKind::KwInt | TokKind::KwDouble | TokKind::KwVoid
-        )
+        matches!(self.peek_kind(), TokKind::KwInt | TokKind::KwDouble | TokKind::KwVoid)
     }
 
     /// Parse `'*'* IDENT ('[' INT ']')*` applying pointers/arrays to `base`.
@@ -417,18 +414,34 @@ impl Parser {
             TokKind::KwFor => {
                 self.bump();
                 self.expect(&TokKind::LParen)?;
-                let init = if self.at(&TokKind::Semi) { None } else { Some(self.expr()?) };
+                let init = if self.at(&TokKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokKind::Semi)?;
-                let cond = if self.at(&TokKind::Semi) { None } else { Some(self.expr()?) };
+                let cond = if self.at(&TokKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokKind::Semi)?;
-                let step = if self.at(&TokKind::RParen) { None } else { Some(self.expr()?) };
+                let step = if self.at(&TokKind::RParen) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokKind::RParen)?;
                 let body = Box::new(self.stmt()?);
                 Ok(self.new_stmt(line, StmtKind::For { init, cond, step, body }))
             }
             TokKind::KwReturn => {
                 self.bump();
-                let val = if self.at(&TokKind::Semi) { None } else { Some(self.expr()?) };
+                let val = if self.at(&TokKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokKind::Semi)?;
                 Ok(self.new_stmt(line, StmtKind::Return(val)))
             }
@@ -672,7 +685,9 @@ mod tests {
 
     #[test]
     fn parse_globals_with_arrays_and_init() {
-        let p = parse_ok("int a[10][20];\ndouble x = 1.5, y = -2.0;\nint n = -3;\nint main(){return 0;}");
+        let p = parse_ok(
+            "int a[10][20];\ndouble x = 1.5, y = -2.0;\nint n = -3;\nint main(){return 0;}",
+        );
         assert_eq!(p.globals.len(), 4);
         assert_eq!(p.globals[0].ty.array_dims(), vec![10, 20]);
         assert_eq!(p.globals[1].init, Some(ConstInit::Double(1.5)));
@@ -686,10 +701,7 @@ mod tests {
         let f = &p.funcs[0];
         assert_eq!(f.params[0].ty, Type::Ptr(Box::new(Type::Int)));
         assert_eq!(f.params[1].ty, Type::Ptr(Box::new(Type::Double)));
-        assert_eq!(
-            f.params[2].ty,
-            Type::Ptr(Box::new(Type::Array(Box::new(Type::Int), 8)))
-        );
+        assert_eq!(f.params[2].ty, Type::Ptr(Box::new(Type::Array(Box::new(Type::Int), 8))));
     }
 
     #[test]
@@ -727,14 +739,17 @@ mod tests {
     #[test]
     fn nested_index_parses_left_to_right() {
         let p = parse_ok("int a[4][5]; int main() { return a[1][2]; }");
-        let StmtKind::Return(Some(e)) = &p.funcs[0].body.stmts[0].kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &p.funcs[0].body.stmts[0].kind else {
+            panic!()
+        };
         let ExprKind::Index(inner, _) = &e.kind else { panic!() };
         assert!(matches!(inner.kind, ExprKind::Index(_, _)));
     }
 
     #[test]
     fn for_loop_parses_all_parts() {
-        let p = parse_ok("int main() { int i; int s = 0; for (i = 0; i < 10; i++) s += i; return s; }");
+        let p =
+            parse_ok("int main() { int i; int s = 0; for (i = 0; i < 10; i++) s += i; return s; }");
         let body = &p.funcs[0].body.stmts;
         let StmtKind::For { init, cond, step, .. } = &body[2].kind else { panic!() };
         assert!(init.is_some() && cond.is_some() && step.is_some());
@@ -768,8 +783,11 @@ mod tests {
 
     #[test]
     fn calls_with_args() {
-        let p = parse_ok("int f(int a, int b) { return a + b; } int main() { return f(1, f(2, 3)); }");
-        let StmtKind::Return(Some(e)) = &p.funcs[1].body.stmts[0].kind else { panic!() };
+        let p =
+            parse_ok("int f(int a, int b) { return a + b; } int main() { return f(1, f(2, 3)); }");
+        let StmtKind::Return(Some(e)) = &p.funcs[1].body.stmts[0].kind else {
+            panic!()
+        };
         let ExprKind::Call(name, args) = &e.kind else { panic!() };
         assert_eq!(name, "f");
         assert_eq!(args.len(), 2);

@@ -87,12 +87,7 @@ fn stmt_to_string(s: &Stmt, depth: usize, out: &mut String) {
         }
         StmtKind::For { init, cond, step, body } => {
             let part = |e: &Option<Expr>| e.as_ref().map(expr_to_string).unwrap_or_default();
-            out.push_str(&format!(
-                "for ({}; {}; {}) ",
-                part(init),
-                part(cond),
-                part(step)
-            ));
+            out.push_str(&format!("for ({}; {}; {}) ", part(init), part(cond), part(step)));
             nested(body, depth, out);
         }
         StmtKind::Return(Some(e)) => out.push_str(&format!("return {};\n", expr_to_string(e))),
@@ -192,7 +187,9 @@ mod tests {
     #[test]
     fn expr_rendering() {
         let p = parse_program("int main() { return (1 + 2) * 3; }").unwrap();
-        let StmtKind::Return(Some(e)) = &p.funcs[0].body.stmts[0].kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &p.funcs[0].body.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(expr_to_string(e), "((1 + 2) * 3)");
     }
 

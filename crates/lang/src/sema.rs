@@ -19,9 +19,14 @@ pub type SymId = u32;
 pub enum Storage {
     Global,
     /// A local of function `func` (index into `Program::funcs`).
-    Local { func: u32 },
+    Local {
+        func: u32,
+    },
     /// Parameter `index` of function `func`.
-    Param { func: u32, index: usize },
+    Param {
+        func: u32,
+        index: usize,
+    },
 }
 
 /// Everything sema knows about one variable.
@@ -353,21 +358,19 @@ impl Checker {
                 self.loop_depth -= 1;
                 self.recognize_canonical(s, init, cond, step, body);
             }
-            StmtKind::Return(val) => {
-                match (val, self.cur_ret.clone()) {
-                    (None, Type::Void) => {}
-                    (None, _) => {
-                        return Err(self.err(s.line, "missing return value"));
-                    }
-                    (Some(_), Type::Void) => {
-                        return Err(self.err(s.line, "void function returns a value"));
-                    }
-                    (Some(e), ret) => {
-                        let ty = self.expr(e)?;
-                        self.check_assignable(&ret, &ty, e.line)?;
-                    }
+            StmtKind::Return(val) => match (val, self.cur_ret.clone()) {
+                (None, Type::Void) => {}
+                (None, _) => {
+                    return Err(self.err(s.line, "missing return value"));
                 }
-            }
+                (Some(_), Type::Void) => {
+                    return Err(self.err(s.line, "void function returns a value"));
+                }
+                (Some(e), ret) => {
+                    let ty = self.expr(e)?;
+                    self.check_assignable(&ret, &ty, e.line)?;
+                }
+            },
             StmtKind::Break | StmtKind::Continue => {
                 if self.loop_depth == 0 {
                     return Err(self.err(s.line, "`break`/`continue` outside a loop"));
@@ -560,14 +563,20 @@ impl Checker {
                 (Type::Ptr(_), Type::Int) => Ok(ta.clone()),
                 (Type::Int, Type::Ptr(_)) if op == Add => Ok(tb.clone()),
                 (Type::Ptr(a), Type::Ptr(b)) if op == Sub && a == b => Ok(Type::Int),
-                (a, b) if a.is_numeric() && b.is_numeric() => {
-                    Ok(if a.is_float() || b.is_float() { Type::Double } else { Type::Int })
-                }
+                (a, b) if a.is_numeric() && b.is_numeric() => Ok(if a.is_float() || b.is_float() {
+                    Type::Double
+                } else {
+                    Type::Int
+                }),
                 _ => Err(self.err(line, format!("cannot apply `+`/`-` to `{ta}` and `{tb}`"))),
             },
             Mul | Div => {
                 if ta.is_numeric() && tb.is_numeric() {
-                    Ok(if ta.is_float() || tb.is_float() { Type::Double } else { Type::Int })
+                    Ok(if ta.is_float() || tb.is_float() {
+                        Type::Double
+                    } else {
+                        Type::Int
+                    })
                 } else {
                     Err(self.err(line, format!("cannot multiply `{ta}` and `{tb}`")))
                 }
@@ -690,10 +699,10 @@ impl Checker {
                     | ExprKind::CompoundAssign(_, l, _)
                     | ExprKind::IncDec(_, l)
                         if matches!(l.kind, ExprKind::Ident(_))
-                            && self.sema.ident_sym.get(&l.id) == Some(&sym)
-                        => {
-                            modified = true;
-                        }
+                            && self.sema.ident_sym.get(&l.id) == Some(&sym) =>
+                    {
+                        modified = true;
+                    }
                     _ => {}
                 })
             })
@@ -862,9 +871,8 @@ mod tests {
 
     #[test]
     fn downward_loop_not_canonical() {
-        let (_, s) = sema_ok(
-            "int a[10]; int main() { int i; for (i = 9; i > 0; i--) a[i] = i; return 0; }",
-        );
+        let (_, s) =
+            sema_ok("int a[10]; int main() { int i; for (i = 9; i > 0; i--) a[i] = i; return 0; }");
         assert!(s.loops.is_empty());
     }
 

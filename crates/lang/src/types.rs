@@ -133,10 +133,7 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Type::Ptr(Box::new(Type::Int)).to_string(), "int*");
-        assert_eq!(
-            Type::Array(Box::new(Type::Double), 8).to_string(),
-            "double[8]"
-        );
+        assert_eq!(Type::Array(Box::new(Type::Double), 8).to_string(), "double[8]");
     }
 
     #[test]

@@ -1,60 +1,91 @@
 //! Robustness properties: the front door (lexer/parser/sema) must reject
-//! garbage with errors, never panics.
+//! garbage with errors, never panics. Property-style but dependency-free:
+//! inputs come from a seeded xorshift64 stream, so every run checks the
+//! same cases deterministically.
 
 use hli_lang::lexer::lex;
 use hli_lang::parser::parse_program;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 512, .. ProptestConfig::default() })]
+/// xorshift64 — tiny deterministic PRNG for test-input generation.
+struct Rng(u64);
 
-    #[test]
-    fn lexer_never_panics(s in "\\PC*") {
-        let _ = lex(&s);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
     }
 
-    #[test]
-    fn lexer_handles_ascii_noise(s in prop::collection::vec(0u8..128, 0..200)) {
-        if let Ok(text) = std::str::from_utf8(&s) {
+    fn range(&mut self, n: usize) -> usize {
+        (self.next() as usize) % n
+    }
+
+    /// A random string of printable-and-control chars, length < `max_len`.
+    fn noise(&mut self, max_len: usize) -> String {
+        let len = self.range(max_len);
+        (0..len).filter_map(|_| char::from_u32(self.next() as u32 % 0xD800)).collect()
+    }
+
+    /// A "token soup": random draws from `vocab`, space-joined.
+    fn soup(&mut self, vocab: &[&str], max_toks: usize) -> String {
+        let n = self.range(max_toks);
+        (0..n).map(|_| vocab[self.range(vocab.len())]).collect::<Vec<_>>().join(" ")
+    }
+}
+
+#[test]
+fn lexer_never_panics() {
+    let mut rng = Rng(0x1111_2222_3333_4444);
+    for _ in 0..512 {
+        let _ = lex(&rng.noise(200));
+    }
+}
+
+#[test]
+fn lexer_handles_ascii_noise() {
+    let mut rng = Rng(0x5555_6666_7777_8888);
+    for _ in 0..512 {
+        let bytes: Vec<u8> = (0..rng.range(200)).map(|_| (rng.next() % 128) as u8).collect();
+        if let Ok(text) = std::str::from_utf8(&bytes) {
             let _ = lex(text);
         }
     }
+}
 
-    #[test]
-    fn parser_never_panics(s in "\\PC*") {
-        let _ = parse_program(&s);
+#[test]
+fn parser_never_panics() {
+    let mut rng = Rng(0x9999_aaaa_bbbb_cccc);
+    for _ in 0..512 {
+        let _ = parse_program(&rng.noise(200));
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_token_soup(
-        toks in prop::collection::vec(
-            prop_oneof![
-                Just("int"), Just("double"), Just("void"), Just("if"), Just("else"),
-                Just("while"), Just("for"), Just("return"), Just("break"), Just("do"),
-                Just("("), Just(")"), Just("{"), Just("}"), Just("["), Just("]"),
-                Just(";"), Just(","), Just("+"), Just("-"), Just("*"), Just("/"),
-                Just("="), Just("=="), Just("&&"), Just("&"), Just("x"), Just("42"),
-                Just("3.5"), Just("++"), Just("%"), Just("<"), Just(">>"),
-            ],
-            0..60,
-        )
-    ) {
-        let src = toks.join(" ");
+#[test]
+fn parser_never_panics_on_token_soup() {
+    const VOCAB: &[&str] = &[
+        "int", "double", "void", "if", "else", "while", "for", "return", "break", "do", "(", ")",
+        "{", "}", "[", "]", ";", ",", "+", "-", "*", "/", "=", "==", "&&", "&", "x", "42", "3.5",
+        "++", "%", "<", ">>",
+    ];
+    let mut rng = Rng(0xdddd_eeee_ffff_0001);
+    for _ in 0..512 {
+        let src = rng.soup(VOCAB, 60);
         let _ = parse_program(&src);
     }
+}
 
-    #[test]
-    fn sema_never_panics_on_parsed_soup(
-        toks in prop::collection::vec(
-            prop_oneof![
-                Just("int"), Just("g"), Just("("), Just(")"), Just("{"), Just("}"),
-                Just(";"), Just("="), Just("1"), Just("main"), Just("return"),
-                Just("x"), Just("["), Just("]"), Just("4"), Just("*"), Just("&"),
-            ],
-            0..40,
-        )
-    ) {
-        let src = toks.join(" ");
+#[test]
+fn sema_never_panics_on_parsed_soup() {
+    const VOCAB: &[&str] = &[
+        "int", "g", "(", ")", "{", "}", ";", "=", "1", "main", "return", "x", "[", "]", "4", "*",
+        "&",
+    ];
+    let mut rng = Rng(0x1357_9bdf_2468_ace0);
+    for _ in 0..512 {
+        let src = rng.soup(VOCAB, 40);
         if let Ok(prog) = parse_program(&src) {
             let _ = hli_lang::sema::analyze(&prog);
         }

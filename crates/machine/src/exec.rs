@@ -22,7 +22,11 @@ pub struct ExecError {
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "machine fault in `{}` at line {}: {}", self.func, self.line, self.msg)
+        write!(
+            f,
+            "machine fault in `{}` at line {}: {}",
+            self.func, self.line, self.msg
+        )
     }
 }
 
@@ -55,7 +59,9 @@ pub enum DynKind {
     Ret,
     /// Control transfer (jump or branch; `taken` distinguishes fall-through
     /// branches for front-end bubbles).
-    Branch { taken: bool },
+    Branch {
+        taken: bool,
+    },
     /// Register-only bookkeeping (moves, immediates, address formation).
     Simple,
 }
@@ -140,12 +146,7 @@ struct Machine<'p> {
 
 impl<'p> Machine<'p> {
     fn new(prog: &'p RtlProgram, max_steps: u64) -> Self {
-        let func_index = prog
-            .funcs
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (f.name.as_str(), i))
-            .collect();
+        let func_index = prog.funcs.iter().enumerate().map(|(i, f)| (f.name.as_str(), i)).collect();
         Machine {
             prog,
             mem: vec![0; (STACK_BASE / 8) as usize],
@@ -167,7 +168,8 @@ impl<'p> Machine<'p> {
             .frames
             .last()
             .map(|f| {
-                let line = f.func.insns.get(f.pc.min(f.func.insns.len() - 1)).map(|i| i.line).unwrap_or(0);
+                let line =
+                    f.func.insns.get(f.pc.min(f.func.insns.len() - 1)).map(|i| i.line).unwrap_or(0);
                 (f.func.name.clone(), line)
             })
             .unwrap_or_default();
@@ -274,13 +276,13 @@ impl<'p> Machine<'p> {
                 .ok_or_else(|| self.err(format!("unknown global {s}")))?,
             BaseAddr::Stack(off) => f.base + off,
             BaseAddr::Reg(r) => f.regs[r as usize] as i64,
-            BaseAddr::OutArg(i) => f.out_base + (i as i64 - hli_lang::memwalk::NUM_ARG_REGS as i64) * 8,
+            BaseAddr::OutArg(i) => {
+                f.out_base + (i as i64 - hli_lang::memwalk::NUM_ARG_REGS as i64) * 8
+            }
             BaseAddr::InArg(i) => {
                 if self.frames.len() < 2 {
                     // `main` taking stack parameters has no caller frame.
-                    return Err(self.err(format!(
-                        "stack parameter {i} read with no caller frame"
-                    )));
+                    return Err(self.err(format!("stack parameter {i} read with no caller frame")));
                 }
                 let caller = &self.frames[self.frames.len() - 2];
                 caller.out_base + (i as i64 - hli_lang::memwalk::NUM_ARG_REGS as i64) * 8
@@ -307,14 +309,15 @@ impl<'p> Machine<'p> {
     }
 
     fn run(mut self, sink: &mut impl TraceSink) -> Result<RunResult, ExecError> {
-        let main_idx = *self
-            .func_index
-            .get("main")
-            .ok_or_else(|| ExecError { msg: "no `main`".into(), func: String::new(), line: 0 })?;
+        let main_idx = *self.func_index.get("main").ok_or_else(|| ExecError {
+            msg: "no `main`".into(),
+            func: String::new(),
+            line: 0,
+        })?;
         let main = &self.prog.funcs[main_idx];
         self.push_frame(main, None)?;
         self.calls -= 1; // main's activation is setup, not program behaviour
-        // Initialize globals.
+                         // Initialize globals.
         for &(addr, bits) in &self.prog.global_init {
             self.mem_write(addr, bits)?;
             self.stores -= 1;
@@ -490,6 +493,11 @@ impl<'p> Machine<'p> {
             }
             self.frame_mut().pc = next_pc;
         }
+        let reg = hli_obs::metrics::cur();
+        reg.counter("machine.exec.dyn_insns").add(self.steps);
+        reg.counter("machine.exec.loads").add(self.loads);
+        reg.counter("machine.exec.stores").add(self.stores);
+        reg.counter("machine.exec.calls").add(self.calls);
         Ok(RunResult {
             ret: ret_val,
             global_checksum: self.checksum(),
@@ -631,9 +639,13 @@ mod tests {
 
     #[test]
     fn comparisons_and_logicals_agree() {
-        assert_agree("int main() { return (1 < 2) + (2 <= 2) + (3 > 4) * 10 + (1 == 1) + (2 != 2); }");
+        assert_agree(
+            "int main() { return (1 < 2) + (2 <= 2) + (3 > 4) * 10 + (1 == 1) + (2 != 2); }",
+        );
         assert_agree("int main() { return (1 && 2) + (0 || 3) * 10 + (0 && 1) * 100; }");
-        assert_agree("double a; double b;\nint main() { a = 1.5; b = 2.5; return (a < b) + (a >= b) * 10; }");
+        assert_agree(
+            "double a; double b;\nint main() { a = 1.5; b = 2.5; return (a < b) + (a >= b) * 10; }",
+        );
     }
 
     #[test]
@@ -645,8 +657,12 @@ mod tests {
 
     #[test]
     fn loops_agree() {
-        assert_agree("int main() { int i; int s; s = 0; for (i = 1; i <= 100; i++) s += i; return s; }");
-        assert_agree("int main() { int i; int s; i = 0; s = 0; while (i < 50) { s += 2; i++; } return s; }");
+        assert_agree(
+            "int main() { int i; int s; s = 0; for (i = 1; i <= 100; i++) s += i; return s; }",
+        );
+        assert_agree(
+            "int main() { int i; int s; i = 0; s = 0; while (i < 50) { s += 2; i++; } return s; }",
+        );
         assert_agree("int main() { int i; int s; i = 0; s = 0; do { s += i; i++; } while (i < 10); return s; }");
         assert_agree("int main() { int i; int s; s = 0; for (i = 0; i < 20; i++) { if (i == 10) break; if (i % 2) continue; s += i; } return s; }");
     }
@@ -663,7 +679,9 @@ mod tests {
 
     #[test]
     fn local_arrays_agree() {
-        assert_agree("int main() { int a[8]; int i; for (i=0;i<8;i++) a[i] = i*i; return a[7] + a[0]; }");
+        assert_agree(
+            "int main() { int a[8]; int i; for (i=0;i<8;i++) a[i] = i*i; return a[7] + a[0]; }",
+        );
     }
 
     #[test]
@@ -672,12 +690,16 @@ mod tests {
         assert_agree(
             "int a[8];\nint main() { int *p; int s; int i; p = a; s = 0; for (i = 0; i < 8; i++) { *p = i; p++; } for (i = 0; i < 8; i++) s += a[i]; return s; }",
         );
-        assert_agree("int a[4];\nint main() { int *p; int *q; p = &a[0]; q = &a[3]; return q - p; }");
+        assert_agree(
+            "int a[4];\nint main() { int *p; int *q; p = &a[0]; q = &a[3]; return q - p; }",
+        );
     }
 
     #[test]
     fn calls_agree() {
-        assert_agree("int add(int a, int b) { return a + b; }\nint main() { return add(3, add(4, 5)); }");
+        assert_agree(
+            "int add(int a, int b) { return a + b; }\nint main() { return add(3, add(4, 5)); }",
+        );
         assert_agree("int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\nint main() { return fib(15); }");
         assert_agree(
             "double scale(double x, double f) { return x * f; }\nint main() { double d; d = scale(3.0, 2.5); return d; }",
@@ -724,10 +746,7 @@ mod tests {
 
     #[test]
     fn trace_counts_memory_ops() {
-        let (p, s) = compile_to_ast(
-            "int g;\nint main() { g = 1; g = g + 1; return g; }",
-        )
-        .unwrap();
+        let (p, s) = compile_to_ast("int g;\nint main() { g = 1; g = g + 1; return g; }").unwrap();
         let rtl = lower_program(&p, &s);
         let (res, trace) = execute_with_trace(&rtl).unwrap();
         let loads = trace.iter().filter(|e| e.kind == DynKind::Load).count() as u64;

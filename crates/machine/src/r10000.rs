@@ -139,6 +139,8 @@ pub fn r10000_cycles(trace: &[DynInsn], cfg: &R10000Config) -> R10000Stats {
     let mut cycle: u64 = 0;
     // Generous upper bound to guarantee termination on model bugs.
     let max_cycles = (trace.len() as u64 + 64) * 64;
+    let reg = hli_obs::metrics::cur();
+    let occupancy = reg.histogram("machine.r10000.window_occupancy");
 
     while (next_fetch < trace.len() || !window.is_empty()) && cycle < max_cycles {
         // Retire in order.
@@ -253,9 +255,17 @@ pub fn r10000_cycles(trace: &[DynInsn], cfg: &R10000Config) -> R10000Stats {
             free[unit_idx] -= 1;
             issued_this_cycle += 1;
         }
+        occupancy.observe(window.len() as u64);
         cycle += 1;
     }
     stats.cycles = cycle;
+    reg.counter("machine.r10000.cycles").add(stats.cycles);
+    reg.counter("machine.r10000.insns").add(stats.insns);
+    reg.counter("machine.r10000.lsq_stalls").add(stats.lsq_stalls);
+    reg.counter("machine.r10000.forwards").add(stats.forwards);
+    if let Some(ipc) = (stats.insns * 1000).checked_div(stats.cycles) {
+        reg.gauge("machine.r10000.ipc_milli").set(ipc as i64);
+    }
     stats
 }
 

@@ -96,6 +96,11 @@ pub fn r4600_cycles(trace: &[DynInsn], cfg: &R4600Config) -> R4600Stats {
         }
     }
     stats.cycles = time;
+    let reg = hli_obs::metrics::cur();
+    reg.counter("machine.r4600.cycles").add(stats.cycles);
+    reg.counter("machine.r4600.insns").add(stats.insns);
+    reg.counter("machine.r4600.stall_cycles").add(stats.stall_cycles);
+    reg.counter("machine.r4600.branch_bubbles").add(stats.branch_bubbles);
     stats
 }
 

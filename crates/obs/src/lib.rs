@@ -1,0 +1,46 @@
+//! # hli-obs — observability for the whole compiler pipeline
+//!
+//! The paper's evaluation is counter-driven: Table 2 is literally "how many
+//! dependence tests did the back-end issue, and how often did each analyzer
+//! answer no". This crate gives every layer of the reproduction one shared
+//! way to produce such numbers — and the timing behind them — instead of
+//! ad-hoc structs per pass:
+//!
+//! * [`trace`] — a span/phase tracer: RAII guards around named phases with
+//!   wall-clock timing, nested into a trace tree, exportable as indented
+//!   text and as Chrome `trace_event` JSON (loadable in `chrome://tracing`
+//!   or `ui.perfetto.dev`);
+//! * [`metrics`] — a registry of cheap atomic counters, gauges and
+//!   power-of-two histograms keyed by dotted string names
+//!   (`frontend.*`, `backend.ddg.*`, `machine.*`, `hli.query.*`), with a
+//!   hand-rolled JSON emitter and mergeable snapshots;
+//! * [`ring`] — a bounded ring buffer for per-instruction / per-query
+//!   debug events, **off by default** so the hot paths pay one relaxed
+//!   atomic load when disabled;
+//! * [`json`] — the tiny JSON writer the emitters share, plus a minimal
+//!   parser used by tests to validate emitted output without external
+//!   dependencies.
+//!
+//! The crate is std-only by design: the build environment has no registry
+//! access, and the instrumented crates must never pull a dependency tree
+//! into the measurement path.
+//!
+//! ## Scoping model
+//!
+//! There is one process-global registry ([`metrics::global`]) and one
+//! process-global tracer ([`trace::global`]). Code that needs per-task
+//! isolation (the harness measuring one benchmark on one worker thread)
+//! installs a thread-scoped registry with [`metrics::scoped`]; every
+//! instrumented layer resolves [`metrics::cur`] at phase entry, so the
+//! whole pipeline below that thread writes into the scoped registry. The
+//! scope owner then merges its snapshot into the global registry with
+//! [`metrics::MetricsRegistry::absorb`].
+
+pub mod json;
+pub mod metrics;
+pub mod ring;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use ring::EventRing;
+pub use trace::{span, SpanGuard, Tracer};

@@ -1,0 +1,127 @@
+//! Bounded ring buffer for high-frequency debug events (per-instruction,
+//! per-query). **Off by default**: when disabled, `push` costs a single
+//! relaxed atomic load, so leaving call sites in hot paths is free.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A single debug event: a static category plus a formatted payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    pub category: &'static str,
+    pub message: String,
+    /// Monotonic sequence number across the ring's lifetime.
+    pub seq: u64,
+}
+
+/// Fixed-capacity event ring; oldest events are overwritten when full.
+#[derive(Debug)]
+pub struct EventRing {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    buf: Mutex<VecDeque<Event>>,
+    cap: usize,
+}
+
+impl EventRing {
+    pub fn new(cap: usize) -> Self {
+        EventRing {
+            enabled: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            buf: Mutex::new(VecDeque::with_capacity(cap.min(1024))),
+            cap: cap.max(1),
+        }
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record an event if enabled. The message closure only runs when the
+    /// ring is on, so formatting costs nothing in the disabled case.
+    pub fn push_with(&self, category: &'static str, message: impl FnOnce() -> String) {
+        if !self.is_enabled() {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let ev = Event { category, message: message(), seq };
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(ev);
+    }
+
+    /// Take all buffered events, oldest first, leaving the ring empty.
+    pub fn drain(&self) -> Vec<Event> {
+        self.buf.lock().unwrap().drain(..).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever pushed (including ones already overwritten).
+    pub fn total_pushed(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+static GLOBAL: std::sync::OnceLock<std::sync::Arc<EventRing>> = std::sync::OnceLock::new();
+
+/// The process-global debug ring (disabled until someone calls
+/// `set_enabled(true)`, e.g. `hlicc --debug-events`).
+pub fn global() -> std::sync::Arc<EventRing> {
+    GLOBAL.get_or_init(|| std::sync::Arc::new(EventRing::default())).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ring_records_nothing_and_skips_formatting() {
+        let ring = EventRing::new(8);
+        let mut formatted = false;
+        ring.push_with("ddg", || {
+            formatted = true;
+            "never".into()
+        });
+        assert!(!formatted);
+        assert!(ring.is_empty());
+        assert_eq!(ring.total_pushed(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_at_capacity() {
+        let ring = EventRing::new(3);
+        ring.set_enabled(true);
+        for i in 0..5 {
+            ring.push_with("exec", || format!("insn {i}"));
+        }
+        let evs = ring.drain();
+        assert_eq!(ring.total_pushed(), 5);
+        assert_eq!(evs.len(), 3);
+        assert_eq!(
+            evs.iter().map(|e| e.message.as_str()).collect::<Vec<_>>(),
+            vec!["insn 2", "insn 3", "insn 4"]
+        );
+        assert_eq!(evs[0].seq, 2);
+        assert!(ring.is_empty());
+    }
+}

@@ -1,0 +1,344 @@
+//! Span/phase tracer: RAII guards around named phases, nested into a
+//! trace tree, exportable as indented text and as Chrome `trace_event`
+//! JSON (loadable in `chrome://tracing` / `ui.perfetto.dev`).
+//!
+//! Each thread keeps its own open-span stack in a thread-local, so nesting
+//! is tracked without locks; completed spans are appended to the tracer's
+//! shared log under a mutex (one lock per span *close*, not per event).
+//! The log is capped; spans past the cap are counted, not stored.
+
+use crate::json::{escape_into, push_f64};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// A completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRec {
+    pub name: String,
+    /// Nanoseconds since the tracer's epoch.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    /// Nesting depth at the time the span opened (0 = top level).
+    pub depth: u32,
+    /// Thread that ran the span (dense id assigned per tracer).
+    pub tid: u64,
+}
+
+/// Default cap on stored spans. Far above anything a single `hlicc` run
+/// produces, but bounds memory if instrumentation ends up in a hot loop.
+const DEFAULT_CAP: usize = 1 << 16;
+
+/// A tracer instance. Usually used through [`global`] + [`span`].
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    enabled: AtomicBool,
+    spans: Mutex<Vec<SpanRec>>,
+    dropped: AtomicU64,
+    cap: usize,
+    next_tid: AtomicU64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Self::with_cap(DEFAULT_CAP)
+    }
+
+    pub fn with_cap(cap: usize) -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            enabled: AtomicBool::new(true),
+            spans: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            cap,
+            next_tid: AtomicU64::new(0),
+        }
+    }
+
+    /// Enable or disable recording. Guards created while disabled still
+    /// nest correctly (depth bookkeeping continues) but record nothing.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Open a span; it closes (and is recorded) when the guard drops.
+    pub fn span(self: &Arc<Self>, name: impl Into<String>) -> SpanGuard {
+        let depth = THREAD.with(|t| {
+            let mut t = t.borrow_mut();
+            let d = t.depth;
+            t.depth += 1;
+            d
+        });
+        SpanGuard {
+            tracer: self.clone(),
+            name: name.into(),
+            start: Instant::now(),
+            depth,
+        }
+    }
+
+    fn record(&self, name: String, start: Instant, depth: u32) {
+        if !self.is_enabled() {
+            return;
+        }
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let start_ns = start.duration_since(self.epoch).as_nanos() as u64;
+        let tid = THREAD.with(|t| {
+            let mut t = t.borrow_mut();
+            match t.tid {
+                Some(id) => id,
+                None => {
+                    let id = self.next_tid.fetch_add(1, Ordering::Relaxed);
+                    t.tid = Some(id);
+                    id
+                }
+            }
+        });
+        let mut spans = self.spans.lock().unwrap();
+        if spans.len() >= self.cap {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            spans.push(SpanRec { name, start_ns, dur_ns, depth, tid });
+        }
+    }
+
+    /// Number of spans discarded because the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Completed spans in close order.
+    pub fn finished_spans(&self) -> Vec<SpanRec> {
+        self.spans.lock().unwrap().clone()
+    }
+
+    /// Discard all recorded spans (keeps the epoch).
+    pub fn clear(&self) {
+        self.spans.lock().unwrap().clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Indented text rendering, spans sorted by start time.
+    pub fn to_text(&self) -> String {
+        let mut spans = self.finished_spans();
+        spans.sort_by_key(|s| (s.tid, s.start_ns));
+        let mut out = String::new();
+        for s in &spans {
+            let _ = writeln!(
+                out,
+                "{:indent$}{} {:.3} ms",
+                "",
+                s.name,
+                s.dur_ns as f64 / 1e6,
+                indent = (s.depth as usize) * 2
+            );
+        }
+        let d = self.dropped();
+        if d != 0 {
+            let _ = writeln!(out, "({d} spans dropped past cap)");
+        }
+        out
+    }
+
+    /// Chrome `trace_event` JSON: an object with a `traceEvents` array of
+    /// complete (`"ph":"X"`) events; `ts`/`dur` are microseconds as the
+    /// format requires.
+    pub fn to_chrome_json(&self) -> String {
+        let spans = self.finished_spans();
+        let mut out = String::from("{\"traceEvents\": [");
+        for (i, s) in spans.iter().enumerate() {
+            out.push_str(if i == 0 { "\n  " } else { ",\n  " });
+            out.push_str("{\"name\": ");
+            escape_into(&mut out, &s.name);
+            out.push_str(", \"ph\": \"X\", \"ts\": ");
+            push_f64(&mut out, s.start_ns as f64 / 1e3);
+            out.push_str(", \"dur\": ");
+            push_f64(&mut out, s.dur_ns as f64 / 1e3);
+            let _ = write!(out, ", \"pid\": 1, \"tid\": {}}}", s.tid);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+struct ThreadState {
+    depth: u32,
+    tid: Option<u64>,
+}
+
+thread_local! {
+    static THREAD: std::cell::RefCell<ThreadState> =
+        const { std::cell::RefCell::new(ThreadState { depth: 0, tid: None }) };
+}
+
+/// RAII guard for an open span; records the span on drop.
+pub struct SpanGuard {
+    tracer: Arc<Tracer>,
+    name: String,
+    start: Instant,
+    depth: u32,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        THREAD.with(|t| {
+            let mut t = t.borrow_mut();
+            t.depth = t.depth.saturating_sub(1);
+        });
+        self.tracer.record(std::mem::take(&mut self.name), self.start, self.depth);
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Tracer>> = OnceLock::new();
+
+/// The process-global tracer.
+pub fn global() -> Arc<Tracer> {
+    GLOBAL.get_or_init(|| Arc::new(Tracer::new())).clone()
+}
+
+/// Open a span on the global tracer — the usual entry point:
+///
+/// ```
+/// {
+///     let _g = hli_obs::span("frontend.itemgen");
+///     // ... phase body ...
+/// } // span recorded here
+/// ```
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    global().span(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// xorshift64 — local copy so the property-style tests stay dep-free.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let t = Arc::new(Tracer::new());
+        {
+            let _a = t.span("outer");
+            {
+                let _b = t.span("inner");
+            }
+            let _c = t.span("sibling");
+        }
+        let spans = t.finished_spans();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(by_name("outer").depth, 0);
+        assert_eq!(by_name("inner").depth, 1);
+        assert_eq!(by_name("sibling").depth, 1);
+        // Children close before parents.
+        assert_eq!(spans.last().unwrap().name, "outer");
+    }
+
+    /// Property-style: for random open/close sequences, recorded depths
+    /// always match the nesting structure, every span's interval lies
+    /// within its parent's, and depth returns to 0 at the end.
+    #[test]
+    fn random_nesting_invariants() {
+        let mut rng = Rng(0x9E3779B97F4A7C15);
+        for round in 0..50 {
+            let t = Arc::new(Tracer::new());
+            let mut stack: Vec<(SpanGuard, u32)> = Vec::new();
+            let mut expect: Vec<(String, u32)> = Vec::new();
+            for step in 0..40 {
+                let open = stack.is_empty() || rng.next().is_multiple_of(2);
+                if open && stack.len() < 12 {
+                    let name = format!("s{round}_{step}");
+                    let depth = stack.len() as u32;
+                    expect.push((name.clone(), depth));
+                    stack.push((t.span(name), depth));
+                } else {
+                    stack.pop(); // guard dropped here
+                }
+            }
+            stack.drain(..).rev().for_each(drop);
+            THREAD.with(|th| assert_eq!(th.borrow().depth, 0));
+            let spans = t.finished_spans();
+            assert_eq!(spans.len(), expect.len());
+            for (name, depth) in &expect {
+                let s = spans.iter().find(|s| &s.name == name).unwrap();
+                assert_eq!(s.depth, *depth, "depth mismatch for {name}");
+            }
+            // Interval containment: each deeper span that closed while its
+            // parent was open must lie within some depth-1 span's window.
+            for s in &spans {
+                if s.depth == 0 {
+                    continue;
+                }
+                let parent_ok = spans.iter().any(|p| {
+                    p.depth + 1 == s.depth
+                        && p.start_ns <= s.start_ns
+                        && s.start_ns + s.dur_ns <= p.start_ns + p.dur_ns
+                });
+                assert!(parent_ok, "span {} has no enclosing parent", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cap_drops_and_counts() {
+        let t = Arc::new(Tracer::with_cap(2));
+        for i in 0..5 {
+            let _g = t.span(format!("s{i}"));
+        }
+        assert_eq!(t.finished_spans().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert!(t.to_text().contains("3 spans dropped"));
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Arc::new(Tracer::new());
+        t.set_enabled(false);
+        {
+            let _g = t.span("ghost");
+        }
+        assert!(t.finished_spans().is_empty());
+    }
+
+    #[test]
+    fn chrome_json_parses_and_has_events() {
+        let t = Arc::new(Tracer::new());
+        {
+            let _a = t.span("phase \"x\"");
+            let _b = t.span("sub");
+        }
+        let text = t.to_chrome_json();
+        let v = crate::json::parse(&text).expect("chrome trace must be valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+            assert!(e.get("ts").unwrap().as_num().is_some());
+            assert!(e.get("dur").unwrap().as_num().is_some());
+        }
+        assert!(events.iter().any(|e| e.get("name").unwrap().as_str() == Some("phase \"x\"")));
+    }
+}

@@ -25,6 +25,7 @@
 
 mod programs_fp;
 mod programs_int;
+pub mod rng;
 
 /// Problem-size knobs for the workload generator.
 #[derive(Debug, Clone, Copy)]

@@ -38,7 +38,11 @@ fn main() {
     let (prog, sema) = compile_to_ast(SRC).expect("valid MiniC");
     let hli = generate_hli(&prog, &sema);
     let bytes = encode_file(&hli, SerializeOpts::default());
-    println!("HLI generated: {} program units, {} bytes serialized", hli.entries.len(), bytes.len());
+    println!(
+        "HLI generated: {} program units, {} bytes serialized",
+        hli.entries.len(),
+        bytes.len()
+    );
 
     // 2. Ask the paper's Figure-5 question for saxpy's loop body:
     //    may `x[i]` (load) and `y[i]` (store) touch the same location?
@@ -84,6 +88,12 @@ fn main() {
     let (c4, c10) = (R4600Config::default(), R10000Config::default());
     let (g4, h4) = (r4600_cycles(&gt, &c4).cycles, r4600_cycles(&ht, &c4).cycles);
     let (g10, h10) = (r10000_cycles(&gt, &c10).cycles, r10000_cycles(&ht, &c10).cycles);
-    println!("R4600 : GCC {g4} cycles, HLI {h4} cycles (speedup {:.3})", g4 as f64 / h4 as f64);
-    println!("R10000: GCC {g10} cycles, HLI {h10} cycles (speedup {:.3})", g10 as f64 / h10 as f64);
+    println!(
+        "R4600 : GCC {g4} cycles, HLI {h4} cycles (speedup {:.3})",
+        g4 as f64 / h4 as f64
+    );
+    println!(
+        "R10000: GCC {g10} cycles, HLI {h10} cycles (speedup {:.3})",
+        g10 as f64 / h10 as f64
+    );
 }

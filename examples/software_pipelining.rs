@@ -57,10 +57,7 @@ fn main() {
         let (g, h) = (&gcc[0], &smart[0]);
         println!(
             "{label:<36} {:>8} {:>8} | {:>11} {:>11}",
-            g.body_ops,
-            g.res_mii,
-            g.rec_mii,
-            h.rec_mii
+            g.body_ops, g.res_mii, g.rec_mii, h.rec_mii
         );
     }
     println!(

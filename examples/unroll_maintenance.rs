@@ -49,7 +49,14 @@ fn main() {
     println!("\n==== HLI after unrolling (Figure-6 LCDD remap) ====");
     print!("{}", dump_entry(&entry));
     let errs = entry.validate();
-    println!("\nHLI validation: {}", if errs.is_empty() { "ok".into() } else { format!("{errs:?}") });
+    println!(
+        "\nHLI validation: {}",
+        if errs.is_empty() {
+            "ok".into()
+        } else {
+            format!("{errs:?}")
+        }
+    );
 
     // Execute the unrolled program and compare with the interpreter.
     let mut prog2 = rtl.clone();
@@ -59,7 +66,11 @@ fn main() {
         "\nresult check: interpreter {} vs unrolled machine {} — {}",
         oracle.ret,
         res.ret,
-        if oracle.ret == res.ret { "MATCH" } else { "MISMATCH" }
+        if oracle.ret == res.ret {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        }
     );
     assert_eq!(oracle.ret, res.ret);
     assert_eq!(oracle.global_checksum, res.global_checksum);

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, tier-1 build and tests.
+# The workspace is std-only; everything here must pass with no network
+# and no registry access (CARGO_NET_OFFLINE pins that assumption).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test"
+cargo test -q --workspace
+
+echo "CI green."

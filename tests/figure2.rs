@@ -130,7 +130,11 @@ fn figure_queries_answer_as_the_paper_describes() {
     let l20 = e.line_table.entry(20).unwrap();
     let (bj_ld, bj1_ld, bj_st) = (l20.items[0].id, l20.items[1].id, l20.items[2].id);
     assert_eq!(q.get_equiv_acc(bj_ld, bj_st), EquivAcc::Definite);
-    assert_eq!(q.get_equiv_acc(bj1_ld, bj_st), EquivAcc::None, "distinct within iteration");
+    assert_eq!(
+        q.get_equiv_acc(bj1_ld, bj_st),
+        EquivAcc::None,
+        "distinct within iteration"
+    );
     let arc = q.get_lcdd(bj_st, bj1_ld).expect("carried arc");
     assert_eq!(arc.distance, Distance::Const(1));
     // Item 11-equivalent: a[i] inside the j loop vs the a[i] store on
@@ -138,12 +142,7 @@ fn figure_queries_answer_as_the_paper_describes() {
     let l21 = e.line_table.entry(21).unwrap();
     let ai_ld = l21.items[1].id;
     let l17 = e.line_table.entry(17).unwrap();
-    let ai_st = l17
-        .items
-        .iter()
-        .find(|it| it.ty == ItemType::Store)
-        .unwrap()
-        .id;
+    let ai_st = l17.items.iter().find(|it| it.ty == ItemType::Store).unwrap().id;
     assert_eq!(q.get_equiv_acc(ai_ld, ai_st), EquivAcc::Definite);
     // sum in loop 1 vs sum in the j loop: same variable across regions.
     let l13 = e.line_table.entry(13).unwrap();

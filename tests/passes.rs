@@ -121,7 +121,8 @@ fn cse_improvement_is_monotone_in_information() {
 #[test]
 fn licm_never_hoists_conflicting_loads() {
     // A loop whose load aliases its store must not hoist in either mode.
-    let src = "int a[8];\nint main() { int i; for (i = 1; i < 8; i++) a[i] = a[i-1] + 1; return a[7]; }";
+    let src =
+        "int a[8];\nint main() { int i; for (i = 1; i < 8; i++) a[i] = a[i-1] + 1; return a[7]; }";
     let (prog, sema) = compile_to_ast(src).unwrap();
     let rtl = hli_backend::lower::lower_program(&prog, &sema);
     let hli = generate_hli(&prog, &sema);

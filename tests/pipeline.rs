@@ -13,8 +13,7 @@ use hli_suite::Scale;
 #[test]
 fn every_benchmark_validates_and_agrees_across_all_schedules() {
     for b in hli_suite::all(Scale::tiny()) {
-        let (prog, sema) =
-            compile_to_ast(&b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let (prog, sema) = compile_to_ast(&b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let oracle = hli_lang::interp::run_program(&prog, &sema)
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let hli = generate_hli(&prog, &sema);
@@ -25,8 +24,8 @@ fn every_benchmark_validates_and_agrees_across_all_schedules() {
         let rtl = lower_program(&prog, &sema);
         for mode in [DepMode::GccOnly, DepMode::HliOnly, DepMode::Combined] {
             let (build, _) = schedule_program(&rtl, &hli, mode, &LatencyModel::default());
-            let res = hli_machine::execute(&build)
-                .unwrap_or_else(|e| panic!("{} {mode:?}: {e}", b.name));
+            let res =
+                hli_machine::execute(&build).unwrap_or_else(|e| panic!("{} {mode:?}: {e}", b.name));
             assert_eq!(res.ret, oracle.ret, "{} {mode:?}: wrong result", b.name);
             assert_eq!(
                 res.global_checksum, oracle.global_checksum,
@@ -79,7 +78,10 @@ fn serialization_roundtrips_whole_suite() {
     for b in hli_suite::all(Scale::tiny()) {
         let (prog, sema) = compile_to_ast(&b.source).unwrap();
         let hli = generate_hli(&prog, &sema);
-        for opts in [SerializeOpts::default(), SerializeOpts { include_names: true }] {
+        for opts in [
+            SerializeOpts::default(),
+            SerializeOpts { include_names: true },
+        ] {
             let bytes = encode_file(&hli, opts);
             let back = decode_file(&bytes, opts).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert_eq!(back.entries.len(), hli.entries.len(), "{}", b.name);

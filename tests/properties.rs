@@ -13,6 +13,10 @@
 //!   round trip;
 //! * the (line, order) mapping binds every item;
 //! * scheduling under any dependence mode preserves semantics.
+//!
+//! The generator is driven by a local xorshift64 PRNG with fixed seeds, so
+//! runs are deterministic and the test needs no external dependencies; a
+//! failing case prints the full program source for replay.
 
 use hli_backend::ddg::DepMode;
 use hli_backend::lower::lower_program;
@@ -22,142 +26,187 @@ use hli_frontend::generate_hli;
 use hli_lang::compile_to_ast;
 use hli_lang::interp::run_program_limited;
 use hli_lang::memwalk::{walk_function, AccessKind};
-use proptest::prelude::*;
 
-/// Generate an integer expression of bounded depth. Every variable it can
-/// mention is defined and initialized in the template below; array indices
-/// are masked in-bounds; divisors are non-zero literals.
-fn expr(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        (-20i64..20).prop_map(|v| v.to_string()),
-        Just("x".to_string()),
-        Just("g0".to_string()),
-        Just("g1".to_string()),
-        Just("arr[x & 15]".to_string()),
-        Just("arr[g0 & 15]".to_string()),
-        Just("*gp".to_string()),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^"),
-                Just("<"), Just("<="), Just("=="), Just("!=")
-            ])
-                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
-            (inner.clone(), 2i64..9).prop_map(|(a, d)| format!("({a} / {d})")),
-            (inner.clone(), 2i64..9).prop_map(|(a, m)| format!("({a} % {m})")),
-            inner.clone().prop_map(|a| format!("(0 - {a})")),
-            inner.clone().prop_map(|a| format!("(!{a})")),
-            inner.clone().prop_map(|a| format!("f1({a})")),
-        ]
-    })
-    .boxed()
-}
+/// xorshift64 — deterministic, dependency-free.
+struct Rng(u64);
 
-/// Generate a statement (possibly compound) of bounded nesting.
-fn stmt(depth: u32) -> BoxedStrategy<String> {
-    let simple = prop_oneof![
-        expr(2).prop_map(|e| format!("x = {e};")),
-        expr(2).prop_map(|e| format!("g0 = {e};")),
-        expr(2).prop_map(|e| format!("g1 += {e};")),
-        expr(2).prop_map(|e| format!("arr[x & 15] = {e};")),
-        expr(2).prop_map(|e| format!("arr[g1 & 15] = {e};")),
-        expr(1).prop_map(|e| format!("*gp = {e};")),
-        expr(1).prop_map(|e| format!("y = y * 0.5 + {e};")),
-        Just("f2();".to_string()),
-        Just("g0++;".to_string()),
-        Just("x--;".to_string()),
-    ];
-    if depth == 0 {
-        return simple.boxed();
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
     }
-    let nested = prop_oneof![
-        6 => simple.clone(),
-        2 => (1u32..6, prop::collection::vec(stmt(depth - 1), 1..4)).prop_map(move |(n, body)| {
-            // Each nesting depth owns its induction variable, or nested
-            // loops would reset their parent's counter and never finish.
-            let v = if depth >= 2 { "i" } else { "i2" };
-            format!("for ({v} = 0; {v} < {n}; {v}++) {{ {} }}", body.join(" "))
-        }),
-        2 => (expr(1), prop::collection::vec(stmt(depth - 1), 1..3), prop::collection::vec(stmt(depth - 1), 0..2))
-            .prop_map(|(c, t, e)| {
-                if e.is_empty() {
-                    format!("if ({c}) {{ {} }}", t.join(" "))
-                } else {
-                    format!("if ({c}) {{ {} }} else {{ {} }}", t.join(" "), e.join(" "))
-                }
-            }),
-    ];
-    nested.boxed()
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in `lo..hi`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
 }
 
-/// A whole program around the generated body.
-fn program() -> impl Strategy<Value = String> {
-    prop::collection::vec(stmt(2), 1..8).prop_map(|body| {
-        format!(
-            "int g0; int g1 = 3; int arr[16]; int target; int *gp;\n\
-             double acc;\n\
-             int f1(int a) {{ return a * 3 + g0; }}\n\
-             void f2() {{ g1 = g1 + 1; }}\n\
-             int main() {{\n\
-               int i; int i2; int x; double y;\n\
-               x = 1; y = 0.5; gp = &target;\n\
-               {}\n\
-               acc = y;\n\
-               return (x ^ g0 ^ g1 ^ arr[3] ^ arr[12] ^ target) & 65535;\n\
-             }}",
-            body.join("\n  ")
-        )
-    })
+/// An integer expression of bounded depth. Every variable it can mention
+/// is defined and initialized in the template below; array indices are
+/// masked in-bounds; divisors are non-zero literals.
+fn expr(r: &mut Rng, depth: u32) -> String {
+    if depth == 0 || r.below(3) == 0 {
+        return match r.below(7) {
+            0 => r.range(-20, 20).to_string(),
+            1 => "x".into(),
+            2 => "g0".into(),
+            3 => "g1".into(),
+            4 => "arr[x & 15]".into(),
+            5 => "arr[g0 & 15]".into(),
+            _ => "*gp".into(),
+        };
+    }
+    match r.below(6) {
+        0 => {
+            let op = ["+", "-", "*", "&", "|", "^", "<", "<=", "==", "!="][r.below(10) as usize];
+            let a = expr(r, depth - 1);
+            let b = expr(r, depth - 1);
+            format!("({a} {op} {b})")
+        }
+        1 => format!("({} / {})", expr(r, depth - 1), r.range(2, 9)),
+        2 => format!("({} % {})", expr(r, depth - 1), r.range(2, 9)),
+        3 => format!("(0 - {})", expr(r, depth - 1)),
+        4 => format!("(!{})", expr(r, depth - 1)),
+        _ => format!("f1({})", expr(r, depth - 1)),
+    }
+}
+
+/// A statement (possibly compound) of bounded nesting.
+fn stmt(r: &mut Rng, depth: u32) -> String {
+    let simple = |r: &mut Rng| match r.below(10) {
+        0 => format!("x = {};", expr(r, 2)),
+        1 => format!("g0 = {};", expr(r, 2)),
+        2 => format!("g1 += {};", expr(r, 2)),
+        3 => format!("arr[x & 15] = {};", expr(r, 2)),
+        4 => format!("arr[g1 & 15] = {};", expr(r, 2)),
+        5 => format!("*gp = {};", expr(r, 1)),
+        6 => format!("y = y * 0.5 + {};", expr(r, 1)),
+        7 => "f2();".into(),
+        8 => "g0++;".into(),
+        _ => "x--;".into(),
+    };
+    if depth == 0 || r.below(10) < 6 {
+        return simple(r);
+    }
+    if r.below(2) == 0 {
+        // Each nesting depth owns its induction variable, or nested loops
+        // would reset their parent's counter and never finish.
+        let v = if depth >= 2 { "i" } else { "i2" };
+        let n = r.range(1, 6);
+        let body: Vec<String> = (0..r.range(1, 4)).map(|_| stmt(r, depth - 1)).collect();
+        format!("for ({v} = 0; {v} < {n}; {v}++) {{ {} }}", body.join(" "))
+    } else {
+        let c = expr(r, 1);
+        let t: Vec<String> = (0..r.range(1, 3)).map(|_| stmt(r, depth - 1)).collect();
+        let e: Vec<String> = (0..r.range(0, 2)).map(|_| stmt(r, depth - 1)).collect();
+        if e.is_empty() {
+            format!("if ({c}) {{ {} }}", t.join(" "))
+        } else {
+            format!("if ({c}) {{ {} }} else {{ {} }}", t.join(" "), e.join(" "))
+        }
+    }
+}
+
+/// A whole program around a generated body.
+fn program(r: &mut Rng) -> String {
+    let body: Vec<String> = (0..r.range(1, 8)).map(|_| stmt(r, 2)).collect();
+    format!(
+        "int g0; int g1 = 3; int arr[16]; int target; int *gp;\n\
+         double acc;\n\
+         int f1(int a) {{ return a * 3 + g0; }}\n\
+         void f2() {{ g1 = g1 + 1; }}\n\
+         int main() {{\n\
+           int i; int i2; int x; double y;\n\
+           x = 1; y = 0.5; gp = &target;\n\
+           {}\n\
+           acc = y;\n\
+           return (x ^ g0 ^ g1 ^ arr[3] ^ arr[12] ^ target) & 65535;\n\
+         }}",
+        body.join("\n  ")
+    )
 }
 
 const STEP_BUDGET: u64 = 3_000_000;
+const CASES: u64 = 48;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+/// Run `check` over `CASES` deterministic programs (seed varies per case
+/// and per property so the properties don't all see the same programs).
+fn for_cases(property_salt: u64, check: impl Fn(&str)) {
+    for case in 0..CASES {
+        let mut rng = Rng::new(
+            0xA076_1D64_78BD_642F
+                ^ property_salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ case.wrapping_mul(0xE703_7ED1_A0B4_28DB),
+        );
+        let src = program(&mut rng);
+        check(&src);
+    }
+}
 
-    #[test]
-    fn generated_programs_compile_and_run(src in program()) {
-        let (prog, sema) = compile_to_ast(&src)
+#[test]
+fn generated_programs_compile_and_run() {
+    for_cases(1, |src| {
+        let (prog, sema) = compile_to_ast(src)
             .unwrap_or_else(|e| panic!("generator produced invalid program: {e}\n{src}"));
         // Division by zero cannot happen (non-zero literal divisors);
         // interpretation must succeed.
         run_program_limited(&prog, &sema, STEP_BUDGET)
             .unwrap_or_else(|e| panic!("interp failed: {e}\n{src}"));
-    }
+    });
+}
 
-    #[test]
-    fn pretty_print_roundtrip_preserves_behaviour(src in program()) {
-        let (p1, s1) = compile_to_ast(&src).unwrap();
+#[test]
+fn pretty_print_roundtrip_preserves_behaviour() {
+    for_cases(2, |src| {
+        let (p1, s1) = compile_to_ast(src).unwrap();
         let r1 = run_program_limited(&p1, &s1, STEP_BUDGET).unwrap();
         let printed = hli_lang::pretty::program_to_string(&p1);
         let (p2, s2) = compile_to_ast(&printed)
             .unwrap_or_else(|e| panic!("pretty output fails to parse: {e}\n{printed}"));
         let r2 = run_program_limited(&p2, &s2, STEP_BUDGET).unwrap();
-        prop_assert_eq!(r1.ret, r2.ret);
-        prop_assert_eq!(r1.global_checksum, r2.global_checksum);
-    }
+        assert_eq!(r1.ret, r2.ret, "{src}");
+        assert_eq!(r1.global_checksum, r2.global_checksum, "{src}");
+    });
+}
 
-    #[test]
-    fn interpreter_and_machine_agree(src in program()) {
-        let (prog, sema) = compile_to_ast(&src).unwrap();
+#[test]
+fn interpreter_and_machine_agree() {
+    for_cases(3, |src| {
+        let (prog, sema) = compile_to_ast(src).unwrap();
         let oracle = run_program_limited(&prog, &sema, STEP_BUDGET).unwrap();
         let rtl = lower_program(&prog, &sema);
-        let mach = hli_machine::execute(&rtl)
-            .unwrap_or_else(|e| panic!("machine failed: {e}\n{src}"));
-        prop_assert_eq!(oracle.ret, mach.ret, "return value diverged\n{}", src);
-        prop_assert_eq!(oracle.global_checksum, mach.global_checksum, "memory diverged\n{}", src);
-    }
+        let mach =
+            hli_machine::execute(&rtl).unwrap_or_else(|e| panic!("machine failed: {e}\n{src}"));
+        assert_eq!(oracle.ret, mach.ret, "return value diverged\n{src}");
+        assert_eq!(oracle.global_checksum, mach.global_checksum, "memory diverged\n{src}");
+    });
+}
 
-    #[test]
-    fn itemgen_matches_lowering_order(src in program()) {
-        let (prog, sema) = compile_to_ast(&src).unwrap();
+#[test]
+fn itemgen_matches_lowering_order() {
+    for_cases(4, |src| {
+        let (prog, sema) = compile_to_ast(src).unwrap();
         let rtl = lower_program(&prog, &sema);
         for f in &prog.funcs {
-            let events: Vec<(u32, AccessKind)> = walk_function(f, &sema)
-                .into_iter()
-                .map(|ev| (ev.line, ev.kind))
-                .collect();
+            let events: Vec<(u32, AccessKind)> =
+                walk_function(f, &sema).into_iter().map(|ev| (ev.line, ev.kind)).collect();
             let rf = rtl.func(&f.name).unwrap();
             let refs: Vec<(u32, AccessKind)> = rf
                 .insns
@@ -169,42 +218,48 @@ proptest! {
                     _ => None,
                 })
                 .collect();
-            prop_assert_eq!(&events, &refs, "contract broken for `{}`\n{}", f.name, src);
+            assert_eq!(events, refs, "contract broken for `{}`\n{src}", f.name);
         }
-    }
+    });
+}
 
-    #[test]
-    fn hli_validates_and_roundtrips(src in program()) {
-        let (prog, sema) = compile_to_ast(&src).unwrap();
+#[test]
+fn hli_validates_and_roundtrips() {
+    for_cases(5, |src| {
+        let (prog, sema) = compile_to_ast(src).unwrap();
         let hli = generate_hli(&prog, &sema);
         for e in &hli.entries {
             let errs = e.validate();
-            prop_assert!(errs.is_empty(), "invalid HLI for `{}`: {errs:?}\n{src}", e.unit_name);
+            assert!(errs.is_empty(), "invalid HLI for `{}`: {errs:?}\n{src}", e.unit_name);
         }
         let bytes = hli_core::serialize::encode_file(&hli, Default::default());
         let back = hli_core::serialize::decode_file(&bytes, Default::default()).unwrap();
-        prop_assert_eq!(back.entries.len(), hli.entries.len());
+        assert_eq!(back.entries.len(), hli.entries.len());
         for (a, b) in hli.entries.iter().zip(&back.entries) {
-            prop_assert_eq!(&a.line_table, &b.line_table);
+            assert_eq!(a.line_table, b.line_table);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mapping_is_total(src in program()) {
-        let (prog, sema) = compile_to_ast(&src).unwrap();
+#[test]
+fn mapping_is_total() {
+    for_cases(6, |src| {
+        let (prog, sema) = compile_to_ast(src).unwrap();
         let hli = generate_hli(&prog, &sema);
         let rtl = lower_program(&prog, &sema);
         for f in &rtl.funcs {
             let entry = hli.entry(&f.name).unwrap();
             let map = map_function(f, entry);
-            prop_assert!(map.unmapped_insns.is_empty(), "unmapped insns in `{}`\n{}", f.name, src);
-            prop_assert!(map.unmapped_items.is_empty(), "unmapped items in `{}`\n{}", f.name, src);
+            assert!(map.unmapped_insns.is_empty(), "unmapped insns in `{}`\n{src}", f.name);
+            assert!(map.unmapped_items.is_empty(), "unmapped items in `{}`\n{src}", f.name);
         }
-    }
+    });
+}
 
-    #[test]
-    fn scheduling_preserves_semantics(src in program()) {
-        let (prog, sema) = compile_to_ast(&src).unwrap();
+#[test]
+fn scheduling_preserves_semantics() {
+    for_cases(7, |src| {
+        let (prog, sema) = compile_to_ast(src).unwrap();
         let oracle = run_program_limited(&prog, &sema, STEP_BUDGET).unwrap();
         let hli = generate_hli(&prog, &sema);
         let rtl = lower_program(&prog, &sema);
@@ -212,11 +267,13 @@ proptest! {
             let (build, stats) = schedule_program(&rtl, &hli, mode, &LatencyModel::default());
             let res = hli_machine::execute(&build)
                 .unwrap_or_else(|e| panic!("{mode:?} failed: {e}\n{src}"));
-            prop_assert_eq!(oracle.ret, res.ret, "{:?} changed the result\n{}", mode, src);
-            prop_assert_eq!(oracle.global_checksum, res.global_checksum,
-                "{:?} changed memory\n{}", mode, src);
-            prop_assert!(stats.combined_yes <= stats.gcc_yes);
-            prop_assert!(stats.combined_yes <= stats.hli_yes);
+            assert_eq!(oracle.ret, res.ret, "{mode:?} changed the result\n{src}");
+            assert_eq!(
+                oracle.global_checksum, res.global_checksum,
+                "{mode:?} changed memory\n{src}"
+            );
+            assert!(stats.combined_yes <= stats.gcc_yes);
+            assert!(stats.combined_yes <= stats.hli_yes);
         }
-    }
+    });
 }
