@@ -56,6 +56,7 @@ pub fn cse_function(
     let query_entry = hli.as_ref().map(|(e, _)| (**e).clone());
     let query = query_entry.as_ref().map(HliQuery::new);
     let item_of = |map: &HliMap, insn: InsnId| map.item_of(insn);
+    let prov = hli_obs::provenance::active();
 
     let mut out: Vec<crate::rtl::Insn> = Vec::with_capacity(f.insns.len());
     let mut avail: Vec<Avail> = Vec::new();
@@ -114,6 +115,7 @@ pub fn cse_function(
                     if let (Some(q), Some(call)) = (query.as_ref(), call_item) {
                         // Figure 4: purge only what the call may modify.
                         avail.retain(|a| {
+                            let mark = q.query_mark();
                             let purge = match a.item {
                                 Some(it) => q.get_call_acc(it, call).may_modify(),
                                 None => true,
@@ -123,9 +125,44 @@ pub fn cse_function(
                             } else {
                                 kept_across_call += 1;
                             }
+                            if let Some(sink) = prov.as_deref() {
+                                let verdict = if purge {
+                                    hli_obs::Verdict::Blocked {
+                                        reason: if a.item.is_some() {
+                                            "call may modify location".into()
+                                        } else {
+                                            "entry has no HLI item".into()
+                                        },
+                                    }
+                                } else {
+                                    hli_obs::Verdict::Applied
+                                };
+                                sink.record(hli_obs::DecisionRecord {
+                                    pass: "cse.call".into(),
+                                    function: f.name.clone(),
+                                    region_id: a.item.and_then(|it| q.owner_of(it)).map(|r| r.0),
+                                    order: insn.line,
+                                    hli_queries: q.queries_since(mark),
+                                    verdict,
+                                });
+                            }
                             !purge
                         });
                     } else {
+                        if let Some(sink) = prov.as_deref() {
+                            for _ in &avail {
+                                sink.record(hli_obs::DecisionRecord {
+                                    pass: "cse.call".into(),
+                                    function: f.name.clone(),
+                                    region_id: None,
+                                    order: insn.line,
+                                    hli_queries: Vec::new(),
+                                    verdict: hli_obs::Verdict::Blocked {
+                                        reason: "call has no HLI item".into(),
+                                    },
+                                });
+                            }
+                        }
                         purged_by_call += avail.len();
                         avail.clear();
                     }

@@ -165,6 +165,7 @@ pub fn build_block_ddg(
 
     // Memory and call dependences.
     let ring = hli_obs::ring::global();
+    let prov = hli_obs::provenance::active();
     for k in 0..n {
         let opk = &f.insns[nodes[k]].op;
         let k_mem = opk.mem_ref().copied();
@@ -182,6 +183,7 @@ pub fn build_block_ddg(
                         continue; // read-read: no query, no edge
                     }
                     stats.total_tests += 1;
+                    let mark = hli.map(|s| s.query.query_mark()).unwrap_or(0);
                     let gcc = gccdep::may_conflict(a, b);
                     let hli_ans = hli_pair_answer(f, nodes[j], nodes[k], hli);
                     if gcc {
@@ -199,11 +201,17 @@ pub fn build_block_ddg(
                             f.name, nodes[j], nodes[k]
                         )
                     });
-                    match mode {
+                    let dep = match mode {
                         DepMode::GccOnly => gcc,
                         DepMode::HliOnly => hli_ans,
                         DepMode::Combined => gcc && hli_ans,
+                    };
+                    if let (Some(sink), Some(side)) = (prov.as_deref(), hli) {
+                        record_decision(sink, side, f, "sched.pair", nodes[k], mark, dep, || {
+                            format!("reorder blocked: gcc={gcc} hli={hli_ans}")
+                        });
                     }
+                    dep
                 }
                 (_, true, _, true) => true, // calls stay ordered
                 (Some(m), _, _, true) | (_, true, Some(m), _) => {
@@ -214,12 +222,19 @@ pub fn build_block_ddg(
                     } else {
                         (nodes[j], nodes[k])
                     };
+                    let mark = hli.map(|s| s.query.query_mark()).unwrap_or(0);
                     let hli_ans = hli_call_answer(f, mem_idx, call_idx, mem_is_store, hli);
                     let _ = m;
-                    match mode {
+                    let dep = match mode {
                         DepMode::GccOnly => true, // GCC: calls clobber memory
                         DepMode::HliOnly | DepMode::Combined => hli_ans,
+                    };
+                    if let (Some(sink), Some(side)) = (prov.as_deref(), hli) {
+                        record_decision(sink, side, f, "sched.call", mem_idx, mark, dep, || {
+                            "call may touch location (REF/MOD)".to_string()
+                        });
                     }
+                    dep
                 }
                 _ => continue,
             };
@@ -235,6 +250,43 @@ pub fn build_block_ddg(
     reg.counter("backend.ddg.mem_edges").add(mem_edges as u64);
 
     Ddg { nodes, preds, succs, mem_edges }
+}
+
+/// Append one scheduling decision to the provenance sink: `Applied` when
+/// no dependence edge was needed (the scheduler may reorder across this
+/// pair — the Figure-5 hoist when one side is a call), `Blocked` when the
+/// edge was kept. `mem_idx` is the instruction whose region/line the
+/// record is attributed to; `mark` captures the query chain consumed by
+/// this one decision.
+#[allow(clippy::too_many_arguments)]
+fn record_decision(
+    sink: &hli_obs::ProvenanceSink,
+    side: &HliSide<'_>,
+    f: &RtlFunc,
+    pass: &str,
+    mem_idx: usize,
+    mark: usize,
+    dep: bool,
+    reason: impl FnOnce() -> String,
+) {
+    let region = side
+        .map
+        .item_of(f.insns[mem_idx].id)
+        .and_then(|it| side.query.owner_of(it))
+        .map(|r| r.0);
+    let verdict = if dep {
+        hli_obs::Verdict::Blocked { reason: reason() }
+    } else {
+        hli_obs::Verdict::Applied
+    };
+    sink.record(hli_obs::DecisionRecord {
+        pass: pass.to_string(),
+        function: f.name.clone(),
+        region_id: region,
+        order: f.insns[mem_idx].line,
+        hli_queries: side.query.queries_since(mark),
+        verdict,
+    });
 }
 
 /// HLI answer for a memory pair: may they overlap (same iteration)?

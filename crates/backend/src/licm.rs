@@ -79,6 +79,7 @@ pub fn licm_function(
     let use_hli = matches!(mode, DepMode::HliOnly | DepMode::Combined) && hli.is_some();
     let query_entry = hli.as_ref().map(|(e, _)| (**e).clone());
     let query = query_entry.as_ref().map(HliQuery::new);
+    let prov = hli_obs::provenance::active();
 
     let loops = innermost(&find_loops(f));
     let mut hoist: Vec<(usize, usize)> = Vec::new(); // (insn index, insert-before index)
@@ -123,7 +124,9 @@ pub fn licm_function(
                 continue;
             }
             // No conflicting store or call in the loop.
+            let mark = query.as_ref().map(|q| q.query_mark()).unwrap_or(0);
             let mut safe = true;
+            let mut block_reason = "";
             for j in lp.head..=lp.tail {
                 match &f.insns[j].op {
                     Op::Store(sm, _) => {
@@ -137,6 +140,7 @@ pub fn licm_function(
                         };
                         if conflict {
                             safe = false;
+                            block_reason = "conflicting store in loop";
                             break;
                         }
                     }
@@ -148,6 +152,7 @@ pub fn licm_function(
                         };
                         if conflict {
                             safe = false;
+                            block_reason = "call in loop may modify location";
                             break;
                         }
                     }
@@ -157,6 +162,31 @@ pub fn licm_function(
             if safe {
                 hoist.push((i, lp.head));
                 taken.insert(i);
+            }
+            // One decision record per hoist candidate that reached the
+            // legality scan (HLI-gated modes only — a GCC-only hoist cites
+            // no queries and is not part of the audit trail).
+            if use_hli {
+                if let (Some(sink), Some(q)) = (prov.as_deref(), query.as_ref()) {
+                    let region = hli
+                        .as_ref()
+                        .and_then(|(_, map)| map.item_of(f.insns[i].id))
+                        .and_then(|it| q.owner_of(it))
+                        .map(|r| r.0);
+                    let verdict = if safe {
+                        hli_obs::Verdict::Applied
+                    } else {
+                        hli_obs::Verdict::Blocked { reason: block_reason.to_string() }
+                    };
+                    sink.record(hli_obs::DecisionRecord {
+                        pass: "licm.hoist".into(),
+                        function: f.name.clone(),
+                        region_id: region,
+                        order: f.insns[i].line,
+                        hli_queries: q.queries_since(mark),
+                        verdict,
+                    });
+                }
             }
         }
     }

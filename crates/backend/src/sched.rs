@@ -81,6 +81,7 @@ pub fn schedule_function(
 ) -> SchedResult {
     let reg = hli_obs::metrics::cur();
     let ready_hist = reg.histogram("backend.sched.ready_list");
+    let prov = hli_obs::provenance::active();
     let mut stats = QueryStats::default();
     let mut new_insns: Vec<Insn> = Vec::with_capacity(f.insns.len());
     let mut blocks_changed = 0;
@@ -113,6 +114,20 @@ pub fn schedule_function(
         let changed = emitted.iter().zip(&f.insns[b.range()]).any(|(a, b)| a.id != b.id);
         if changed {
             blocks_changed += 1;
+            // Block-level outcome record: the per-pair sched.pair/sched.call
+            // records say which reorders the DDG *permitted*; this one says
+            // the block's issue order actually changed. Only HLI-gated modes
+            // record it — a GccOnly reorder is not an HLI-justified decision.
+            if let (Some(sink), true, Some(_)) = (prov.as_deref(), mode != DepMode::GccOnly, hli) {
+                sink.record(hli_obs::DecisionRecord {
+                    pass: "sched.block".into(),
+                    function: f.name.clone(),
+                    region_id: None,
+                    order: f.insns[b.start].line,
+                    hli_queries: Vec::new(),
+                    verdict: hli_obs::Verdict::Applied,
+                });
+            }
         }
         new_insns.extend(emitted);
     }

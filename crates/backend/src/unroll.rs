@@ -59,10 +59,33 @@ pub fn unroll_function(
     let mut skipped = 0;
     // Process loops one at a time; indices shift, so re-locate each meta
     // against the current instruction vector.
+    let prov = hli_obs::provenance::active();
     for meta in metas {
-        match unroll_one(&mut func, meta, factor, &mut hli) {
-            Ok(()) => unrolled += 1,
-            Err(()) => skipped += 1,
+        let ok = unroll_one(&mut func, meta, factor, &mut hli).is_ok();
+        if ok {
+            unrolled += 1;
+        } else {
+            skipped += 1;
+        }
+        // Unroll legality is structural (shape + trip count), so the record
+        // cites no queries; the paired `maintain.unroll_loop` record carries
+        // the region whose tables were rebuilt (Figure 6).
+        if let Some(sink) = prov.as_deref() {
+            let verdict = if ok {
+                hli_obs::Verdict::Applied
+            } else {
+                hli_obs::Verdict::Blocked {
+                    reason: format!("non-canonical shape or trip < {factor}"),
+                }
+            };
+            sink.record(hli_obs::DecisionRecord {
+                pass: "unroll.loop".into(),
+                function: func.name.clone(),
+                region_id: None,
+                order: meta.header_line,
+                hli_queries: Vec::new(),
+                verdict,
+            });
         }
     }
     let reg = hli_obs::metrics::cur();

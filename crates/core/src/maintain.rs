@@ -39,11 +39,29 @@ fn err<T>(msg: impl Into<String>) -> Result<T, MaintainError> {
     Err(MaintainError(msg.into()))
 }
 
+/// Record one completed maintenance operation with the active provenance
+/// sink (no-op when provenance is off). Maintenance is the
+/// invalidation/regeneration side of the audit trail: it explains why a
+/// later query's answer changed.
+fn prov_applied(e: &HliEntry, op: &str, region: Option<RegionId>, line: u32) {
+    if let Some(sink) = hli_obs::provenance::active() {
+        sink.record(hli_obs::DecisionRecord {
+            pass: format!("maintain.{op}"),
+            function: e.unit_name.clone(),
+            region_id: region.map(|r| r.0),
+            order: line,
+            hli_queries: Vec::new(),
+            verdict: hli_obs::Verdict::Applied,
+        });
+    }
+}
+
 /// Delete an item (e.g. CSE eliminated its memory reference). Classes that
 /// become empty are removed, and every table referencing them is cleaned,
 /// cascading upward through enclosing regions.
 pub fn delete_item(e: &mut HliEntry, id: ItemId) -> Result<(), MaintainError> {
     hli_obs::metrics::cur().counter("hli.maintain.delete_item").inc();
+    let line = e.line_table.find(id).map(|(l, _)| l).unwrap_or(0);
     if !e.line_table.remove_item(id) {
         return err(format!("item {id} not in line table"));
     }
@@ -53,6 +71,7 @@ pub fn delete_item(e: &mut HliEntry, id: ItemId) -> Result<(), MaintainError> {
         for r in &mut e.regions {
             r.call_refmod.retain(|c| c.callee != CallRef::Item(id));
         }
+        prov_applied(e, "delete_item", None, line);
         return Ok(());
     };
     let class = class_of_direct_item(e, region, id).expect("owning class");
@@ -60,6 +79,7 @@ pub fn delete_item(e: &mut HliEntry, id: ItemId) -> Result<(), MaintainError> {
     let c = r.class_mut(class).unwrap();
     c.members.retain(|m| !matches!(m, MemberRef::Item(i) if *i == id));
     cleanup_if_empty(e, region, class);
+    prov_applied(e, "delete_item", Some(region), line);
     Ok(())
 }
 
@@ -80,6 +100,7 @@ pub fn gen_item_like(
     let id = e.fresh_id();
     e.line_table.push_item(line, ItemEntry { id, ty });
     e.region_mut(region).class_mut(class).unwrap().members.push(MemberRef::Item(id));
+    prov_applied(e, "gen_item", Some(region), line);
     Ok(id)
 }
 
@@ -126,6 +147,7 @@ pub fn move_item_to_region(
     // Re-key the line table.
     e.line_table.remove_item(id);
     e.line_table.push_item(new_line, ItemEntry { id, ty });
+    prov_applied(e, "move_item", Some(target), new_line);
     Ok(())
 }
 
@@ -345,6 +367,7 @@ pub fn unroll_loop(
         maps.precond_items = item_map;
     }
 
+    prov_applied(e, "unroll_loop", Some(region), scope.0);
     Ok(maps)
 }
 

@@ -27,7 +27,9 @@
 
 use crate::ids::{ItemId, RegionId, UNIT_REGION};
 use crate::tables::*;
+use hli_obs::provenance::{self, QueryRef};
 use hli_obs::Counter;
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 
 /// Answer of an equivalent-access query.
@@ -110,6 +112,12 @@ pub struct HliQuery<'a> {
     /// Per-query call counters (`hli.query.*`), resolved once at index
     /// construction so each query pays one relaxed atomic add.
     counters: QueryCounters,
+    /// True when a provenance sink was active at construction: every basic
+    /// query then stamps a process-monotonic id into `qlog`, so optimizing
+    /// passes can cite the exact query chain behind a decision (see
+    /// [`HliQuery::query_mark`] / [`HliQuery::queries_since`]).
+    prov_active: bool,
+    qlog: RefCell<Vec<QueryRef>>,
 }
 
 /// Cached `hli.query.*` counter handles, one per basic query function.
@@ -213,7 +221,30 @@ impl<'a> HliQuery<'a> {
             item_info,
             call_region,
             counters: QueryCounters::new(),
+            prov_active: provenance::active().is_some(),
+            qlog: RefCell::new(Vec::new()),
         }
+    }
+
+    /// Stamp one query id into the log (no-op unless a provenance sink was
+    /// active when this index was built, so plain runs pay one branch).
+    fn stamp(&self) {
+        if self.prov_active {
+            self.qlog.borrow_mut().push(provenance::next_query_id());
+        }
+    }
+
+    /// Position marker into the query log; pair with
+    /// [`HliQuery::queries_since`] to capture the chain of basic queries a
+    /// single optimization decision consumed.
+    pub fn query_mark(&self) -> usize {
+        self.qlog.borrow().len()
+    }
+
+    /// The ids stamped since `mark`, in issue order.
+    pub fn queries_since(&self, mark: usize) -> Vec<QueryRef> {
+        let log = self.qlog.borrow();
+        log[mark.min(log.len())..].to_vec()
     }
 
     /// The entry this index serves.
@@ -224,6 +255,7 @@ impl<'a> HliQuery<'a> {
     /// Basic query 5a: region metadata.
     pub fn region_info(&self, r: RegionId) -> &'a Region {
         self.counters.region_info.inc();
+        self.stamp();
         self.entry.region(r)
     }
 
@@ -231,6 +263,14 @@ impl<'a> HliQuery<'a> {
     /// the innermost region whose scope covers the call's line).
     pub fn region_of_item(&self, item: ItemId) -> Option<RegionId> {
         self.counters.region_info.inc();
+        self.stamp();
+        self.owner_of(item)
+    }
+
+    /// Like [`Self::region_of_item`] but without counting or stamping a
+    /// query id: provenance recording itself uses this to attribute a
+    /// decision to a region, and must not perturb `hli.query.*` totals.
+    pub fn owner_of(&self, item: ItemId) -> Option<RegionId> {
         self.owner.get(&item).or_else(|| self.call_region.get(&item)).copied()
     }
 
@@ -248,6 +288,7 @@ impl<'a> HliQuery<'a> {
     /// same location within a single iteration of every enclosing loop?
     pub fn get_equiv_acc(&self, a: ItemId, b: ItemId) -> EquivAcc {
         self.counters.equiv_acc.inc();
+        self.stamp();
         if a == b {
             return EquivAcc::Definite;
         }
@@ -275,6 +316,7 @@ impl<'a> HliQuery<'a> {
     /// Basic query 2: are two classes of `region` listed as aliased?
     pub fn get_alias(&self, region: RegionId, ca: ItemId, cb: ItemId) -> bool {
         self.counters.alias.inc();
+        self.stamp();
         let key = (ca.min(cb), ca.max(cb));
         self.alias_pairs[region.0 as usize].contains(&key)
     }
@@ -284,6 +326,7 @@ impl<'a> HliQuery<'a> {
     /// the table has no arc between their classes.
     pub fn get_lcdd(&self, a: ItemId, b: ItemId) -> Option<LcddAnswer> {
         self.counters.lcdd.inc();
+        self.stamp();
         let (&ra, &rb) = (self.owner.get(&a)?, self.owner.get(&b)?);
         let lca = self.entry.region_lca(ra, rb);
         self.get_lcdd_at(lca, a, b)
@@ -308,6 +351,7 @@ impl<'a> HliQuery<'a> {
     /// accessed by `mem`?
     pub fn get_call_acc(&self, mem: ItemId, call: ItemId) -> CallAcc {
         self.counters.call_acc.inc();
+        self.stamp();
         let Some(&rmem) = self.owner.get(&mem) else { return CallAcc::Unknown };
         let Some(&rcall) = self.call_region.get(&call) else { return CallAcc::Unknown };
         let lca = self.entry.region_lca(rmem, rcall);
@@ -527,6 +571,34 @@ mod tests {
         e.region_mut(RegionId(1)).scope = (12, 14);
         let qx = q(&e);
         assert_eq!(qx.get_call_acc(ItemId(0), call), CallAcc::Unknown);
+    }
+
+    #[test]
+    fn queries_stamp_ids_only_under_a_provenance_sink() {
+        use hli_obs::provenance::{self, ProvenanceSink};
+        use std::sync::Arc;
+        let e = figure2_like();
+        // No sink: nothing is stamped.
+        let plain = q(&e);
+        let _ = plain.get_equiv_acc(ItemId(5), ItemId(6));
+        assert!(plain.queries_since(0).is_empty());
+        // Scoped sink: every basic query stamps a monotonic id, including
+        // the alias query issued internally by get_equiv_acc.
+        let sink = Arc::new(ProvenanceSink::new());
+        let _g = provenance::scoped(sink);
+        let lo = provenance::query_id_watermark();
+        let qx = q(&e);
+        let mark = qx.query_mark();
+        let _ = qx.get_equiv_acc(ItemId(5), ItemId(6));
+        let ids = qx.queries_since(mark);
+        assert_eq!(ids.len(), 2, "equiv_acc over distinct classes also asks get_alias");
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        let hi = provenance::query_id_watermark();
+        assert!(ids.iter().all(|i| i.0 >= lo && i.0 < hi));
+        // owner_of neither counts nor stamps.
+        let mark2 = qx.query_mark();
+        assert_eq!(qx.owner_of(ItemId(5)), Some(RegionId(3)));
+        assert!(qx.queries_since(mark2).is_empty());
     }
 
     #[test]

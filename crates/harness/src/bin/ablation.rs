@@ -4,22 +4,14 @@
 //! and prints the reduction each achieves.
 //!
 //! Usage: `cargo run --release -p hli-harness --bin ablation [n iters]
-//! [--stats text|json] [--trace-out t.json]`
+//! [--stats text|json] [--trace-out t.json] [--provenance-out p.jsonl]`
 
 use hli_frontend::FrontendOptions;
-use hli_harness::cli::ObsArgs;
+use hli_harness::report::bench_args;
 use hli_harness::{mean, par_map, run_benchmark_with};
-use hli_suite::Scale;
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let obs = ObsArgs::extract(&mut args).unwrap_or_else(|e| {
-        eprintln!("ablation: {e}");
-        std::process::exit(1);
-    });
-    let n = args.first().and_then(|a| a.parse().ok()).unwrap_or(64);
-    let iters = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(12);
-    let scale = Scale { n, iters };
+    let (scale, obs) = bench_args("ablation");
     let variants: Vec<(&str, FrontendOptions)> = vec![
         ("full HLI", FrontendOptions::default()),
         (
@@ -45,8 +37,10 @@ fn main() {
     ];
 
     eprintln!(
-        "running {} suite passes at scale n={n} iters={iters}...",
-        variants.len()
+        "running {} suite passes at scale n={} iters={}...",
+        variants.len(),
+        scale.n,
+        scale.iters
     );
     let suite = hli_suite::all(scale);
 

@@ -107,7 +107,20 @@ fn figure6() {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = hli_harness::cli::ObsArgs::extract(&mut args).unwrap_or_else(|e| {
+        eprintln!("figures: {e}");
+        std::process::exit(1);
+    });
+    if let Some(extra) = args.first() {
+        eprintln!("figures: unexpected argument `{extra}`");
+        eprintln!(
+            "usage: figures [--stats text|json] [--trace-out t.json] [--provenance-out p.jsonl]"
+        );
+        std::process::exit(1);
+    }
     figure2();
     figure4();
     figure6();
+    obs.emit();
 }

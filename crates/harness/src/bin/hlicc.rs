@@ -17,7 +17,8 @@
 //! Every subcommand also accepts the observability flags:
 //! `--stats [text|json]` prints the metrics registry after the normal
 //! output, `--trace-out <file.json>` writes the phase trace as Chrome
-//! `trace_event` JSON.
+//! `trace_event` JSON, and `--provenance-out <file.jsonl>` records every
+//! HLI-justified optimization decision as one JSON object per line.
 
 use hli_backend::cse::cse_function;
 use hli_backend::ddg::DepMode;
@@ -185,7 +186,7 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: hlicc front <input.c> [-o out.hli]\n       hlicc back <input.c> <in.hli> [--no-hli --dump-rtl --unroll N --cse --licm --time]\n       hlicc build <input.c> [back-end flags]\n       (all: --stats [text|json], --trace-out <file.json>)";
+    let usage = "usage: hlicc front <input.c> [-o out.hli]\n       hlicc back <input.c> <in.hli> [--no-hli --dump-rtl --unroll N --cse --licm --time]\n       hlicc build <input.c> [back-end flags]\n       (all: --stats [text|json], --trace-out <file.json>, --provenance-out <file.jsonl>)";
     let obs = hli_harness::cli::ObsArgs::extract(&mut args).unwrap_or_else(|e| fail(&e));
     let Some(cmd) = args.first() else { fail(usage) };
     match cmd.as_str() {

@@ -4,23 +4,14 @@
 //! vs GCC-scheduled code on the R4600-like and R10000-like machine models.
 //!
 //! Usage: `cargo run --release -p hli-harness --bin table2 [n iters]
-//! [--stats text|json] [--trace-out t.json]`
+//! [--stats text|json] [--trace-out t.json] [--provenance-out p.jsonl]`
 
-use hli_harness::cli::ObsArgs;
 use hli_harness::format_table2;
-use hli_harness::report::collect_suite;
-use hli_suite::Scale;
+use hli_harness::report::{bench_args, collect_suite};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let obs = ObsArgs::extract(&mut args).unwrap_or_else(|e| {
-        eprintln!("table2: {e}");
-        std::process::exit(1);
-    });
-    let n = args.first().and_then(|a| a.parse().ok()).unwrap_or(64);
-    let iters = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(12);
-    let scale = Scale { n, iters };
-    eprintln!("running suite at scale n={n} iters={iters}...");
+    let (scale, obs) = bench_args("table2");
+    eprintln!("running suite at scale n={} iters={}...", scale.n, scale.iters);
     let reports = collect_suite(scale).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);

@@ -4,7 +4,10 @@
 //! * `--stats [text|json]` — after the normal output, print the metrics
 //!   registry (everything the instrumented crates counted during the run);
 //! * `--trace-out <file.json>` — write the phase trace as Chrome
-//!   `trace_event` JSON (loadable in `chrome://tracing` / Perfetto).
+//!   `trace_event` JSON (loadable in `chrome://tracing` / Perfetto);
+//! * `--provenance-out <file.jsonl>` — enable the decision-provenance sink
+//!   and write every [`hli_obs::DecisionRecord`] the optimizers emitted as
+//!   one JSON object per line.
 //!
 //! [`ObsArgs::extract`] strips the flags out of an argument vector before
 //! the binary's own parsing, so every binary gains them with two lines.
@@ -23,11 +26,15 @@ pub enum StatsFormat {
 pub struct ObsArgs {
     pub stats: Option<StatsFormat>,
     pub trace_out: Option<String>,
+    pub provenance_out: Option<String>,
 }
 
 impl ObsArgs {
-    /// Remove `--stats [text|json]` and `--trace-out <file>` from `args`
-    /// (leaving the binary's own arguments untouched) and return them.
+    /// Remove `--stats [text|json]`, `--trace-out <file>` and
+    /// `--provenance-out <file>` from `args` (leaving the binary's own
+    /// arguments untouched) and return them. Seeing `--provenance-out`
+    /// enables the global decision sink, so the passes that run afterwards
+    /// record; without the flag they take the disabled fast path.
     pub fn extract(args: &mut Vec<String>) -> Result<ObsArgs, String> {
         let mut obs = ObsArgs::default();
         let mut i = 0;
@@ -55,6 +62,14 @@ impl ObsArgs {
                     }
                     obs.trace_out = Some(args.remove(i));
                 }
+                "--provenance-out" => {
+                    args.remove(i);
+                    if i >= args.len() {
+                        return Err("--provenance-out needs a file path".into());
+                    }
+                    obs.provenance_out = Some(args.remove(i));
+                    hli_obs::provenance::global().set_enabled(true);
+                }
                 _ => i += 1,
             }
         }
@@ -63,7 +78,21 @@ impl ObsArgs {
 
     /// Emit whatever was requested, reading the global registry/tracer.
     pub fn emit(&self) {
-        self.emit_snapshot(&hli_obs::metrics::global().snapshot());
+        let mut snap = hli_obs::metrics::global().snapshot();
+        if self.stats.is_some() {
+            // Surface the lossy-buffer drop counts alongside the metrics so
+            // a truncated ring/trace is visible in the same snapshot that
+            // would otherwise silently under-report.
+            let ring = hli_obs::ring::global().dropped();
+            if ring > 0 {
+                snap.counters.insert("obs.ring.dropped".into(), ring);
+            }
+            let trace = hli_obs::trace::global().dropped();
+            if trace > 0 {
+                snap.counters.insert("obs.trace.dropped".into(), trace);
+            }
+        }
+        self.emit_snapshot(&snap);
     }
 
     /// Emit with an explicit metrics snapshot (stats go to stdout after
@@ -83,6 +112,16 @@ impl ObsArgs {
                 ),
                 Err(e) => {
                     eprintln!("cannot write trace to {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = &self.provenance_out {
+            let records = hli_obs::provenance::global().drain();
+            match std::fs::write(path, hli_obs::provenance::to_jsonl(&records)) {
+                Ok(()) => eprintln!("wrote {} decision record(s) to {path} (JSONL)", records.len()),
+                Err(e) => {
+                    eprintln!("cannot write provenance to {path}: {e}");
                     std::process::exit(1);
                 }
             }
@@ -119,6 +158,21 @@ mod tests {
     fn trace_out_requires_a_path() {
         let mut args = v(&["--trace-out"]);
         assert!(ObsArgs::extract(&mut args).is_err());
+    }
+
+    #[test]
+    fn provenance_out_extracts_and_enables_the_global_sink() {
+        let mut args = v(&["build", "x.c", "--provenance-out", "p.jsonl", "--cse"]);
+        let obs = ObsArgs::extract(&mut args).unwrap();
+        assert_eq!(obs.provenance_out.as_deref(), Some("p.jsonl"));
+        assert_eq!(args, v(&["build", "x.c", "--cse"]));
+        assert!(hli_obs::provenance::global().is_enabled());
+        // Other unit tests in this process assert plain-run behaviour;
+        // put the global sink back the way the process started.
+        hli_obs::provenance::global().set_enabled(false);
+        hli_obs::provenance::global().drain();
+        let mut bare = v(&["--provenance-out"]);
+        assert!(ObsArgs::extract(&mut bare).is_err());
     }
 
     #[test]

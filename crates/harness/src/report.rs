@@ -3,10 +3,34 @@
 //! through these helpers instead of hand-rolling their own loops over
 //! [`BenchReport`]s.
 
+use crate::cli::ObsArgs;
 use crate::{run_suite, BenchReport};
 use hli_backend::ddg::QueryStats;
 use hli_obs::MetricsSnapshot;
 use hli_suite::Scale;
+
+/// Parse the command line shared by every suite-level binary —
+/// `[n iters]` plus the observability flags — exiting with a uniform
+/// usage message on a malformed flag. `table1`, `table2` and `ablation`
+/// call this instead of keeping their own copies of the loop.
+pub fn bench_args(bin: &str) -> (Scale, ObsArgs) {
+    bench_args_from(bin, std::env::args().skip(1).collect())
+}
+
+/// Testable core of [`bench_args`]: same parse over an explicit vector.
+pub fn bench_args_from(bin: &str, mut args: Vec<String>) -> (Scale, ObsArgs) {
+    let obs = ObsArgs::extract(&mut args).unwrap_or_else(|e| {
+        eprintln!("{bin}: {e}");
+        eprintln!(
+            "usage: {bin} [n iters] [--stats text|json] [--trace-out t.json] \
+             [--provenance-out p.jsonl]"
+        );
+        std::process::exit(1);
+    });
+    let n = args.first().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let iters = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(12);
+    (Scale { n, iters }, obs)
+}
 
 /// Run the whole suite and collect the reports, failing on the first
 /// benchmark error (what the table binaries did individually before).
@@ -99,6 +123,19 @@ mod tests {
             },
             "Table-2 totals moved; if intentional, update this pin and EXPERIMENTS.md"
         );
+    }
+
+    /// The shared binary argument parse: scale positionals survive, obs
+    /// flags are stripped, defaults match what the binaries documented.
+    #[test]
+    fn bench_args_parse_scale_and_obs_flags() {
+        let v = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (scale, obs) = bench_args_from("table2", v(&["12", "2", "--stats", "json"]));
+        assert_eq!((scale.n, scale.iters), (12, 2));
+        assert_eq!(obs.stats, Some(crate::cli::StatsFormat::Json));
+        let (scale, obs) = bench_args_from("table1", v(&[]));
+        assert_eq!((scale.n, scale.iters), (64, 12));
+        assert!(obs.stats.is_none() && obs.trace_out.is_none() && obs.provenance_out.is_none());
     }
 
     /// Suite-level aggregation helpers agree with a hand-rolled loop.

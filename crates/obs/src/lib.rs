@@ -17,6 +17,11 @@
 //! * [`ring`] — a bounded ring buffer for per-instruction / per-query
 //!   debug events, **off by default** so the hot paths pay one relaxed
 //!   atomic load when disabled;
+//! * [`provenance`] — decision provenance: a lock-free append sink of
+//!   [`provenance::DecisionRecord`]s, one per back-end decision an HLI
+//!   answer justified (reorder allowed, CSE entry purged, load hoisted),
+//!   each citing the monotonic query ids behind the verdict; exportable
+//!   as JSONL and text, off by default;
 //! * [`json`] — the tiny JSON writer the emitters share, plus a minimal
 //!   parser used by tests to validate emitted output without external
 //!   dependencies.
@@ -38,9 +43,11 @@
 
 pub mod json;
 pub mod metrics;
+pub mod provenance;
 pub mod ring;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use provenance::{DecisionRecord, ProvenanceSink, QueryRef, Verdict};
 pub use ring::EventRing;
 pub use trace::{span, SpanGuard, Tracer};

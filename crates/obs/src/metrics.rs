@@ -140,6 +140,36 @@ impl HistSnapshot {
         }
     }
 
+    /// Approximate quantile: the lower bound of the power-of-two bucket
+    /// holding the `q`-th observation (so `quantile(1.0)` can undershoot
+    /// `max` by up to one bucket). 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(lo, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return lo;
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     fn merge(&mut self, other: &HistSnapshot) {
         self.count += other.count;
         self.sum += other.sum;
@@ -299,7 +329,16 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "{k:<44} {v:>14}");
         }
         for (k, h) in &self.histograms {
-            let _ = writeln!(out, "{k:<44} count={} mean={:.2} max={}", h.count, h.mean(), h.max);
+            let _ = writeln!(
+                out,
+                "{k:<44} count={} mean={:.2} p50={} p95={} p99={} max={}",
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max
+            );
         }
         out
     }
@@ -328,6 +367,13 @@ impl MetricsSnapshot {
                 h.count, h.sum, h.max
             );
             push_f64(&mut out, h.mean());
+            let _ = write!(
+                out,
+                ", \"p50\": {}, \"p95\": {}, \"p99\": {}",
+                h.p50(),
+                h.p95(),
+                h.p99()
+            );
             out.push_str(", \"buckets\": [");
             for (j, (lo, n)) in h.buckets.iter().enumerate() {
                 if j > 0 {
@@ -420,6 +466,30 @@ mod tests {
         assert!((s.mean() - 1015.0 / 6.0).abs() < 1e-9);
         // 0 → bucket 0; 1 → bucket lo=1; 2,3 → lo=2; 9 → lo=8; 1000 → lo=512.
         assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 2), (8, 1), (512, 1)]);
+    }
+
+    #[test]
+    fn histogram_percentiles_from_buckets() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("h");
+        // 98 small values and 2 big ones: the tail only shows up past p95.
+        for _ in 0..98 {
+            h.observe(1);
+        }
+        h.observe(1000);
+        h.observe(1500);
+        let s = &r.snapshot().histograms["h"];
+        assert_eq!(s.p50(), 1);
+        assert_eq!(s.p95(), 1);
+        assert_eq!(s.p99(), 512); // lower bound of the 512..1024 bucket
+        assert_eq!(s.quantile(1.0), 1024);
+        assert_eq!(HistSnapshot::default().p99(), 0);
+        let text = r.snapshot().to_text();
+        assert!(text.contains("p50=1 p95=1 p99=512"), "text was: {text}");
+        let v = crate::json::parse(&r.snapshot().to_json()).unwrap();
+        let hj = v.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(hj.get("p99").unwrap().as_num(), Some(512.0));
+        assert_eq!(hj.get("p50").unwrap().as_num(), Some(1.0));
     }
 
     #[test]

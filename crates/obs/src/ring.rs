@@ -20,6 +20,7 @@ pub struct Event {
 pub struct EventRing {
     enabled: AtomicBool,
     seq: AtomicU64,
+    dropped: AtomicU64,
     buf: Mutex<VecDeque<Event>>,
     cap: usize,
 }
@@ -29,6 +30,7 @@ impl EventRing {
         EventRing {
             enabled: AtomicBool::new(false),
             seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             buf: Mutex::new(VecDeque::with_capacity(cap.min(1024))),
             cap: cap.max(1),
         }
@@ -53,8 +55,16 @@ impl EventRing {
         let mut buf = self.buf.lock().unwrap();
         if buf.len() == self.cap {
             buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         buf.push_back(ev);
+    }
+
+    /// Events overwritten because the ring was full (mirrors
+    /// [`crate::trace::Tracer::dropped`]); surfaced in `--stats` output as
+    /// the `obs.ring.dropped` counter.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Take all buffered events, oldest first, leaving the ring empty.
@@ -116,6 +126,7 @@ mod tests {
         }
         let evs = ring.drain();
         assert_eq!(ring.total_pushed(), 5);
+        assert_eq!(ring.dropped(), 2);
         assert_eq!(evs.len(), 3);
         assert_eq!(
             evs.iter().map(|e| e.message.as_str()).collect::<Vec<_>>(),

@@ -19,4 +19,8 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== obsdiff against pinned baseline (tiny suite)"
+target/release/table2 12 2 --stats json 2>/dev/null > target/obsdiff-current.txt
+target/release/obsdiff tests/baselines/table2-tiny.json target/obsdiff-current.txt
+
 echo "CI green."
