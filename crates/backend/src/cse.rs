@@ -18,8 +18,7 @@ use crate::gccdep;
 use crate::mapping::HliMap;
 use crate::rtl::{InsnId, MemRef, Op, RtlFunc};
 use hli_core::maintain;
-use hli_core::query::HliQuery;
-use hli_core::{HliEntry, ItemId};
+use hli_core::{CachedQuery, HliEntry, ItemId, QueryCache};
 
 /// Outcome of running CSE on one function.
 #[derive(Debug, Clone)]
@@ -54,7 +53,8 @@ pub fn cse_function(
     // Queries need an immutable view; clone the entry for querying and
     // apply maintenance afterwards.
     let query_entry = hli.as_ref().map(|(e, _)| (**e).clone());
-    let query = query_entry.as_ref().map(HliQuery::new);
+    let cache = QueryCache::new();
+    let query = query_entry.as_ref().map(|e| cache.attach(e));
     let item_of = |map: &HliMap, insn: InsnId| map.item_of(insn);
     let prov = hli_obs::provenance::active();
 
@@ -184,11 +184,14 @@ pub fn cse_function(
         out.push(insn.clone());
     }
 
-    // Apply maintenance for the eliminated items.
+    // Apply maintenance for the eliminated items, then drop the memos that
+    // mention them so a reattached cache stays consistent with the
+    // maintained entry.
     if let Some((entry, _)) = hli.as_mut() {
         for &item in &deleted_items {
             let _ = maintain::delete_item(entry, item);
         }
+        cache.invalidate_items(entry, &deleted_items);
     }
 
     let mut func = f.clone();
@@ -212,7 +215,7 @@ fn may_conflict_for_cse(
     a: &Avail,
     store: &MemRef,
     store_item: Option<ItemId>,
-    query: Option<&HliQuery<'_>>,
+    query: Option<&CachedQuery<'_>>,
     use_hli: bool,
 ) -> bool {
     let gcc = gccdep::may_conflict(&a.mem, store);

@@ -13,7 +13,7 @@ use crate::cfg::Block;
 use crate::gccdep;
 use crate::mapping::HliMap;
 use crate::rtl::RtlFunc;
-use hli_core::query::HliQuery;
+use hli_core::CachedQuery;
 
 /// Which analyzer gates dependence edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,9 +107,12 @@ impl Ddg {
     }
 }
 
-/// Access to HLI facts during DDG construction.
+/// Access to HLI facts during DDG construction. Queries go through the
+/// memoizing [`CachedQuery`] layer, so repeated probes of the same item
+/// pair (a second scheduling pass, a later pass over the same function)
+/// are answered from the cache.
 pub struct HliSide<'a> {
-    pub query: &'a HliQuery<'a>,
+    pub query: &'a CachedQuery<'a>,
     pub map: &'a HliMap,
 }
 
@@ -340,7 +343,8 @@ mod tests {
         let prog = lower_program(&p, &s);
         let f = prog.func(func).unwrap();
         let entry = hli.entry(func).unwrap();
-        let q = HliQuery::new(entry);
+        let cache = hli_core::QueryCache::new();
+        let q = cache.attach(entry);
         let map = map_function(f, entry);
         let side = HliSide { query: &q, map: &map };
         let mut stats = QueryStats::default();
@@ -414,7 +418,8 @@ mod tests {
         let prog = lower_program(&p, &s);
         let f = prog.func("main").unwrap();
         let entry = hli.entry("main").unwrap();
-        let q = HliQuery::new(entry);
+        let cache = hli_core::QueryCache::new();
+        let q = cache.attach(entry);
         let map = map_function(f, entry);
         let side = HliSide { query: &q, map: &map };
         let mut st_gcc = QueryStats::default();
@@ -455,7 +460,8 @@ mod tests {
         let prog = lower_program(&p, &s);
         let f = prog.func("main").unwrap();
         let entry = hli.entry("main").unwrap();
-        let q = HliQuery::new(entry);
+        let cache = hli_core::QueryCache::new();
+        let q = cache.attach(entry);
         let map = map_function(f, entry);
         let side = HliSide { query: &q, map: &map };
         let mut stats = QueryStats::default();

@@ -14,8 +14,7 @@ use crate::gccdep;
 use crate::mapping::HliMap;
 use crate::rtl::{Label, Op, RtlFunc};
 use hli_core::maintain;
-use hli_core::query::HliQuery;
-use hli_core::HliEntry;
+use hli_core::{CachedQuery, HliEntry, QueryCache};
 use std::collections::HashSet;
 
 /// Outcome of LICM on one function.
@@ -78,7 +77,8 @@ pub fn licm_function(
 ) -> LicmResult {
     let use_hli = matches!(mode, DepMode::HliOnly | DepMode::Combined) && hli.is_some();
     let query_entry = hli.as_ref().map(|(e, _)| (**e).clone());
-    let query = query_entry.as_ref().map(HliQuery::new);
+    let cache = QueryCache::new();
+    let query = query_entry.as_ref().map(|e| cache.attach(e));
     let prov = hli_obs::provenance::active();
 
     let loops = innermost(&find_loops(f));
@@ -211,8 +211,10 @@ pub fn licm_function(
     }
     func.insns = insns;
 
-    // HLI maintenance: re-home each hoisted item to the parent region.
+    // HLI maintenance: re-home each hoisted item to the parent region,
+    // then invalidate the memos mentioning the moved items.
     if let Some((entry, map)) = hli.as_mut() {
+        let mut moved = Vec::new();
         for &(i, _) in &hoist {
             let insn_id = f.insns[i].id;
             if let Some(item) = map.item_of(insn_id) {
@@ -220,11 +222,14 @@ pub fn licm_function(
                     if let Some(parent) = entry.region(owner).parent {
                         let line =
                             entry.line_table.find(item).map(|(l, _)| l).unwrap_or(f.insns[i].line);
-                        let _ = maintain::move_item_to_region(entry, item, parent, line);
+                        if maintain::move_item_to_region(entry, item, parent, line).is_ok() {
+                            moved.push(item);
+                        }
                     }
                 }
             }
         }
+        cache.invalidate_items(entry, &moved);
     }
 
     hli_obs::metrics::cur().counter("backend.licm.hoisted").add(hoist.len() as u64);
@@ -236,7 +241,7 @@ fn hli_pair(
     i: usize,
     j: usize,
     map: Option<&HliMap>,
-    query: Option<&HliQuery<'_>>,
+    query: Option<&CachedQuery<'_>>,
 ) -> bool {
     let (Some(map), Some(q)) = (map, query) else { return true };
     let (Some(a), Some(b)) = (map.item_of(f.insns[i].id), map.item_of(f.insns[j].id)) else {
@@ -252,7 +257,7 @@ fn hli_call(
     mem: usize,
     call: usize,
     map: Option<&HliMap>,
-    query: Option<&HliQuery<'_>>,
+    query: Option<&CachedQuery<'_>>,
 ) -> bool {
     let (Some(map), Some(q)) = (map, query) else { return true };
     let (Some(m), Some(c)) = (map.item_of(f.insns[mem].id), map.item_of(f.insns[call].id)) else {

@@ -15,7 +15,7 @@
 
 use crate::rtl::{InsnId, Op, RtlFunc};
 use hli_core::{HliEntry, ItemId, ItemType};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// The bidirectional item ↔ instruction mapping for one function.
 #[derive(Debug, Clone, Default)]
@@ -72,9 +72,9 @@ pub fn map_function(f: &RtlFunc, entry: &HliEntry) -> HliMap {
             by_line.entry(insn.line).or_default().push((insn.id, kind));
         }
     }
-    let mut seen_lines: Vec<u32> = Vec::new();
+    let mut seen_lines: HashSet<u32> = HashSet::new();
     for line_entry in &entry.line_table.lines {
-        seen_lines.push(line_entry.line);
+        seen_lines.insert(line_entry.line);
         let insns = by_line.get(&line_entry.line).map(|v| v.as_slice()).unwrap_or(&[]);
         let n = line_entry.items.len().min(insns.len());
         for k in 0..n {

@@ -205,20 +205,51 @@ fn schedule_block(
 
 /// Schedule every function of a program against its HLI file (the
 /// harness's standard path). Returns the scheduled program and the
-/// aggregated Table-2 query counters.
+/// aggregated Table-2 query counters. Each call uses fresh per-function
+/// query caches; use [`schedule_program_cached`] to share memos across
+/// passes.
 pub fn schedule_program(
     prog: &crate::rtl::RtlProgram,
     hli: &hli_core::HliFile,
     mode: DepMode,
     lat: &LatencyModel,
 ) -> (crate::rtl::RtlProgram, QueryStats) {
+    let caches: std::collections::HashMap<String, hli_core::QueryCache> = prog
+        .funcs
+        .iter()
+        .map(|f| (f.name.clone(), hli_core::QueryCache::new()))
+        .collect();
+    schedule_program_cached(prog, |n| hli.entry(n), mode, lat, &caches)
+}
+
+/// Schedule every function, resolving HLI entries through `lookup` (so the
+/// caller may serve them from an eagerly-decoded [`hli_core::HliFile`] or an
+/// on-demand [`hli_core::HliReader`]) and memoizing query answers in the
+/// per-function `caches`. Passing the same `caches` map to several
+/// scheduling passes lets the second pass hit memos the first one filled;
+/// functions absent from `caches` get a throwaway cache.
+pub fn schedule_program_cached<'h>(
+    prog: &crate::rtl::RtlProgram,
+    lookup: impl Fn(&str) -> Option<&'h hli_core::HliEntry>,
+    mode: DepMode,
+    lat: &LatencyModel,
+    caches: &std::collections::HashMap<String, hli_core::QueryCache>,
+) -> (crate::rtl::RtlProgram, QueryStats) {
     let mut out = prog.clone();
     let mut total = QueryStats::default();
     for f in &mut out.funcs {
-        let entry = hli.entry(&f.name);
+        let entry = lookup(&f.name);
         let r = match entry {
             Some(e) => {
-                let q = hli_core::query::HliQuery::new(e);
+                let fresh;
+                let cache = match caches.get(&f.name) {
+                    Some(c) => c,
+                    None => {
+                        fresh = hli_core::QueryCache::new();
+                        &fresh
+                    }
+                };
+                let q = cache.attach(e);
                 let map = crate::mapping::map_function(f, e);
                 let side = HliSide { query: &q, map: &map };
                 schedule_function(f, Some(&side), mode, lat)
@@ -236,7 +267,7 @@ mod tests {
     use super::*;
     use crate::lower::lower_program;
     use crate::mapping::map_function;
-    use hli_core::query::HliQuery;
+    use hli_core::QueryCache;
     use hli_frontend::generate_hli;
     use hli_lang::compile_to_ast;
 
@@ -246,7 +277,8 @@ mod tests {
         let prog = lower_program(&p, &s);
         let f = prog.func(func).unwrap();
         let entry = hli.entry(func).unwrap();
-        let q = HliQuery::new(entry);
+        let cache = QueryCache::new();
+        let q = cache.attach(entry);
         let map = map_function(f, entry);
         let side = HliSide { query: &q, map: &map };
         let r = schedule_function(f, Some(&side), mode, &LatencyModel::default());

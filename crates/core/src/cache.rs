@@ -1,0 +1,515 @@
+//! Memoized query layer over [`HliQuery`].
+//!
+//! The back-end asks the same dependence questions repeatedly — the DDG
+//! builder probes every item pair per block, and a second scheduling pass
+//! (or a later pass like CSE/LICM over the same function) re-asks questions
+//! the first pass already answered. [`QueryCache`] memoizes the answers of
+//! the five basic query functions keyed on item/region IDs, and
+//! [`CachedQuery`] exposes the same surface as [`HliQuery`] so passes
+//! consume it unchanged.
+//!
+//! ## Invalidation contract
+//!
+//! Memoized answers are valid for one `(unit_name, generation)` pair. Every
+//! successful maintenance operation ([`crate::maintain`]) bumps the entry's
+//! generation; [`QueryCache::attach`] compares the stored pair against the
+//! entry it is handed and flushes every memo on mismatch (counted as
+//! `backend.query_cache.invalidate`). Passes that know exactly which items
+//! they touched can instead call [`QueryCache::invalidate_items`] — sound
+//! for item deletion and motion, whose collapse/cascade rules leave answers
+//! between untouched items unchanged — and keep the rest of the memo warm.
+//! Unrolling rewrites whole tables, so it relies on the wholesale flush.
+//!
+//! ## Provenance bypass
+//!
+//! When a decision-provenance sink is active, every basic query must stamp
+//! a fresh query id so optimization decisions cite their full query chain.
+//! A memo hit would skip the stamp, so the wrapper delegates directly to
+//! [`HliQuery`] (no memo reads or writes, no hit/miss counting) whenever
+//! the underlying index was built under a sink. Provenance output is
+//! therefore byte-identical with and without the cache.
+//!
+//! Cache traffic is metered as `backend.query_cache.{hit,miss,invalidate}`.
+
+use crate::ids::{ItemId, RegionId};
+use crate::query::{CallAcc, EquivAcc, HliQuery, LcddAnswer};
+use crate::tables::{HliEntry, ItemType, Region};
+use hli_obs::provenance::QueryRef;
+use hli_obs::Counter;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// Memo storage for one program unit's query answers. Create one per
+/// function (or share one across passes over the same function) and
+/// [`attach`](QueryCache::attach) it to the entry before querying.
+pub struct QueryCache {
+    /// Validity key: the unit and generation the memos were computed from.
+    unit: RefCell<String>,
+    generation: Cell<u64>,
+    equiv: RefCell<HashMap<(ItemId, ItemId), EquivAcc>>,
+    alias: RefCell<HashMap<(RegionId, ItemId, ItemId), bool>>,
+    lcdd: RefCell<HashMap<(ItemId, ItemId), Option<LcddAnswer>>>,
+    lcdd_at: RefCell<HashMap<(RegionId, ItemId, ItemId), Option<LcddAnswer>>>,
+    call: RefCell<HashMap<(ItemId, ItemId), CallAcc>>,
+    hits: Counter,
+    misses: Counter,
+    invalidates: Counter,
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryCache {
+    pub fn new() -> Self {
+        let r = hli_obs::metrics::cur();
+        QueryCache {
+            unit: RefCell::new(String::new()),
+            generation: Cell::new(0),
+            equiv: RefCell::new(HashMap::new()),
+            alias: RefCell::new(HashMap::new()),
+            lcdd: RefCell::new(HashMap::new()),
+            lcdd_at: RefCell::new(HashMap::new()),
+            call: RefCell::new(HashMap::new()),
+            hits: r.counter("backend.query_cache.hit"),
+            misses: r.counter("backend.query_cache.miss"),
+            invalidates: r.counter("backend.query_cache.invalidate"),
+        }
+    }
+
+    /// Number of memoized answers currently held.
+    pub fn memo_len(&self) -> usize {
+        self.equiv.borrow().len()
+            + self.alias.borrow().len()
+            + self.lcdd.borrow().len()
+            + self.lcdd_at.borrow().len()
+            + self.call.borrow().len()
+    }
+
+    fn flush(&self) {
+        let dropped = self.memo_len();
+        if dropped > 0 {
+            self.invalidates.add(dropped as u64);
+        }
+        self.equiv.borrow_mut().clear();
+        self.alias.borrow_mut().clear();
+        self.lcdd.borrow_mut().clear();
+        self.lcdd_at.borrow_mut().clear();
+        self.call.borrow_mut().clear();
+    }
+
+    /// Build a cached query view of `entry`. Memos survive across attaches
+    /// as long as the entry's `(unit_name, generation)` key is unchanged;
+    /// any mismatch flushes them (counted as invalidations).
+    pub fn attach<'a>(&'a self, entry: &'a HliEntry) -> CachedQuery<'a> {
+        if *self.unit.borrow() != entry.unit_name || self.generation.get() != entry.generation {
+            self.flush();
+            *self.unit.borrow_mut() = entry.unit_name.clone();
+            self.generation.set(entry.generation);
+        }
+        CachedQuery { cache: self, inner: HliQuery::new(entry) }
+    }
+
+    /// Surgical invalidation: drop only the memos whose keys mention one of
+    /// `items`, then adopt `entry`'s generation so the next
+    /// [`attach`](QueryCache::attach) keeps the remaining memos.
+    ///
+    /// Sound for [`crate::maintain::delete_item`] and
+    /// [`crate::maintain::move_item_to_region`]: their collapse/cascade
+    /// rules only change answers for pairs involving the touched items
+    /// (classes disappear only once their last member is gone). The alias
+    /// memo is keyed by class IDs, which those cascades *can* remove, so it
+    /// is flushed wholesale — it is only populated by direct `get_alias`
+    /// calls and stays small. Do **not** use this after
+    /// [`crate::maintain::unroll_loop`]; let the generation mismatch flush
+    /// everything instead.
+    pub fn invalidate_items(&self, entry: &HliEntry, items: &[ItemId]) {
+        if *self.unit.borrow() != entry.unit_name {
+            // Different unit: nothing here belongs to `entry` at all.
+            self.flush();
+            *self.unit.borrow_mut() = entry.unit_name.clone();
+            self.generation.set(entry.generation);
+            return;
+        }
+        let hit = |a: &ItemId, b: &ItemId| items.contains(a) || items.contains(b);
+        let mut dropped = 0usize;
+        macro_rules! retain_pairs {
+            ($map:expr) => {{
+                let mut m = $map.borrow_mut();
+                let before = m.len();
+                m.retain(|(a, b), _| !hit(a, b));
+                dropped += before - m.len();
+            }};
+        }
+        retain_pairs!(self.equiv);
+        retain_pairs!(self.lcdd);
+        retain_pairs!(self.call);
+        {
+            let mut m = self.lcdd_at.borrow_mut();
+            let before = m.len();
+            m.retain(|(_, a, b), _| !hit(a, b));
+            dropped += before - m.len();
+        }
+        {
+            let mut m = self.alias.borrow_mut();
+            dropped += m.len();
+            m.clear();
+        }
+        if dropped > 0 {
+            self.invalidates.add(dropped as u64);
+        }
+        self.generation.set(entry.generation);
+    }
+}
+
+/// A memoizing view over one entry, mirroring the [`HliQuery`] surface.
+pub struct CachedQuery<'a> {
+    cache: &'a QueryCache,
+    inner: HliQuery<'a>,
+}
+
+/// Reorient an LCDD answer stored for `(lo, hi)` argument order to the
+/// caller's order.
+fn reorient(v: Option<LcddAnswer>, swapped: bool) -> Option<LcddAnswer> {
+    match (v, swapped) {
+        (Some(ans), true) => Some(LcddAnswer { reversed: !ans.reversed, ..ans }),
+        _ => v,
+    }
+}
+
+impl<'a> CachedQuery<'a> {
+    /// The memo-bypass condition: under a provenance sink every query must
+    /// stamp its id, so serve nothing from (and record nothing into) memos.
+    fn bypass(&self) -> bool {
+        self.inner.provenance_active()
+    }
+
+    /// The entry this view serves.
+    pub fn entry(&self) -> &'a HliEntry {
+        self.inner.entry()
+    }
+
+    /// Direct access to the underlying index.
+    pub fn inner(&self) -> &HliQuery<'a> {
+        &self.inner
+    }
+
+    pub fn query_mark(&self) -> usize {
+        self.inner.query_mark()
+    }
+
+    pub fn queries_since(&self, mark: usize) -> Vec<QueryRef> {
+        self.inner.queries_since(mark)
+    }
+
+    /// Region metadata (uncached: already a direct index into the entry).
+    pub fn region_info(&self, r: RegionId) -> &'a Region {
+        self.inner.region_info(r)
+    }
+
+    pub fn region_of_item(&self, item: ItemId) -> Option<RegionId> {
+        self.inner.region_of_item(item)
+    }
+
+    pub fn owner_of(&self, item: ItemId) -> Option<RegionId> {
+        self.inner.owner_of(item)
+    }
+
+    pub fn item_info(&self, item: ItemId) -> Option<(u32, ItemType)> {
+        self.inner.item_info(item)
+    }
+
+    pub fn class_of_item_at(&self, region: RegionId, item: ItemId) -> Option<ItemId> {
+        self.inner.class_of_item_at(region, item)
+    }
+
+    /// Memoized [`HliQuery::get_equiv_acc`] (symmetric: keyed on the
+    /// unordered pair).
+    pub fn get_equiv_acc(&self, a: ItemId, b: ItemId) -> EquivAcc {
+        if self.bypass() {
+            return self.inner.get_equiv_acc(a, b);
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&v) = self.cache.equiv.borrow().get(&key) {
+            self.cache.hits.inc();
+            return v;
+        }
+        self.cache.misses.inc();
+        let v = self.inner.get_equiv_acc(a, b);
+        self.cache.equiv.borrow_mut().insert(key, v);
+        v
+    }
+
+    /// Memoized [`HliQuery::get_alias`] (symmetric in the class pair).
+    pub fn get_alias(&self, region: RegionId, ca: ItemId, cb: ItemId) -> bool {
+        if self.bypass() {
+            return self.inner.get_alias(region, ca, cb);
+        }
+        let key = (region, ca.min(cb), ca.max(cb));
+        if let Some(&v) = self.cache.alias.borrow().get(&key) {
+            self.cache.hits.inc();
+            return v;
+        }
+        self.cache.misses.inc();
+        let v = self.inner.get_alias(region, ca, cb);
+        self.cache.alias.borrow_mut().insert(key, v);
+        v
+    }
+
+    /// Memoized [`HliQuery::get_lcdd`]. Answers are stored for the
+    /// `(lo, hi)` argument order; a swapped call flips `reversed`, which is
+    /// exactly how the underlying two-direction table match behaves.
+    pub fn get_lcdd(&self, a: ItemId, b: ItemId) -> Option<LcddAnswer> {
+        if self.bypass() {
+            return self.inner.get_lcdd(a, b);
+        }
+        let swapped = b < a;
+        let key = (a.min(b), a.max(b));
+        if let Some(&v) = self.cache.lcdd.borrow().get(&key) {
+            self.cache.hits.inc();
+            return reorient(v, swapped);
+        }
+        self.cache.misses.inc();
+        let v = self.inner.get_lcdd(a, b);
+        self.cache.lcdd.borrow_mut().insert(key, reorient(v, swapped));
+        v
+    }
+
+    /// Memoized [`HliQuery::get_lcdd_at`], same orientation rule.
+    pub fn get_lcdd_at(&self, region: RegionId, a: ItemId, b: ItemId) -> Option<LcddAnswer> {
+        if self.bypass() {
+            return self.inner.get_lcdd_at(region, a, b);
+        }
+        let swapped = b < a;
+        let key = (region, a.min(b), a.max(b));
+        if let Some(&v) = self.cache.lcdd_at.borrow().get(&key) {
+            self.cache.hits.inc();
+            return reorient(v, swapped);
+        }
+        self.cache.misses.inc();
+        let v = self.inner.get_lcdd_at(region, a, b);
+        self.cache.lcdd_at.borrow_mut().insert(key, reorient(v, swapped));
+        v
+    }
+
+    /// Memoized [`HliQuery::get_call_acc`] (directional: `(mem, call)`).
+    pub fn get_call_acc(&self, mem: ItemId, call: ItemId) -> CallAcc {
+        if self.bypass() {
+            return self.inner.get_call_acc(mem, call);
+        }
+        let key = (mem, call);
+        if let Some(&v) = self.cache.call.borrow().get(&key) {
+            self.cache.hits.inc();
+            return v;
+        }
+        self.cache.misses.inc();
+        let v = self.inner.get_call_acc(mem, call);
+        self.cache.call.borrow_mut().insert(key, v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maintain;
+    use crate::tables::tests::figure2_like;
+    use crate::tables::Distance;
+    use std::sync::Arc;
+
+    fn scoped_registry() -> (Arc<hli_obs::MetricsRegistry>, hli_obs::metrics::ScopedRegistry) {
+        let reg = Arc::new(hli_obs::MetricsRegistry::new());
+        let g = hli_obs::metrics::scoped(reg.clone());
+        (reg, g)
+    }
+
+    #[test]
+    fn repeat_queries_hit_and_agree() {
+        let (reg, _g) = scoped_registry();
+        let e = figure2_like();
+        let cache = QueryCache::new();
+        let q = cache.attach(&e);
+        let first = q.get_equiv_acc(ItemId(9), ItemId(10));
+        let second = q.get_equiv_acc(ItemId(9), ItemId(10));
+        assert_eq!(first, second);
+        assert_eq!(first, EquivAcc::Definite);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("backend.query_cache.miss"), 1);
+        assert_eq!(snap.counter("backend.query_cache.hit"), 1);
+    }
+
+    #[test]
+    fn symmetric_queries_share_one_memo() {
+        let (reg, _g) = scoped_registry();
+        let e = figure2_like();
+        let cache = QueryCache::new();
+        let q = cache.attach(&e);
+        assert_eq!(
+            q.get_equiv_acc(ItemId(5), ItemId(6)),
+            q.get_equiv_acc(ItemId(6), ItemId(5))
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("backend.query_cache.miss"), 1);
+        assert_eq!(snap.counter("backend.query_cache.hit"), 1);
+    }
+
+    #[test]
+    fn lcdd_hit_flips_direction_for_swapped_args() {
+        let (_reg, _g) = scoped_registry();
+        let e = figure2_like();
+        let cache = QueryCache::new();
+        let q = cache.attach(&e);
+        let plain = HliQuery::new(&e);
+        // Warm with one order, then hit with the other; both must match
+        // the uncached answers exactly.
+        let fwd = q.get_lcdd(ItemId(5), ItemId(6)).unwrap();
+        let rev = q.get_lcdd(ItemId(6), ItemId(5)).unwrap();
+        assert_eq!(Some(fwd), plain.get_lcdd(ItemId(5), ItemId(6)));
+        assert_eq!(Some(rev), plain.get_lcdd(ItemId(6), ItemId(5)));
+        assert_eq!(fwd.distance, Distance::Const(1));
+        assert!(!fwd.reversed);
+        assert!(rev.reversed);
+    }
+
+    #[test]
+    fn memos_survive_reattach_on_same_generation() {
+        let (reg, _g) = scoped_registry();
+        let e = figure2_like();
+        let cache = QueryCache::new();
+        {
+            let q = cache.attach(&e);
+            let _ = q.get_equiv_acc(ItemId(9), ItemId(10));
+        }
+        {
+            let q = cache.attach(&e);
+            let _ = q.get_equiv_acc(ItemId(9), ItemId(10));
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("backend.query_cache.hit"), 1, "second pass hits");
+        assert_eq!(snap.counter("backend.query_cache.invalidate"), 0);
+    }
+
+    #[test]
+    fn maintenance_bumps_generation_and_invalidates() {
+        let (reg, _g) = scoped_registry();
+        let mut e = figure2_like();
+        let cache = QueryCache::new();
+        {
+            let q = cache.attach(&e);
+            assert_eq!(q.get_equiv_acc(ItemId(9), ItemId(10)), EquivAcc::Definite);
+        }
+        let gen_before = e.generation;
+        maintain::delete_item(&mut e, ItemId(9)).unwrap();
+        assert!(e.generation > gen_before);
+        {
+            let q = cache.attach(&e);
+            // Stale memo was flushed; the fresh answer sees the deletion.
+            assert_eq!(q.get_equiv_acc(ItemId(9), ItemId(10)), EquivAcc::Unknown);
+        }
+        let snap = reg.snapshot();
+        assert!(snap.counter("backend.query_cache.invalidate") > 0);
+        assert_eq!(snap.counter("backend.query_cache.hit"), 0);
+    }
+
+    #[test]
+    fn failed_maintenance_leaves_memos_valid() {
+        let (reg, _g) = scoped_registry();
+        let mut e = figure2_like();
+        let cache = QueryCache::new();
+        {
+            let q = cache.attach(&e);
+            let _ = q.get_equiv_acc(ItemId(9), ItemId(10));
+        }
+        assert!(maintain::delete_item(&mut e, ItemId(999)).is_err());
+        {
+            let q = cache.attach(&e);
+            let _ = q.get_equiv_acc(ItemId(9), ItemId(10));
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("backend.query_cache.hit"), 1);
+        assert_eq!(snap.counter("backend.query_cache.invalidate"), 0);
+    }
+
+    #[test]
+    fn surgical_invalidation_keeps_unrelated_memos() {
+        let (reg, _g) = scoped_registry();
+        let mut e = figure2_like();
+        let cache = QueryCache::new();
+        {
+            let q = cache.attach(&e);
+            let _ = q.get_equiv_acc(ItemId(9), ItemId(10)); // sum pair
+            let _ = q.get_equiv_acc(ItemId(5), ItemId(7)); // b[j] pair
+        }
+        maintain::delete_item(&mut e, ItemId(9)).unwrap();
+        cache.invalidate_items(&e, &[ItemId(9)]);
+        {
+            let q = cache.attach(&e);
+            // Unrelated pair still memoized; touched pair recomputed.
+            assert_eq!(q.get_equiv_acc(ItemId(5), ItemId(7)), EquivAcc::Definite);
+            assert_eq!(q.get_equiv_acc(ItemId(9), ItemId(10)), EquivAcc::Unknown);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("backend.query_cache.hit"), 1);
+        assert_eq!(snap.counter("backend.query_cache.invalidate"), 1);
+    }
+
+    #[test]
+    fn attaching_a_different_unit_flushes() {
+        let (reg, _g) = scoped_registry();
+        let e1 = figure2_like();
+        let mut e2 = figure2_like();
+        e2.unit_name = "bar".into();
+        let cache = QueryCache::new();
+        {
+            let q = cache.attach(&e1);
+            let _ = q.get_equiv_acc(ItemId(9), ItemId(10));
+        }
+        {
+            // Same item IDs, different unit: must not reuse foo's answers.
+            let q = cache.attach(&e2);
+            let _ = q.get_equiv_acc(ItemId(9), ItemId(10));
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("backend.query_cache.hit"), 0);
+        assert_eq!(snap.counter("backend.query_cache.invalidate"), 1);
+        assert_eq!(snap.counter("backend.query_cache.miss"), 2);
+    }
+
+    #[test]
+    fn provenance_bypass_stamps_every_query_and_skips_memos() {
+        use hli_obs::provenance::{self, ProvenanceSink};
+        let (reg, _g) = scoped_registry();
+        let e = figure2_like();
+        let cache = QueryCache::new();
+        let sink = Arc::new(ProvenanceSink::new());
+        let _p = provenance::scoped(sink);
+        let q = cache.attach(&e);
+        let mark = q.query_mark();
+        let _ = q.get_equiv_acc(ItemId(5), ItemId(6));
+        let _ = q.get_equiv_acc(ItemId(5), ItemId(6));
+        // Both calls stamped their full chain (equiv + internal alias).
+        assert_eq!(q.queries_since(mark).len(), 4);
+        assert_eq!(cache.memo_len(), 0, "bypass must not populate memos");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("backend.query_cache.hit"), 0);
+        assert_eq!(snap.counter("backend.query_cache.miss"), 0);
+    }
+
+    #[test]
+    fn cached_answers_match_uncached_exhaustively() {
+        let (_reg, _g) = scoped_registry();
+        let e = figure2_like();
+        let cache = QueryCache::new();
+        let q = cache.attach(&e);
+        let plain = HliQuery::new(&e);
+        for a in 0..12u32 {
+            for b in 0..12u32 {
+                let (a, b) = (ItemId(a), ItemId(b));
+                assert_eq!(q.get_equiv_acc(a, b), plain.get_equiv_acc(a, b), "{a} {b}");
+                assert_eq!(q.get_lcdd(a, b), plain.get_lcdd(a, b), "{a} {b}");
+            }
+        }
+    }
+}

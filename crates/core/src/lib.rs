@@ -42,15 +42,19 @@
 //! * [`textdump`] — a human-readable rendering in the style of the paper's
 //!   Figure 2.
 
+pub mod cache;
 pub mod ids;
 pub mod maintain;
 pub mod query;
+pub mod reader;
 pub mod serialize;
 pub mod tables;
 pub mod textdump;
 
+pub use cache::{CachedQuery, QueryCache};
 pub use ids::{ItemId, RegionId};
 pub use query::{CallAcc, EquivAcc, HliQuery};
+pub use reader::HliReader;
 pub use tables::{
     AliasEntry, CallRef, CallRefMod, DepKind, Distance, EquivClass, EquivKind, HliEntry, HliFile,
     ItemEntry, ItemType, LcddEntry, LineEntry, LineTable, MemberRef, Region, RegionKind,

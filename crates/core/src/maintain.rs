@@ -17,6 +17,11 @@
 //!   results become intra-iteration alias entries), and optionally build a
 //!   preconditioning (remainder) loop region with the original dependence
 //!   structure.
+//!
+//! Every successful operation bumps [`HliEntry::bump_generation`]; this is
+//! the invalidation hook [`crate::cache::QueryCache`] keys on, so memoized
+//! query answers never outlive the tables they were computed from. Failed
+//! operations leave both the entry and its generation unchanged.
 
 use crate::ids::{ItemId, RegionId};
 use crate::tables::*;
@@ -71,6 +76,7 @@ pub fn delete_item(e: &mut HliEntry, id: ItemId) -> Result<(), MaintainError> {
         for r in &mut e.regions {
             r.call_refmod.retain(|c| c.callee != CallRef::Item(id));
         }
+        e.bump_generation();
         prov_applied(e, "delete_item", None, line);
         return Ok(());
     };
@@ -79,6 +85,7 @@ pub fn delete_item(e: &mut HliEntry, id: ItemId) -> Result<(), MaintainError> {
     let c = r.class_mut(class).unwrap();
     c.members.retain(|m| !matches!(m, MemberRef::Item(i) if *i == id));
     cleanup_if_empty(e, region, class);
+    e.bump_generation();
     prov_applied(e, "delete_item", Some(region), line);
     Ok(())
 }
@@ -100,6 +107,7 @@ pub fn gen_item_like(
     let id = e.fresh_id();
     e.line_table.push_item(line, ItemEntry { id, ty });
     e.region_mut(region).class_mut(class).unwrap().members.push(MemberRef::Item(id));
+    e.bump_generation();
     prov_applied(e, "gen_item", Some(region), line);
     Ok(id)
 }
@@ -147,6 +155,7 @@ pub fn move_item_to_region(
     // Re-key the line table.
     e.line_table.remove_item(id);
     e.line_table.push_item(new_line, ItemEntry { id, ty });
+    e.bump_generation();
     prov_applied(e, "move_item", Some(target), new_line);
     Ok(())
 }
@@ -367,6 +376,7 @@ pub fn unroll_loop(
         maps.precond_items = item_map;
     }
 
+    e.bump_generation();
     prov_applied(e, "unroll_loop", Some(region), scope.0);
     Ok(maps)
 }

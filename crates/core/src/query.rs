@@ -252,6 +252,14 @@ impl<'a> HliQuery<'a> {
         self.entry
     }
 
+    /// True when a provenance sink was active at construction. The
+    /// memoization layer ([`crate::cache::CachedQuery`]) bypasses its memo
+    /// tables in that case so every decision still cites a freshly-stamped
+    /// query chain.
+    pub fn provenance_active(&self) -> bool {
+        self.prov_active
+    }
+
     /// Basic query 5a: region metadata.
     pub fn region_info(&self, r: RegionId) -> &'a Region {
         self.counters.region_info.inc();

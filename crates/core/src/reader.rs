@@ -1,0 +1,246 @@
+//! On-demand HLI import (Section 3.2.1 of the paper).
+//!
+//! *"The HLI file is read on demand as GCC compiles a program function by
+//! function. This approach eliminates the need to keep all of the HLI in
+//! memory at the same time."*
+//!
+//! [`HliReader`] opens a version-2 (`HLI\x02`) image by parsing only its
+//! per-unit directory; each program unit's entry is decoded on the first
+//! [`HliReader::get`] for that unit and memoized, so repeated back-end
+//! passes over the same function pay the decode cost once. Version-1
+//! (`HLI\x01`) images are still accepted — they carry no directory, so the
+//! whole file is decoded eagerly at open, preserving the old behaviour.
+//!
+//! Reader activity is mirrored into the metrics registry:
+//!
+//! * `hli.reader.opens` — images opened;
+//! * `hli.reader.units_total` — units listed across all opened directories;
+//! * `hli.reader.units_decoded` — units actually decoded (lazy opens decode
+//!   strictly fewer than `units_total` when the back-end skips functions);
+//! * `hli.reader.reused` — `get` calls served from an already-decoded unit.
+
+use crate::serialize::{
+    count_decoded, decode_entry, decode_file, get_len, get_str, DecodeError, SerializeOpts, MAGIC,
+    MAGIC_V2,
+};
+use crate::tables::HliEntry;
+use hli_obs::Counter;
+use std::cell::OnceCell;
+
+struct Unit {
+    name: String,
+    off: usize,
+    len: usize,
+    cell: OnceCell<HliEntry>,
+}
+
+/// Lazily-decoding reader over an `HLI\x02` (or, eagerly, `HLI\x01`) image.
+pub struct HliReader {
+    data: Vec<u8>,
+    opts: SerializeOpts,
+    directory: Vec<Unit>,
+    units_decoded: Counter,
+    reused: Counter,
+}
+
+impl HliReader {
+    /// Open an HLI image. For `HLI\x02` only the directory is parsed; for
+    /// `HLI\x01` the whole file is decoded eagerly (backward compatibility).
+    pub fn open(data: Vec<u8>, opts: SerializeOpts) -> Result<Self, DecodeError> {
+        let r = hli_obs::metrics::cur();
+        let opens = r.counter("hli.reader.opens");
+        let units_total = r.counter("hli.reader.units_total");
+        let units_decoded = r.counter("hli.reader.units_decoded");
+        let reused = r.counter("hli.reader.reused");
+        if data.len() < 4 {
+            return Err(DecodeError("truncated header".into()));
+        }
+        let magic: [u8; 4] = data[..4].try_into().unwrap();
+        let directory = if magic == MAGIC_V2 {
+            let mut buf = &data[4..];
+            let b = &mut buf;
+            let n = get_len(b)?;
+            let mut lens = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let name = get_str(b)?;
+                let len = get_len(b)?;
+                lens.push((name, len));
+            }
+            let mut offset = data.len() - b.len();
+            let mut directory = Vec::with_capacity(lens.len());
+            for (name, len) in lens {
+                if offset + len > data.len() {
+                    return Err(DecodeError(format!("entry `{name}` extends past end")));
+                }
+                directory.push(Unit { name, off: offset, len, cell: OnceCell::new() });
+                offset += len;
+            }
+            if offset != data.len() {
+                return Err(DecodeError(format!(
+                    "{} trailing byte(s) after last entry",
+                    data.len() - offset
+                )));
+            }
+            directory
+        } else if magic == MAGIC {
+            // v1 carries no directory: decode everything now (this also
+            // meters the whole buffer as `hli.deserialize.bytes`).
+            let file = decode_file(&data, opts)?;
+            units_decoded.add(file.entries.len() as u64);
+            file.entries
+                .into_iter()
+                .map(|e| {
+                    let cell = OnceCell::new();
+                    let name = e.unit_name.clone();
+                    let _ = cell.set(e);
+                    Unit { name, off: 0, len: 0, cell }
+                })
+                .collect()
+        } else {
+            return Err(DecodeError("bad magic".into()));
+        };
+        opens.inc();
+        units_total.add(directory.len() as u64);
+        Ok(HliReader { data, opts, directory, units_decoded, reused })
+    }
+
+    /// Unit names in file order.
+    pub fn units(&self) -> impl Iterator<Item = &str> {
+        self.directory.iter().map(|u| u.name.as_str())
+    }
+
+    pub fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.directory.is_empty()
+    }
+
+    /// How many units have been decoded so far.
+    pub fn decoded_units(&self) -> usize {
+        self.directory.iter().filter(|u| u.cell.get().is_some()).count()
+    }
+
+    /// The entry for `unit`, decoding it on first request and serving the
+    /// memoized copy afterwards. `Ok(None)` when the directory has no such
+    /// unit.
+    pub fn get(&self, unit: &str) -> Result<Option<&HliEntry>, DecodeError> {
+        let Some(u) = self.directory.iter().find(|u| u.name == unit) else {
+            return Ok(None);
+        };
+        if u.cell.get().is_none() {
+            let mut slice = &self.data[u.off..u.off + u.len];
+            let entry = decode_entry(&mut slice, self.opts)?;
+            if !slice.is_empty() {
+                return Err(DecodeError(format!("trailing bytes after `{unit}`")));
+            }
+            count_decoded(u.len);
+            self.units_decoded.inc();
+            let _ = u.cell.set(entry);
+        } else {
+            self.reused.inc();
+        }
+        Ok(u.cell.get())
+    }
+
+    /// Decode every unit now — the eager-import path expressed through the
+    /// same reader, so callers can flip between eager and lazy behaviour
+    /// with one call.
+    pub fn preload(&self) -> Result<(), DecodeError> {
+        let names: Vec<String> = self.units().map(String::from).collect();
+        for n in &names {
+            self.get(n)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::{encode_file, encode_file_v2};
+    use crate::tables::tests::figure2_like;
+    use crate::tables::HliFile;
+
+    fn two_unit_file() -> HliFile {
+        let mut e2 = figure2_like();
+        e2.unit_name = "bar".into();
+        HliFile { entries: vec![figure2_like(), e2] }
+    }
+
+    #[test]
+    fn v2_reads_on_demand_and_memoizes() {
+        let file = two_unit_file();
+        let opts = SerializeOpts { include_names: true };
+        let bytes = encode_file_v2(&file, opts);
+        let rdr = HliReader::open(bytes, opts).unwrap();
+        assert_eq!(rdr.len(), 2);
+        assert_eq!(rdr.units().collect::<Vec<_>>(), vec!["foo", "bar"]);
+        assert_eq!(rdr.decoded_units(), 0, "open parses only the directory");
+        // Random access: read the second unit without touching the first.
+        let bar = rdr.get("bar").unwrap().unwrap();
+        assert_eq!(*bar, file.entries[1]);
+        assert_eq!(rdr.decoded_units(), 1);
+        // A second get serves the memoized entry (still one decode).
+        let again = rdr.get("bar").unwrap().unwrap();
+        assert!(std::ptr::eq(bar, again));
+        assert_eq!(rdr.decoded_units(), 1);
+        assert!(rdr.get("baz").unwrap().is_none());
+    }
+
+    #[test]
+    fn v1_image_decodes_eagerly_for_compat() {
+        let file = two_unit_file();
+        let opts = SerializeOpts { include_names: true };
+        let v1 = encode_file(&file, opts);
+        let rdr = HliReader::open(v1, opts).unwrap();
+        assert_eq!(rdr.decoded_units(), 2, "v1 has no directory: eager");
+        assert_eq!(*rdr.get("foo").unwrap().unwrap(), file.entries[0]);
+        assert_eq!(*rdr.get("bar").unwrap().unwrap(), file.entries[1]);
+    }
+
+    #[test]
+    fn lazy_open_meters_fewer_bytes_than_eager() {
+        let reg = std::sync::Arc::new(hli_obs::MetricsRegistry::new());
+        let file = two_unit_file();
+        let opts = SerializeOpts::default();
+        let v1 = encode_file(&file, opts);
+        let v2 = encode_file_v2(&file, opts);
+        let eager = {
+            let _g = hli_obs::metrics::scoped(reg.clone());
+            HliReader::open(v1, opts).unwrap();
+            reg.snapshot().counter("hli.deserialize.bytes")
+        };
+        let reg2 = std::sync::Arc::new(hli_obs::MetricsRegistry::new());
+        let lazy = {
+            let _g = hli_obs::metrics::scoped(reg2.clone());
+            let rdr = HliReader::open(v2, opts).unwrap();
+            rdr.preload().unwrap();
+            reg2.snapshot().counter("hli.deserialize.bytes")
+        };
+        assert!(
+            lazy < eager,
+            "lazy decodes only bodies ({lazy}) vs eager whole file ({eager})"
+        );
+    }
+
+    #[test]
+    fn corruption_fails_cleanly_never_panics() {
+        let file = HliFile { entries: vec![figure2_like()] };
+        let bytes = encode_file_v2(&file, SerializeOpts::default());
+        assert!(HliReader::open(b"NOPE".to_vec(), SerializeOpts::default()).is_err());
+        // Trailing garbage after the last body is rejected at open, matching
+        // the v1 decoder's strictness.
+        let mut trailing = bytes.clone();
+        trailing.extend_from_slice(b"XX");
+        assert!(HliReader::open(trailing, SerializeOpts::default()).is_err());
+        // Truncations fail at open or at get, never panic.
+        for cut in 0..bytes.len() {
+            let slice = bytes[..cut].to_vec();
+            if let Ok(r) = HliReader::open(slice, SerializeOpts::default()) {
+                let _ = r.get("foo");
+            }
+        }
+    }
+}

@@ -15,8 +15,14 @@ use crate::ids::{ItemId, RegionId};
 use crate::tables::*;
 use std::fmt;
 
-/// Magic number of an HLI file: "HLI" + version 1.
+/// Magic number of an HLI file: "HLI" + version 1 (monolithic, decoded
+/// eagerly).
 pub const MAGIC: [u8; 4] = *b"HLI\x01";
+
+/// Magic number of a version-2 HLI file: a per-unit directory follows the
+/// header so a reader can decode one program unit at a time (the paper's
+/// §3.2.1 on-demand import model). See [`crate::reader::HliReader`].
+pub const MAGIC_V2: [u8; 4] = *b"HLI\x02";
 
 /// Serialization options.
 #[derive(Debug, Clone, Copy, Default)]
@@ -43,7 +49,7 @@ fn count_encoded(n: usize) {
     r.counter("hli.serialize.calls").inc();
 }
 
-fn count_decoded(n: usize) {
+pub(crate) fn count_decoded(n: usize) {
     let r = hli_obs::metrics::cur();
     r.counter("hli.deserialize.bytes").add(n as u64);
     r.counter("hli.deserialize.calls").inc();
@@ -194,26 +200,29 @@ pub fn decode_file(buf: &[u8], opts: SerializeOpts) -> Result<HliFile, DecodeErr
     if magic != MAGIC {
         return Err(DecodeError("bad magic".into()));
     }
-    let n = get_varint(b)? as usize;
+    let n = get_len(b)?;
     let mut entries = Vec::with_capacity(n.min(1024));
     for _ in 0..n {
         entries.push(decode_entry(b, opts)?);
+    }
+    if !b.is_empty() {
+        return Err(DecodeError(format!("trailing bytes: {} after last entry", b.len())));
     }
     count_decoded(total);
     Ok(HliFile { entries })
 }
 
-fn decode_entry(b: &mut &[u8], opts: SerializeOpts) -> Result<HliEntry, DecodeError> {
+pub(crate) fn decode_entry(b: &mut &[u8], opts: SerializeOpts) -> Result<HliEntry, DecodeError> {
     let unit_name = get_str(b)?;
-    let next_id = get_varint(b)? as u32;
+    let next_id = get_u32(b)?;
     let mut line_table = LineTable::default();
-    let nlines = get_varint(b)? as usize;
+    let nlines = get_len(b)?;
     for _ in 0..nlines {
-        let line = get_varint(b)? as u32;
-        let nitems = get_varint(b)? as usize;
+        let line = get_u32(b)?;
+        let nitems = get_len(b)?;
         let mut items = Vec::with_capacity(nitems.min(4096));
         for _ in 0..nitems {
-            let id = ItemId(get_varint(b)? as u32);
+            let id = ItemId(get_u32(b)?);
             let ty = match get_u8(b)? {
                 0 => ItemType::Load,
                 1 => ItemType::Store,
@@ -224,31 +233,31 @@ fn decode_entry(b: &mut &[u8], opts: SerializeOpts) -> Result<HliEntry, DecodeEr
         }
         line_table.lines.push(LineEntry { line, items });
     }
-    let nregions = get_varint(b)? as usize;
+    let nregions = get_len(b)?;
     let mut regions = Vec::with_capacity(nregions.min(4096));
     for _ in 0..nregions {
-        let id = RegionId(get_varint(b)? as u32);
+        let id = RegionId(get_u32(b)?);
         let kind = match get_u8(b)? {
             0 => RegionKind::Unit,
-            1 => RegionKind::Loop { header_line: get_varint(b)? as u32 },
+            1 => RegionKind::Loop { header_line: get_u32(b)? },
             x => return Err(DecodeError(format!("bad region kind {x}"))),
         };
         let praw = get_varint(b)?;
         let parent = if praw == 0 {
             None
         } else {
-            Some(RegionId((praw - 1) as u32))
+            Some(RegionId(narrow_u32(praw - 1)?))
         };
-        let nsub = get_varint(b)? as usize;
+        let nsub = get_len(b)?;
         let mut subregions = Vec::with_capacity(nsub.min(4096));
         for _ in 0..nsub {
-            subregions.push(RegionId(get_varint(b)? as u32));
+            subregions.push(RegionId(get_u32(b)?));
         }
-        let scope = (get_varint(b)? as u32, get_varint(b)? as u32);
-        let nclasses = get_varint(b)? as usize;
+        let scope = (get_u32(b)?, get_u32(b)?);
+        let nclasses = get_len(b)?;
         let mut equiv_classes = Vec::with_capacity(nclasses.min(4096));
         for _ in 0..nclasses {
-            let cid = ItemId(get_varint(b)? as u32);
+            let cid = ItemId(get_u32(b)?);
             let kind = match get_u8(b)? {
                 0 => EquivKind::Definite,
                 1 => EquivKind::Maybe,
@@ -259,64 +268,64 @@ fn decode_entry(b: &mut &[u8], opts: SerializeOpts) -> Result<HliEntry, DecodeEr
             } else {
                 String::new()
             };
-            let nm = get_varint(b)? as usize;
+            let nm = get_len(b)?;
             let mut members = Vec::with_capacity(nm.min(4096));
             for _ in 0..nm {
                 members.push(match get_u8(b)? {
-                    0 => MemberRef::Item(ItemId(get_varint(b)? as u32)),
+                    0 => MemberRef::Item(ItemId(get_u32(b)?)),
                     1 => MemberRef::SubClass {
-                        region: RegionId(get_varint(b)? as u32),
-                        class: ItemId(get_varint(b)? as u32),
+                        region: RegionId(get_u32(b)?),
+                        class: ItemId(get_u32(b)?),
                     },
                     x => return Err(DecodeError(format!("bad member tag {x}"))),
                 });
             }
             equiv_classes.push(EquivClass { id: cid, kind, members, name_hint });
         }
-        let nalias = get_varint(b)? as usize;
+        let nalias = get_len(b)?;
         let mut alias_table = Vec::with_capacity(nalias.min(4096));
         for _ in 0..nalias {
-            let nc = get_varint(b)? as usize;
+            let nc = get_len(b)?;
             let mut classes = Vec::with_capacity(nc.min(4096));
             for _ in 0..nc {
-                classes.push(ItemId(get_varint(b)? as u32));
+                classes.push(ItemId(get_u32(b)?));
             }
             alias_table.push(AliasEntry { classes });
         }
-        let nlcdd = get_varint(b)? as usize;
+        let nlcdd = get_len(b)?;
         let mut lcdd_table = Vec::with_capacity(nlcdd.min(4096));
         for _ in 0..nlcdd {
-            let src = ItemId(get_varint(b)? as u32);
-            let dst = ItemId(get_varint(b)? as u32);
+            let src = ItemId(get_u32(b)?);
+            let dst = ItemId(get_u32(b)?);
             let kind = match get_u8(b)? {
                 0 => DepKind::Definite,
                 1 => DepKind::Maybe,
                 x => return Err(DecodeError(format!("bad dep kind {x}"))),
             };
             let distance = match get_u8(b)? {
-                0 => Distance::Const(get_varint(b)? as u32),
+                0 => Distance::Const(get_u32(b)?),
                 1 => Distance::Unknown,
                 x => return Err(DecodeError(format!("bad distance tag {x}"))),
             };
             lcdd_table.push(LcddEntry { src, dst, kind, distance });
         }
-        let ncrm = get_varint(b)? as usize;
+        let ncrm = get_len(b)?;
         let mut call_refmod = Vec::with_capacity(ncrm.min(4096));
         for _ in 0..ncrm {
             let callee = match get_u8(b)? {
-                0 => CallRef::Item(ItemId(get_varint(b)? as u32)),
-                1 => CallRef::SubRegion(RegionId(get_varint(b)? as u32)),
+                0 => CallRef::Item(ItemId(get_u32(b)?)),
+                1 => CallRef::SubRegion(RegionId(get_u32(b)?)),
                 x => return Err(DecodeError(format!("bad callee tag {x}"))),
             };
-            let nr = get_varint(b)? as usize;
+            let nr = get_len(b)?;
             let mut refs = Vec::with_capacity(nr.min(4096));
             for _ in 0..nr {
-                refs.push(ItemId(get_varint(b)? as u32));
+                refs.push(ItemId(get_u32(b)?));
             }
-            let nm = get_varint(b)? as usize;
+            let nm = get_len(b)?;
             let mut mods = Vec::with_capacity(nm.min(4096));
             for _ in 0..nm {
-                mods.push(ItemId(get_varint(b)? as u32));
+                mods.push(ItemId(get_u32(b)?));
             }
             call_refmod.push(CallRefMod { callee, refs, mods });
         }
@@ -332,24 +341,17 @@ fn decode_entry(b: &mut &[u8], opts: SerializeOpts) -> Result<HliEntry, DecodeEr
             call_refmod,
         });
     }
-    Ok(HliEntry { unit_name, line_table, regions, next_id })
+    Ok(HliEntry { unit_name, line_table, regions, next_id, generation: 0 })
 }
 
-/// An indexed HLI file supporting the paper's on-demand import model:
+/// Encode a version-2 (`HLI\x02`) file: magic, unit count, then a directory
+/// of (unit name, body length) followed by the entry bodies in order. The
+/// directory lets [`crate::reader::HliReader`] locate and decode exactly one
+/// program unit per request, realizing the paper's §3.2.1 on-demand import:
 /// *"The HLI file is read on demand as GCC compiles a program function by
 /// function. This approach eliminates the need to keep all of the HLI in
 /// memory at the same time."*
-///
-/// [`encode_file_indexed`] prepends a directory of (unit name, byte offset,
-/// length); [`IndexedReader`] then decodes exactly one entry per request.
-pub struct IndexedReader {
-    data: Vec<u8>,
-    directory: Vec<(String, usize, usize)>,
-    opts: SerializeOpts,
-}
-
-/// Encode with a leading directory for random access.
-pub fn encode_file_indexed(file: &HliFile, opts: SerializeOpts) -> Vec<u8> {
+pub fn encode_file_v2(file: &HliFile, opts: SerializeOpts) -> Vec<u8> {
     // Encode entries first to learn their extents.
     let mut bodies: Vec<(String, Vec<u8>)> = Vec::with_capacity(file.entries.len());
     for e in &file.entries {
@@ -358,7 +360,7 @@ pub fn encode_file_indexed(file: &HliFile, opts: SerializeOpts) -> Vec<u8> {
         bodies.push((e.unit_name.clone(), b));
     }
     let mut out = Vec::new();
-    out.extend_from_slice(b"HLIX");
+    out.extend_from_slice(&MAGIC_V2);
     put_varint(&mut out, bodies.len() as u64);
     // Directory: name, length (offsets are implied by order).
     for (name, body) in &bodies {
@@ -370,66 +372,6 @@ pub fn encode_file_indexed(file: &HliFile, opts: SerializeOpts) -> Vec<u8> {
     }
     count_encoded(out.len());
     out
-}
-
-impl IndexedReader {
-    /// Open an indexed HLI image, parsing only the directory.
-    pub fn open(data: Vec<u8>, opts: SerializeOpts) -> Result<Self, DecodeError> {
-        let mut buf = &data[..];
-        let b = &mut buf;
-        if b.len() < 4 {
-            return Err(DecodeError("truncated header".into()));
-        }
-        let magic: [u8; 4] = b[..4].try_into().unwrap();
-        *b = &b[4..];
-        if &magic != b"HLIX" {
-            return Err(DecodeError("bad indexed magic".into()));
-        }
-        let n = get_varint(b)? as usize;
-        let mut lens = Vec::with_capacity(n.min(4096));
-        for _ in 0..n {
-            let name = get_str(b)?;
-            let len = get_varint(b)? as usize;
-            lens.push((name, len));
-        }
-        let mut offset = data.len() - b.len();
-        let mut directory = Vec::with_capacity(lens.len());
-        for (name, len) in lens {
-            if offset + len > data.len() {
-                return Err(DecodeError(format!("entry `{name}` extends past end")));
-            }
-            directory.push((name, offset, len));
-            offset += len;
-        }
-        Ok(IndexedReader { data, directory, opts })
-    }
-
-    /// Unit names in file order.
-    pub fn units(&self) -> impl Iterator<Item = &str> {
-        self.directory.iter().map(|(n, _, _)| n.as_str())
-    }
-
-    pub fn len(&self) -> usize {
-        self.directory.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.directory.is_empty()
-    }
-
-    /// Decode one program unit's entry on demand.
-    pub fn read(&self, unit: &str) -> Result<Option<HliEntry>, DecodeError> {
-        let Some((_, off, len)) = self.directory.iter().find(|(n, _, _)| n == unit) else {
-            return Ok(None);
-        };
-        let mut slice = &self.data[*off..*off + *len];
-        let entry = decode_entry(&mut slice, self.opts)?;
-        if !slice.is_empty() {
-            return Err(DecodeError(format!("trailing bytes after `{unit}`")));
-        }
-        count_decoded(*len);
-        Ok(Some(entry))
-    }
 }
 
 fn put_varint(b: &mut Vec<u8>, mut v: u64) {
@@ -444,7 +386,7 @@ fn put_varint(b: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_varint(b: &mut &[u8]) -> Result<u64, DecodeError> {
+pub(crate) fn get_varint(b: &mut &[u8]) -> Result<u64, DecodeError> {
     let mut v: u64 = 0;
     let mut shift = 0;
     loop {
@@ -460,6 +402,24 @@ fn get_varint(b: &mut &[u8]) -> Result<u64, DecodeError> {
     }
 }
 
+/// Narrow a decoded varint into the u32 range all IDs, lines and distances
+/// live in, rejecting (rather than wrapping) out-of-range values.
+fn narrow_u32(v: u64) -> Result<u32, DecodeError> {
+    u32::try_from(v).map_err(|_| DecodeError(format!("varint {v} out of u32 range")))
+}
+
+/// Decode a varint that must fit in a u32 (IDs, source lines, distances).
+fn get_u32(b: &mut &[u8]) -> Result<u32, DecodeError> {
+    narrow_u32(get_varint(b)?)
+}
+
+/// Decode a varint used as an in-memory count or length, rejecting values
+/// that would wrap `usize` on narrower targets.
+pub(crate) fn get_len(b: &mut &[u8]) -> Result<usize, DecodeError> {
+    let v = get_varint(b)?;
+    usize::try_from(v).map_err(|_| DecodeError(format!("varint {v} out of usize range")))
+}
+
 fn get_u8(b: &mut &[u8]) -> Result<u8, DecodeError> {
     let (&first, rest) =
         b.split_first().ok_or_else(|| DecodeError("unexpected end of input".into()))?;
@@ -472,8 +432,8 @@ fn put_str(b: &mut Vec<u8>, s: &str) {
     b.extend_from_slice(s.as_bytes());
 }
 
-fn get_str(b: &mut &[u8]) -> Result<String, DecodeError> {
-    let len = get_varint(b)? as usize;
+pub(crate) fn get_str(b: &mut &[u8]) -> Result<String, DecodeError> {
+    let len = get_len(b)?;
     if b.len() < len {
         return Err(DecodeError("truncated string".into()));
     }
@@ -568,35 +528,26 @@ mod tests {
     }
 
     #[test]
-    fn indexed_reader_reads_on_demand() {
-        let mut e2 = figure2_like();
-        e2.unit_name = "bar".into();
-        let file = HliFile { entries: vec![figure2_like(), e2.clone()] };
-        let opts = SerializeOpts { include_names: true };
-        let bytes = encode_file_indexed(&file, opts);
-        let rdr = IndexedReader::open(bytes, opts).unwrap();
-        assert_eq!(rdr.len(), 2);
-        assert_eq!(rdr.units().collect::<Vec<_>>(), vec!["foo", "bar"]);
-        // Random access: read the second unit without touching the first.
-        let bar = rdr.read("bar").unwrap().unwrap();
-        assert_eq!(bar, e2);
-        let foo = rdr.read("foo").unwrap().unwrap();
-        assert_eq!(foo.unit_name, "foo");
-        assert!(rdr.read("baz").unwrap().is_none());
+    fn trailing_garbage_rejected() {
+        let file = HliFile { entries: vec![figure2_like()] };
+        let mut bytes = encode_file(&file, SerializeOpts::default());
+        bytes.extend_from_slice(b"junk");
+        let err = decode_file(&bytes, SerializeOpts::default()).unwrap_err();
+        assert!(err.0.contains("trailing bytes"), "got: {err}");
     }
 
     #[test]
-    fn indexed_reader_rejects_corruption() {
-        let file = HliFile { entries: vec![figure2_like()] };
-        let bytes = encode_file_indexed(&file, SerializeOpts::default());
-        assert!(IndexedReader::open(b"NOPE".to_vec(), SerializeOpts::default()).is_err());
-        // Truncations fail at open or at read, never panic.
-        for cut in 0..bytes.len() {
-            let slice = bytes[..cut].to_vec();
-            if let Ok(r) = IndexedReader::open(slice, SerializeOpts::default()) {
-                let _ = r.read("foo");
-            }
-        }
+    fn oversize_varints_rejected_not_wrapped() {
+        // An id of u32::MAX + 1 must be a decode error, not a silent wrap
+        // to ItemId(0). Build a file body by hand: magic, 1 entry, empty
+        // name, then the oversized next_id varint.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        put_varint(&mut bytes, 1); // one entry
+        put_str(&mut bytes, ""); // unit_name
+        put_varint(&mut bytes, u64::from(u32::MAX) + 1); // next_id
+        let err = decode_file(&bytes, SerializeOpts::default()).unwrap_err();
+        assert!(err.0.contains("out of u32 range"), "got: {err}");
     }
 
     #[test]

@@ -193,7 +193,7 @@ impl Region {
 }
 
 /// The HLI entry of one program unit.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct HliEntry {
     pub unit_name: String,
     pub line_table: LineTable,
@@ -202,7 +202,23 @@ pub struct HliEntry {
     /// Next free ID in the shared item/class ID space (maintenance
     /// operations allocate from here).
     pub next_id: u32,
+    /// Mutation counter bumped by every successful maintenance operation
+    /// ([`crate::maintain`]); [`crate::cache::QueryCache`] uses it to
+    /// detect stale memoized answers. Not serialized, and ignored by
+    /// equality so round-tripped entries still compare equal.
+    pub generation: u64,
 }
+
+impl PartialEq for HliEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.unit_name == other.unit_name
+            && self.line_table == other.line_table
+            && self.regions == other.regions
+            && self.next_id == other.next_id
+    }
+}
+
+impl Eq for HliEntry {}
 
 /// A whole HLI file: one entry per program unit.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -237,7 +253,14 @@ impl HliEntry {
                 call_refmod: Vec::new(),
             }],
             next_id: 0,
+            generation: 0,
         }
+    }
+
+    /// Record that a maintenance operation mutated this entry, so query
+    /// caches keyed on (unit, generation) discard their memoized answers.
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
     }
 
     pub fn region(&self, id: RegionId) -> &Region {

@@ -3,7 +3,8 @@
 //! come from a seeded xorshift64 stream, so every run checks the same
 //! cases deterministically.
 
-use hli_core::serialize::{decode_file, encode_file, IndexedReader, SerializeOpts};
+use hli_core::serialize::{decode_file, encode_file, encode_file_v2, SerializeOpts};
+use hli_core::HliReader;
 
 /// xorshift64 — tiny deterministic PRNG for test-input generation.
 struct Rng(u64);
@@ -22,6 +23,12 @@ impl Rng {
         let len = (self.next() as usize) % (max_len + 1);
         (0..len).map(|_| self.next() as u8).collect()
     }
+}
+
+fn sample_hli() -> hli_core::HliFile {
+    let src = "int a[10]; int main() { int i; for (i = 0; i < 10; i++) a[i] = i; return a[3]; }";
+    let (p, s) = hli_lang::compile_to_ast(src).unwrap();
+    hli_frontend::generate_hli(&p, &s)
 }
 
 #[test]
@@ -45,18 +52,20 @@ fn decode_never_panics_with_magic() {
 }
 
 #[test]
-fn indexed_open_never_panics() {
+fn reader_open_never_panics() {
     let mut rng = Rng(0x0bad_c0de_dead_beef);
     for round in 0..512 {
         let mut bytes = rng.bytes(256);
-        // Half the rounds start with the right magic so the directory
-        // parser actually runs.
-        if round % 2 == 0 {
-            bytes.splice(0..0, *b"HLIX");
-        }
-        if let Ok(r) = IndexedReader::open(bytes, SerializeOpts::default()) {
+        // Cycle the rounds through the v2 and v1 magics so both the
+        // directory parser and the eager fallback actually run.
+        match round % 3 {
+            0 => drop(bytes.splice(0..0, *b"HLI\x02")),
+            1 => drop(bytes.splice(0..0, *b"HLI\x01")),
+            _ => (),
+        };
+        if let Ok(r) = HliReader::open(bytes, SerializeOpts::default()) {
             for unit in r.units().map(str::to_owned).collect::<Vec<_>>() {
-                let _ = r.read(&unit);
+                let _ = r.get(&unit);
             }
         }
     }
@@ -66,9 +75,7 @@ fn indexed_open_never_panics() {
 fn bitflips_in_valid_files_fail_cleanly() {
     // Take a real encoded file, flip one bit, decode: error or a
     // (possibly different) valid structure — never a panic.
-    let src = "int a[10]; int main() { int i; for (i = 0; i < 10; i++) a[i] = i; return a[3]; }";
-    let (p, s) = hli_lang::compile_to_ast(src).unwrap();
-    let hli = hli_frontend::generate_hli(&p, &s);
+    let hli = sample_hli();
     let clean = encode_file(&hli, SerializeOpts::default());
     for flip_at in 4..clean.len().min(200) {
         for flip_bit in 0..8u8 {
@@ -76,5 +83,69 @@ fn bitflips_in_valid_files_fail_cleanly() {
             bytes[flip_at] ^= 1 << flip_bit;
             let _ = decode_file(&bytes, SerializeOpts::default());
         }
+    }
+}
+
+#[test]
+fn truncations_of_valid_files_fail_cleanly() {
+    let hli = sample_hli();
+    for opts in [
+        SerializeOpts::default(),
+        SerializeOpts { include_names: true },
+    ] {
+        let v1 = encode_file(&hli, opts);
+        for cut in 0..v1.len() {
+            assert!(decode_file(&v1[..cut], opts).is_err(), "truncated at {cut}");
+        }
+        let v2 = encode_file_v2(&hli, opts);
+        for cut in 0..v2.len() {
+            let slice = v2[..cut].to_vec();
+            if let Ok(r) = HliReader::open(slice, opts) {
+                // Directory may parse; decoding any unit of a truncated
+                // image must error, never panic.
+                for unit in r.units().map(str::to_owned).collect::<Vec<_>>() {
+                    let _ = r.get(&unit);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn roundtrip_with_names_from_frontend_output() {
+    let hli = sample_hli();
+    let opts = SerializeOpts { include_names: true };
+    let bytes = encode_file(&hli, opts);
+    let back = decode_file(&bytes, opts).unwrap();
+    assert_eq!(back, hli, "named round-trip must be lossless");
+}
+
+#[test]
+fn trailing_garbage_after_valid_file_rejected() {
+    let hli = sample_hli();
+    let mut rng = Rng(0x5eed_5eed_5eed_5eed);
+    let clean = encode_file(&hli, SerializeOpts::default());
+    for _ in 0..64 {
+        let mut bytes = clean.clone();
+        let mut junk = rng.bytes(32);
+        junk.push(0xff); // at least one trailing byte
+        bytes.extend(junk);
+        let err = decode_file(&bytes, SerializeOpts::default()).unwrap_err();
+        assert!(err.0.contains("trailing bytes"), "got: {err}");
+    }
+}
+
+#[test]
+fn v1_and_v2_images_agree_unit_by_unit() {
+    let hli = sample_hli();
+    let opts = SerializeOpts { include_names: true };
+    let v1 = HliReader::open(encode_file(&hli, opts), opts).unwrap();
+    let v2 = HliReader::open(encode_file_v2(&hli, opts), opts).unwrap();
+    assert_eq!(v1.len(), v2.len());
+    assert_eq!(v1.units().collect::<Vec<_>>(), v2.units().collect::<Vec<_>>());
+    for unit in hli.entries.iter().map(|e| e.unit_name.clone()) {
+        let a = v1.get(&unit).unwrap().unwrap();
+        let b = v2.get(&unit).unwrap().unwrap();
+        assert_eq!(a, b, "unit `{unit}` differs between v1 and v2");
     }
 }

@@ -4,14 +4,15 @@
 //! and prints the reduction each achieves.
 //!
 //! Usage: `cargo run --release -p hli-harness --bin ablation [n iters]
-//! [--stats text|json] [--trace-out t.json] [--provenance-out p.jsonl]`
+//! [--lazy-import] [--stats text|json] [--trace-out t.json]
+//! [--provenance-out p.jsonl]`
 
 use hli_frontend::FrontendOptions;
 use hli_harness::report::bench_args;
-use hli_harness::{mean, par_map, run_benchmark_with};
+use hli_harness::{mean, par_map, run_benchmark_cfg};
 
 fn main() {
-    let (scale, obs) = bench_args("ablation");
+    let (scale, obs, cfg) = bench_args("ablation");
     let variants: Vec<(&str, FrontendOptions)> = vec![
         ("full HLI", FrontendOptions::default()),
         (
@@ -55,7 +56,9 @@ fn main() {
         variants
             .iter()
             .map(|(_, opts)| {
-                run_benchmark_with(b, *opts).map(|r| r.reduction() * 100.0).unwrap_or(f64::NAN)
+                run_benchmark_cfg(b, *opts, cfg)
+                    .map(|r| r.reduction() * 100.0)
+                    .unwrap_or(f64::NAN)
             })
             .collect()
     });

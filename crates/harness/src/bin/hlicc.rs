@@ -28,8 +28,8 @@ use hli_backend::mapping::map_function;
 use hli_backend::rtl::dump_func;
 use hli_backend::sched::{schedule_function, LatencyModel};
 use hli_backend::unroll::unroll_function;
-use hli_core::query::HliQuery;
-use hli_core::serialize::{encode_file_indexed, IndexedReader, SerializeOpts};
+use hli_core::serialize::{encode_file_v2, SerializeOpts};
+use hli_core::{HliReader, QueryCache};
 use hli_frontend::generate_hli;
 use hli_lang::compile_to_ast;
 use hli_machine::{r10000_cycles, r4600_cycles, R10000Config, R4600Config};
@@ -56,7 +56,7 @@ fn front(input: &str, out: Option<String>) {
             fail(&format!("internal: invalid HLI for `{}`: {errs:?}", e.unit_name));
         }
     }
-    let bytes = encode_file_indexed(&hli, OPTS);
+    let bytes = encode_file_v2(&hli, OPTS);
     let out = out.unwrap_or_else(|| format!("{}.hli", input.trim_end_matches(".c")));
     std::fs::write(&out, &bytes).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
     println!(
@@ -73,6 +73,7 @@ struct BackFlags {
     cse: bool,
     licm: bool,
     time: bool,
+    lazy_import: bool,
 }
 
 fn back(input: &str, hli_path: &str, flags: BackFlags) {
@@ -84,9 +85,14 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
         lower_with_loops(&prog, &sema)
     };
     // On-demand import: open the index, decode per function (§3.2.1).
+    // Without `--lazy-import` every unit is decoded up front, matching the
+    // monolithic import a batch build performs.
     let image =
         std::fs::read(hli_path).unwrap_or_else(|e| fail(&format!("cannot read {hli_path}: {e}")));
-    let reader = IndexedReader::open(image, OPTS).unwrap_or_else(|e| fail(&e.to_string()));
+    let reader = HliReader::open(image, OPTS).unwrap_or_else(|e| fail(&e.to_string()));
+    if !flags.lazy_import {
+        reader.preload().unwrap_or_else(|e| fail(&e.to_string()));
+    }
     let mode = if flags.use_hli {
         DepMode::Combined
     } else {
@@ -98,7 +104,7 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
     let mut total_queries = hli_backend::ddg::QueryStats::default();
     for f in &rtl.funcs {
         let _s = hli_obs::span(format!("backend.func.{}", f.name));
-        let entry = reader.read(&f.name).unwrap_or_else(|e| fail(&e.to_string()));
+        let entry = reader.get(&f.name).unwrap_or_else(|e| fail(&e.to_string())).cloned();
         let mut cur = f.clone();
         let scheduled = match entry {
             Some(mut entry) if flags.use_hli => {
@@ -136,7 +142,8 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
                 if !errs.is_empty() {
                     fail(&format!("maintenance broke `{}`: {errs:?}", f.name));
                 }
-                let q = HliQuery::new(&entry);
+                let cache = QueryCache::new();
+                let q = cache.attach(&entry);
                 let side = hli_backend::ddg::HliSide { query: &q, map: &map };
                 let r = schedule_function(&cur, Some(&side), mode, &lat);
                 total_queries.add(&r.stats);
@@ -186,7 +193,7 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: hlicc front <input.c> [-o out.hli]\n       hlicc back <input.c> <in.hli> [--no-hli --dump-rtl --unroll N --cse --licm --time]\n       hlicc build <input.c> [back-end flags]\n       (all: --stats [text|json], --trace-out <file.json>, --provenance-out <file.jsonl>)";
+    let usage = "usage: hlicc front <input.c> [-o out.hli]\n       hlicc back <input.c> <in.hli> [--no-hli --lazy-import --dump-rtl --unroll N --cse --licm --time]\n       hlicc build <input.c> [back-end flags]\n       (all: --stats [text|json], --trace-out <file.json>, --provenance-out <file.jsonl>)";
     let obs = hli_harness::cli::ObsArgs::extract(&mut args).unwrap_or_else(|e| fail(&e));
     let Some(cmd) = args.first() else { fail(usage) };
     match cmd.as_str() {
@@ -217,11 +224,13 @@ fn main() {
                 cse: false,
                 licm: false,
                 time: false,
+                lazy_import: false,
             };
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--no-hli" => flags.use_hli = false,
+                    "--lazy-import" => flags.lazy_import = true,
                     "--dump-rtl" => flags.dump_rtl = true,
                     "--cse" => flags.cse = true,
                     "--licm" => flags.licm = true,

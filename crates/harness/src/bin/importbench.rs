@@ -1,0 +1,115 @@
+//! `importbench` — eager-vs-lazy import and cold-vs-shared query-cache
+//! comparison over the whole suite.
+//!
+//! Runs the measurement pipeline four times — {eager, lazy} import ×
+//! {per-pass, shared} caches — and prints, for each configuration, the
+//! wall time, the bytes the decoder actually consumed
+//! (`hli.deserialize.bytes`), the units the v2 reader decoded, and the
+//! query-cache hit/miss/invalidate counters.
+//!
+//! The run doubles as a self-check and exits 1 if any of the claims the
+//! configurations exist to demonstrate fails to hold:
+//!
+//! * lazy import must deserialize strictly fewer bytes than eager;
+//! * shared caches must produce hits (the second scheduling pass re-asks
+//!   what the first already asked);
+//! * every configuration must report identical Table-2 query counters —
+//!   caching and laziness change cost, never answers.
+//!
+//! Usage: `cargo run --release -p hli-harness --bin importbench [n iters]
+//! [--stats text|json] [--trace-out t.json] [--provenance-out p.jsonl]`
+
+use hli_harness::report::{bench_args, collect_suite_cfg, merged_metrics, total_query_stats};
+use hli_harness::ImportConfig;
+
+fn main() {
+    let (scale, obs, _) = bench_args("importbench");
+    let configs = [
+        (
+            "eager, per-pass caches",
+            ImportConfig { lazy: false, shared_cache: false },
+        ),
+        ("eager, shared caches", ImportConfig { lazy: false, shared_cache: true }),
+        (
+            "lazy,  per-pass caches",
+            ImportConfig { lazy: true, shared_cache: false },
+        ),
+        ("lazy,  shared caches", ImportConfig { lazy: true, shared_cache: true }),
+    ];
+
+    eprintln!(
+        "running {} suite passes at scale n={} iters={}...",
+        configs.len(),
+        scale.n,
+        scale.iters
+    );
+    println!(
+        "{:<24} {:>9} {:>12} {:>9} {:>9} {:>9} {:>11}",
+        "Configuration", "wall (ms)", "deser (B)", "units", "hits", "misses", "invalidated"
+    );
+    println!("{}", "-".repeat(88));
+
+    let mut rows = Vec::new();
+    for (label, cfg) in configs {
+        let start = std::time::Instant::now();
+        let reports = collect_suite_cfg(scale, cfg).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        let wall = start.elapsed();
+        let m = merged_metrics(&reports);
+        let stats = total_query_stats(&reports);
+        println!(
+            "{:<24} {:>9.1} {:>12} {:>9} {:>9} {:>9} {:>11}",
+            label,
+            wall.as_secs_f64() * 1e3,
+            m.counter("hli.deserialize.bytes"),
+            m.counter("hli.reader.units_decoded"),
+            m.counter("backend.query_cache.hit"),
+            m.counter("backend.query_cache.miss"),
+            m.counter("backend.query_cache.invalidate"),
+        );
+        rows.push((label, cfg, m, stats));
+    }
+
+    let mut ok = true;
+    let eager_bytes = rows
+        .iter()
+        .filter(|(_, c, ..)| !c.lazy)
+        .map(|(_, _, m, _)| m.counter("hli.deserialize.bytes"))
+        .max()
+        .unwrap();
+    let lazy_bytes = rows
+        .iter()
+        .filter(|(_, c, ..)| c.lazy)
+        .map(|(_, _, m, _)| m.counter("hli.deserialize.bytes"))
+        .max()
+        .unwrap();
+    if lazy_bytes >= eager_bytes {
+        eprintln!("FAIL: lazy import deserialized {lazy_bytes} B, eager {eager_bytes} B");
+        ok = false;
+    }
+    for (label, cfg, m, _) in &rows {
+        if cfg.shared_cache && m.counter("backend.query_cache.hit") == 0 {
+            eprintln!("FAIL: `{label}` saw no cache hits despite shared caches");
+            ok = false;
+        }
+    }
+    let baseline = &rows[0].3;
+    for (label, _, _, stats) in &rows[1..] {
+        if stats != baseline {
+            eprintln!("FAIL: `{label}` changed the Table-2 counters: {stats:?} vs {baseline:?}");
+            ok = false;
+        }
+    }
+    println!();
+    println!(
+        "checks: lazy deserializes fewer bytes ({lazy_bytes} < {eager_bytes}), shared caches \
+         hit, all configurations agree on query counters: {}",
+        if ok { "ok" } else { "FAILED" }
+    );
+    obs.emit();
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -31,8 +31,10 @@ const GROUPS: &[&str] = &[
     "backend.cse.",
     "backend.licm.",
     "backend.unroll.",
+    "backend.query_cache.",
     "hli.maintain.",
     "hli.query.",
+    "hli.reader.",
     "provenance.",
 ];
 

@@ -4,39 +4,53 @@
 //! [`BenchReport`]s.
 
 use crate::cli::ObsArgs;
-use crate::{run_suite, BenchReport};
+use crate::{run_suite_cfg, BenchReport, ImportConfig};
 use hli_backend::ddg::QueryStats;
 use hli_obs::MetricsSnapshot;
 use hli_suite::Scale;
 
 /// Parse the command line shared by every suite-level binary —
-/// `[n iters]` plus the observability flags — exiting with a uniform
-/// usage message on a malformed flag. `table1`, `table2` and `ablation`
-/// call this instead of keeping their own copies of the loop.
-pub fn bench_args(bin: &str) -> (Scale, ObsArgs) {
+/// `[n iters]` plus the observability flags and `--lazy-import` — exiting
+/// with a uniform usage message on a malformed flag. `table1`, `table2`
+/// and `ablation` call this instead of keeping their own copies of the
+/// loop.
+pub fn bench_args(bin: &str) -> (Scale, ObsArgs, ImportConfig) {
     bench_args_from(bin, std::env::args().skip(1).collect())
 }
 
 /// Testable core of [`bench_args`]: same parse over an explicit vector.
-pub fn bench_args_from(bin: &str, mut args: Vec<String>) -> (Scale, ObsArgs) {
+pub fn bench_args_from(bin: &str, mut args: Vec<String>) -> (Scale, ObsArgs, ImportConfig) {
     let obs = ObsArgs::extract(&mut args).unwrap_or_else(|e| {
         eprintln!("{bin}: {e}");
         eprintln!(
-            "usage: {bin} [n iters] [--stats text|json] [--trace-out t.json] \
-             [--provenance-out p.jsonl]"
+            "usage: {bin} [n iters] [--lazy-import] [--stats text|json] \
+             [--trace-out t.json] [--provenance-out p.jsonl]"
         );
         std::process::exit(1);
     });
+    let mut cfg = ImportConfig::default();
+    args.retain(|a| {
+        let hit = a == "--lazy-import";
+        if hit {
+            cfg.lazy = true;
+        }
+        !hit
+    });
     let n = args.first().and_then(|a| a.parse().ok()).unwrap_or(64);
     let iters = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(12);
-    (Scale { n, iters }, obs)
+    (Scale { n, iters }, obs, cfg)
 }
 
 /// Run the whole suite and collect the reports, failing on the first
 /// benchmark error (what the table binaries did individually before).
 pub fn collect_suite(scale: Scale) -> Result<Vec<BenchReport>, String> {
+    collect_suite_cfg(scale, ImportConfig::default())
+}
+
+/// [`collect_suite`] with an explicit import strategy.
+pub fn collect_suite_cfg(scale: Scale, cfg: ImportConfig) -> Result<Vec<BenchReport>, String> {
     let mut reports = Vec::with_capacity(10);
-    for r in run_suite(scale) {
+    for r in run_suite_cfg(scale, cfg) {
         reports.push(r?);
     }
     Ok(reports)
@@ -130,12 +144,18 @@ mod tests {
     #[test]
     fn bench_args_parse_scale_and_obs_flags() {
         let v = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        let (scale, obs) = bench_args_from("table2", v(&["12", "2", "--stats", "json"]));
+        let (scale, obs, cfg) = bench_args_from("table2", v(&["12", "2", "--stats", "json"]));
         assert_eq!((scale.n, scale.iters), (12, 2));
         assert_eq!(obs.stats, Some(crate::cli::StatsFormat::Json));
-        let (scale, obs) = bench_args_from("table1", v(&[]));
+        assert!(!cfg.lazy);
+        let (scale, obs, cfg) = bench_args_from("table1", v(&[]));
         assert_eq!((scale.n, scale.iters), (64, 12));
         assert!(obs.stats.is_none() && obs.trace_out.is_none() && obs.provenance_out.is_none());
+        assert_eq!(cfg, ImportConfig::default());
+        // `--lazy-import` may appear anywhere among the positionals.
+        let (scale, _, cfg) = bench_args_from("table2", v(&["12", "--lazy-import", "2"]));
+        assert_eq!((scale.n, scale.iters), (12, 2));
+        assert!(cfg.lazy && cfg.shared_cache);
     }
 
     /// Suite-level aggregation helpers agree with a hand-rolled loop.

@@ -19,8 +19,14 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== decoder fuzz tests (release)"
+cargo test -q --release -p hli-core --test fuzz_decode
+
 echo "== obsdiff against pinned baseline (tiny suite)"
 target/release/table2 12 2 --stats json 2>/dev/null > target/obsdiff-current.txt
 target/release/obsdiff tests/baselines/table2-tiny.json target/obsdiff-current.txt
+
+echo "== import/caching smoke (lazy saves bytes, shared caches hit, counters agree)"
+target/release/importbench 12 2 > /dev/null
 
 echo "CI green."
