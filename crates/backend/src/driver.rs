@@ -1,0 +1,216 @@
+//! Parallel per-function back-end driver.
+//!
+//! The paper's on-demand import (Section 3.2.1) makes each function's trip
+//! through the back-end — fetch its HLI unit, map it onto RTL, build the
+//! DDG, schedule — independent of every other function's. This module
+//! shards that pipeline across an [`hli_pool`] work-stealing pool, one
+//! work item per function, with each item running *all* requested
+//! scheduling passes back to back so a per-function [`QueryCache`] warmed
+//! by the first pass serves the second.
+//!
+//! ## Determinism contract
+//!
+//! `--jobs 1` and `--jobs N` must produce byte-identical `--stats json`
+//! and `--provenance-out` output. Three mechanisms enforce that:
+//!
+//! * every work item runs under [`hli_obs::capture`], so its metrics and
+//!   provenance records land in a private shard instead of interleaving
+//!   with other workers';
+//! * shards are [`hli_obs::commit`]ted on the calling thread in
+//!   **name-sorted function order**, independent of which worker finished
+//!   when — commit renumbers each shard's locally-stamped query ids into
+//!   the parent id space in that same stable order;
+//! * scheduled functions are reassembled in original program order from
+//!   the pool's input-order result slots.
+//!
+//! Since a `--jobs 1` run takes the identical capture/commit path (the
+//! pool runs inline on the caller thread), equality holds by construction
+//! rather than by careful auditing of every counter.
+
+use crate::ddg::{DepMode, HliSide, QueryStats};
+use crate::rtl::RtlProgram;
+use crate::sched::{schedule_function, LatencyModel, SchedResult};
+use hli_core::{HliEntry, QueryCache};
+use std::collections::HashMap;
+
+/// One scheduling pass the driver should run over every function.
+pub struct PassSpec<'c> {
+    /// Dependence-combination mode for this pass.
+    pub mode: DepMode,
+    /// Per-function memo caches; functions missing from the map (or all of
+    /// them, when `None`) get a throwaway cache. Passing the *same* map to
+    /// two passes shares memos between them, the harness's
+    /// "shared cache" configuration.
+    pub caches: Option<&'c HashMap<String, QueryCache>>,
+}
+
+/// Run every pass in `passes` over every function of `prog`, fanning the
+/// functions out over `jobs` pool workers (`0` = one per CPU, `1` =
+/// inline sequential). Returns one `(scheduled program, total stats)` per
+/// pass, functions in original program order.
+///
+/// `lookup` resolves a function's HLI entry and is called once per pass
+/// per function — exactly the sequential driver's access pattern, so
+/// `hli.reader.{units_decoded,reused}` counts are unchanged. It runs on
+/// pool threads and must be `Sync`; both an eagerly-decoded
+/// [`hli_core::HliFile`] and a lazy [`hli_core::HliReader`] qualify.
+pub fn schedule_program_passes<'h>(
+    prog: &RtlProgram,
+    lookup: &(dyn Fn(&str) -> Option<&'h HliEntry> + Sync),
+    passes: &[PassSpec<'_>],
+    lat: &LatencyModel,
+    jobs: usize,
+) -> Vec<(RtlProgram, QueryStats)> {
+    // Probed on the caller's thread: workers cannot see a thread-scoped
+    // sink, and the verdict must not depend on item placement.
+    let prov_on = hli_obs::provenance::active().is_some();
+    let results = hli_pool::run(jobs, &prog.funcs, |_w, f| {
+        hli_obs::capture(prov_on, || {
+            passes
+                .iter()
+                .map(|pass| {
+                    let entry = lookup(&f.name);
+                    match entry {
+                        Some(e) => {
+                            let fresh;
+                            let cache = match pass.caches.and_then(|c| c.get(&f.name)) {
+                                Some(c) => c,
+                                None => {
+                                    fresh = QueryCache::new();
+                                    &fresh
+                                }
+                            };
+                            let q = cache.attach(e);
+                            let map = crate::mapping::map_function(f, e);
+                            let side = HliSide { query: &q, map: &map };
+                            schedule_function(f, Some(&side), pass.mode, lat)
+                        }
+                        None => schedule_function(f, None, DepMode::GccOnly, lat),
+                    }
+                })
+                .collect::<Vec<SchedResult>>()
+        })
+    });
+
+    // Split results from their observability shards, then commit the
+    // shards in name-sorted function order — the stable order that makes
+    // provenance ids and record order identical across job counts.
+    let mut per_func: Vec<std::vec::IntoIter<SchedResult>> = Vec::with_capacity(results.len());
+    let mut shards: Vec<Option<hli_obs::ObsShard>> = Vec::with_capacity(results.len());
+    for (rs, shard) in results {
+        per_func.push(rs.into_iter());
+        shards.push(Some(shard));
+    }
+    let mut order: Vec<usize> = (0..shards.len()).collect();
+    order.sort_by(|&a, &b| prog.funcs[a].name.cmp(&prog.funcs[b].name));
+    for i in order {
+        hli_obs::commit(shards[i].take().unwrap());
+    }
+
+    // Reassemble one program + stats total per pass, functions in
+    // original program order.
+    passes
+        .iter()
+        .map(|_| {
+            let mut out = prog.clone();
+            let mut total = QueryStats::default();
+            for (f, rs) in out.funcs.iter_mut().zip(per_func.iter_mut()) {
+                let r = rs.next().expect("one SchedResult per pass per function");
+                total.add(&r.stats);
+                *f = r.func;
+            }
+            (out, total)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use hli_frontend::generate_hli;
+    use hli_lang::compile_to_ast;
+    use hli_obs::{metrics, provenance, MetricsRegistry, ProvenanceSink};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    const SRC: &str = "int a[64]; int b[64]; int g;\n\
+        void f1(int n) { int i; for (i = 0; i < n; i++) a[i] = b[i] + g; }\n\
+        void f2(int n) { int i; for (i = 0; i < n; i++) b[i] = a[i] * 2; }\n\
+        void f3(int n) { int i; for (i = 0; i < n; i++) g += a[i]; }\n\
+        int main() { f1(32); f2(32); f3(32); return g; }";
+
+    /// Run the two-pass driver at `jobs`, returning the scheduled
+    /// programs, stats, a metrics JSON snapshot and the provenance JSONL.
+    fn run_at(jobs: usize, prov: bool) -> (Vec<(RtlProgram, QueryStats)>, String, String) {
+        let (p, s) = compile_to_ast(SRC).unwrap();
+        let hli = generate_hli(&p, &s);
+        let prog = lower_program(&p, &s);
+        let reg = Arc::new(MetricsRegistry::new());
+        let sink = Arc::new(ProvenanceSink::new());
+        sink.set_enabled(prov);
+        let ids = Arc::new(AtomicU64::new(1));
+        let out = {
+            let _m = metrics::scoped(reg.clone());
+            let _s = provenance::scoped(sink.clone());
+            let _i = provenance::scoped_ids(ids);
+            let caches: HashMap<String, QueryCache> =
+                prog.funcs.iter().map(|f| (f.name.clone(), QueryCache::new())).collect();
+            let passes = [
+                PassSpec { mode: DepMode::GccOnly, caches: Some(&caches) },
+                PassSpec { mode: DepMode::Combined, caches: Some(&caches) },
+            ];
+            schedule_program_passes(
+                &prog,
+                &|n| hli.entry(n),
+                &passes,
+                &LatencyModel::default(),
+                jobs,
+            )
+        };
+        let jsonl = provenance::to_jsonl(&sink.drain());
+        (out, reg.snapshot().to_json(), jsonl)
+    }
+
+    #[test]
+    fn parallel_driver_matches_sequential_bit_for_bit() {
+        // Metrics phase (provenance off, memos active) and provenance
+        // phase (sink on) both must be invariant in the job count.
+        for prov in [false, true] {
+            let (seq, seq_json, seq_prov) = run_at(1, prov);
+            let (par, par_json, par_prov) = run_at(4, prov);
+            assert_eq!(seq.len(), 2);
+            for ((sp, ss), (pp, ps)) in seq.iter().zip(par.iter()) {
+                assert_eq!(sp, pp, "scheduled programs diverge (prov={prov})");
+                assert_eq!(ss, ps, "query stats diverge (prov={prov})");
+            }
+            assert_eq!(seq_json, par_json, "--stats json diverges (prov={prov})");
+            assert_eq!(seq_prov, par_prov, "provenance JSONL diverges (prov={prov})");
+            if prov {
+                assert!(!seq_prov.is_empty(), "combined pass must record decisions");
+            } else {
+                assert!(seq_json.contains("backend.query_cache.hit"), "memos were exercised");
+            }
+        }
+    }
+
+    #[test]
+    fn functions_missing_from_caches_get_throwaway_memos() {
+        let (p, s) = compile_to_ast(SRC).unwrap();
+        let hli = generate_hli(&p, &s);
+        let prog = lower_program(&p, &s);
+        let empty = HashMap::new();
+        let passes = [PassSpec { mode: DepMode::Combined, caches: Some(&empty) }];
+        let with_map =
+            schedule_program_passes(&prog, &|n| hli.entry(n), &passes, &LatencyModel::default(), 2);
+        let no_map = schedule_program_passes(
+            &prog,
+            &|n| hli.entry(n),
+            &[PassSpec { mode: DepMode::Combined, caches: None }],
+            &LatencyModel::default(),
+            2,
+        );
+        assert_eq!(with_map[0].0, no_map[0].0);
+        assert_eq!(with_map[0].1, no_map[0].1);
+    }
+}

@@ -35,6 +35,7 @@
 pub mod cfg;
 pub mod cse;
 pub mod ddg;
+pub mod driver;
 pub mod gccdep;
 pub mod licm;
 pub mod lower;
@@ -45,6 +46,7 @@ pub mod swp;
 pub mod unroll;
 
 pub use ddg::{DepMode, QueryStats};
+pub use driver::{schedule_program_passes, PassSpec};
 pub use lower::lower_program;
 pub use mapping::HliMap;
 pub use rtl::{Insn, MemRef, Op, RtlFunc, RtlProgram};

@@ -224,7 +224,7 @@ pub struct Insn {
 }
 
 /// A lowered function.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RtlFunc {
     pub name: String,
     /// Registers holding the register-passed parameters, in order. Stack
@@ -263,7 +263,7 @@ impl RtlFunc {
 
 /// A lowered program: functions plus the global data layout (shared with
 /// the machine models and consistent with the AST interpreter).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RtlProgram {
     pub funcs: Vec<RtlFunc>,
     /// Global symbol → byte address.

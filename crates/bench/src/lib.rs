@@ -13,8 +13,8 @@
 //!   unrolling factors with HLI maintenance, front-end precision knobs.
 //!
 //! The shared helpers here keep the bench targets small: [`prepare`] does
-//! the common front-end work, [`bench`] is a self-calibrating wall-clock
-//! timer (run with `cargo bench`; results print as ns/iter).
+//! the common front-end work, [`bench()`] is a self-calibrating
+//! wall-clock timer (run with `cargo bench`; results print as ns/iter).
 
 use hli_backend::rtl::RtlProgram;
 use hli_core::HliFile;

@@ -36,21 +36,40 @@ use crate::query::{CallAcc, EquivAcc, HliQuery, LcddAnswer};
 use crate::tables::{HliEntry, ItemType, Region};
 use hli_obs::provenance::QueryRef;
 use hli_obs::Counter;
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The mutable interior of a [`QueryCache`]: the validity key plus the
+/// five memo maps, guarded together by one mutex so a key change and its
+/// flush are atomic with respect to concurrent readers.
+#[derive(Default)]
+struct CacheState {
+    /// Validity key: the unit and generation the memos were computed from.
+    unit: String,
+    generation: u64,
+    equiv: HashMap<(ItemId, ItemId), EquivAcc>,
+    alias: HashMap<(RegionId, ItemId, ItemId), bool>,
+    lcdd: HashMap<(ItemId, ItemId), Option<LcddAnswer>>,
+    lcdd_at: HashMap<(RegionId, ItemId, ItemId), Option<LcddAnswer>>,
+    call: HashMap<(ItemId, ItemId), CallAcc>,
+}
+
+impl CacheState {
+    fn memo_len(&self) -> usize {
+        self.equiv.len() + self.alias.len() + self.lcdd.len() + self.lcdd_at.len() + self.call.len()
+    }
+}
 
 /// Memo storage for one program unit's query answers. Create one per
 /// function (or share one across passes over the same function) and
 /// [`attach`](QueryCache::attach) it to the entry before querying.
+///
+/// `Send + Sync`: the state sits behind a single `Mutex`, so one cache
+/// may be probed from several threads — though the intended sharing
+/// discipline (one cache per function, owned by whichever pool worker
+/// holds that function) keeps the lock uncontended.
 pub struct QueryCache {
-    /// Validity key: the unit and generation the memos were computed from.
-    unit: RefCell<String>,
-    generation: Cell<u64>,
-    equiv: RefCell<HashMap<(ItemId, ItemId), EquivAcc>>,
-    alias: RefCell<HashMap<(RegionId, ItemId, ItemId), bool>>,
-    lcdd: RefCell<HashMap<(ItemId, ItemId), Option<LcddAnswer>>>,
-    lcdd_at: RefCell<HashMap<(RegionId, ItemId, ItemId), Option<LcddAnswer>>>,
-    call: RefCell<HashMap<(ItemId, ItemId), CallAcc>>,
+    state: Mutex<CacheState>,
     hits: Counter,
     misses: Counter,
     invalidates: Counter,
@@ -63,16 +82,12 @@ impl Default for QueryCache {
 }
 
 impl QueryCache {
+    /// An empty cache bound to the current metrics registry (counter
+    /// handles are resolved here, once, not per query).
     pub fn new() -> Self {
         let r = hli_obs::metrics::cur();
         QueryCache {
-            unit: RefCell::new(String::new()),
-            generation: Cell::new(0),
-            equiv: RefCell::new(HashMap::new()),
-            alias: RefCell::new(HashMap::new()),
-            lcdd: RefCell::new(HashMap::new()),
-            lcdd_at: RefCell::new(HashMap::new()),
-            call: RefCell::new(HashMap::new()),
+            state: Mutex::new(CacheState::default()),
             hits: r.counter("backend.query_cache.hit"),
             misses: r.counter("backend.query_cache.miss"),
             invalidates: r.counter("backend.query_cache.invalidate"),
@@ -81,34 +96,32 @@ impl QueryCache {
 
     /// Number of memoized answers currently held.
     pub fn memo_len(&self) -> usize {
-        self.equiv.borrow().len()
-            + self.alias.borrow().len()
-            + self.lcdd.borrow().len()
-            + self.lcdd_at.borrow().len()
-            + self.call.borrow().len()
+        self.state.lock().unwrap().memo_len()
     }
 
-    fn flush(&self) {
-        let dropped = self.memo_len();
+    fn flush(&self, s: &mut CacheState) {
+        let dropped = s.memo_len();
         if dropped > 0 {
             self.invalidates.add(dropped as u64);
         }
-        self.equiv.borrow_mut().clear();
-        self.alias.borrow_mut().clear();
-        self.lcdd.borrow_mut().clear();
-        self.lcdd_at.borrow_mut().clear();
-        self.call.borrow_mut().clear();
+        s.equiv.clear();
+        s.alias.clear();
+        s.lcdd.clear();
+        s.lcdd_at.clear();
+        s.call.clear();
     }
 
     /// Build a cached query view of `entry`. Memos survive across attaches
     /// as long as the entry's `(unit_name, generation)` key is unchanged;
     /// any mismatch flushes them (counted as invalidations).
     pub fn attach<'a>(&'a self, entry: &'a HliEntry) -> CachedQuery<'a> {
-        if *self.unit.borrow() != entry.unit_name || self.generation.get() != entry.generation {
-            self.flush();
-            *self.unit.borrow_mut() = entry.unit_name.clone();
-            self.generation.set(entry.generation);
+        let mut s = self.state.lock().unwrap();
+        if s.unit != entry.unit_name || s.generation != entry.generation {
+            self.flush(&mut s);
+            s.unit = entry.unit_name.clone();
+            s.generation = entry.generation;
         }
+        drop(s);
         CachedQuery { cache: self, inner: HliQuery::new(entry) }
     }
 
@@ -126,41 +139,39 @@ impl QueryCache {
     /// [`crate::maintain::unroll_loop`]; let the generation mismatch flush
     /// everything instead.
     pub fn invalidate_items(&self, entry: &HliEntry, items: &[ItemId]) {
-        if *self.unit.borrow() != entry.unit_name {
+        let mut s = self.state.lock().unwrap();
+        if s.unit != entry.unit_name {
             // Different unit: nothing here belongs to `entry` at all.
-            self.flush();
-            *self.unit.borrow_mut() = entry.unit_name.clone();
-            self.generation.set(entry.generation);
+            self.flush(&mut s);
+            s.unit = entry.unit_name.clone();
+            s.generation = entry.generation;
             return;
         }
         let hit = |a: &ItemId, b: &ItemId| items.contains(a) || items.contains(b);
         let mut dropped = 0usize;
         macro_rules! retain_pairs {
             ($map:expr) => {{
-                let mut m = $map.borrow_mut();
+                let m = &mut $map;
                 let before = m.len();
                 m.retain(|(a, b), _| !hit(a, b));
                 dropped += before - m.len();
             }};
         }
-        retain_pairs!(self.equiv);
-        retain_pairs!(self.lcdd);
-        retain_pairs!(self.call);
+        retain_pairs!(s.equiv);
+        retain_pairs!(s.lcdd);
+        retain_pairs!(s.call);
         {
-            let mut m = self.lcdd_at.borrow_mut();
+            let m = &mut s.lcdd_at;
             let before = m.len();
             m.retain(|(_, a, b), _| !hit(a, b));
             dropped += before - m.len();
         }
-        {
-            let mut m = self.alias.borrow_mut();
-            dropped += m.len();
-            m.clear();
-        }
+        dropped += s.alias.len();
+        s.alias.clear();
         if dropped > 0 {
             self.invalidates.add(dropped as u64);
         }
-        self.generation.set(entry.generation);
+        s.generation = entry.generation;
     }
 }
 
@@ -196,10 +207,12 @@ impl<'a> CachedQuery<'a> {
         &self.inner
     }
 
+    /// See [`HliQuery::query_mark`].
     pub fn query_mark(&self) -> usize {
         self.inner.query_mark()
     }
 
+    /// See [`HliQuery::queries_since`].
     pub fn queries_since(&self, mark: usize) -> Vec<QueryRef> {
         self.inner.queries_since(mark)
     }
@@ -209,18 +222,22 @@ impl<'a> CachedQuery<'a> {
         self.inner.region_info(r)
     }
 
+    /// See [`HliQuery::region_of_item`] (uncached: a plain index lookup).
     pub fn region_of_item(&self, item: ItemId) -> Option<RegionId> {
         self.inner.region_of_item(item)
     }
 
+    /// See [`HliQuery::owner_of`] (uncached: a plain index lookup).
     pub fn owner_of(&self, item: ItemId) -> Option<RegionId> {
         self.inner.owner_of(item)
     }
 
+    /// See [`HliQuery::item_info`] (uncached: a plain index lookup).
     pub fn item_info(&self, item: ItemId) -> Option<(u32, ItemType)> {
         self.inner.item_info(item)
     }
 
+    /// See [`HliQuery::class_of_item_at`] (uncached: a plain index lookup).
     pub fn class_of_item_at(&self, region: RegionId, item: ItemId) -> Option<ItemId> {
         self.inner.class_of_item_at(region, item)
     }
@@ -232,13 +249,13 @@ impl<'a> CachedQuery<'a> {
             return self.inner.get_equiv_acc(a, b);
         }
         let key = (a.min(b), a.max(b));
-        if let Some(&v) = self.cache.equiv.borrow().get(&key) {
+        if let Some(&v) = self.cache.state.lock().unwrap().equiv.get(&key) {
             self.cache.hits.inc();
             return v;
         }
         self.cache.misses.inc();
         let v = self.inner.get_equiv_acc(a, b);
-        self.cache.equiv.borrow_mut().insert(key, v);
+        self.cache.state.lock().unwrap().equiv.insert(key, v);
         v
     }
 
@@ -248,13 +265,13 @@ impl<'a> CachedQuery<'a> {
             return self.inner.get_alias(region, ca, cb);
         }
         let key = (region, ca.min(cb), ca.max(cb));
-        if let Some(&v) = self.cache.alias.borrow().get(&key) {
+        if let Some(&v) = self.cache.state.lock().unwrap().alias.get(&key) {
             self.cache.hits.inc();
             return v;
         }
         self.cache.misses.inc();
         let v = self.inner.get_alias(region, ca, cb);
-        self.cache.alias.borrow_mut().insert(key, v);
+        self.cache.state.lock().unwrap().alias.insert(key, v);
         v
     }
 
@@ -267,13 +284,13 @@ impl<'a> CachedQuery<'a> {
         }
         let swapped = b < a;
         let key = (a.min(b), a.max(b));
-        if let Some(&v) = self.cache.lcdd.borrow().get(&key) {
+        if let Some(&v) = self.cache.state.lock().unwrap().lcdd.get(&key) {
             self.cache.hits.inc();
             return reorient(v, swapped);
         }
         self.cache.misses.inc();
         let v = self.inner.get_lcdd(a, b);
-        self.cache.lcdd.borrow_mut().insert(key, reorient(v, swapped));
+        self.cache.state.lock().unwrap().lcdd.insert(key, reorient(v, swapped));
         v
     }
 
@@ -284,13 +301,13 @@ impl<'a> CachedQuery<'a> {
         }
         let swapped = b < a;
         let key = (region, a.min(b), a.max(b));
-        if let Some(&v) = self.cache.lcdd_at.borrow().get(&key) {
+        if let Some(&v) = self.cache.state.lock().unwrap().lcdd_at.get(&key) {
             self.cache.hits.inc();
             return reorient(v, swapped);
         }
         self.cache.misses.inc();
         let v = self.inner.get_lcdd_at(region, a, b);
-        self.cache.lcdd_at.borrow_mut().insert(key, reorient(v, swapped));
+        self.cache.state.lock().unwrap().lcdd_at.insert(key, reorient(v, swapped));
         v
     }
 
@@ -300,13 +317,13 @@ impl<'a> CachedQuery<'a> {
             return self.inner.get_call_acc(mem, call);
         }
         let key = (mem, call);
-        if let Some(&v) = self.cache.call.borrow().get(&key) {
+        if let Some(&v) = self.cache.state.lock().unwrap().call.get(&key) {
             self.cache.hits.inc();
             return v;
         }
         self.cache.misses.inc();
         let v = self.inner.get_call_acc(mem, call);
-        self.cache.call.borrow_mut().insert(key, v);
+        self.cache.state.lock().unwrap().call.insert(key, v);
         v
     }
 }
@@ -495,6 +512,57 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("backend.query_cache.hit"), 0);
         assert_eq!(snap.counter("backend.query_cache.miss"), 0);
+    }
+
+    #[test]
+    fn concurrent_maintenance_only_invalidates_its_own_unit() {
+        // The parallel driver hands each worker its own function's cache
+        // from one shared `HashMap<String, QueryCache>`. Maintenance on one
+        // worker's function bumps only that entry's generation, so the
+        // other unit's memos must stay warm: the `(unit, generation)` key
+        // isolates invalidation per cache.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryCache>();
+
+        let (reg, _g) = scoped_registry();
+        let e_foo = figure2_like();
+        let mut e_bar = figure2_like();
+        e_bar.unit_name = "bar".into();
+        let mut caches = std::collections::HashMap::new();
+        caches.insert(e_foo.unit_name.clone(), QueryCache::new());
+        caches.insert(e_bar.unit_name.clone(), QueryCache::new());
+        // Warm both caches, then maintain `bar` on another thread while
+        // `foo`'s worker keeps querying through the shared map.
+        let _ = caches[&e_foo.unit_name].attach(&e_foo).get_equiv_acc(ItemId(9), ItemId(10));
+        let _ = caches[&e_bar.unit_name].attach(&e_bar).get_equiv_acc(ItemId(9), ItemId(10));
+        std::thread::scope(|s| {
+            let (caches, e_foo) = (&caches, &e_foo);
+            let e_bar = &mut e_bar;
+            s.spawn(move || {
+                maintain::delete_item(e_bar, ItemId(9)).unwrap();
+                let c = &caches[&e_bar.unit_name];
+                c.invalidate_items(e_bar, &[ItemId(9)]);
+                assert_eq!(c.attach(e_bar).get_equiv_acc(ItemId(9), ItemId(10)), EquivAcc::Unknown);
+            });
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let q = caches[&e_foo.unit_name].attach(e_foo);
+                    assert_eq!(q.get_equiv_acc(ItemId(9), ItemId(10)), EquivAcc::Definite);
+                }
+            });
+        });
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("backend.query_cache.invalidate"),
+            1,
+            "only bar's touched memo dropped; foo's stayed warm"
+        );
+        assert_eq!(
+            snap.counter("backend.query_cache.miss"),
+            3,
+            "foo warm + bar warm + bar redo"
+        );
+        assert_eq!(snap.counter("backend.query_cache.hit"), 50, "every foo re-query hit");
     }
 
     #[test]

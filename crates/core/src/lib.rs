@@ -42,6 +42,8 @@
 //! * [`textdump`] — a human-readable rendering in the style of the paper's
 //!   Figure 2.
 
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod ids;
 pub mod maintain;
@@ -59,3 +61,9 @@ pub use tables::{
     AliasEntry, CallRef, CallRefMod, DepKind, Distance, EquivClass, EquivKind, HliEntry, HliFile,
     ItemEntry, ItemType, LcddEntry, LineEntry, LineTable, MemberRef, Region, RegionKind,
 };
+
+/// Compiles and runs every example in `docs/QUERYBOOK.md` as a doctest,
+/// so the query book's worked answers are pinned by `cargo test --doc`.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/QUERYBOOK.md")]
+pub struct QueryBookDoctests;

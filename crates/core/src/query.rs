@@ -82,7 +82,9 @@ impl CallAcc {
 /// A resolved loop-carried dependence between two items.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LcddAnswer {
+    /// Definite or maybe.
     pub kind: DepKind,
+    /// Iteration distance of the dependence.
     pub distance: Distance,
     /// True if the dependence runs from `b` to `a` (the query argument
     /// order was against the normalized `>` direction).
@@ -143,6 +145,7 @@ impl QueryCounters {
 }
 
 impl<'a> HliQuery<'a> {
+    /// Build the index over one entry (a single bottom-up pass).
     pub fn new(entry: &'a HliEntry) -> Self {
         let n = entry.regions.len();
         let mut class_at: Vec<HashMap<ItemId, ItemId>> = vec![HashMap::new(); n];

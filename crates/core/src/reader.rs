@@ -25,13 +25,52 @@ use crate::serialize::{
 };
 use crate::tables::HliEntry;
 use hli_obs::Counter;
-use std::cell::OnceCell;
+use std::cell::UnsafeCell;
+use std::sync::Once;
 
+/// One directory entry with its decode-once memo slot.
+///
+/// The memo is a [`Once`] plus an [`UnsafeCell`] rather than a plain
+/// `OnceLock`: `Once::call_once` guarantees the decode closure runs
+/// **exactly once** even when several back-end workers request the same
+/// unit simultaneously — losers of the race block until the winner's
+/// result is published, instead of redundantly decoding and discarding.
 struct Unit {
     name: String,
     off: usize,
     len: usize,
-    cell: OnceCell<HliEntry>,
+    once: Once,
+    /// Written exactly once, inside `once`; read only after
+    /// `once.is_completed()`. That discipline is what makes the manual
+    /// `Sync` impl below sound.
+    slot: UnsafeCell<Option<Result<HliEntry, DecodeError>>>,
+}
+
+// SAFETY: `slot` is mutated only inside `once.call_once`, which provides
+// the necessary happens-before edge; all other accesses are shared reads
+// after `is_completed()` returns true.
+unsafe impl Sync for Unit {}
+
+impl Unit {
+    fn new(name: String, off: usize, len: usize) -> Self {
+        Unit {
+            name,
+            off,
+            len,
+            once: Once::new(),
+            slot: UnsafeCell::new(None),
+        }
+    }
+
+    fn decoded(&self) -> Option<&Result<HliEntry, DecodeError>> {
+        if self.once.is_completed() {
+            // SAFETY: completed => the slot was published and is now
+            // immutable (see the `Sync` justification above).
+            unsafe { (*self.slot.get()).as_ref() }
+        } else {
+            None
+        }
+    }
 }
 
 /// Lazily-decoding reader over an `HLI\x02` (or, eagerly, `HLI\x01`) image.
@@ -72,7 +111,7 @@ impl HliReader {
                 if offset + len > data.len() {
                     return Err(DecodeError(format!("entry `{name}` extends past end")));
                 }
-                directory.push(Unit { name, off: offset, len, cell: OnceCell::new() });
+                directory.push(Unit::new(name, offset, len));
                 offset += len;
             }
             if offset != data.len() {
@@ -90,10 +129,13 @@ impl HliReader {
             file.entries
                 .into_iter()
                 .map(|e| {
-                    let cell = OnceCell::new();
-                    let name = e.unit_name.clone();
-                    let _ = cell.set(e);
-                    Unit { name, off: 0, len: 0, cell }
+                    let u = Unit::new(e.unit_name.clone(), 0, 0);
+                    u.once.call_once(|| {
+                        // SAFETY: inside this unit's `call_once`, the sole
+                        // writer of the slot.
+                        unsafe { *u.slot.get() = Some(Ok(e)) };
+                    });
+                    u
                 })
                 .collect()
         } else {
@@ -109,39 +151,57 @@ impl HliReader {
         self.directory.iter().map(|u| u.name.as_str())
     }
 
+    /// Number of units in the file's directory (decoded or not).
     pub fn len(&self) -> usize {
         self.directory.len()
     }
 
+    /// True if the file holds no units at all.
     pub fn is_empty(&self) -> bool {
         self.directory.is_empty()
     }
 
     /// How many units have been decoded so far.
     pub fn decoded_units(&self) -> usize {
-        self.directory.iter().filter(|u| u.cell.get().is_some()).count()
+        self.directory.iter().filter(|u| u.once.is_completed()).count()
     }
 
     /// The entry for `unit`, decoding it on first request and serving the
     /// memoized copy afterwards. `Ok(None)` when the directory has no such
     /// unit.
+    ///
+    /// Thread-safe: when several workers request the same unit at once,
+    /// exactly one decodes it (and counts `units_decoded`); the others
+    /// block on the memo and count `reused`, like any later caller.
     pub fn get(&self, unit: &str) -> Result<Option<&HliEntry>, DecodeError> {
         let Some(u) = self.directory.iter().find(|u| u.name == unit) else {
             return Ok(None);
         };
-        if u.cell.get().is_none() {
+        let mut ran = false;
+        u.once.call_once(|| {
+            ran = true;
             let mut slice = &self.data[u.off..u.off + u.len];
-            let entry = decode_entry(&mut slice, self.opts)?;
-            if !slice.is_empty() {
-                return Err(DecodeError(format!("trailing bytes after `{unit}`")));
+            let entry = decode_entry(&mut slice, self.opts).and_then(|e| {
+                if slice.is_empty() {
+                    Ok(e)
+                } else {
+                    Err(DecodeError(format!("trailing bytes after `{unit}`")))
+                }
+            });
+            if entry.is_ok() {
+                count_decoded(u.len);
+                self.units_decoded.inc();
             }
-            count_decoded(u.len);
-            self.units_decoded.inc();
-            let _ = u.cell.set(entry);
-        } else {
+            // SAFETY: inside this unit's `call_once`, the sole writer.
+            unsafe { *u.slot.get() = Some(entry) };
+        });
+        if !ran {
             self.reused.inc();
         }
-        Ok(u.cell.get())
+        match u.decoded().expect("call_once completed") {
+            Ok(e) => Ok(Some(e)),
+            Err(err) => Err(err.clone()),
+        }
     }
 
     /// Decode every unit now — the eager-import path expressed through the
@@ -222,6 +282,49 @@ mod tests {
         assert!(
             lazy < eager,
             "lazy decodes only bodies ({lazy}) vs eager whole file ({eager})"
+        );
+    }
+
+    #[test]
+    fn racing_threads_decode_each_unit_exactly_once() {
+        // Satellite of the parallel-driver work: two threads hit the same
+        // lazy unit through the same barrier; `Once` must let exactly one
+        // of them decode while the other blocks and reuses the memo.
+        use std::sync::{Arc, Barrier};
+        let reg = Arc::new(hli_obs::MetricsRegistry::new());
+        let file = two_unit_file();
+        let opts = SerializeOpts { include_names: true };
+        // Open under the scoped registry: the reader binds its counter
+        // handles at open, so every thread's `get` meters into `reg`.
+        let rdr = {
+            let _g = hli_obs::metrics::scoped(reg.clone());
+            HliReader::open(encode_file_v2(&file, opts), opts).unwrap()
+        };
+        let barrier = Barrier::new(2);
+        let ptrs = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let (rdr, barrier) = (&rdr, &barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        rdr.get("bar").unwrap().unwrap() as *const HliEntry as usize
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+        assert_eq!(ptrs[0], ptrs[1], "both threads see the same memoized entry");
+        assert_eq!(rdr.decoded_units(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("hli.reader.units_decoded"),
+            1,
+            "exactly one thread decoded the racing unit"
+        );
+        assert_eq!(
+            snap.counter("hli.reader.reused"),
+            1,
+            "the losing thread reused the winner's memo"
         );
     }
 

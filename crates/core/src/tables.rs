@@ -7,15 +7,20 @@ use std::collections::{HashMap, HashSet};
 /// Access type of an item (the line-table `type` field).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ItemType {
+    /// A memory read.
     Load,
+    /// A memory write.
     Store,
+    /// A call site.
     Call,
 }
 
 /// One item in a line's item list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ItemEntry {
+    /// The item's ID, unique within the unit's shared item/class space.
     pub id: ItemId,
+    /// Whether the item is a load, store or call.
     pub ty: ItemType,
 }
 
@@ -23,7 +28,9 @@ pub struct ItemEntry {
 /// back-end emission order** (this order is the whole mapping contract).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LineEntry {
+    /// Source line number (1-based, as the front-end emits it).
     pub line: u32,
+    /// Items on this line, in back-end emission order.
     pub items: Vec<ItemEntry>,
 }
 
@@ -40,6 +47,7 @@ impl LineTable {
         self.lines.iter().flat_map(|l| l.items.iter().map(move |it| (l.line, *it)))
     }
 
+    /// Look up one line's entry by source line number.
     pub fn entry(&self, line: u32) -> Option<&LineEntry> {
         self.lines.binary_search_by_key(&line, |l| l.line).ok().map(|i| &self.lines[i])
     }
@@ -69,6 +77,7 @@ impl LineTable {
         self.items().find(|(_, it)| it.id == id).map(|(l, it)| (l, it.ty))
     }
 
+    /// Total number of items across all lines.
     pub fn item_count(&self) -> usize {
         self.lines.iter().map(|l| l.items.len()).sum()
     }
@@ -80,13 +89,18 @@ pub enum RegionKind {
     /// The whole program unit (always region 0).
     Unit,
     /// A loop; `header_line` is the loop statement's source line.
-    Loop { header_line: u32 },
+    Loop {
+        /// Source line of the loop statement itself.
+        header_line: u32,
+    },
 }
 
 /// Is a class's membership definitely-equivalent or merged ("maybe")?
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EquivKind {
+    /// All members definitely access the same memory.
     Definite,
+    /// Classes merged by may-alias analysis: members *may* overlap.
     Maybe,
 }
 
@@ -95,8 +109,15 @@ pub enum EquivKind {
 /// immediate sub-region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemberRef {
+    /// An item directly enclosed by the defining region.
     Item(ItemId),
-    SubClass { region: RegionId, class: ItemId },
+    /// A whole class defined in an immediate sub-region.
+    SubClass {
+        /// The immediate sub-region that defines the class.
+        region: RegionId,
+        /// The class's ID inside that sub-region.
+        class: ItemId,
+    },
 }
 
 /// An equivalent access class. Class IDs share the item ID space (the paper:
@@ -104,8 +125,11 @@ pub enum MemberRef {
 /// also "represent an equivalent access class or a whole region".
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EquivClass {
+    /// The class's ID, drawn from the unit's shared item/class ID space.
     pub id: ItemId,
+    /// Definite equivalence, or a may-alias merge.
     pub kind: EquivKind,
+    /// Items and sub-region classes that belong to the class.
     pub members: Vec<MemberRef>,
     /// Debug label (e.g. `a[0..9]`); not serialized in compact mode.
     pub name_hint: String,
@@ -115,13 +139,16 @@ pub struct EquivClass {
 /// the same memory within one iteration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AliasEntry {
+    /// The classes that may overlap; all defined at the owning region.
     pub classes: Vec<ItemId>,
 }
 
 /// Is a dependence definite or maybe?
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DepKind {
+    /// The dependence provably exists.
     Definite,
+    /// The dependence cannot be ruled out.
     Maybe,
 }
 
@@ -129,7 +156,9 @@ pub enum DepKind {
 /// (from an earlier to a later iteration), so distances are ≥ 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Distance {
+    /// A known constant iteration distance (≥ 1).
     Const(u32),
+    /// The distance could not be computed.
     Unknown,
 }
 
@@ -140,7 +169,9 @@ pub struct LcddEntry {
     pub src: ItemId,
     /// Sink class (later iteration).
     pub dst: ItemId,
+    /// Definite or maybe.
     pub kind: DepKind,
+    /// Iteration distance of the dependence.
     pub distance: Distance,
 }
 
@@ -148,13 +179,16 @@ pub struct LcddEntry {
 /// the region, or all calls inside a sub-region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CallRef {
+    /// One call item directly enclosed by the region.
     Item(ItemId),
+    /// All calls anywhere inside the given sub-region.
     SubRegion(RegionId),
 }
 
 /// Side effects of calls on this region's classes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CallRefMod {
+    /// Which call(s) the entry describes.
     pub callee: CallRef,
     /// Classes possibly read by the call(s).
     pub refs: Vec<ItemId>,
@@ -165,28 +199,38 @@ pub struct CallRefMod {
 /// One region entry: header plus the four sub-tables.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Region {
+    /// The region's ID; index into [`HliEntry::regions`].
     pub id: RegionId,
+    /// Unit region or loop region.
     pub kind: RegionKind,
+    /// The enclosing region; `None` only for the unit region.
     pub parent: Option<RegionId>,
     /// Immediate sub-regions, in source order.
     pub subregions: Vec<RegionId>,
     /// Source-line span `[lo, hi]` of the region.
     pub scope: (u32, u32),
+    /// Equivalent-access-class sub-table.
     pub equiv_classes: Vec<EquivClass>,
+    /// Alias sub-table (within-iteration overlaps).
     pub alias_table: Vec<AliasEntry>,
+    /// Loop-carried data dependence sub-table.
     pub lcdd_table: Vec<LcddEntry>,
+    /// Call REF/MOD sub-table.
     pub call_refmod: Vec<CallRefMod>,
 }
 
 impl Region {
+    /// Is this a loop region (vs. the unit region)?
     pub fn is_loop(&self) -> bool {
         matches!(self.kind, RegionKind::Loop { .. })
     }
 
+    /// Find a class defined at this region by its ID.
     pub fn class(&self, id: ItemId) -> Option<&EquivClass> {
         self.equiv_classes.iter().find(|c| c.id == id)
     }
 
+    /// Mutable variant of [`Region::class`].
     pub fn class_mut(&mut self, id: ItemId) -> Option<&mut EquivClass> {
         self.equiv_classes.iter_mut().find(|c| c.id == id)
     }
@@ -195,7 +239,9 @@ impl Region {
 /// The HLI entry of one program unit.
 #[derive(Debug, Clone)]
 pub struct HliEntry {
+    /// Name of the program unit (function) the entry describes.
     pub unit_name: String,
+    /// The unit's line table.
     pub line_table: LineTable,
     /// Indexed by `RegionId` (dense). Region 0 is the unit region.
     pub regions: Vec<Region>,
@@ -223,20 +269,24 @@ impl Eq for HliEntry {}
 /// A whole HLI file: one entry per program unit.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HliFile {
+    /// One entry per program unit, in file order.
     pub entries: Vec<HliEntry>,
 }
 
 impl HliFile {
+    /// Find a unit's entry by name.
     pub fn entry(&self, unit: &str) -> Option<&HliEntry> {
         self.entries.iter().find(|e| e.unit_name == unit)
     }
 
+    /// Mutable variant of [`HliFile::entry`].
     pub fn entry_mut(&mut self, unit: &str) -> Option<&mut HliEntry> {
         self.entries.iter_mut().find(|e| e.unit_name == unit)
     }
 }
 
 impl HliEntry {
+    /// An empty entry holding only the unit region (region 0).
     pub fn new(unit_name: impl Into<String>) -> Self {
         HliEntry {
             unit_name: unit_name.into(),
@@ -263,10 +313,12 @@ impl HliEntry {
         self.generation += 1;
     }
 
+    /// The region with the given ID. Panics if out of range.
     pub fn region(&self, id: RegionId) -> &Region {
         &self.regions[id.0 as usize]
     }
 
+    /// Mutable variant of [`HliEntry::region`].
     pub fn region_mut(&mut self, id: RegionId) -> &mut Region {
         &mut self.regions[id.0 as usize]
     }

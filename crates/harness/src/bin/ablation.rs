@@ -4,15 +4,15 @@
 //! and prints the reduction each achieves.
 //!
 //! Usage: `cargo run --release -p hli-harness --bin ablation [n iters]
-//! [--lazy-import] [--stats text|json] [--trace-out t.json]
+//! [--lazy-import] [--jobs N] [--stats text|json] [--trace-out t.json]
 //! [--provenance-out p.jsonl]`
 
 use hli_frontend::FrontendOptions;
 use hli_harness::report::bench_args;
-use hli_harness::{mean, par_map, run_benchmark_cfg};
+use hli_harness::{mean, run_benchmark_cfg};
 
 fn main() {
-    let (scale, obs, cfg) = bench_args("ablation");
+    let (scale, obs, cfg, jobs) = bench_args("ablation");
     let variants: Vec<(&str, FrontendOptions)> = vec![
         ("full HLI", FrontendOptions::default()),
         (
@@ -51,17 +51,28 @@ fn main() {
     );
     println!("{}", "-".repeat(70));
 
-    // benchmark-major, variant-minor; parallel over the benchmarks.
-    let cells: Vec<Vec<f64>> = par_map(&suite, |b| {
-        variants
-            .iter()
-            .map(|(_, opts)| {
-                run_benchmark_cfg(b, *opts, cfg)
-                    .map(|r| r.reduction() * 100.0)
-                    .unwrap_or(f64::NAN)
-            })
-            .collect()
-    });
+    // benchmark-major, variant-minor; parallel over the benchmarks, with
+    // per-item observability shards committed in suite order so `--stats`
+    // output is independent of the job count.
+    let prov_on = hli_obs::provenance::active().is_some();
+    let cells: Vec<Vec<f64>> = hli_pool::run(jobs, &suite, |_w, b| {
+        hli_obs::capture(prov_on, || {
+            variants
+                .iter()
+                .map(|(_, opts)| {
+                    run_benchmark_cfg(b, *opts, cfg)
+                        .map(|r| r.reduction() * 100.0)
+                        .unwrap_or(f64::NAN)
+                })
+                .collect()
+        })
+    })
+    .into_iter()
+    .map(|(row, shard)| {
+        hli_obs::commit(shard);
+        row
+    })
+    .collect();
 
     let mut means = vec![Vec::new(); variants.len()];
     for (b, row) in suite.iter().zip(&cells) {

@@ -74,6 +74,17 @@ struct BackFlags {
     licm: bool,
     time: bool,
     lazy_import: bool,
+    jobs: usize,
+}
+
+/// Everything one function's trip through the back-end produced, carried
+/// back to the main thread so diagnostics and dumps can be emitted in a
+/// deterministic order.
+struct FuncOut {
+    messages: Vec<String>,
+    dump: Option<String>,
+    stats: hli_backend::ddg::QueryStats,
+    func: hli_backend::rtl::RtlFunc,
 }
 
 fn back(input: &str, hli_path: &str, flags: BackFlags) {
@@ -100,71 +111,107 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
     };
     let lat = LatencyModel::default();
 
+    // One pool work item per function (`--jobs N`, 0 = all CPUs). Each
+    // item captures its metrics/provenance into a shard and returns its
+    // diagnostics as data; the main thread then commits shards and prints
+    // everything in name-sorted function order, so the output does not
+    // depend on worker completion order.
+    let prov_on = hli_obs::provenance::active().is_some();
+    let results = hli_pool::run(flags.jobs, &rtl.funcs, |_w, f| {
+        hli_obs::capture(prov_on, || -> Result<FuncOut, String> {
+            let _s = hli_obs::span(format!("backend.func.{}", f.name));
+            let mut messages = Vec::new();
+            let entry = reader.get(&f.name).map_err(|e| e.to_string())?.cloned();
+            let mut cur = f.clone();
+            let mut stats = hli_backend::ddg::QueryStats::default();
+            let scheduled = match entry {
+                Some(mut entry) if flags.use_hli => {
+                    let mut map = map_function(&cur, &entry);
+                    if !map.unmapped_insns.is_empty() || !map.unmapped_items.is_empty() {
+                        messages.push(format!(
+                            "warning: `{}`: {} refs / {} items unmapped (treated as unknown)",
+                            f.name,
+                            map.unmapped_insns.len(),
+                            map.unmapped_items.len()
+                        ));
+                    }
+                    if let Some(u) = flags.unroll {
+                        let r =
+                            unroll_function(&cur, &loops[&f.name], u, Some((&mut entry, &mut map)));
+                        cur = r.func;
+                        if r.unrolled > 0 {
+                            messages.push(format!(
+                                "`{}`: unrolled {} loop(s) by {u}",
+                                f.name, r.unrolled
+                            ));
+                        }
+                    }
+                    if flags.cse {
+                        let r = cse_function(&cur, Some((&mut entry, &mut map)), mode);
+                        if r.loads_eliminated > 0 {
+                            messages.push(format!(
+                                "`{}`: CSE removed {} load(s)",
+                                f.name, r.loads_eliminated
+                            ));
+                        }
+                        cur = r.func;
+                    }
+                    if flags.licm {
+                        let r = licm_function(&cur, Some((&mut entry, &mut map)), mode);
+                        if r.hoisted > 0 {
+                            messages
+                                .push(format!("`{}`: LICM hoisted {} load(s)", f.name, r.hoisted));
+                        }
+                        cur = r.func;
+                    }
+                    let errs = entry.validate();
+                    if !errs.is_empty() {
+                        return Err(format!("maintenance broke `{}`: {errs:?}", f.name));
+                    }
+                    let cache = QueryCache::new();
+                    let q = cache.attach(&entry);
+                    let side = hli_backend::ddg::HliSide { query: &q, map: &map };
+                    let r = schedule_function(&cur, Some(&side), mode, &lat);
+                    stats.add(&r.stats);
+                    r.func
+                }
+                _ => {
+                    if flags.cse {
+                        cur = cse_function(&cur, None, DepMode::GccOnly).func;
+                    }
+                    if flags.licm {
+                        cur = licm_function(&cur, None, DepMode::GccOnly).func;
+                    }
+                    let r = schedule_function(&cur, None, DepMode::GccOnly, &lat);
+                    stats.add(&r.stats);
+                    r.func
+                }
+            };
+            let dump = flags.dump_rtl.then(|| dump_func(&scheduled));
+            Ok(FuncOut { messages, dump, stats, func: scheduled })
+        })
+    });
+
+    // Name-sorted emission: diagnostics, RTL dumps and shard commits all
+    // follow the same stable order regardless of which worker ran what.
+    let mut slots: Vec<Option<(Result<FuncOut, String>, hli_obs::ObsShard)>> =
+        results.into_iter().map(Some).collect();
+    let mut order: Vec<usize> = (0..slots.len()).collect();
+    order.sort_by(|&a, &b| rtl.funcs[a].name.cmp(&rtl.funcs[b].name));
     let mut out = rtl.clone();
     let mut total_queries = hli_backend::ddg::QueryStats::default();
-    for f in &rtl.funcs {
-        let _s = hli_obs::span(format!("backend.func.{}", f.name));
-        let entry = reader.get(&f.name).unwrap_or_else(|e| fail(&e.to_string())).cloned();
-        let mut cur = f.clone();
-        let scheduled = match entry {
-            Some(mut entry) if flags.use_hli => {
-                let mut map = map_function(&cur, &entry);
-                if !map.unmapped_insns.is_empty() || !map.unmapped_items.is_empty() {
-                    eprintln!(
-                        "warning: `{}`: {} refs / {} items unmapped (treated as unknown)",
-                        f.name,
-                        map.unmapped_insns.len(),
-                        map.unmapped_items.len()
-                    );
-                }
-                if let Some(u) = flags.unroll {
-                    let r = unroll_function(&cur, &loops[&f.name], u, Some((&mut entry, &mut map)));
-                    cur = r.func;
-                    if r.unrolled > 0 {
-                        eprintln!("`{}`: unrolled {} loop(s) by {u}", f.name, r.unrolled);
-                    }
-                }
-                if flags.cse {
-                    let r = cse_function(&cur, Some((&mut entry, &mut map)), mode);
-                    if r.loads_eliminated > 0 {
-                        eprintln!("`{}`: CSE removed {} load(s)", f.name, r.loads_eliminated);
-                    }
-                    cur = r.func;
-                }
-                if flags.licm {
-                    let r = licm_function(&cur, Some((&mut entry, &mut map)), mode);
-                    if r.hoisted > 0 {
-                        eprintln!("`{}`: LICM hoisted {} load(s)", f.name, r.hoisted);
-                    }
-                    cur = r.func;
-                }
-                let errs = entry.validate();
-                if !errs.is_empty() {
-                    fail(&format!("maintenance broke `{}`: {errs:?}", f.name));
-                }
-                let cache = QueryCache::new();
-                let q = cache.attach(&entry);
-                let side = hli_backend::ddg::HliSide { query: &q, map: &map };
-                let r = schedule_function(&cur, Some(&side), mode, &lat);
-                total_queries.add(&r.stats);
-                r.func
-            }
-            _ => {
-                if flags.cse {
-                    cur = cse_function(&cur, None, DepMode::GccOnly).func;
-                }
-                if flags.licm {
-                    cur = licm_function(&cur, None, DepMode::GccOnly).func;
-                }
-                let r = schedule_function(&cur, None, DepMode::GccOnly, &lat);
-                total_queries.add(&r.stats);
-                r.func
-            }
-        };
-        if flags.dump_rtl {
-            print!("{}", dump_func(&scheduled));
+    for i in order {
+        let (result, shard) = slots[i].take().unwrap();
+        hli_obs::commit(shard);
+        let fo = result.unwrap_or_else(|e| fail(&e));
+        for m in &fo.messages {
+            eprintln!("{m}");
         }
-        *out.func_mut(&f.name).unwrap() = scheduled;
+        if let Some(d) = &fo.dump {
+            print!("{d}");
+        }
+        total_queries.add(&fo.stats);
+        *out.func_mut(&rtl.funcs[i].name).unwrap() = fo.func;
     }
 
     println!(
@@ -193,7 +240,7 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: hlicc front <input.c> [-o out.hli]\n       hlicc back <input.c> <in.hli> [--no-hli --lazy-import --dump-rtl --unroll N --cse --licm --time]\n       hlicc build <input.c> [back-end flags]\n       (all: --stats [text|json], --trace-out <file.json>, --provenance-out <file.jsonl>)";
+    let usage = "usage: hlicc front <input.c> [-o out.hli]\n       hlicc back <input.c> <in.hli> [--no-hli --lazy-import --jobs N --dump-rtl --unroll N --cse --licm --time]\n       hlicc build <input.c> [back-end flags]\n       (all: --stats [text|json], --trace-out <file.json>, --provenance-out <file.jsonl>)";
     let obs = hli_harness::cli::ObsArgs::extract(&mut args).unwrap_or_else(|e| fail(&e));
     let Some(cmd) = args.first() else { fail(usage) };
     match cmd.as_str() {
@@ -225,6 +272,7 @@ fn main() {
                 licm: false,
                 time: false,
                 lazy_import: false,
+                jobs: 0,
             };
             let mut it = rest.iter();
             while let Some(a) = it.next() {
@@ -235,6 +283,12 @@ fn main() {
                     "--cse" => flags.cse = true,
                     "--licm" => flags.licm = true,
                     "--time" => flags.time = true,
+                    "--jobs" => {
+                        flags.jobs = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| fail("--jobs needs a worker count"));
+                    }
                     "--unroll" => {
                         let n: u32 = it
                             .next()

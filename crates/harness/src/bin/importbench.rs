@@ -1,9 +1,11 @@
-//! `importbench` — eager-vs-lazy import and cold-vs-shared query-cache
-//! comparison over the whole suite.
+//! `importbench` — eager-vs-lazy import, cold-vs-shared query-cache and
+//! sequential-vs-parallel driver comparison over the whole suite.
 //!
-//! Runs the measurement pipeline four times — {eager, lazy} import ×
-//! {per-pass, shared} caches — and prints, for each configuration, the
-//! wall time, the bytes the decoder actually consumed
+//! Runs the measurement pipeline over a configuration grid — the four
+//! {eager, lazy} × {per-pass, shared} cache configurations on one worker,
+//! then the two shared-cache configurations again on `--jobs N` workers
+//! (default: all CPUs) — and prints, for each configuration, the wall
+//! time, the bytes the decoder actually consumed
 //! (`hli.deserialize.bytes`), the units the v2 reader decoded, and the
 //! query-cache hit/miss/invalidate counters.
 //!
@@ -13,46 +15,66 @@
 //! * lazy import must deserialize strictly fewer bytes than eager;
 //! * shared caches must produce hits (the second scheduling pass re-asks
 //!   what the first already asked);
-//! * every configuration must report identical Table-2 query counters —
-//!   caching and laziness change cost, never answers.
+//! * every configuration — including the multi-threaded ones — must
+//!   report identical Table-2 query counters: caching, laziness and
+//!   parallelism change cost, never answers.
+//!
+//! The lazy/shared speedup at `--jobs N` over one worker is printed; it
+//! is reported rather than hard-checked because wall-clock ratios on a
+//! loaded or single-core CI machine are not a soundness property.
 //!
 //! Usage: `cargo run --release -p hli-harness --bin importbench [n iters]
-//! [--stats text|json] [--trace-out t.json] [--provenance-out p.jsonl]`
+//! [--jobs N] [--stats text|json] [--trace-out t.json]
+//! [--provenance-out p.jsonl]`
 
-use hli_harness::report::{bench_args, collect_suite_cfg, merged_metrics, total_query_stats};
+use hli_harness::report::{bench_args, collect_suite_jobs, merged_metrics, total_query_stats};
 use hli_harness::ImportConfig;
 
 fn main() {
-    let (scale, obs, _) = bench_args("importbench");
+    let (scale, obs, _, jobs) = bench_args("importbench");
+    let par = hli_pool::resolve_jobs(jobs).max(2);
+    let eager_shared = ImportConfig { lazy: false, shared_cache: true };
+    let lazy_shared = ImportConfig { lazy: true, shared_cache: true };
     let configs = [
         (
             "eager, per-pass caches",
             ImportConfig { lazy: false, shared_cache: false },
+            1,
         ),
-        ("eager, shared caches", ImportConfig { lazy: false, shared_cache: true }),
+        ("eager, shared caches", eager_shared, 1),
         (
             "lazy,  per-pass caches",
             ImportConfig { lazy: true, shared_cache: false },
+            1,
         ),
-        ("lazy,  shared caches", ImportConfig { lazy: true, shared_cache: true }),
+        ("lazy,  shared caches", lazy_shared, 1),
+        ("eager, shared caches", eager_shared, par),
+        ("lazy,  shared caches", lazy_shared, par),
     ];
 
     eprintln!(
-        "running {} suite passes at scale n={} iters={}...",
+        "running {} suite passes at scale n={} iters={} (parallel rows: {par} workers)...",
         configs.len(),
         scale.n,
         scale.iters
     );
     println!(
-        "{:<24} {:>9} {:>12} {:>9} {:>9} {:>9} {:>11}",
-        "Configuration", "wall (ms)", "deser (B)", "units", "hits", "misses", "invalidated"
+        "{:<24} {:>7} {:>9} {:>12} {:>9} {:>9} {:>9} {:>11}",
+        "Configuration",
+        "threads",
+        "wall (ms)",
+        "deser (B)",
+        "units",
+        "hits",
+        "misses",
+        "invalidated"
     );
-    println!("{}", "-".repeat(88));
+    println!("{}", "-".repeat(96));
 
     let mut rows = Vec::new();
-    for (label, cfg) in configs {
+    for (label, cfg, row_jobs) in configs {
         let start = std::time::Instant::now();
-        let reports = collect_suite_cfg(scale, cfg).unwrap_or_else(|e| {
+        let reports = collect_suite_jobs(scale, cfg, row_jobs).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(1);
         });
@@ -60,8 +82,9 @@ fn main() {
         let m = merged_metrics(&reports);
         let stats = total_query_stats(&reports);
         println!(
-            "{:<24} {:>9.1} {:>12} {:>9} {:>9} {:>9} {:>11}",
+            "{:<24} {:>7} {:>9.1} {:>12} {:>9} {:>9} {:>9} {:>11}",
             label,
+            row_jobs,
             wall.as_secs_f64() * 1e3,
             m.counter("hli.deserialize.bytes"),
             m.counter("hli.reader.units_decoded"),
@@ -69,43 +92,67 @@ fn main() {
             m.counter("backend.query_cache.miss"),
             m.counter("backend.query_cache.invalidate"),
         );
-        rows.push((label, cfg, m, stats));
+        rows.push((label, cfg, row_jobs, wall, m, stats));
     }
 
     let mut ok = true;
     let eager_bytes = rows
         .iter()
         .filter(|(_, c, ..)| !c.lazy)
-        .map(|(_, _, m, _)| m.counter("hli.deserialize.bytes"))
+        .map(|(.., m, _)| m.counter("hli.deserialize.bytes"))
         .max()
         .unwrap();
     let lazy_bytes = rows
         .iter()
         .filter(|(_, c, ..)| c.lazy)
-        .map(|(_, _, m, _)| m.counter("hli.deserialize.bytes"))
+        .map(|(.., m, _)| m.counter("hli.deserialize.bytes"))
         .max()
         .unwrap();
     if lazy_bytes >= eager_bytes {
         eprintln!("FAIL: lazy import deserialized {lazy_bytes} B, eager {eager_bytes} B");
         ok = false;
     }
-    for (label, cfg, m, _) in &rows {
+    for (label, cfg, row_jobs, _, m, _) in &rows {
         if cfg.shared_cache && m.counter("backend.query_cache.hit") == 0 {
-            eprintln!("FAIL: `{label}` saw no cache hits despite shared caches");
+            eprintln!(
+                "FAIL: `{label}` ({row_jobs} threads) saw no cache hits despite shared caches"
+            );
             ok = false;
         }
     }
-    let baseline = &rows[0].3;
-    for (label, _, _, stats) in &rows[1..] {
+    let baseline = &rows[0].5;
+    for (label, _, row_jobs, _, _, stats) in &rows[1..] {
         if stats != baseline {
-            eprintln!("FAIL: `{label}` changed the Table-2 counters: {stats:?} vs {baseline:?}");
+            eprintln!(
+                "FAIL: `{label}` ({row_jobs} threads) changed the Table-2 counters: \
+                 {stats:?} vs {baseline:?}"
+            );
             ok = false;
         }
     }
+    let wall_of = |cfg: ImportConfig, j: usize| {
+        rows.iter()
+            .find(|(_, c, rj, ..)| *c == cfg && *rj == j)
+            .map(|(.., w, _, _)| *w)
+            .unwrap()
+    };
+    let seq = wall_of(lazy_shared, 1);
+    let threaded = wall_of(lazy_shared, par);
+    let speedup = seq.as_secs_f64() / threaded.as_secs_f64().max(1e-9);
     println!();
     println!(
+        "lazy/shared speedup at {par} workers: {speedup:.2}x \
+         ({:.1} ms -> {:.1} ms)",
+        seq.as_secs_f64() * 1e3,
+        threaded.as_secs_f64() * 1e3
+    );
+    if speedup < 1.0 {
+        eprintln!("note: no parallel speedup observed (small scale or loaded machine?)");
+    }
+    println!(
         "checks: lazy deserializes fewer bytes ({lazy_bytes} < {eager_bytes}), shared caches \
-         hit, all configurations agree on query counters: {}",
+         hit, all {} configurations agree on query counters: {}",
+        rows.len(),
         if ok { "ok" } else { "FAILED" }
     );
     obs.emit();

@@ -2,16 +2,16 @@
 //! code size in lines, HLI size, and HLI bytes per source line.
 //!
 //! Usage: `cargo run --release -p hli-harness --bin table1 [n iters]
-//! [--lazy-import] [--stats text|json] [--trace-out t.json]
+//! [--lazy-import] [--jobs N] [--stats text|json] [--trace-out t.json]
 //! [--provenance-out p.jsonl]`
 
 use hli_harness::format_table1;
-use hli_harness::report::{bench_args, collect_suite_cfg};
+use hli_harness::report::{bench_args, collect_suite_jobs};
 
 fn main() {
-    let (scale, obs, cfg) = bench_args("table1");
+    let (scale, obs, cfg, jobs) = bench_args("table1");
     eprintln!("running suite at scale n={} iters={}...", scale.n, scale.iters);
-    let reports = collect_suite_cfg(scale, cfg).unwrap_or_else(|e| {
+    let reports = collect_suite_jobs(scale, cfg, jobs).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });

@@ -4,16 +4,16 @@
 //! vs GCC-scheduled code on the R4600-like and R10000-like machine models.
 //!
 //! Usage: `cargo run --release -p hli-harness --bin table2 [n iters]
-//! [--lazy-import] [--stats text|json] [--trace-out t.json]
+//! [--lazy-import] [--jobs N] [--stats text|json] [--trace-out t.json]
 //! [--provenance-out p.jsonl]`
 
 use hli_harness::format_table2;
-use hli_harness::report::{bench_args, collect_suite_cfg};
+use hli_harness::report::{bench_args, collect_suite_jobs};
 
 fn main() {
-    let (scale, obs, cfg) = bench_args("table2");
+    let (scale, obs, cfg, jobs) = bench_args("table2");
     eprintln!("running suite at scale n={} iters={}...", scale.n, scale.iters);
-    let reports = collect_suite_cfg(scale, cfg).unwrap_or_else(|e| {
+    let reports = collect_suite_jobs(scale, cfg, jobs).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });

@@ -18,8 +18,9 @@
 //! miscompiled instead of mis-reporting a speedup.
 
 use hli_backend::ddg::{DepMode, QueryStats};
+use hli_backend::driver::{schedule_program_passes, PassSpec};
 use hli_backend::lower::lower_program;
-use hli_backend::sched::{schedule_program_cached, LatencyModel};
+use hli_backend::sched::LatencyModel;
 use hli_core::serialize::{decode_file, encode_file, encode_file_v2, SerializeOpts};
 use hli_core::{HliEntry, HliReader, QueryCache};
 use hli_frontend::{generate_hli_with, FrontendOptions};
@@ -28,8 +29,7 @@ use hli_machine::{r10000_cycles, r4600_cycles, R10000Config, R4600Config};
 use hli_obs::{MetricsRegistry, MetricsSnapshot};
 use hli_suite::{Benchmark, Scale};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 pub mod cli;
 pub mod report;
@@ -193,7 +193,12 @@ fn run_pipeline(
         }
     };
 
-    // Back-end: lower once, schedule twice (the two compiler builds).
+    // Back-end: lower once, schedule twice (the two compiler builds) via
+    // the per-function driver. Both passes run inside one work item per
+    // function, so a shared cache warms across them exactly as the old
+    // sequential two-call driver did. The suite already fans benchmarks
+    // out across the pool, so the per-benchmark driver stays sequential
+    // (`jobs = 1`); `hlicc back` is the per-function parallel entry.
     let rtl = {
         let _s = hli_obs::span("backend.lower");
         lower_program(&prog, &sema)
@@ -204,7 +209,6 @@ fn run_pipeline(
         rtl.funcs.iter().map(|f| (f.name.clone(), QueryCache::new())).collect()
     };
     let caches = fresh_caches();
-    let (gcc_build, _) = schedule_program_cached(&rtl, lookup, DepMode::GccOnly, &lat, &caches);
     let second_pass;
     let caches2 = if cfg.shared_cache {
         &caches
@@ -212,8 +216,13 @@ fn run_pipeline(
         second_pass = fresh_caches();
         &second_pass
     };
-    let (hli_build, stats) =
-        schedule_program_cached(&rtl, lookup, DepMode::Combined, &lat, caches2);
+    let passes = [
+        PassSpec { mode: DepMode::GccOnly, caches: Some(&caches) },
+        PassSpec { mode: DepMode::Combined, caches: Some(caches2) },
+    ];
+    let mut builds = schedule_program_passes(&rtl, &lookup, &passes, &lat, 1).into_iter();
+    let (gcc_build, _) = builds.next().expect("GccOnly pass result");
+    let (hli_build, stats) = builds.next().expect("Combined pass result");
     drop(_sched_span);
 
     // Machines: trace each build once, time on both models.
@@ -253,45 +262,15 @@ fn run_pipeline(
     })
 }
 
-/// Ordered parallel map over a slice on a scoped-thread worker pool.
-///
-/// Workers pull the next index from a shared atomic, so long items don't
-/// serialize behind a static partition; results come back in input order.
+/// Ordered parallel map over a slice on the work-stealing pool, with all
+/// available CPUs; results come back in input order.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if threads <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
-    slots.resize_with(items.len(), || None);
-    let slots = Mutex::new(slots);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                slots.lock().unwrap()[i] = Some(r);
-            });
-        }
-    });
-    slots
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|r| r.expect("worker filled every claimed slot"))
-        .collect()
+    hli_pool::run(0, items, |_w, t| f(t))
 }
 
 /// Run the whole suite in parallel.
@@ -300,10 +279,37 @@ pub fn run_suite(scale: Scale) -> Vec<Result<BenchReport, String>> {
 }
 
 /// [`run_suite`] with an explicit import strategy (the `--lazy-import`
-/// path of the table binaries).
+/// path of the table binaries), on all available CPUs.
 pub fn run_suite_cfg(scale: Scale, cfg: ImportConfig) -> Vec<Result<BenchReport, String>> {
+    run_suite_jobs(scale, cfg, 0)
+}
+
+/// Run the suite on `jobs` pool workers (`0` = one per CPU, `1` = inline
+/// sequential), one benchmark per work item.
+///
+/// Each benchmark runs under an [`hli_obs::capture`] shard; the shards
+/// are committed on the calling thread in suite order, so metrics totals,
+/// gauge values, provenance record order and query-id numbering are all
+/// identical for `--jobs 1` and `--jobs N` — the reports (and therefore
+/// the table rows, whose int/fp split is positional) stay in suite order
+/// regardless of worker completion order.
+pub fn run_suite_jobs(
+    scale: Scale,
+    cfg: ImportConfig,
+    jobs: usize,
+) -> Vec<Result<BenchReport, String>> {
     let suite = hli_suite::all(scale);
-    par_map(&suite, |b| run_benchmark_cfg(b, FrontendOptions::default(), cfg))
+    let prov_on = hli_obs::provenance::active().is_some();
+    let results = hli_pool::run(jobs, &suite, |_w, b| {
+        hli_obs::capture(prov_on, || run_benchmark_cfg(b, FrontendOptions::default(), cfg))
+    });
+    results
+        .into_iter()
+        .map(|(r, shard)| {
+            hli_obs::commit(shard);
+            r
+        })
+        .collect()
 }
 
 /// Format Table 1 (program characteristics).

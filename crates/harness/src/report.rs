@@ -4,30 +4,33 @@
 //! [`BenchReport`]s.
 
 use crate::cli::ObsArgs;
-use crate::{run_suite_cfg, BenchReport, ImportConfig};
+use crate::{run_suite_jobs, BenchReport, ImportConfig};
 use hli_backend::ddg::QueryStats;
 use hli_obs::MetricsSnapshot;
 use hli_suite::Scale;
 
 /// Parse the command line shared by every suite-level binary —
-/// `[n iters]` plus the observability flags and `--lazy-import` — exiting
-/// with a uniform usage message on a malformed flag. `table1`, `table2`
-/// and `ablation` call this instead of keeping their own copies of the
-/// loop.
-pub fn bench_args(bin: &str) -> (Scale, ObsArgs, ImportConfig) {
+/// `[n iters]` plus the observability flags, `--lazy-import` and
+/// `--jobs N` — exiting with a uniform usage message on a malformed flag.
+/// `table1`, `table2` and `ablation` call this instead of keeping their
+/// own copies of the loop. The returned job count feeds
+/// [`run_suite_jobs`]: `0` (the default) means one worker per CPU.
+pub fn bench_args(bin: &str) -> (Scale, ObsArgs, ImportConfig, usize) {
     bench_args_from(bin, std::env::args().skip(1).collect())
 }
 
 /// Testable core of [`bench_args`]: same parse over an explicit vector.
-pub fn bench_args_from(bin: &str, mut args: Vec<String>) -> (Scale, ObsArgs, ImportConfig) {
-    let obs = ObsArgs::extract(&mut args).unwrap_or_else(|e| {
+pub fn bench_args_from(bin: &str, mut args: Vec<String>) -> (Scale, ObsArgs, ImportConfig, usize) {
+    let usage = |e: String| -> ! {
         eprintln!("{bin}: {e}");
         eprintln!(
-            "usage: {bin} [n iters] [--lazy-import] [--stats text|json] \
+            "usage: {bin} [n iters] [--lazy-import] [--jobs N] [--stats text|json] \
              [--trace-out t.json] [--provenance-out p.jsonl]"
         );
         std::process::exit(1);
-    });
+    };
+    let obs = ObsArgs::extract(&mut args).unwrap_or_else(|e| usage(e));
+    let jobs = extract_jobs(&mut args).unwrap_or_else(|e| usage(e));
     let mut cfg = ImportConfig::default();
     args.retain(|a| {
         let hit = a == "--lazy-import";
@@ -38,19 +41,44 @@ pub fn bench_args_from(bin: &str, mut args: Vec<String>) -> (Scale, ObsArgs, Imp
     });
     let n = args.first().and_then(|a| a.parse().ok()).unwrap_or(64);
     let iters = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(12);
-    (Scale { n, iters }, obs, cfg)
+    (Scale { n, iters }, obs, cfg, jobs)
+}
+
+/// Strip `--jobs N` from `args` and return the parsed count (`0` when the
+/// flag is absent, meaning "all CPUs").
+pub fn extract_jobs(args: &mut Vec<String>) -> Result<usize, String> {
+    let Some(i) = args.iter().position(|a| a == "--jobs") else {
+        return Ok(0);
+    };
+    if i + 1 >= args.len() {
+        return Err("--jobs needs a worker count".into());
+    }
+    let jobs = args[i + 1]
+        .parse::<usize>()
+        .map_err(|_| format!("--jobs: `{}` is not a worker count", args[i + 1]))?;
+    args.drain(i..=i + 1);
+    Ok(jobs)
 }
 
 /// Run the whole suite and collect the reports, failing on the first
 /// benchmark error (what the table binaries did individually before).
 pub fn collect_suite(scale: Scale) -> Result<Vec<BenchReport>, String> {
-    collect_suite_cfg(scale, ImportConfig::default())
+    collect_suite_jobs(scale, ImportConfig::default(), 0)
 }
 
 /// [`collect_suite`] with an explicit import strategy.
 pub fn collect_suite_cfg(scale: Scale, cfg: ImportConfig) -> Result<Vec<BenchReport>, String> {
+    collect_suite_jobs(scale, cfg, 0)
+}
+
+/// [`collect_suite_cfg`] on an explicit pool-worker count.
+pub fn collect_suite_jobs(
+    scale: Scale,
+    cfg: ImportConfig,
+    jobs: usize,
+) -> Result<Vec<BenchReport>, String> {
     let mut reports = Vec::with_capacity(10);
-    for r in run_suite_cfg(scale, cfg) {
+    for r in run_suite_jobs(scale, cfg, jobs) {
         reports.push(r?);
     }
     Ok(reports)
@@ -144,18 +172,35 @@ mod tests {
     #[test]
     fn bench_args_parse_scale_and_obs_flags() {
         let v = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        let (scale, obs, cfg) = bench_args_from("table2", v(&["12", "2", "--stats", "json"]));
+        let (scale, obs, cfg, jobs) = bench_args_from("table2", v(&["12", "2", "--stats", "json"]));
         assert_eq!((scale.n, scale.iters), (12, 2));
         assert_eq!(obs.stats, Some(crate::cli::StatsFormat::Json));
         assert!(!cfg.lazy);
-        let (scale, obs, cfg) = bench_args_from("table1", v(&[]));
+        assert_eq!(jobs, 0, "no --jobs flag means all CPUs");
+        let (scale, obs, cfg, jobs) = bench_args_from("table1", v(&[]));
         assert_eq!((scale.n, scale.iters), (64, 12));
         assert!(obs.stats.is_none() && obs.trace_out.is_none() && obs.provenance_out.is_none());
         assert_eq!(cfg, ImportConfig::default());
-        // `--lazy-import` may appear anywhere among the positionals.
-        let (scale, _, cfg) = bench_args_from("table2", v(&["12", "--lazy-import", "2"]));
+        assert_eq!(jobs, 0);
+        // `--lazy-import` and `--jobs` may appear anywhere among the
+        // positionals.
+        let (scale, _, cfg, jobs) =
+            bench_args_from("table2", v(&["12", "--lazy-import", "--jobs", "3", "2"]));
         assert_eq!((scale.n, scale.iters), (12, 2));
         assert!(cfg.lazy && cfg.shared_cache);
+        assert_eq!(jobs, 3);
+    }
+
+    #[test]
+    fn extract_jobs_strips_flag_and_rejects_garbage() {
+        let v = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let mut args = v(&["8", "--jobs", "4", "2"]);
+        assert_eq!(extract_jobs(&mut args), Ok(4));
+        assert_eq!(args, v(&["8", "2"]));
+        let mut bad = v(&["--jobs", "many"]);
+        assert!(extract_jobs(&mut bad).is_err());
+        let mut missing = v(&["--jobs"]);
+        assert!(extract_jobs(&mut missing).is_err());
     }
 
     /// Suite-level aggregation helpers agree with a hand-rolled loop.

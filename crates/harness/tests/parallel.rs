@@ -1,0 +1,61 @@
+//! The parallel-driver determinism contract, pinned end to end: running
+//! the suite on 1 worker and on 8 workers must produce **byte-identical**
+//! `--stats json` metrics and `--provenance-out` JSONL.
+//!
+//! Both phases live in one `#[test]` on purpose: the provenance phase
+//! installs thread-scoped sinks and id sources, and keeping the whole
+//! scenario in a single test body keeps it self-contained no matter how
+//! the test harness schedules other tests on sibling threads.
+
+use hli_harness::{run_suite_jobs, ImportConfig};
+use hli_obs::{metrics, provenance, MetricsRegistry, ProvenanceSink};
+use hli_suite::Scale;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Run the tiny suite at `jobs` under fresh scoped observability state,
+/// returning the stats-JSON and provenance-JSONL a binary would emit.
+fn suite_obs_at(jobs: usize, cfg: ImportConfig) -> (String, String) {
+    let reg = Arc::new(MetricsRegistry::new());
+    let sink = Arc::new(ProvenanceSink::new());
+    let ids = Arc::new(AtomicU64::new(1));
+    let reports = {
+        let _m = metrics::scoped(reg.clone());
+        let _s = provenance::scoped(sink.clone());
+        let _i = provenance::scoped_ids(ids);
+        run_suite_jobs(Scale::tiny(), cfg, jobs)
+    };
+    for r in reports {
+        assert!(r.expect("benchmark must compile").validated);
+    }
+    (reg.snapshot().to_json(), provenance::to_jsonl(&sink.drain()))
+}
+
+#[test]
+fn jobs_one_and_jobs_eight_are_byte_identical() {
+    for cfg in [
+        ImportConfig { lazy: false, shared_cache: true },
+        ImportConfig { lazy: true, shared_cache: true },
+    ] {
+        let (seq_json, seq_prov) = suite_obs_at(1, cfg);
+        let (par_json, par_prov) = suite_obs_at(8, cfg);
+        assert!(
+            seq_json.contains("backend.ddg.total_tests"),
+            "snapshot must carry the pipeline's counters"
+        );
+        assert_eq!(
+            seq_json, par_json,
+            "--stats json diverges between --jobs 1 and --jobs 8 (lazy={})",
+            cfg.lazy
+        );
+        assert!(
+            !seq_prov.is_empty(),
+            "an enabled sink must collect scheduling decisions"
+        );
+        assert_eq!(
+            seq_prov, par_prov,
+            "--provenance-out diverges between --jobs 1 and --jobs 8 (lazy={})",
+            cfg.lazy
+        );
+    }
+}

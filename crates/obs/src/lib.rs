@@ -45,9 +45,11 @@ pub mod json;
 pub mod metrics;
 pub mod provenance;
 pub mod ring;
+pub mod shard;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use provenance::{DecisionRecord, ProvenanceSink, QueryRef, Verdict};
 pub use ring::EventRing;
+pub use shard::{capture, commit, ObsShard};
 pub use trace::{span, SpanGuard, Tracer};

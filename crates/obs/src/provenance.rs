@@ -34,9 +34,57 @@ pub struct QueryRef(pub u64);
 
 static QUERY_ID: AtomicU64 = AtomicU64::new(1);
 
-/// Allocate the next process-wide query id (monotonic, starts at 1).
+thread_local! {
+    static SCOPED_IDS: std::cell::RefCell<Vec<Arc<AtomicU64>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Install `src` as this thread's query-id source until the guard drops.
+///
+/// This is the deterministic-parallelism hook: a worker running one
+/// function's compilation under [`crate::shard::capture`] stamps ids from
+/// a private counter starting at 1, and the merge step renumbers them into
+/// the parent's id space with [`claim_ids`] — in a stable function order —
+/// so `--provenance-out` is byte-identical no matter how many workers ran.
+pub fn scoped_ids(src: Arc<AtomicU64>) -> ScopedIds {
+    SCOPED_IDS.with(|s| s.borrow_mut().push(src));
+    ScopedIds { _priv: () }
+}
+
+/// RAII guard returned by [`scoped_ids`].
+pub struct ScopedIds {
+    _priv: (),
+}
+
+impl Drop for ScopedIds {
+    fn drop(&mut self) {
+        SCOPED_IDS.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Allocate the next query id (monotonic, starts at 1) from the innermost
+/// [`scoped_ids`] source on this thread, or the process-wide counter.
 pub fn next_query_id() -> QueryRef {
-    QueryRef(QUERY_ID.fetch_add(1, Ordering::Relaxed))
+    let scoped = SCOPED_IDS.with(|s| s.borrow().last().cloned());
+    match scoped {
+        Some(src) => QueryRef(src.fetch_add(1, Ordering::Relaxed)),
+        None => QueryRef(QUERY_ID.fetch_add(1, Ordering::Relaxed)),
+    }
+}
+
+/// Reserve `n` consecutive ids from this thread's current id source and
+/// return the offset to add to a 1-based local id to land it inside the
+/// reserved block. Claiming shards in a stable order reproduces exactly
+/// the numbering a sequential run would have produced.
+pub fn claim_ids(n: u64) -> u64 {
+    let scoped = SCOPED_IDS.with(|s| s.borrow().last().cloned());
+    let first = match scoped {
+        Some(src) => src.fetch_add(n, Ordering::Relaxed),
+        None => QUERY_ID.fetch_add(n, Ordering::Relaxed),
+    };
+    first - 1
 }
 
 /// Exclusive upper bound on ids issued so far: every stamped id is in
@@ -256,6 +304,34 @@ impl ProvenanceSink {
             }
         }
         self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Append already-accounted records (a merge of a worker shard). Unlike
+    /// [`ProvenanceSink::record`] this does **not** mirror
+    /// `provenance.<pass>.*` counters — the records were counted into the
+    /// worker's metrics snapshot when first recorded, and that snapshot is
+    /// absorbed separately; mirroring again would double-count.
+    pub fn extend(&self, records: impl IntoIterator<Item = DecisionRecord>) {
+        if !self.is_enabled() {
+            return;
+        }
+        for rec in records {
+            let node = Box::into_raw(Box::new(Node { rec, next: std::ptr::null_mut() }));
+            let mut head = self.head.load(Ordering::Acquire);
+            loop {
+                unsafe { (*node).next = head };
+                match self.head.compare_exchange_weak(
+                    head,
+                    node,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(cur) => head = cur,
+                }
+            }
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Take every record appended so far. Records from a single thread

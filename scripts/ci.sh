@@ -19,6 +19,12 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== cargo doc (no deps, warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "== doctests (pins docs/QUERYBOOK.md examples)"
+cargo test -q --doc --workspace
+
 echo "== decoder fuzz tests (release)"
 cargo test -q --release -p hli-core --test fuzz_decode
 
@@ -26,7 +32,8 @@ echo "== obsdiff against pinned baseline (tiny suite)"
 target/release/table2 12 2 --stats json 2>/dev/null > target/obsdiff-current.txt
 target/release/obsdiff tests/baselines/table2-tiny.json target/obsdiff-current.txt
 
-echo "== import/caching smoke (lazy saves bytes, shared caches hit, counters agree)"
-target/release/importbench 12 2 > /dev/null
+echo "== import/caching/threading smoke (lazy saves bytes, shared caches hit,"
+echo "   all 6 {import,cache,jobs} configurations agree on query counters)"
+target/release/importbench 12 2 --jobs 4 > /dev/null
 
 echo "CI green."
