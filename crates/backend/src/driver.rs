@@ -26,12 +26,66 @@
 //! Since a `--jobs 1` run takes the identical capture/commit path (the
 //! pool runs inline on the caller thread), equality holds by construction
 //! rather than by careful auditing of every counter.
+//!
+//! ## Trust boundary
+//!
+//! Each function's HLI unit is [`vet_unit`]-verified the first time a
+//! work item resolves it. A unit failing [`hli_core::verify`] is
+//! **quarantined**: the function compiles with HLI disabled (the pure
+//! GCC-dependence conservative path — the paper's baseline) instead of
+//! aborting the compile, with `backend.quarantine.*` counters and a
+//! `Blocked` provenance record explaining what was refused. Because the
+//! vet runs inside the item's observability capture, quarantine output
+//! obeys the same determinism contract as everything else.
 
 use crate::ddg::{DepMode, HliSide, QueryStats};
 use crate::rtl::RtlProgram;
 use crate::sched::{schedule_function, LatencyModel, SchedResult};
 use hli_core::{HliEntry, QueryCache};
 use std::collections::HashMap;
+
+/// Record one quarantined unit: bump the `backend.quarantine.*` counters
+/// and, when a provenance sink is active, append a `Blocked` decision
+/// naming the function and the first violation. Counters are resolved
+/// lazily *here*, in the failure branch only, so clean compiles create no
+/// `backend.quarantine.*` keys at all (keeping `--stats` snapshots and
+/// their pinned baselines unchanged).
+pub fn record_quarantine(function: &str, region: Option<u32>, error_count: u64, reason: &str) {
+    let r = hli_obs::metrics::cur();
+    r.counter("backend.quarantine.units").inc();
+    r.counter("backend.quarantine.errors").add(error_count);
+    if let Some(sink) = hli_obs::provenance::active() {
+        sink.record(hli_obs::DecisionRecord {
+            pass: "quarantine.unit".to_string(),
+            function: function.to_string(),
+            region_id: region,
+            order: 0,
+            hli_queries: Vec::new(),
+            verdict: hli_obs::Verdict::Blocked { reason: reason.to_string() },
+        });
+    }
+}
+
+/// The import trust boundary (Section 3.2.3's hazard, made checkable):
+/// verify a unit's tables before the back-end trusts any answer derived
+/// from them. Returns `true` when the unit is safe to attach; on failure
+/// records a quarantine ([`record_quarantine`]) and returns `false`, and
+/// the caller must fall back to the pure GCC-dependence path — the
+/// paper's no-HLI baseline — for that unit.
+pub fn vet_unit(function: &str, entry: &HliEntry) -> bool {
+    let errs = entry.verify();
+    if errs.is_empty() {
+        return true;
+    }
+    let first = &errs[0];
+    record_quarantine(
+        function,
+        first.region.map(|r| r.0),
+        errs.len() as u64,
+        &first.to_string(),
+    );
+    false
+}
 
 /// One scheduling pass the driver should run over every function.
 pub struct PassSpec<'c> {
@@ -66,10 +120,18 @@ pub fn schedule_program_passes<'h>(
     let prov_on = hli_obs::provenance::active().is_some();
     let results = hli_pool::run(jobs, &prog.funcs, |_w, f| {
         hli_obs::capture(prov_on, || {
+            // Trust boundary: the unit is verified once per work item, at
+            // the first pass's lookup (memoized so later passes neither
+            // re-verify nor re-record the quarantine). The quarantine
+            // counters and provenance land in this item's capture shard,
+            // so they commit in the same name-sorted order as everything
+            // else — byte-identical across `--jobs` values.
+            let mut vetted: Option<bool> = None;
             passes
                 .iter()
                 .map(|pass| {
-                    let entry = lookup(&f.name);
+                    let entry = lookup(&f.name)
+                        .filter(|e| *vetted.get_or_insert_with(|| vet_unit(&f.name, e)));
                     match entry {
                         Some(e) => {
                             let fresh;
@@ -192,6 +254,107 @@ mod tests {
                 assert!(seq_json.contains("backend.query_cache.hit"), "memos were exercised");
             }
         }
+    }
+
+    /// Like [`run_at`], but with `f2`'s unit corrupted (an LCDD entry in
+    /// the non-loop unit region) so the trust boundary must quarantine it.
+    fn run_quarantined_at(
+        jobs: usize,
+        prov: bool,
+    ) -> (Vec<(RtlProgram, QueryStats)>, String, String) {
+        let (p, s) = compile_to_ast(SRC).unwrap();
+        let mut hli = generate_hli(&p, &s);
+        let bad = hli.entry_mut("f2").unwrap();
+        let (src, dst) = (bad.regions[0].equiv_classes[0].id, bad.regions[0].equiv_classes[1].id);
+        bad.regions[0].lcdd_table.push(hli_core::LcddEntry {
+            src,
+            dst,
+            kind: hli_core::DepKind::Maybe,
+            distance: hli_core::Distance::Unknown,
+        });
+        assert!(
+            !hli.entry("f2").unwrap().verify().is_empty(),
+            "corruption must be detectable"
+        );
+        let prog = lower_program(&p, &s);
+        let reg = Arc::new(MetricsRegistry::new());
+        let sink = Arc::new(ProvenanceSink::new());
+        sink.set_enabled(prov);
+        let ids = Arc::new(AtomicU64::new(1));
+        let out = {
+            let _m = metrics::scoped(reg.clone());
+            let _s = provenance::scoped(sink.clone());
+            let _i = provenance::scoped_ids(ids);
+            let passes = [
+                PassSpec { mode: DepMode::GccOnly, caches: None },
+                PassSpec { mode: DepMode::Combined, caches: None },
+            ];
+            schedule_program_passes(
+                &prog,
+                &|n| hli.entry(n),
+                &passes,
+                &LatencyModel::default(),
+                jobs,
+            )
+        };
+        let jsonl = provenance::to_jsonl(&sink.drain());
+        (out, reg.snapshot().to_json(), jsonl)
+    }
+
+    #[test]
+    fn invalid_unit_is_quarantined_to_the_no_hli_path() {
+        let (quarantined, json, jsonl) = run_quarantined_at(1, true);
+
+        // The quarantined function must compile exactly as if its unit
+        // were absent — the conservative no-HLI fallback.
+        let (p, s) = compile_to_ast(SRC).unwrap();
+        let hli = generate_hli(&p, &s);
+        let prog = lower_program(&p, &s);
+        let passes = [
+            PassSpec { mode: DepMode::GccOnly, caches: None },
+            PassSpec { mode: DepMode::Combined, caches: None },
+        ];
+        let control = schedule_program_passes(
+            &prog,
+            &|n| if n == "f2" { None } else { hli.entry(n) },
+            &passes,
+            &LatencyModel::default(),
+            1,
+        );
+        for ((qp, qs), (cp, cs)) in quarantined.iter().zip(control.iter()) {
+            assert_eq!(qp, cp, "quarantined f2 must schedule like a missing unit");
+            assert_eq!(qs, cs);
+        }
+
+        // One work item vets once: one quarantined unit, however many
+        // passes ran, and a Blocked provenance record naming it.
+        assert!(json.contains("\"backend.quarantine.units\": 1"), "{json}");
+        assert!(jsonl.contains("quarantine.unit"), "{jsonl}");
+        assert!(jsonl.contains("\"function\": \"f2\""), "{jsonl}");
+        assert!(jsonl.contains("non-loop region"), "{jsonl}");
+    }
+
+    #[test]
+    fn quarantine_is_deterministic_across_job_counts() {
+        for prov in [false, true] {
+            let (seq, seq_json, seq_prov) = run_quarantined_at(1, prov);
+            let (par, par_json, par_prov) = run_quarantined_at(8, prov);
+            for ((sp, ss), (pp, ps)) in seq.iter().zip(par.iter()) {
+                assert_eq!(sp, pp, "scheduled programs diverge (prov={prov})");
+                assert_eq!(ss, ps, "query stats diverge (prov={prov})");
+            }
+            assert_eq!(seq_json, par_json, "--stats json diverges (prov={prov})");
+            assert_eq!(seq_prov, par_prov, "provenance JSONL diverges (prov={prov})");
+        }
+    }
+
+    #[test]
+    fn clean_compile_creates_no_quarantine_keys() {
+        let (_, json, _) = run_at(1, false);
+        assert!(
+            !json.contains("backend.quarantine"),
+            "clean runs must not grow the stats key set: {json}"
+        );
     }
 
     #[test]

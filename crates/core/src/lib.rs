@@ -36,9 +36,12 @@
 //!   deleting, generating, inheriting and moving items as CSE, LICM and
 //!   loop unrolling rewrite the back-end IR, including the Figure-6 LCDD
 //!   distance update for unrolling;
-//! * [`validate`](tables::HliEntry::validate) — structural invariants
-//!   (partition property, normalized distances, dangling references) used
-//!   by tests and by the front-end after construction;
+//! * [`verify`] — structural *and* semantic invariants (partition
+//!   property, normalized LCDD distances, dangling references, scope
+//!   nesting) as typed [`verify::VerifyError`]s — the trust boundary the
+//!   back-end checks before believing an imported unit
+//!   ([`validate`](tables::HliEntry::validate) remains as a string-based
+//!   compatibility wrapper);
 //! * [`textdump`] — a human-readable rendering in the style of the paper's
 //!   Figure 2.
 
@@ -52,6 +55,7 @@ pub mod reader;
 pub mod serialize;
 pub mod tables;
 pub mod textdump;
+pub mod verify;
 
 pub use cache::{CachedQuery, QueryCache};
 pub use ids::{ItemId, RegionId};
@@ -61,6 +65,7 @@ pub use tables::{
     AliasEntry, CallRef, CallRefMod, DepKind, Distance, EquivClass, EquivKind, HliEntry, HliFile,
     ItemEntry, ItemType, LcddEntry, LineEntry, LineTable, MemberRef, Region, RegionKind,
 };
+pub use verify::{verify_file, TableKind, VerifyError};
 
 /// Compiles and runs every example in `docs/QUERYBOOK.md` as a doctest,
 /// so the query book's worked answers are pinned by `cargo test --doc`.

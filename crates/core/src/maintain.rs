@@ -686,6 +686,51 @@ mod tests {
     }
 
     #[test]
+    fn precond_region_carries_intra_iteration_alias_entries() {
+        let mut e = figure2_like();
+        // Give the innermost loop an intra-iteration (distance-0) overlap
+        // fact: two of its classes may touch the same memory within one
+        // iteration. Figure 6's remainder loop keeps the original
+        // dependence structure, so the fact must survive — remapped onto
+        // the preconditioning region's class copies.
+        let (ca, cb) = {
+            let r = e.region(RegionId(3));
+            (r.equiv_classes[0].id, r.equiv_classes[1].id)
+        };
+        e.region_mut(RegionId(3)).alias_table.push(AliasEntry { classes: vec![ca, cb] });
+        assert!(e.validate().is_empty(), "{:?}", e.validate());
+
+        let maps = unroll_loop(&mut e, RegionId(3), 2, true).unwrap();
+        assert!(e.validate().is_empty(), "{:?}", e.validate());
+        let pre = maps.precond_region.unwrap();
+
+        // Resolve each original class's precond copy through a member
+        // item: original item -> precond item -> its class at `pre`.
+        let precond_class_of = |orig: ItemId| -> ItemId {
+            let member = e
+                .region(RegionId(3))
+                .class(orig)
+                .unwrap()
+                .members
+                .iter()
+                .find_map(|m| match m {
+                    MemberRef::Item(i) => Some(*i),
+                    MemberRef::SubClass { .. } => None,
+                })
+                .expect("innermost-loop classes hold items");
+            class_of_direct_item(&e, pre, maps.precond_items[&member]).unwrap()
+        };
+        let (pa, pb) = (precond_class_of(ca), precond_class_of(cb));
+        let r = e.region(pre);
+        assert_eq!(r.alias_table.len(), 1, "exactly the one original alias fact: {r:?}");
+        assert_eq!(r.alias_table[0].classes, vec![pa, pb]);
+        // And the copies are fresh classes of the precond region, not the
+        // unrolled loop's.
+        assert_ne!(pa, ca);
+        assert_ne!(pb, cb);
+    }
+
+    #[test]
     fn unrolled_copies_answer_queries() {
         let mut e = figure2_like();
         let maps = unroll_loop(&mut e, RegionId(3), 2, false).unwrap();

@@ -20,8 +20,8 @@
 //! * `hli.reader.reused` — `get` calls served from an already-decoded unit.
 
 use crate::serialize::{
-    count_decoded, decode_entry, decode_file, get_len, get_str, DecodeError, SerializeOpts, MAGIC,
-    MAGIC_V2,
+    count_decoded, decode_entry, decode_file, get_len, get_str, read_magic, DecodeError,
+    SerializeOpts, MAGIC, MAGIC_V2,
 };
 use crate::tables::HliEntry;
 use hli_obs::Counter;
@@ -73,6 +73,45 @@ impl Unit {
     }
 }
 
+/// Run `decode` at most once for this unit and memoize its result. A
+/// *panicking* decode is memoized as a [`DecodeError`] rather than
+/// allowed to escape: letting the unwind cross `call_once` would poison
+/// the `Once`, leaving the slot forever unwritten, and every later `get`
+/// for the unit would then die at `decoded().expect(..)` with a message
+/// pointing nowhere near the real bug. Returns the memoized result and
+/// whether *this* call ran the decode (false = memo served).
+fn decode_once(
+    u: &Unit,
+    decode: impl FnOnce() -> Result<HliEntry, DecodeError>,
+) -> (&Result<HliEntry, DecodeError>, bool) {
+    let mut ran = false;
+    u.once.call_once(|| {
+        ran = true;
+        let entry = std::panic::catch_unwind(std::panic::AssertUnwindSafe(decode)).unwrap_or_else(
+            |payload| {
+                Err(DecodeError(format!(
+                    "unit `{}` decode panicked: {}",
+                    u.name,
+                    panic_message(payload.as_ref())
+                )))
+            },
+        );
+        // SAFETY: inside this unit's `call_once`, the sole writer.
+        unsafe { *u.slot.get() = Some(entry) };
+    });
+    (u.decoded().expect("call_once completed"), ran)
+}
+
+/// Best-effort rendering of a panic payload (the `&str`/`String` cases
+/// `panic!` produces).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
 /// Lazily-decoding reader over an `HLI\x02` (or, eagerly, `HLI\x01`) image.
 pub struct HliReader {
     data: Vec<u8>,
@@ -91,13 +130,10 @@ impl HliReader {
         let units_total = r.counter("hli.reader.units_total");
         let units_decoded = r.counter("hli.reader.units_decoded");
         let reused = r.counter("hli.reader.reused");
-        if data.len() < 4 {
-            return Err(DecodeError("truncated header".into()));
-        }
-        let magic: [u8; 4] = data[..4].try_into().unwrap();
+        let mut rest = data.as_slice();
+        let magic = read_magic(&mut rest)?;
         let directory = if magic == MAGIC_V2 {
-            let mut buf = &data[4..];
-            let b = &mut buf;
+            let b = &mut rest;
             let n = get_len(b)?;
             let mut lens = Vec::with_capacity(n.min(4096));
             for _ in 0..n {
@@ -177,9 +213,7 @@ impl HliReader {
         let Some(u) = self.directory.iter().find(|u| u.name == unit) else {
             return Ok(None);
         };
-        let mut ran = false;
-        u.once.call_once(|| {
-            ran = true;
+        let (res, ran) = decode_once(u, || {
             let mut slice = &self.data[u.off..u.off + u.len];
             let entry = decode_entry(&mut slice, self.opts).and_then(|e| {
                 if slice.is_empty() {
@@ -192,13 +226,12 @@ impl HliReader {
                 count_decoded(u.len);
                 self.units_decoded.inc();
             }
-            // SAFETY: inside this unit's `call_once`, the sole writer.
-            unsafe { *u.slot.get() = Some(entry) };
+            entry
         });
         if !ran {
             self.reused.inc();
         }
-        match u.decoded().expect("call_once completed") {
+        match res {
             Ok(e) => Ok(Some(e)),
             Err(err) => Err(err.clone()),
         }
@@ -326,6 +359,27 @@ mod tests {
             1,
             "the losing thread reused the winner's memo"
         );
+    }
+
+    #[test]
+    fn panicking_decode_memoizes_an_error_instead_of_poisoning() {
+        // Regression: a panic escaping the decode closure used to poison
+        // the unit's `Once`, so every later `get` for that unit panicked
+        // at `decoded().expect("call_once completed")`. The memoizer must
+        // turn the panic into a structured, repeatable `Err`.
+        let u = Unit::new("boom".into(), 0, 0);
+        let (res, ran) = decode_once(&u, || panic!("injected decode bug"));
+        assert!(ran, "first call runs the decode");
+        let err = res.as_ref().expect_err("panic must surface as Err").clone();
+        assert!(
+            err.0.contains("decode panicked") && err.0.contains("injected decode bug"),
+            "error must carry the panic payload: {err:?}"
+        );
+        // Later requests serve the same memoized error — no poisoned-Once
+        // panic, and the decode closure never runs again.
+        let (res2, ran2) = decode_once(&u, || unreachable!("memo must be served"));
+        assert!(!ran2, "second call must not re-decode");
+        assert_eq!(res2.as_ref().err(), Some(&err));
     }
 
     #[test]

@@ -187,17 +187,25 @@ fn encode_entry_into(e: &HliEntry, opts: SerializeOpts, b: &mut Vec<u8>) {
     }
 }
 
+/// Read the 4-byte magic header, advancing `b` past it. The one shared
+/// length-checked entry point for every image-opening code path (the v1
+/// decoder here and [`crate::reader::HliReader::open`]), so no caller can
+/// reintroduce the unchecked `b[..4]` slice the fuzzer guards against.
+pub(crate) fn read_magic(b: &mut &[u8]) -> Result<[u8; 4], DecodeError> {
+    if b.len() < 4 {
+        return Err(DecodeError("truncated header".into()));
+    }
+    let (head, rest) = b.split_at(4);
+    *b = rest;
+    Ok(head.try_into().expect("split_at(4) yields 4 bytes"))
+}
+
 /// Deserialize a whole HLI file.
 pub fn decode_file(buf: &[u8], opts: SerializeOpts) -> Result<HliFile, DecodeError> {
     let total = buf.len();
     let mut buf = buf;
     let b = &mut buf;
-    if b.len() < 4 {
-        return Err(DecodeError("truncated header".into()));
-    }
-    let magic: [u8; 4] = b[..4].try_into().unwrap();
-    *b = &b[4..];
-    if magic != MAGIC {
+    if read_magic(b)? != MAGIC {
         return Err(DecodeError("bad magic".into()));
     }
     let n = get_len(b)?;

@@ -1,8 +1,9 @@
 //! The HLI data model: line table, region table, and the four per-region
-//! sub-tables (Section 2 of the paper), plus structural validation.
+//! sub-tables (Section 2 of the paper). Structural and semantic
+//! validation lives in [`crate::verify`] ([`HliEntry::verify`] /
+//! [`HliEntry::validate`]).
 
 use crate::ids::{ItemId, RegionId, UNIT_REGION};
-use std::collections::{HashMap, HashSet};
 
 /// Access type of an item (the line-table `type` field).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -391,181 +392,6 @@ impl HliEntry {
             }
         }
         lca
-    }
-
-    /// Check every structural invariant of the format. Returns a list of
-    /// violations (empty = valid).
-    pub fn validate(&self) -> Vec<String> {
-        let mut errs = Vec::new();
-        // Region tree shape.
-        for (i, r) in self.regions.iter().enumerate() {
-            if r.id.0 as usize != i {
-                errs.push(format!("region index {} holds id {}", i, r.id));
-            }
-            if (i == 0) != r.parent.is_none() {
-                errs.push(format!("region {} has wrong parent-ness", r.id));
-            }
-            for &s in &r.subregions {
-                if s.0 as usize >= self.regions.len() {
-                    errs.push(format!("region {} lists missing subregion {}", r.id, s));
-                } else if self.region(s).parent != Some(r.id) {
-                    errs.push(format!("subregion {} of {} disagrees on parent", s, r.id));
-                }
-            }
-        }
-        // Item IDs in the line table are unique.
-        let mut line_items: HashMap<ItemId, ItemType> = HashMap::new();
-        for (_, it) in self.line_table.items() {
-            if line_items.insert(it.id, it.ty).is_some() {
-                errs.push(format!("item {} appears twice in the line table", it.id));
-            }
-            if it.id.0 >= self.next_id {
-                errs.push(format!("item {} beyond next_id {}", it.id, self.next_id));
-            }
-        }
-        // Class IDs are unique and distinct from line items.
-        let mut class_ids: HashSet<ItemId> = HashSet::new();
-        for r in &self.regions {
-            for c in &r.equiv_classes {
-                if !class_ids.insert(c.id) {
-                    errs.push(format!("class {} defined twice", c.id));
-                }
-                if line_items.contains_key(&c.id) {
-                    errs.push(format!("class {} collides with a line item", c.id));
-                }
-            }
-        }
-        // Partition property: every *memory* item is a direct member of
-        // exactly one class, in exactly one region; every region's classes
-        // cover all memory items in its subtree exactly once (via subclass
-        // links).
-        let mut direct_owner: HashMap<ItemId, RegionId> = HashMap::new();
-        for r in &self.regions {
-            for c in &r.equiv_classes {
-                for m in &c.members {
-                    match m {
-                        MemberRef::Item(it) => {
-                            if let Some(prev) = direct_owner.insert(*it, r.id) {
-                                errs.push(format!(
-                                    "item {} directly owned by both {} and {}",
-                                    it, prev, r.id
-                                ));
-                            }
-                            match line_items.get(it) {
-                                None => errs.push(format!(
-                                    "class {} member {} is not a line item",
-                                    c.id, it
-                                )),
-                                Some(ItemType::Call) => errs.push(format!(
-                                    "call item {} appears in an equivalence class",
-                                    it
-                                )),
-                                _ => {}
-                            }
-                        }
-                        MemberRef::SubClass { region, class } => {
-                            if region.0 as usize >= self.regions.len() {
-                                errs.push(format!("subclass ref to missing region {region}"));
-                                continue;
-                            }
-                            if self.region(*region).parent != Some(r.id) {
-                                errs.push(format!(
-                                    "class {} references class {} of non-child region {}",
-                                    c.id, class, region
-                                ));
-                            }
-                            if self.region(*region).class(*class).is_none() {
-                                errs.push(format!(
-                                    "class {} references missing class {} in region {}",
-                                    c.id, class, region
-                                ));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        for (it, ty) in &line_items {
-            if *ty != ItemType::Call && !direct_owner.contains_key(it) {
-                errs.push(format!("memory item {} belongs to no class", it));
-            }
-        }
-        // Every subregion class is referenced by exactly one parent class.
-        for r in &self.regions {
-            if r.parent.is_none() {
-                continue;
-            }
-            let parent = self.region(r.parent.unwrap());
-            for c in &r.equiv_classes {
-                let uses: usize = parent
-                    .equiv_classes
-                    .iter()
-                    .flat_map(|pc| pc.members.iter())
-                    .filter(
-                        |m| matches!(m, MemberRef::SubClass { region, class } if *region == r.id && *class == c.id),
-                    )
-                    .count();
-                if uses != 1 {
-                    errs.push(format!(
-                        "class {} of region {} referenced {} times by parent {}",
-                        c.id, r.id, uses, parent.id
-                    ));
-                }
-            }
-        }
-        // Per-region reference checks.
-        for r in &self.regions {
-            let defined: HashSet<ItemId> = r.equiv_classes.iter().map(|c| c.id).collect();
-            for a in &r.alias_table {
-                if a.classes.len() < 2 {
-                    errs.push(format!("alias entry in {} with <2 classes", r.id));
-                }
-                for c in &a.classes {
-                    if !defined.contains(c) {
-                        errs.push(format!("alias entry in {} names foreign class {}", r.id, c));
-                    }
-                }
-            }
-            for d in &r.lcdd_table {
-                if !r.is_loop() {
-                    errs.push(format!("LCDD entry in non-loop region {}", r.id));
-                }
-                if !defined.contains(&d.src) || !defined.contains(&d.dst) {
-                    errs.push(format!("LCDD in {} names foreign class", r.id));
-                }
-                if let Distance::Const(k) = d.distance {
-                    if k == 0 {
-                        errs.push(format!(
-                            "LCDD in {} has distance 0 (direction must be normalized >)",
-                            r.id
-                        ));
-                    }
-                }
-            }
-            for crm in &r.call_refmod {
-                match crm.callee {
-                    CallRef::Item(it) => match line_items.get(&it) {
-                        Some(ItemType::Call) => {}
-                        _ => errs
-                            .push(format!("call REF/MOD in {} names non-call item {}", r.id, it)),
-                    },
-                    CallRef::SubRegion(s) => {
-                        if self.regions.get(s.0 as usize).map(|x| x.parent) != Some(Some(r.id)) {
-                            errs.push(format!(
-                                "call REF/MOD in {} names non-child region {}",
-                                r.id, s
-                            ));
-                        }
-                    }
-                }
-                for c in crm.refs.iter().chain(crm.mods.iter()) {
-                    if !defined.contains(c) {
-                        errs.push(format!("call REF/MOD in {} names foreign class {}", r.id, c));
-                    }
-                }
-            }
-        }
-        errs
     }
 
     /// Total number of memory-access (non-call) items.

@@ -951,7 +951,7 @@ mod tests {
              int main() { return foo(); }",
         );
         for e in &f.entries {
-            let errs = e.validate();
+            let errs = e.verify();
             assert!(errs.is_empty(), "{}: {errs:?}\n{}", e.unit_name, dump_entry(e));
         }
     }

@@ -95,13 +95,13 @@ fn figure6() {
     let r = unroll_function(f, &loops["main"], 3, Some((&mut entry, &mut map)));
     println!("\n-- after unrolling by 3 ({} loop(s) unrolled) --", r.unrolled);
     print!("{}", dump_entry(&entry));
-    let errs = entry.validate();
+    let errs = entry.verify();
     println!(
         "\nvalidation: {}",
         if errs.is_empty() {
             "ok".to_string()
         } else {
-            format!("{errs:?}")
+            errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; ")
         }
     );
 }

@@ -50,11 +50,9 @@ fn front(input: &str, out: Option<String>) {
     let src = read_source(input);
     let (prog, sema) = compile_to_ast(&src).unwrap_or_else(|e| fail(&e));
     let hli = generate_hli(&prog, &sema);
-    for e in &hli.entries {
-        let errs = e.validate();
-        if !errs.is_empty() {
-            fail(&format!("internal: invalid HLI for `{}`: {errs:?}", e.unit_name));
-        }
+    let errs = hli_core::verify_file(&hli);
+    if let Some((unit, err)) = errs.first() {
+        fail(&format!("internal: invalid HLI for `{unit}`: {err}"));
     }
     let bytes = encode_file_v2(&hli, OPTS);
     let out = out.unwrap_or_else(|| format!("{}.hli", input.trim_end_matches(".c")));
@@ -102,7 +100,11 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
         std::fs::read(hli_path).unwrap_or_else(|e| fail(&format!("cannot read {hli_path}: {e}")));
     let reader = HliReader::open(image, OPTS).unwrap_or_else(|e| fail(&e.to_string()));
     if !flags.lazy_import {
-        reader.preload().unwrap_or_else(|e| fail(&e.to_string()));
+        // A unit failing to decode is not fatal: its error is memoized and
+        // the function it belongs to is quarantined below.
+        if let Err(e) = reader.preload() {
+            eprintln!("hlicc: warning: eager import: {e}; affected unit(s) will be quarantined");
+        }
     }
     let mode = if flags.use_hli {
         DepMode::Combined
@@ -121,7 +123,39 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
         hli_obs::capture(prov_on, || -> Result<FuncOut, String> {
             let _s = hli_obs::span(format!("backend.func.{}", f.name));
             let mut messages = Vec::new();
-            let entry = reader.get(&f.name).map_err(|e| e.to_string())?.cloned();
+            // Trust boundary (§3.2.3): a unit that fails to decode or to
+            // verify is *quarantined* — this function compiles on the pure
+            // GCC-dependence path instead of aborting the whole build.
+            let entry = match reader.get(&f.name) {
+                Ok(e) => e.cloned(),
+                Err(e) if flags.use_hli => {
+                    hli_backend::driver::record_quarantine(&f.name, None, 1, &e.to_string());
+                    messages.push(format!(
+                        "warning: `{}`: HLI unit quarantined ({e}); compiling without HLI",
+                        f.name
+                    ));
+                    None
+                }
+                Err(_) => None,
+            };
+            let entry = entry.filter(|e| {
+                if !flags.use_hli {
+                    return true;
+                }
+                let errs = e.verify();
+                let Some(first) = errs.first() else { return true };
+                hli_backend::driver::record_quarantine(
+                    &f.name,
+                    first.region.map(|r| r.0),
+                    errs.len() as u64,
+                    &first.to_string(),
+                );
+                messages.push(format!(
+                    "warning: `{}`: HLI unit quarantined ({first}); compiling without HLI",
+                    f.name
+                ));
+                false
+            });
             let mut cur = f.clone();
             let mut stats = hli_backend::ddg::QueryStats::default();
             let scheduled = match entry {
@@ -164,9 +198,16 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
                         }
                         cur = r.func;
                     }
-                    let errs = entry.validate();
-                    if !errs.is_empty() {
-                        return Err(format!("maintenance broke `{}`: {errs:?}", f.name));
+                    // Unlike import-time corruption (quarantined above), a
+                    // verify failure *after* maintenance is our own bug —
+                    // keep it fatal so it cannot hide.
+                    let errs = entry.verify();
+                    if let Some(first) = errs.first() {
+                        return Err(format!(
+                            "maintenance broke `{}`: {first} ({} violation(s))",
+                            f.name,
+                            errs.len()
+                        ));
                     }
                     let cache = QueryCache::new();
                     let q = cache.attach(&entry);

@@ -32,6 +32,7 @@ const GROUPS: &[&str] = &[
     "backend.licm.",
     "backend.unroll.",
     "backend.query_cache.",
+    "backend.quarantine.",
     "hli.maintain.",
     "hli.query.",
     "hli.reader.",

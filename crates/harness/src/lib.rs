@@ -157,11 +157,9 @@ fn run_pipeline(
 
     // Front-end: HLI generation + Table 1 size.
     let hli = generate_hli_with(&prog, &sema, opts);
-    for e in &hli.entries {
-        let errs = e.validate();
-        if !errs.is_empty() {
-            return Err(format!("{}: invalid HLI for `{}`: {errs:?}", b.name, e.unit_name));
-        }
+    let errs = hli_core::verify_file(&hli);
+    if let Some((unit, err)) = errs.first() {
+        return Err(format!("{}: invalid HLI for `{unit}`: {err}", b.name));
     }
     let v1_bytes = {
         let _s = hli_obs::span("harness.encode_hli");

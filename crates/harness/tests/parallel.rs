@@ -7,6 +7,10 @@
 //! scenario in a single test body keeps it self-contained no matter how
 //! the test harness schedules other tests on sibling threads.
 
+use hli_backend::ddg::DepMode;
+use hli_backend::driver::{schedule_program_passes, PassSpec};
+use hli_backend::lower::lower_program;
+use hli_backend::sched::LatencyModel;
 use hli_harness::{run_suite_jobs, ImportConfig};
 use hli_obs::{metrics, provenance, MetricsRegistry, ProvenanceSink};
 use hli_suite::Scale;
@@ -29,6 +33,65 @@ fn suite_obs_at(jobs: usize, cfg: ImportConfig) -> (String, String) {
         assert!(r.expect("benchmark must compile").validated);
     }
     (reg.snapshot().to_json(), provenance::to_jsonl(&sink.drain()))
+}
+
+/// Compile a four-function program whose `f2` unit carries an injected
+/// verifier violation, at `jobs` workers, returning stats JSON and
+/// provenance JSONL.
+fn quarantined_obs_at(jobs: usize) -> (String, String) {
+    let src = "int a[64]; int b[64]; int g;\n\
+        void f1(int n) { int i; for (i = 0; i < n; i++) a[i] = b[i] + g; }\n\
+        void f2(int n) { int i; for (i = 0; i < n; i++) b[i] = a[i] * 2; }\n\
+        void f3(int n) { int i; for (i = 0; i < n; i++) g += a[i]; }\n\
+        int main() { f1(32); f2(32); f3(32); return g; }";
+    let (p, s) = hli_lang::compile_to_ast(src).unwrap();
+    let mut hli = hli_frontend::generate_hli(&p, &s);
+    let bad = hli.entry_mut("f2").unwrap();
+    let (c0, c1) = (bad.regions[0].equiv_classes[0].id, bad.regions[0].equiv_classes[1].id);
+    bad.regions[0].lcdd_table.push(hli_core::LcddEntry {
+        src: c0,
+        dst: c1,
+        kind: hli_core::DepKind::Maybe,
+        distance: hli_core::Distance::Unknown,
+    });
+    let prog = lower_program(&p, &s);
+    let reg = Arc::new(MetricsRegistry::new());
+    let sink = Arc::new(ProvenanceSink::new());
+    sink.set_enabled(true);
+    let ids = Arc::new(AtomicU64::new(1));
+    {
+        let _m = metrics::scoped(reg.clone());
+        let _s = provenance::scoped(sink.clone());
+        let _i = provenance::scoped_ids(ids);
+        let passes = [
+            PassSpec { mode: DepMode::GccOnly, caches: None },
+            PassSpec { mode: DepMode::Combined, caches: None },
+        ];
+        schedule_program_passes(&prog, &|n| hli.entry(n), &passes, &LatencyModel::default(), jobs);
+    }
+    (reg.snapshot().to_json(), provenance::to_jsonl(&sink.drain()))
+}
+
+#[test]
+fn quarantine_counters_and_provenance_are_jobs_invariant() {
+    let (seq_json, seq_prov) = quarantined_obs_at(1);
+    let (par_json, par_prov) = quarantined_obs_at(8);
+    assert!(
+        seq_json.contains("\"backend.quarantine.units\": 1"),
+        "the injected-invalid unit must be quarantined exactly once: {seq_json}"
+    );
+    assert!(
+        seq_prov.contains("quarantine.unit") && seq_prov.contains("\"function\": \"f2\""),
+        "quarantine must leave a provenance record naming the unit: {seq_prov}"
+    );
+    assert_eq!(
+        seq_json, par_json,
+        "quarantine stats diverge between --jobs 1 and --jobs 8"
+    );
+    assert_eq!(
+        seq_prov, par_prov,
+        "quarantine provenance diverges between --jobs 1 and --jobs 8"
+    );
 }
 
 #[test]

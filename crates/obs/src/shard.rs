@@ -81,16 +81,25 @@ pub fn capture<R>(provenance_on: bool, f: impl FnOnce() -> R) -> (R, ObsShard) {
 /// determinism.
 pub fn commit(shard: ObsShard) {
     metrics::cur().absorb(&shard.metrics);
-    if shard.ids_used > 0 {
-        let offset = provenance::claim_ids(shard.ids_used);
-        if let Some(sink) = provenance::active() {
-            sink.extend(shard.records.into_iter().map(|mut r| {
-                for q in &mut r.hli_queries {
-                    q.0 += offset;
-                }
-                r
-            }));
-        }
+    if shard.ids_used == 0 && shard.records.is_empty() {
+        return;
+    }
+    // A shard can carry records that cite no queries at all (e.g. a
+    // quarantined unit's `Blocked` decision, recorded before any HLI was
+    // attached). Those must still append — only the id renumbering is
+    // conditional on ids having been stamped.
+    let offset = if shard.ids_used > 0 {
+        provenance::claim_ids(shard.ids_used)
+    } else {
+        0
+    };
+    if let Some(sink) = provenance::active() {
+        sink.extend(shard.records.into_iter().map(|mut r| {
+            for q in &mut r.hli_queries {
+                q.0 += offset;
+            }
+            r
+        }));
     }
 }
 
@@ -158,6 +167,26 @@ mod tests {
             vec![provenance::QueryRef(4), provenance::QueryRef(5)]
         );
         assert_eq!(parent_ids.load(Ordering::Relaxed), 6, "parent space consumed 5 ids");
+    }
+
+    #[test]
+    fn query_less_records_survive_commit() {
+        // Regression: commit used to gate record append on `ids_used > 0`,
+        // silently dropping decisions that cite no queries — exactly what
+        // a quarantined unit's `Blocked` record looks like.
+        let parent_ids = Arc::new(AtomicU64::new(1));
+        let parent_sink = Arc::new(ProvenanceSink::new());
+        let _i = provenance::scoped_ids(parent_ids.clone());
+        let _s = provenance::scoped(parent_sink.clone());
+        let ((), shard) = capture(true, || {
+            provenance::active().unwrap().record(rec("quarantine.unit", &[]));
+        });
+        assert_eq!(shard.ids_used, 0);
+        commit(shard);
+        let out = parent_sink.drain();
+        assert_eq!(out.len(), 1, "query-less record must be committed");
+        assert_eq!(out[0].pass, "quarantine.unit");
+        assert_eq!(parent_ids.load(Ordering::Relaxed), 1, "no ids claimed");
     }
 
     #[test]

@@ -36,4 +36,11 @@ echo "== import/caching/threading smoke (lazy saves bytes, shared caches hit,"
 echo "   all 6 {import,cache,jobs} configurations agree on query counters)"
 target/release/importbench 12 2 --jobs 4 > /dev/null
 
+echo "== faultbench smoke (seeded mutation campaign: no panics, no unsound"
+echo "   HLI-justified decisions under corrupted images or tables)"
+target/release/faultbench 1500 --table 150 > /dev/null
+
+echo "== quarantine determinism (counters + provenance byte-identical across --jobs)"
+target/release/faultbench --quarantine-check --jobs 8
+
 echo "CI green."
