@@ -115,6 +115,7 @@ pub fn schedule_program_passes<'h>(
     lat: &LatencyModel,
     jobs: usize,
 ) -> Vec<(RtlProgram, QueryStats)> {
+    let _t = hli_obs::phase::timed("backend.schedule");
     // Probed on the caller's thread: workers cannot see a thread-scoped
     // sink, and the verdict must not depend on item placement.
     let prov_on = hli_obs::provenance::active().is_some();

@@ -20,6 +20,7 @@ use hli_backend::rtl::RtlProgram;
 use hli_core::HliFile;
 use hli_lang::ast::Program;
 use hli_lang::sema::Sema;
+use hli_obs::timing::{time, Samples};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -51,20 +52,22 @@ pub fn quiesce_observability() {
 /// Minimum measurement window per bench.
 const TARGET: Duration = Duration::from_millis(200);
 
-/// Time `f` until the window fills (with warmup) and print one
-/// `name  ns/iter` line. Dependency-free stand-in for a bench harness.
+/// Time `f` until the window fills (with warmup), collecting one sample
+/// per iteration, and print a `min/median/p95` line — a single mean hides
+/// the scheduling outliers that dominate small kernels, min/median/p95
+/// does not. Dependency-free stand-in for a bench harness.
 pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
     for _ in 0..2 {
         black_box(f());
     }
     let start = Instant::now();
-    let mut iters: u64 = 0;
-    while iters < 5 || (start.elapsed() < TARGET && iters < 1_000_000) {
-        black_box(f());
-        iters += 1;
+    let mut samples = Samples::new();
+    while samples.len() < 5 || (start.elapsed() < TARGET && samples.len() < 1_000_000) {
+        let (r, d) = time(&mut f);
+        black_box(r);
+        samples.push(d);
     }
-    let per = start.elapsed().as_nanos() as f64 / iters as f64;
-    println!("{name:<48} {per:>14.0} ns/iter   ({iters} iters)");
+    println!("{name:<48} {}", samples.summary());
 }
 
 #[cfg(test)]

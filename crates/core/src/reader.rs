@@ -125,6 +125,7 @@ impl HliReader {
     /// Open an HLI image. For `HLI\x02` only the directory is parsed; for
     /// `HLI\x01` the whole file is decoded eagerly (backward compatibility).
     pub fn open(data: Vec<u8>, opts: SerializeOpts) -> Result<Self, DecodeError> {
+        let _t = hli_obs::phase::timed("hli.reader.open");
         let r = hli_obs::metrics::cur();
         let opens = r.counter("hli.reader.opens");
         let units_total = r.counter("hli.reader.units_total");

@@ -57,6 +57,7 @@ pub(crate) fn count_decoded(n: usize) {
 
 /// Serialize a whole HLI file.
 pub fn encode_file(file: &HliFile, opts: SerializeOpts) -> Vec<u8> {
+    let _t = hli_obs::phase::timed("hli.encode");
     let mut b = Vec::new();
     b.extend_from_slice(&MAGIC);
     put_varint(&mut b, file.entries.len() as u64);
@@ -202,6 +203,7 @@ pub(crate) fn read_magic(b: &mut &[u8]) -> Result<[u8; 4], DecodeError> {
 
 /// Deserialize a whole HLI file.
 pub fn decode_file(buf: &[u8], opts: SerializeOpts) -> Result<HliFile, DecodeError> {
+    let _t = hli_obs::phase::timed("hli.decode");
     let total = buf.len();
     let mut buf = buf;
     let b = &mut buf;
@@ -360,6 +362,7 @@ pub(crate) fn decode_entry(b: &mut &[u8], opts: SerializeOpts) -> Result<HliEntr
 /// function. This approach eliminates the need to keep all of the HLI in
 /// memory at the same time."*
 pub fn encode_file_v2(file: &HliFile, opts: SerializeOpts) -> Vec<u8> {
+    let _t = hli_obs::phase::timed("hli.encode");
     // Encode entries first to learn their extents.
     let mut bodies: Vec<(String, Vec<u8>)> = Vec::with_capacity(file.entries.len());
     for e in &file.entries {

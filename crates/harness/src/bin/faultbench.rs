@@ -77,7 +77,7 @@ use hli_suite::Scale;
 /// Everything precomputed once per benchmark so a campaign iteration
 /// only pays for the decode attempt plus (rarely) one schedule + run.
 struct Prep {
-    name: &'static str,
+    name: String,
     unit_names: Vec<String>,
     rtl: RtlProgram,
     clean: HliFile,
@@ -111,17 +111,17 @@ fn prepare() -> Vec<Prep> {
     hli_suite::all(Scale::tiny())
         .iter()
         .map(|b| {
-            let (p, s) = compile_to_ast(&b.source).unwrap_or_else(|e| die(b.name, &e.to_string()));
+            let (p, s) = compile_to_ast(&b.source).unwrap_or_else(|e| die(&b.name, &e.to_string()));
             let oracle = hli_lang::interp::run_program(&p, &s)
-                .unwrap_or_else(|e| die(b.name, &e.to_string()));
+                .unwrap_or_else(|e| die(&b.name, &e.to_string()));
             let hli = generate_hli(&p, &s);
             if let Some((unit, err)) = hli_core::verify_file(&hli).first() {
-                die(b.name, &format!("clean HLI invalid for `{unit}`: {err}"));
+                die(&b.name, &format!("clean HLI invalid for `{unit}`: {err}"));
             }
             let opts = SerializeOpts::default();
             let v1 = encode_file(&hli, opts);
             let v2 = encode_file_v2(&hli, opts);
-            let clean = decode_file(&v1, opts).unwrap_or_else(|e| die(b.name, &e.0));
+            let clean = decode_file(&v1, opts).unwrap_or_else(|e| die(&b.name, &e.0));
             let rtl = lower_program(&p, &s);
             let (clean_gcc_prog, clean_hli_prog, clean_stats) = schedule(&rtl, &|n| clean.entry(n));
 
@@ -132,16 +132,16 @@ fn prepare() -> Vec<Prep> {
             if control_stats.combined_yes != control_stats.gcc_yes
                 || control_stats.gcc_yes != clean_stats.gcc_yes
             {
-                die(b.name, "no-HLI control run does not collapse onto the GCC counters");
+                die(&b.name, "no-HLI control run does not collapse onto the GCC counters");
             }
-            let run =
-                hli_machine::execute(&control_prog).unwrap_or_else(|e| die(b.name, &e.to_string()));
+            let run = hli_machine::execute(&control_prog)
+                .unwrap_or_else(|e| die(&b.name, &e.to_string()));
             if run.ret != oracle.ret || run.global_checksum != oracle.global_checksum {
-                die(b.name, "no-HLI control run disagrees with the interpreter");
+                die(&b.name, "no-HLI control run disagrees with the interpreter");
             }
 
             Prep {
-                name: b.name,
+                name: b.name.clone(),
                 unit_names: clean.entries.iter().map(|e| e.unit_name.clone()).collect(),
                 rtl,
                 clean,
@@ -599,7 +599,8 @@ fn main() {
     let mut failures: Vec<String> = Vec::new();
 
     let ks: Vec<u64> = (0..n).collect();
-    let byte_out = hli_harness::par_map(&ks, |&k| byte_iteration(&preps, seed, k));
+    let (byte_out, byte_wall) =
+        hli_obs::timing::time(|| hli_harness::par_map(&ks, |&k| byte_iteration(&preps, seed, k)));
     let mut bc = [0u64; 4];
     for o in byte_out {
         match o {
@@ -612,12 +613,17 @@ fn main() {
     }
     println!(
         "byte-level ({n} mutations): {} rejected, {} quarantined, {} identical, \
-         {} verify-clean variant(s)",
-        bc[0], bc[1], bc[2], bc[3]
+         {} verify-clean variant(s)   [{:.1} ms]",
+        bc[0],
+        bc[1],
+        bc[2],
+        bc[3],
+        byte_wall.as_secs_f64() * 1e3
     );
 
     let tks: Vec<u64> = (0..table_n).collect();
-    let table_out = hli_harness::par_map(&tks, |&k| table_iteration(&preps, seed, k));
+    let (table_out, table_wall) =
+        hli_obs::timing::time(|| hli_harness::par_map(&tks, |&k| table_iteration(&preps, seed, k)));
     let mut tc = [0u64; 5];
     for o in table_out {
         match o {
@@ -631,8 +637,13 @@ fn main() {
     }
     println!(
         "table-level ({table_n} mutations): {} quarantined, {} identical, {} degraded, \
-         {} aggressive-undetected, {} caught by differential executor",
-        tc[0], tc[1], tc[2], tc[3], tc[4]
+         {} aggressive-undetected, {} caught by differential executor   [{:.1} ms]",
+        tc[0],
+        tc[1],
+        tc[2],
+        tc[3],
+        tc[4],
+        table_wall.as_secs_f64() * 1e3
     );
 
     for f in failures.iter().take(10) {

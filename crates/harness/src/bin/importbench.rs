@@ -73,12 +73,11 @@ fn main() {
 
     let mut rows = Vec::new();
     for (label, cfg, row_jobs) in configs {
-        let start = std::time::Instant::now();
-        let reports = collect_suite_jobs(scale, cfg, row_jobs).unwrap_or_else(|e| {
+        let (reports, wall) = hli_obs::timing::time(|| collect_suite_jobs(scale, cfg, row_jobs));
+        let reports = reports.unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(1);
         });
-        let wall = start.elapsed();
         let m = merged_metrics(&reports);
         let stats = total_query_stats(&reports);
         println!(

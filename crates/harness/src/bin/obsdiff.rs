@@ -136,10 +136,27 @@ fn group_sum(map: &BTreeMap<String, f64>, prefix: &str) -> f64 {
     map.iter().filter(|(k, _)| k.starts_with(prefix)).map(|(_, v)| v).sum()
 }
 
+/// Schema generation of a snapshot; artifacts written before the field
+/// existed count as version 1.
+fn schema_version(doc: &Json) -> u64 {
+    doc.get("schema_version")
+        .and_then(|v| v.as_num())
+        .map(|n| n as u64)
+        .unwrap_or(1)
+}
+
 fn main() {
     let opts = parse_opts(std::env::args().skip(1).collect());
     let base_doc = load(&opts.baseline);
     let cur_doc = load(&opts.current);
+
+    let (bv, cv) = (schema_version(&base_doc), schema_version(&cur_doc));
+    if bv != cv {
+        fail(&format!(
+            "schema_version mismatch: {} is v{bv}, {} is v{cv} — regenerate the baseline",
+            opts.baseline, opts.current
+        ));
+    }
 
     let mut base = numbers(&base_doc, "counters", &opts.baseline);
     let mut cur = numbers(&cur_doc, "counters", &opts.current);

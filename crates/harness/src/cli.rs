@@ -91,6 +91,12 @@ impl ObsArgs {
             if trace > 0 {
                 snap.counters.insert("obs.trace.dropped".into(), trace);
             }
+            // Memory gauges ride the same snapshot: machine/run dependent,
+            // so they are gauges (`obsdiff` skips gauges by default and the
+            // jobs-determinism gates only compare scoped snapshots, which
+            // never pass through this global-emit path).
+            hli_obs::mem::stamp_rss(&mut snap);
+            hli_obs::alloc_count::stamp_alloc(&mut snap);
         }
         self.emit_snapshot(&snap);
     }
@@ -118,7 +124,16 @@ impl ObsArgs {
         }
         if let Some(path) = &self.provenance_out {
             let records = hli_obs::provenance::global().drain();
-            match std::fs::write(path, hli_obs::provenance::to_jsonl(&records)) {
+            // A header record leads the file so consumers can reject
+            // artifacts from a different schema generation. It is added at
+            // the file-write layer only: in-memory `to_jsonl` output (what
+            // the determinism tests byte-compare) stays header-free.
+            let body = format!(
+                "{{\"schema_version\": {}, \"kind\": \"provenance\"}}\n{}",
+                hli_obs::SCHEMA_VERSION,
+                hli_obs::provenance::to_jsonl(&records)
+            );
+            match std::fs::write(path, body) {
                 Ok(()) => eprintln!("wrote {} decision record(s) to {path} (JSONL)", records.len()),
                 Err(e) => {
                     eprintln!("cannot write provenance to {path}: {e}");

@@ -32,6 +32,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 pub mod cli;
+pub mod perf;
 pub mod report;
 
 /// Everything measured about one benchmark.
@@ -145,12 +146,14 @@ fn run_pipeline(
     let _run = hli_obs::span(format!("bench.{}", b.name));
     let (prog, sema) = {
         let _s = hli_obs::span("harness.compile");
+        let _t = hli_obs::phase::timed("frontend.parse");
         compile_to_ast(&b.source).map_err(|e| format!("{}: {e}", b.name))?
     };
 
     // Reference semantics.
     let oracle = {
         let _s = hli_obs::span("harness.oracle");
+        let _t = hli_obs::phase::timed("harness.oracle");
         hli_lang::interp::run_program(&prog, &sema)
             .map_err(|e| format!("{}: interpreter: {e}", b.name))?
     };
@@ -296,9 +299,20 @@ pub fn run_suite_jobs(
     cfg: ImportConfig,
     jobs: usize,
 ) -> Vec<Result<BenchReport, String>> {
-    let suite = hli_suite::all(scale);
+    run_benchmarks_jobs(&hli_suite::all(scale), cfg, jobs)
+}
+
+/// The suite driver generalized over any benchmark list (the fixed paper
+/// suite, or a generated [`hli_suite::corpus`]): parallel over `jobs`
+/// workers, shard capture/commit in input order, same determinism
+/// guarantees as [`run_suite_jobs`].
+pub fn run_benchmarks_jobs(
+    benches: &[Benchmark],
+    cfg: ImportConfig,
+    jobs: usize,
+) -> Vec<Result<BenchReport, String>> {
     let prov_on = hli_obs::provenance::active().is_some();
-    let results = hli_pool::run(jobs, &suite, |_w, b| {
+    let results = hli_pool::run(jobs, benches, |_w, b| {
         hli_obs::capture(prov_on, || run_benchmark_cfg(b, FrontendOptions::default(), cfg))
     });
     results
@@ -502,8 +516,8 @@ mod tests {
         let t1 = format_table1(&reports);
         let t2 = format_table2(&reports);
         for b in hli_suite::all(Scale::tiny()) {
-            assert!(t1.contains(b.name), "table1 missing {}", b.name);
-            assert!(t2.contains(b.name), "table2 missing {}", b.name);
+            assert!(t1.contains(b.name.as_str()), "table1 missing {}", b.name);
+            assert!(t2.contains(b.name.as_str()), "table2 missing {}", b.name);
         }
         assert!(t1.contains("(fp mean)"));
         assert!(t2.contains("(int mean)"));

@@ -244,8 +244,14 @@ fn hlicc_provenance_out_is_parseable_and_cites_queries() {
         String::from_utf8_lossy(&out.stderr)
     );
     let jsonl = std::fs::read_to_string(&out_path).unwrap();
+    // First line is the schema header record; decision records follow.
+    assert!(
+        jsonl.lines().next().unwrap_or("").contains("\"schema_version\""),
+        "provenance file must lead with a schema header: {jsonl}"
+    );
     let records: Vec<DecisionRecord> = jsonl
         .lines()
+        .skip(1)
         .map(|l| DecisionRecord::parse_line(l).expect("hlicc emits parseable JSONL"))
         .collect();
     assert!(

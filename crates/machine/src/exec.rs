@@ -90,12 +90,14 @@ impl DynInsn {
 
 /// Run functionally, discarding the trace.
 pub fn execute(prog: &RtlProgram) -> Result<RunResult, ExecError> {
+    let _t = hli_obs::phase::timed("machine.execute");
     let mut sink = ();
     Machine::new(prog, 200_000_000).run(&mut sink)
 }
 
 /// Run and capture the dynamic instruction trace.
 pub fn execute_with_trace(prog: &RtlProgram) -> Result<(RunResult, Vec<DynInsn>), ExecError> {
+    let _t = hli_obs::phase::timed("machine.execute");
     let mut trace = Vec::new();
     let res = Machine::new(prog, 200_000_000).run(&mut trace)?;
     Ok((res, trace))

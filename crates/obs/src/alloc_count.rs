@@ -1,0 +1,144 @@
+//! Optional counting global allocator (feature `count-alloc`).
+//!
+//! When the `count-alloc` feature is enabled, [`CountingAlloc`] is
+//! installed as the process global allocator: every `alloc`/`dealloc`
+//! delegates to [`std::alloc::System`] and bumps a handful of relaxed
+//! atomics — call counts, cumulative bytes, live bytes and the live-bytes
+//! high-water mark. `--stats` emitters surface them as `obs.mem.alloc.*`
+//! gauges (machine/run dependent, so gauges: `obsdiff` skips them by
+//! default and the counter-determinism gates never see them).
+//!
+//! Without the feature nothing is registered and [`active`] is `false`;
+//! the module still compiles so consumers need no `cfg` of their own —
+//! [`stats`] just reports zeros.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static DEALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static BYTES_TOTAL: AtomicU64 = AtomicU64::new(0);
+static BYTES_LIVE: AtomicU64 = AtomicU64::new(0);
+static BYTES_LIVE_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// A counting wrapper around the system allocator.
+pub struct CountingAlloc;
+
+// SAFETY: pure delegation to `System`; the atomics add no aliasing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            note_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        note_dealloc(layout.size() as u64);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            note_dealloc(layout.size() as u64);
+            note_alloc(new_size as u64);
+        }
+        p
+    }
+}
+
+fn note_alloc(size: u64) {
+    ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+    BYTES_TOTAL.fetch_add(size, Ordering::Relaxed);
+    let live = BYTES_LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    BYTES_LIVE_PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn note_dealloc(size: u64) {
+    DEALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+    BYTES_LIVE.fetch_sub(size, Ordering::Relaxed);
+}
+
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+
+/// Whether the counting allocator is installed in this build.
+pub const fn active() -> bool {
+    cfg!(feature = "count-alloc")
+}
+
+/// Frozen allocator counters (all zero when [`active`] is false).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    pub alloc_calls: u64,
+    pub dealloc_calls: u64,
+    /// Cumulative bytes ever allocated.
+    pub bytes_total: u64,
+    /// Bytes currently live.
+    pub bytes_live: u64,
+    /// High-water mark of live heap bytes.
+    pub bytes_live_peak: u64,
+}
+
+/// Read the current allocator counters.
+pub fn stats() -> AllocStats {
+    AllocStats {
+        alloc_calls: ALLOC_CALLS.load(Ordering::Relaxed),
+        dealloc_calls: DEALLOC_CALLS.load(Ordering::Relaxed),
+        bytes_total: BYTES_TOTAL.load(Ordering::Relaxed),
+        bytes_live: BYTES_LIVE.load(Ordering::Relaxed),
+        bytes_live_peak: BYTES_LIVE_PEAK.load(Ordering::Relaxed),
+    }
+}
+
+/// Record `obs.mem.alloc.*` gauges into a snapshot about to be printed.
+/// No-op when the feature is off, so default builds emit no misleading
+/// zero rows.
+pub fn stamp_alloc(snap: &mut crate::MetricsSnapshot) {
+    if !active() {
+        return;
+    }
+    let s = stats();
+    snap.gauges.insert("obs.mem.alloc.calls".into(), s.alloc_calls as i64);
+    snap.gauges.insert("obs.mem.alloc.bytes_total".into(), s.bytes_total as i64);
+    snap.gauges.insert("obs.mem.alloc.bytes_live".into(), s.bytes_live as i64);
+    snap.gauges
+        .insert("obs.mem.alloc.bytes_live_peak".into(), s.bytes_live_peak as i64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_matches_feature_state() {
+        let mut snap = crate::MetricsSnapshot::default();
+        stamp_alloc(&mut snap);
+        if active() {
+            // With the allocator installed, this test body itself
+            // allocates, so every counter is live.
+            assert!(stats().alloc_calls > 0);
+            assert!(stats().bytes_live_peak >= stats().bytes_live);
+            assert!(snap.gauges.contains_key("obs.mem.alloc.bytes_live_peak"));
+        } else {
+            assert_eq!(stats(), AllocStats::default());
+            assert!(snap.gauges.is_empty());
+        }
+    }
+
+    #[cfg(feature = "count-alloc")]
+    #[test]
+    fn allocations_move_the_counters() {
+        let before = stats();
+        let v: Vec<u8> = Vec::with_capacity(1 << 16);
+        let mid = stats();
+        assert!(mid.bytes_live >= before.bytes_live + (1 << 16));
+        drop(v);
+        let after = stats();
+        assert!(after.dealloc_calls > mid.dealloc_calls.saturating_sub(1));
+        assert!(after.bytes_live_peak >= before.bytes_live + (1 << 16));
+    }
+}

@@ -41,11 +41,15 @@
 //! scope owner then merges its snapshot into the global registry with
 //! [`metrics::MetricsRegistry::absorb`].
 
+pub mod alloc_count;
 pub mod json;
+pub mod mem;
 pub mod metrics;
+pub mod phase;
 pub mod provenance;
 pub mod ring;
 pub mod shard;
+pub mod timing;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
@@ -53,3 +57,12 @@ pub use provenance::{DecisionRecord, ProvenanceSink, QueryRef, Verdict};
 pub use ring::EventRing;
 pub use shard::{capture, commit, ObsShard};
 pub use trace::{span, SpanGuard, Tracer};
+
+/// Version of every JSON artifact this workspace emits (`--stats json`
+/// snapshots, the provenance JSONL header record, `BENCH_*.json` perf
+/// checkpoints). Bump it when a field changes meaning or moves;
+/// `obsdiff` and `perfbench --compare` refuse to diff artifacts whose
+/// versions disagree, so a stale baseline fails loudly instead of
+/// producing a nonsense comparison. Artifacts written before the field
+/// existed are treated as version 1.
+pub const SCHEMA_VERSION: u64 = 2;

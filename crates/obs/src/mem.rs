@@ -1,0 +1,80 @@
+//! Process-memory introspection: peak and current RSS.
+//!
+//! On Linux the kernel already maintains the high-water mark (`VmHWM` in
+//! `/proc/self/status`), so sampling is one small file read with no
+//! syscall tricks and no background thread. On other platforms the
+//! functions return `None` and every consumer degrades to omitting the
+//! `obs.mem.*` gauges — a graceful no-op rather than a porting burden.
+
+/// Peak resident-set size of this process in kilobytes (`VmHWM`), or
+/// `None` off Linux / when procfs is unavailable.
+pub fn peak_rss_kb() -> Option<u64> {
+    status_field("VmHWM:")
+}
+
+/// Current resident-set size in kilobytes (`VmRSS`), or `None` off Linux.
+pub fn current_rss_kb() -> Option<u64> {
+    status_field("VmRSS:")
+}
+
+#[cfg(target_os = "linux")]
+fn status_field(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status_field(&status, field)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn status_field(_field: &str) -> Option<u64> {
+    None
+}
+
+/// Extract `<field> <n> kB` from a `/proc/self/status` body. Kept
+/// platform-independent so the parser is testable everywhere.
+fn parse_status_field(status: &str, field: &str) -> Option<u64> {
+    status
+        .lines()
+        .find(|l| l.starts_with(field))?
+        .split_ascii_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+/// Record the `obs.mem.peak_rss_kb` / `obs.mem.current_rss_kb` gauges
+/// into `snap` (the snapshot a `--stats` emitter is about to print).
+/// Gauges are used because RSS is a level, not a monotone count; `obsdiff`
+/// skips gauges by default, so the machine-dependent values never trip
+/// the counter-determinism gates.
+pub fn stamp_rss(snap: &mut crate::MetricsSnapshot) {
+    if let Some(kb) = peak_rss_kb() {
+        snap.gauges.insert("obs.mem.peak_rss_kb".into(), kb as i64);
+    }
+    if let Some(kb) = current_rss_kb() {
+        snap.gauges.insert("obs.mem.current_rss_kb".into(), kb as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_reads_kb_fields() {
+        let body = "Name:\tx\nVmRSS:\t  123 kB\nVmHWM:\t  456 kB\n";
+        assert_eq!(parse_status_field(body, "VmRSS:"), Some(123));
+        assert_eq!(parse_status_field(body, "VmHWM:"), Some(456));
+        assert_eq!(parse_status_field(body, "VmSwap:"), None);
+        assert_eq!(parse_status_field("VmHWM:\tgarbage kB\n", "VmHWM:"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn linux_reports_a_nonzero_peak_at_least_current() {
+        let peak = peak_rss_kb().expect("procfs available");
+        let cur = current_rss_kb().expect("procfs available");
+        assert!(peak > 0 && peak >= cur);
+        let mut snap = crate::MetricsSnapshot::default();
+        stamp_rss(&mut snap);
+        assert_eq!(snap.gauges["obs.mem.peak_rss_kb"], peak as i64);
+    }
+}

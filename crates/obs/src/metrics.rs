@@ -343,9 +343,13 @@ impl MetricsSnapshot {
         out
     }
 
-    /// The JSON form the `--stats json` flags emit.
+    /// The JSON form the `--stats json` flags emit. Carries the artifact
+    /// [`crate::SCHEMA_VERSION`] so differs can reject stale baselines.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"counters\": {");
+        let mut out = format!(
+            "{{\n  \"schema_version\": {},\n  \"counters\": {{",
+            crate::SCHEMA_VERSION
+        );
         for (i, (k, v)) in self.counters.iter().enumerate() {
             out.push_str(if i == 0 { "\n    " } else { ",\n    " });
             escape_into(&mut out, k);

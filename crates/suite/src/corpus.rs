@@ -1,0 +1,424 @@
+//! Seeded generative MiniC corpus — the workload substrate behind the
+//! `perfbench` perf trajectory (ROADMAP item 4).
+//!
+//! The fixed 14-program suite mirrors the paper's Table 1/2 rows but is
+//! far too small to measure compile-pipeline scaling or to exercise the
+//! long tail of aliasing/loop/call shapes. This module generates whole
+//! MiniC programs from a [`CorpusSpec`]: function count, aliasing density
+//! at call sites, loop-nesting depth and call-graph shape are all knobs,
+//! and generation is a pure function of the spec — the same spec yields
+//! **byte-identical sources** on every machine, which is what lets
+//! `BENCH_*.json` counter metrics be compared exactly across PRs.
+//!
+//! Every generated program is *closed* and *terminating by construction*:
+//!
+//! * all loops are counted `for` loops bounded by the `n` parameter or a
+//!   small constant — no data-dependent `while`;
+//! * the call graph is a forest (each function has exactly one caller,
+//!   shaped by [`CallShape`]), calls appear only at the top level of a
+//!   body (never inside a loop), and chains are segmented below the
+//!   executors' 128-frame limit — so each function runs exactly once and
+//!   total work is linear in the function count;
+//! * array subscripts are `i`/`j`/`k` plus offsets `< 4` with loop bounds
+//!   `n <= array_len - 4`, or accumulator-masked (`t & 7`), so every
+//!   access is in bounds;
+//! * arithmetic sticks to `+ - * & | ^ <<` with periodic masking —
+//!   wrapping-safe and identical in the AST interpreter and the machine
+//!   models (no division, whose faults would depend on generated data).
+//!
+//! The observable result (the differential-oracle contract) is the same
+//! as the hand-written suite's: `main`'s return value plus the checksum
+//! of all global memory.
+
+use crate::rng::XorShift64;
+use crate::Benchmark;
+use std::fmt::Write as _;
+
+/// Shape of the generated call forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallShape {
+    /// `f0 -> f1 -> f2 -> ...` — deep REF/MOD propagation chains
+    /// (segmented every `CHAIN_SEGMENT` functions to stay below the
+    /// executors' 128-frame call-depth limit).
+    Chain,
+    /// A balanced binary tree — the "realistic program" default.
+    Balanced,
+    /// Every function called directly from `f0` — wide, flat REF/MOD
+    /// fan-out, the worst case for call-site query volume per caller.
+    Wide,
+}
+
+/// Maximum chain length before [`CallShape::Chain`] starts a new root.
+const CHAIN_SEGMENT: usize = 48;
+
+/// Knobs of the generative corpus. All fields are plain data so a spec
+/// can be echoed into `BENCH_*.json` and reproduced exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusSpec {
+    /// Base seed; program `i` derives its stream from `seed` and `i`.
+    pub seed: u64,
+    /// Number of programs to generate.
+    pub programs: usize,
+    /// Functions per program (excluding `main`).
+    pub funcs: usize,
+    /// Maximum `for`-nest depth generated inside one function (1..=3).
+    pub max_loop_depth: usize,
+    /// Percent of call sites passing the *same* array to both pointer
+    /// parameters (may-alias pressure on the points-to side).
+    pub alias_pct: u8,
+    /// Call-forest shape.
+    pub shape: CallShape,
+    /// Global `int` arrays per program (at least 2).
+    pub arrays: usize,
+    /// Length of each global array (at least 16).
+    pub array_len: usize,
+    /// Top-level statement budget per function body (loops, scalar ops,
+    /// branches — calls to children come on top).
+    pub stmts: usize,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            seed: 0xC0FFEE,
+            programs: 4,
+            funcs: 16,
+            max_loop_depth: 2,
+            alias_pct: 30,
+            shape: CallShape::Balanced,
+            arrays: 4,
+            array_len: 32,
+            stmts: 4,
+        }
+    }
+}
+
+impl CorpusSpec {
+    /// A tiny spec for fast smoke tests.
+    pub fn smoke() -> Self {
+        CorpusSpec { programs: 2, funcs: 6, ..Default::default() }
+    }
+
+    /// Total functions the spec generates (excluding `main`s).
+    pub fn total_funcs(&self) -> usize {
+        self.programs * self.funcs
+    }
+
+    /// Clamp degenerate values so generation is always well-defined.
+    fn normalized(&self) -> CorpusSpec {
+        CorpusSpec {
+            programs: self.programs.max(1),
+            funcs: self.funcs.max(1),
+            max_loop_depth: self.max_loop_depth.clamp(1, 3),
+            arrays: self.arrays.max(2),
+            array_len: self.array_len.max(16),
+            stmts: self.stmts.clamp(1, 16),
+            ..*self
+        }
+    }
+}
+
+/// Generate the whole corpus: `spec.programs` programs, each wrapped as a
+/// [`Benchmark`] named `gen.s<seed-hex>.p<index>`.
+pub fn generate(spec: &CorpusSpec) -> Vec<Benchmark> {
+    let spec = spec.normalized();
+    (0..spec.programs)
+        .map(|i| Benchmark {
+            name: format!("gen.s{:x}.p{i:02}", spec.seed),
+            suite: "GEN".to_string(),
+            is_fp: false,
+            source: generate_program(&spec, i),
+        })
+        .collect()
+}
+
+/// Parent of function `k` (`None` for roots) under the spec's shape.
+fn parent_of(shape: CallShape, k: usize) -> Option<usize> {
+    if k == 0 {
+        return None;
+    }
+    match shape {
+        CallShape::Chain => {
+            if k.is_multiple_of(CHAIN_SEGMENT) {
+                None // new segment root, called from main
+            } else {
+                Some(k - 1)
+            }
+        }
+        CallShape::Balanced => Some((k - 1) / 2),
+        CallShape::Wide => Some(0),
+    }
+}
+
+/// One generated program: globals, `funcs` functions forming a call
+/// forest, and a `main` that invokes every root and returns a checksum.
+pub fn generate_program(spec: &CorpusSpec, index: usize) -> String {
+    let spec = spec.normalized();
+    let mut rng = XorShift64::new(
+        spec.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+    );
+    let mut out = String::new();
+
+    for a in 0..spec.arrays {
+        let _ = writeln!(out, "int g{a}[{}];", spec.array_len);
+    }
+    out.push_str("int acc;\n\n");
+
+    // children[k] = functions k calls (one call each, top level).
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spec.funcs];
+    let mut roots: Vec<usize> = Vec::new();
+    for k in 0..spec.funcs {
+        match parent_of(spec.shape, k) {
+            Some(p) => children[p].push(k),
+            None => roots.push(k),
+        }
+    }
+
+    // Emit callees before callers so every call refers to an
+    // already-declared function (MiniC has no forward declarations).
+    for k in (0..spec.funcs).rev() {
+        emit_function(&mut out, &spec, k, &children[k], &mut rng);
+    }
+
+    let n = spec.array_len - 4;
+    out.push_str("int main() {\n    int t;\n    t = 0;\n");
+    for (r, k) in roots.iter().enumerate() {
+        let (a, b) = pick_arg_pair(&spec, &mut rng, None);
+        let _ = writeln!(out, "    t = t + f{k}({a}, {b}, {n}) + {};", r + 1);
+    }
+    out.push_str("    return (t + acc) & 1048575;\n}\n");
+    out
+}
+
+/// The pointer-expression pool a call site draws its two arguments from:
+/// the caller's own parameters (when inside a function) and the global
+/// arrays. With probability `alias_pct` both arguments are the same
+/// expression — a guaranteed must-alias pair the analyzer has to respect.
+fn pick_arg_pair(
+    spec: &CorpusSpec,
+    rng: &mut XorShift64,
+    own_params: Option<()>,
+) -> (String, String) {
+    let mut pool: Vec<String> = (0..spec.arrays).map(|a| format!("g{a}")).collect();
+    if own_params.is_some() {
+        pool.push("p".into());
+        pool.push("q".into());
+    }
+    let first = rng.choose(&pool).clone();
+    if rng.next_range(100) < spec.alias_pct as u64 {
+        (first.clone(), first)
+    } else {
+        (first, rng.choose(&pool).clone())
+    }
+}
+
+/// Emit one `int fK(int *p, int *q, int n)` definition.
+fn emit_function(
+    out: &mut String,
+    spec: &CorpusSpec,
+    k: usize,
+    children: &[usize],
+    rng: &mut XorShift64,
+) {
+    let _ = writeln!(out, "int f{k}(int *p, int *q, int n) {{");
+    out.push_str("    int i;\n    int j;\n    int v;\n    int t;\n");
+    let _ = writeln!(out, "    t = {};", k + 3);
+
+    // Interleave child calls among the generated statements: one call per
+    // child, each child called exactly once (termination by construction).
+    let mut slots: Vec<Slot> = (0..spec.stmts).map(|_| Slot::Stmt).collect();
+    for &c in children {
+        let at = rng.next_range(slots.len() as u64 + 1) as usize;
+        slots.insert(at, Slot::Call(c));
+    }
+    for slot in slots {
+        match slot {
+            Slot::Call(c) => {
+                let (a, b) = pick_arg_pair(spec, rng, Some(()));
+                let _ = writeln!(out, "    t = t + f{c}({a}, {b}, n);");
+            }
+            Slot::Stmt => emit_stmt(out, spec, rng),
+        }
+    }
+
+    out.push_str("    acc = acc + (t & 4095);\n");
+    out.push_str("    return t & 262143;\n}\n\n");
+}
+
+enum Slot {
+    Stmt,
+    Call(usize),
+}
+
+/// One top-level statement: a loop nest, a scalar update, or a branch.
+fn emit_stmt(out: &mut String, spec: &CorpusSpec, rng: &mut XorShift64) {
+    match rng.next_range(10) {
+        0..=4 => emit_loop_nest(out, spec, rng, 1),
+        5..=6 => {
+            let c = rng.next_range(97) + 1;
+            let _ = writeln!(out, "    t = ((t * 5) + {c}) & 262143;");
+        }
+        7 => {
+            let a = rng.next_range(spec.arrays as u64);
+            let _ = writeln!(
+                out,
+                "    if (t & 1) {{ g{a}[t & 7] = t; }} else {{ t = t ^ p[t & 3]; }}"
+            );
+        }
+        _ => {
+            let sh = rng.next_range(3) + 1;
+            let _ = writeln!(out, "    t = (t << {sh}) ^ q[0] ^ {};", rng.next_range(251));
+        }
+    }
+}
+
+/// A counted loop nest of depth `depth..=spec.max_loop_depth`, built from
+/// memory-dense body statements over the pointer parameters and globals.
+fn emit_loop_nest(out: &mut String, spec: &CorpusSpec, rng: &mut XorShift64, depth: usize) {
+    let pad = "    ".repeat(depth);
+    let (var, bound) = match depth {
+        1 => ("i".to_string(), "n".to_string()),
+        2 => ("j".to_string(), "8".to_string()),
+        _ => ("v".to_string(), "4".to_string()),
+    };
+    let _ = writeln!(out, "{pad}for ({var} = 0; {var} < {bound}; {var}++) {{");
+    let inner = "    ".repeat(depth + 1);
+    let body_stmts = rng.next_range(2) + 2;
+    for _ in 0..body_stmts {
+        emit_body_stmt(out, spec, rng, &inner, &var);
+    }
+    if depth < spec.max_loop_depth && rng.next_range(100) < 55 {
+        emit_loop_nest(out, spec, rng, depth + 1);
+    }
+    let _ = writeln!(out, "{pad}}}");
+}
+
+/// One memory-touching statement inside a loop at induction var `v`.
+fn emit_body_stmt(out: &mut String, spec: &CorpusSpec, rng: &mut XorShift64, pad: &str, var: &str) {
+    let arr = |rng: &mut XorShift64| format!("g{}", rng.next_range(spec.arrays as u64));
+    match rng.next_range(8) {
+        0 => {
+            let _ = writeln!(out, "{pad}p[{var}] = q[{var}] + t;");
+        }
+        1 => {
+            let off = rng.next_range(4);
+            let a = arr(rng);
+            let b = arr(rng);
+            let _ = writeln!(out, "{pad}{a}[{var} + {off}] = {b}[{var}] ^ t;");
+        }
+        2 => {
+            let _ = writeln!(out, "{pad}t = t + p[{var}];");
+        }
+        3 => {
+            let a = arr(rng);
+            let _ = writeln!(out, "{pad}t = (t + {a}[{var}]) & 262143;");
+        }
+        4 => {
+            let _ = writeln!(out, "{pad}q[t & 7] = q[t & 7] + 1;");
+        }
+        5 => {
+            let a = arr(rng);
+            let _ = writeln!(out, "{pad}{a}[{var}] = ({a}[{var}] * 3) & 65535;");
+        }
+        6 => {
+            let _ = writeln!(out, "{pad}if (p[{var}] & 1) {{ t = t + 1; }}");
+        }
+        _ => {
+            let c = rng.next_range(13) + 1;
+            let _ = writeln!(out, "{pad}p[{var}] = (p[{var}] | {c}) ^ ({var} << 1);");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hli_lang::compile_to_ast;
+    use hli_lang::interp::run_program_limited;
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let spec = CorpusSpec::default();
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.len(), spec.programs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.source, y.source, "{} not deterministic", x.name);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&CorpusSpec { seed: 1, ..Default::default() });
+        let b = generate(&CorpusSpec { seed: 2, ..Default::default() });
+        assert_ne!(a[0].source, b[0].source);
+    }
+
+    #[test]
+    fn every_shape_compiles_and_terminates() {
+        for shape in [CallShape::Chain, CallShape::Balanced, CallShape::Wide] {
+            let spec = CorpusSpec { shape, programs: 2, funcs: 12, ..Default::default() };
+            for b in generate(&spec) {
+                let (p, s) = compile_to_ast(&b.source)
+                    .unwrap_or_else(|e| panic!("{} ({shape:?}): {e}\n{}", b.name, b.source));
+                let r = run_program_limited(&p, &s, 10_000_000)
+                    .unwrap_or_else(|e| panic!("{} ({shape:?}) faults: {e}", b.name));
+                let again = run_program_limited(&p, &s, 10_000_000).unwrap();
+                assert_eq!(r.ret, again.ret);
+                assert_eq!(r.global_checksum, again.global_checksum);
+                assert!(r.stats.loads + r.stats.stores > 20, "{} barely ran", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_shape_stays_below_the_frame_limit() {
+        // 200 functions in Chain shape must segment into several roots:
+        // the executors refuse call depths past 128 frames.
+        let spec = CorpusSpec {
+            shape: CallShape::Chain,
+            programs: 1,
+            funcs: 200,
+            ..Default::default()
+        };
+        let b = &generate(&spec)[0];
+        let (p, s) = compile_to_ast(&b.source).unwrap();
+        run_program_limited(&p, &s, 50_000_000).expect("chain must not overflow the stack");
+    }
+
+    #[test]
+    fn alias_knob_changes_sources_and_full_alias_still_runs() {
+        let none = generate(&CorpusSpec { alias_pct: 0, ..Default::default() });
+        let full = generate(&CorpusSpec { alias_pct: 100, ..Default::default() });
+        assert_ne!(none[0].source, full[0].source);
+        let (p, s) = compile_to_ast(&full[0].source).unwrap();
+        run_program_limited(&p, &s, 10_000_000).expect("fully aliased corpus still sound");
+    }
+
+    #[test]
+    fn loop_depth_knob_is_visible() {
+        let deep = generate(&CorpusSpec { max_loop_depth: 3, seed: 7, ..Default::default() });
+        let has_depth3 = deep.iter().any(|b| b.source.contains("for (v = 0"));
+        assert!(has_depth3, "depth-3 spec never generated a depth-3 nest");
+        let flat = generate(&CorpusSpec { max_loop_depth: 1, seed: 7, ..Default::default() });
+        assert!(flat.iter().all(|b| !b.source.contains("for (j = 0")));
+    }
+
+    #[test]
+    fn spec_normalization_clamps_degenerate_values() {
+        let degenerate = CorpusSpec {
+            programs: 0,
+            funcs: 0,
+            max_loop_depth: 9,
+            arrays: 0,
+            array_len: 1,
+            stmts: 0,
+            ..Default::default()
+        };
+        let benches = generate(&degenerate);
+        assert_eq!(benches.len(), 1);
+        let (p, s) = compile_to_ast(&benches[0].source).unwrap();
+        run_program_limited(&p, &s, 10_000_000).unwrap();
+    }
+}

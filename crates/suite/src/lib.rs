@@ -23,6 +23,7 @@
 //! in the hundreds of thousands, small enough for the machine models to
 //! replay in milliseconds).
 
+pub mod corpus;
 mod programs_fp;
 mod programs_int;
 pub mod rng;
@@ -52,10 +53,11 @@ impl Scale {
 /// One benchmark row of Table 1 / Table 2.
 #[derive(Debug, Clone)]
 pub struct Benchmark {
-    /// Paper row name (e.g. `034.mdljdp2`).
-    pub name: &'static str,
-    /// Paper suite label.
-    pub suite: &'static str,
+    /// Row name: a paper row (e.g. `034.mdljdp2`) or a generated-corpus
+    /// id (`gen.s<seed>.p<index>`, see [`corpus`]).
+    pub name: String,
+    /// Suite label (paper suite, or `GEN` for generated programs).
+    pub suite: String,
     pub is_fp: bool,
     /// MiniC source.
     pub source: String,
@@ -87,8 +89,13 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Benchmark> {
     all(scale).into_iter().find(|b| b.name == name || b.name.ends_with(name))
 }
 
-fn bench(name: &'static str, suite: &'static str, is_fp: bool, source: String) -> Benchmark {
-    Benchmark { name, suite, is_fp, source }
+fn bench(name: &str, suite: &str, is_fp: bool, source: String) -> Benchmark {
+    Benchmark {
+        name: name.to_string(),
+        suite: suite.to_string(),
+        is_fp,
+        source,
+    }
 }
 
 #[cfg(test)]

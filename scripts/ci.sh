@@ -43,4 +43,10 @@ target/release/faultbench 1500 --table 150 > /dev/null
 echo "== quarantine determinism (counters + provenance byte-identical across --jobs)"
 target/release/faultbench --quarantine-check --jobs 8
 
+echo "== perfbench smoke (generated corpus, differential oracle, parallel driver)"
+target/release/perfbench --seeds 7 --programs 3 --funcs 10 --jobs 4 > /dev/null
+
+echo "== perfbench regression gate (counters exact, times/rates/RSS soft)"
+target/release/perfbench --compare BENCH_6.json > /dev/null
+
 echo "CI green."
