@@ -20,6 +20,12 @@ use crate::rtl::{InsnId, MemRef, Op, RtlFunc};
 use hli_core::maintain;
 use hli_core::{CachedQuery, HliEntry, ItemId, QueryCache};
 
+/// Estimated cycles saved by keeping one available entry across a call:
+/// the reload it avoids, at the default scheduler load latency
+/// ([`crate::sched::LatencyModel::load`] = 2). Documented in DESIGN.md
+/// under "Estimated-benefit models".
+const EST_LOAD_CYCLES: u64 = 2;
+
 /// Outcome of running CSE on one function.
 #[derive(Debug, Clone)]
 pub struct CseResult {
@@ -111,6 +117,13 @@ pub fn cse_function(
             }
             Op::Call { dst, .. } => {
                 let call_item = hli.as_ref().and_then(|(_, map)| item_of(map, insn.id));
+                // One causal span per call site: every keep/purge decision
+                // made at this call shares it.
+                let span = if use_hli && prov.is_some() {
+                    hli_obs::provenance::next_span_id()
+                } else {
+                    0
+                };
                 if use_hli {
                     if let (Some(q), Some(call)) = (query.as_ref(), call_item) {
                         // Figure 4: purge only what the call may modify.
@@ -142,6 +155,10 @@ pub fn cse_function(
                                     function: f.name.clone(),
                                     region_id: a.item.and_then(|it| q.owner_of(it)).map(|r| r.0),
                                     order: insn.line,
+                                    span,
+                                    // A kept entry saves the reload the purge
+                                    // would have forced: one load latency.
+                                    est_cycles: if purge { 0 } else { EST_LOAD_CYCLES },
                                     hli_queries: q.queries_since(mark),
                                     verdict,
                                 });
@@ -156,6 +173,8 @@ pub fn cse_function(
                                     function: f.name.clone(),
                                     region_id: None,
                                     order: insn.line,
+                                    span,
+                                    est_cycles: 0,
                                     hli_queries: Vec::new(),
                                     verdict: hli_obs::Verdict::Blocked {
                                         reason: "call has no HLI item".into(),

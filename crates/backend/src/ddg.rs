@@ -98,6 +98,12 @@ pub struct Ddg {
     pub succs: Vec<Vec<usize>>,
     /// Number of memory-dependence edges (for reporting).
     pub mem_edges: usize,
+    /// Causal span id covering this block's DDG construction: every
+    /// `sched.pair`/`sched.call` record made while building it and the
+    /// block's eventual `sched.block` record cite the same id, linking
+    /// the dependence answers to the schedule they enabled. 0 when
+    /// provenance is off.
+    pub span: u64,
 }
 
 impl Ddg {
@@ -169,6 +175,14 @@ pub fn build_block_ddg(
     // Memory and call dependences.
     let ring = hli_obs::ring::global();
     let prov = hli_obs::provenance::active();
+    // One causal span per block DDG. Allocated whenever provenance is on
+    // (not only when records end up written) so the id stream — shared
+    // with query ids — is identical across `--jobs` values.
+    let span = if prov.is_some() {
+        hli_obs::provenance::next_span_id()
+    } else {
+        0
+    };
     for k in 0..n {
         let opk = &f.insns[nodes[k]].op;
         let k_mem = opk.mem_ref().copied();
@@ -210,9 +224,17 @@ pub fn build_block_ddg(
                         DepMode::Combined => gcc && hli_ans,
                     };
                     if let (Some(sink), Some(side)) = (prov.as_deref(), hli) {
-                        record_decision(sink, side, f, "sched.pair", nodes[k], mark, dep, || {
-                            format!("reorder blocked: gcc={gcc} hli={hli_ans}")
-                        });
+                        record_decision(
+                            sink,
+                            side,
+                            f,
+                            "sched.pair",
+                            nodes[k],
+                            mark,
+                            span,
+                            dep,
+                            || format!("reorder blocked: gcc={gcc} hli={hli_ans}"),
+                        );
                     }
                     dep
                 }
@@ -233,9 +255,17 @@ pub fn build_block_ddg(
                         DepMode::HliOnly | DepMode::Combined => hli_ans,
                     };
                     if let (Some(sink), Some(side)) = (prov.as_deref(), hli) {
-                        record_decision(sink, side, f, "sched.call", mem_idx, mark, dep, || {
-                            "call may touch location (REF/MOD)".to_string()
-                        });
+                        record_decision(
+                            sink,
+                            side,
+                            f,
+                            "sched.call",
+                            mem_idx,
+                            mark,
+                            span,
+                            dep,
+                            || "call may touch location (REF/MOD)".to_string(),
+                        );
                     }
                     dep
                 }
@@ -252,7 +282,7 @@ pub fn build_block_ddg(
     reg.counter("backend.ddg.blocks").inc();
     reg.counter("backend.ddg.mem_edges").add(mem_edges as u64);
 
-    Ddg { nodes, preds, succs, mem_edges }
+    Ddg { nodes, preds, succs, mem_edges, span }
 }
 
 /// Append one scheduling decision to the provenance sink: `Applied` when
@@ -269,6 +299,7 @@ fn record_decision(
     pass: &str,
     mem_idx: usize,
     mark: usize,
+    span: u64,
     dep: bool,
     reason: impl FnOnce() -> String,
 ) {
@@ -287,6 +318,11 @@ fn record_decision(
         function: f.name.clone(),
         region_id: region,
         order: f.insns[mem_idx].line,
+        span,
+        // Pair/call answers have no per-decision cycle estimate of their
+        // own: their benefit materializes in the block's `sched.block`
+        // record, which shares this span.
+        est_cycles: 0,
         hli_queries: side.query.queries_since(mark),
         verdict,
     });

@@ -60,6 +60,10 @@ pub fn record_quarantine(function: &str, region: Option<u32>, error_count: u64, 
             function: function.to_string(),
             region_id: region,
             order: 0,
+            // Quarantine happens before any decision context exists: no
+            // span, no benefit estimate (span 0 is the documented "none").
+            span: 0,
+            est_cycles: 0,
             hli_queries: Vec::new(),
             verdict: hli_obs::Verdict::Blocked { reason: reason.to_string() },
         });
@@ -117,10 +121,10 @@ pub fn schedule_program_passes<'h>(
 ) -> Vec<(RtlProgram, QueryStats)> {
     let _t = hli_obs::phase::timed("backend.schedule");
     // Probed on the caller's thread: workers cannot see a thread-scoped
-    // sink, and the verdict must not depend on item placement.
-    let prov_on = hli_obs::provenance::active().is_some();
+    // sink/tracer, and the verdict must not depend on item placement.
+    let obs_cfg = hli_obs::CaptureCfg::from_env();
     let results = hli_pool::run(jobs, &prog.funcs, |_w, f| {
-        hli_obs::capture(prov_on, || {
+        hli_obs::capture_cfg(obs_cfg, || {
             // Trust boundary: the unit is verified once per work item, at
             // the first pass's lookup (memoized so later passes neither
             // re-verify nor re-record the quarantine). The quarantine

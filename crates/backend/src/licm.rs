@@ -17,6 +17,15 @@ use hli_core::maintain;
 use hli_core::{CachedQuery, HliEntry, QueryCache};
 use std::collections::HashSet;
 
+/// Assumed iteration count for a loop whose trip is unknown at LICM time;
+/// feeds the `licm.hoist` estimated-benefit model (DESIGN.md,
+/// "Estimated-benefit models").
+const NOMINAL_TRIP: u64 = 8;
+
+/// Cycles one avoided in-loop load costs, at the default scheduler load
+/// latency ([`crate::sched::LatencyModel::load`] = 2).
+const EST_LOAD_CYCLES: u64 = 2;
+
 /// Outcome of LICM on one function.
 #[derive(Debug, Clone)]
 pub struct LicmResult {
@@ -125,6 +134,12 @@ pub fn licm_function(
             }
             // No conflicting store or call in the loop.
             let mark = query.as_ref().map(|q| q.query_mark()).unwrap_or(0);
+            // One causal span per hoist candidate's legality scan.
+            let span = if use_hli && prov.is_some() {
+                hli_obs::provenance::next_span_id()
+            } else {
+                0
+            };
             let mut safe = true;
             let mut block_reason = "";
             for j in lp.head..=lp.tail {
@@ -183,6 +198,15 @@ pub fn licm_function(
                         function: f.name.clone(),
                         region_id: region,
                         order: f.insns[i].line,
+                        span,
+                        // A hoisted load runs once instead of once per
+                        // iteration; trip counts are unknown here, so the
+                        // estimate assumes NOMINAL_TRIP iterations.
+                        est_cycles: if safe {
+                            (NOMINAL_TRIP - 1) * EST_LOAD_CYCLES
+                        } else {
+                            0
+                        },
                         hli_queries: q.queries_since(mark),
                         verdict,
                     });

@@ -88,7 +88,8 @@ pub fn schedule_function(
     let bs = blocks(f);
     let blocks_total = bs.len();
     for b in &bs {
-        let order = schedule_block(f, b, hli, mode, lat, &mut stats, &ready_hist);
+        let (order, span, est_cycles) =
+            schedule_block(f, b, hli, mode, lat, &mut stats, &ready_hist);
         let mut emitted: Vec<Insn> = Vec::with_capacity(b.len());
         // Leading labels.
         let mut i = b.start;
@@ -124,6 +125,14 @@ pub fn schedule_function(
                     function: f.name.clone(),
                     region_id: None,
                     order: f.insns[b.start].line,
+                    // Same span as every sched.pair/sched.call record made
+                    // while building this block's DDG: the emitted schedule
+                    // is causally downstream of those answers.
+                    span,
+                    // Estimated benefit: original-program-order makespan
+                    // minus scheduled makespan under the same DDG and
+                    // latency model (DESIGN.md, "Estimated-benefit models").
+                    est_cycles,
                     hli_queries: Vec::new(),
                     verdict: hli_obs::Verdict::Applied,
                 });
@@ -143,7 +152,9 @@ pub fn schedule_function(
 }
 
 /// List-schedule one block; returns function-relative indices in issue
-/// order.
+/// order, the block's causal span id, and the estimated cycle benefit
+/// (program-order makespan minus scheduled makespan; 0 when provenance is
+/// off — the estimate only feeds `sched.block` records).
 #[allow(clippy::too_many_arguments)]
 fn schedule_block(
     f: &RtlFunc,
@@ -153,11 +164,11 @@ fn schedule_block(
     lat: &LatencyModel,
     stats: &mut QueryStats,
     ready_hist: &hli_obs::Histogram,
-) -> Vec<usize> {
+) -> (Vec<usize>, u64, u64) {
     let g = build_block_ddg(f, b, hli, mode, stats);
     let n = g.nodes.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), g.span, 0);
     }
     // Priority: latency-weighted height (critical path to a sink).
     let mut height = vec![0u32; n];
@@ -200,7 +211,34 @@ fn schedule_block(
             }
         }
     }
-    order
+    // Estimated benefit for the block's provenance record: what the same
+    // DDG + latency model predict program order would have cost, minus
+    // what the chosen schedule costs. Only computed when a record could be
+    // written (g.span != 0 ⇔ provenance on).
+    let est = if g.span != 0 {
+        let sched_makespan = finish.iter().copied().max().unwrap_or(0);
+        makespan(f, &g, lat, &(0..n).collect::<Vec<_>>()).saturating_sub(sched_makespan)
+    } else {
+        0
+    };
+    (order, g.span, est)
+}
+
+/// Makespan of issuing the block's nodes in `seq` order (node positions),
+/// one issue per cycle, operands ready at their producers' finish times —
+/// the same timing rule the list scheduler itself uses.
+fn makespan(f: &RtlFunc, g: &crate::ddg::Ddg, lat: &LatencyModel, seq: &[usize]) -> u64 {
+    let mut finish = vec![0u64; g.nodes.len()];
+    let mut time: u64 = 0;
+    let mut span = 0u64;
+    for &k in seq {
+        let earliest = g.preds[k].iter().map(|&p| finish[p]).max().unwrap_or(0);
+        let start = time.max(earliest);
+        finish[k] = start + lat.of(&f.insns[g.nodes[k]].op) as u64;
+        time = start + 1;
+        span = span.max(finish[k]);
+    }
+    span
 }
 
 /// Schedule every function of a program against its HLI file (the

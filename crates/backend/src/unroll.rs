@@ -78,11 +78,27 @@ pub fn unroll_function(
                     reason: format!("non-canonical shape or trip < {factor}"),
                 }
             };
+            // Estimated benefit: the trip count is known here, so count
+            // the loop-overhead (condition test + backward branch, ~2
+            // cycles) of the iterations the unrolled body absorbs. The
+            // remainder loop keeps its own overhead.
+            let est_cycles = if ok {
+                let trip = meta.trip as u64;
+                let u = factor as u64;
+                let kept_iters = trip / u + trip % u;
+                (trip - kept_iters) * 2
+            } else {
+                0
+            };
+            // One causal span per examined loop.
+            let span = hli_obs::provenance::next_span_id();
             sink.record(hli_obs::DecisionRecord {
                 pass: "unroll.loop".into(),
                 function: func.name.clone(),
                 region_id: None,
                 order: meta.header_line,
+                span,
+                est_cycles,
                 hli_queries: Vec::new(),
                 verdict,
             });

@@ -55,6 +55,10 @@ fn prov_applied(e: &HliEntry, op: &str, region: Option<RegionId>, line: u32) {
             function: e.unit_name.clone(),
             region_id: region.map(|r| r.0),
             order: line,
+            // Maintenance keeps tables consistent rather than making an
+            // optimization decision: no causal span, no benefit estimate.
+            span: 0,
+            est_cycles: 0,
             hli_queries: Vec::new(),
             verdict: hli_obs::Verdict::Applied,
         });

@@ -24,6 +24,14 @@
 //! All answers distinguish *"the tables say no"* ([`EquivAcc::None`]) from
 //! *"the HLI cannot answer"* ([`EquivAcc::Unknown`]); the paper attributes
 //! part of its HLI-vs-combined gap to exactly these unknowns (Section 4.2).
+//!
+//! Every call increments its `hli.query.*` counter (`get_equiv_acc`,
+//! `get_alias`, `get_lcdd`, `get_call_acc`, `region_info`) in the active
+//! metrics registry; the `obsreport` harness bin reads those counters as
+//! the *cost* side of its per-HLI-table benefit/cost rollup, and, while a
+//! provenance sink is active, each call stamps a query id that decision
+//! records cite — see docs/QUERYBOOK.md ("What each query costs, and what
+//! it buys") for the query→table map.
 
 use crate::ids::{ItemId, RegionId, UNIT_REGION};
 use crate::tables::*;

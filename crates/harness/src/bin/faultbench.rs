@@ -613,12 +613,12 @@ fn main() {
     }
     println!(
         "byte-level ({n} mutations): {} rejected, {} quarantined, {} identical, \
-         {} verify-clean variant(s)   [{:.1} ms]",
+         {} verify-clean variant(s)   [{}]",
         bc[0],
         bc[1],
         bc[2],
         bc[3],
-        byte_wall.as_secs_f64() * 1e3
+        hli_obs::timing::fmt_ms(byte_wall)
     );
 
     let tks: Vec<u64> = (0..table_n).collect();
@@ -637,13 +637,13 @@ fn main() {
     }
     println!(
         "table-level ({table_n} mutations): {} quarantined, {} identical, {} degraded, \
-         {} aggressive-undetected, {} caught by differential executor   [{:.1} ms]",
+         {} aggressive-undetected, {} caught by differential executor   [{}]",
         tc[0],
         tc[1],
         tc[2],
         tc[3],
         tc[4],
-        table_wall.as_secs_f64() * 1e3
+        hli_obs::timing::fmt_ms(table_wall)
     );
 
     for f in failures.iter().take(10) {

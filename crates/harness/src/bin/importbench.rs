@@ -59,15 +59,8 @@ fn main() {
         scale.iters
     );
     println!(
-        "{:<24} {:>7} {:>9} {:>12} {:>9} {:>9} {:>9} {:>11}",
-        "Configuration",
-        "threads",
-        "wall (ms)",
-        "deser (B)",
-        "units",
-        "hits",
-        "misses",
-        "invalidated"
+        "{:<24} {:>7} {:>10} {:>12} {:>9} {:>9} {:>9} {:>11}",
+        "Configuration", "threads", "wall", "deser (B)", "units", "hits", "misses", "invalidated"
     );
     println!("{}", "-".repeat(96));
 
@@ -81,10 +74,10 @@ fn main() {
         let m = merged_metrics(&reports);
         let stats = total_query_stats(&reports);
         println!(
-            "{:<24} {:>7} {:>9.1} {:>12} {:>9} {:>9} {:>9} {:>11}",
+            "{:<24} {:>7} {:>10} {:>12} {:>9} {:>9} {:>9} {:>11}",
             label,
             row_jobs,
-            wall.as_secs_f64() * 1e3,
+            hli_obs::timing::fmt_ms(wall),
             m.counter("hli.deserialize.bytes"),
             m.counter("hli.reader.units_decoded"),
             m.counter("backend.query_cache.hit"),
@@ -140,10 +133,9 @@ fn main() {
     let speedup = seq.as_secs_f64() / threaded.as_secs_f64().max(1e-9);
     println!();
     println!(
-        "lazy/shared speedup at {par} workers: {speedup:.2}x \
-         ({:.1} ms -> {:.1} ms)",
-        seq.as_secs_f64() * 1e3,
-        threaded.as_secs_f64() * 1e3
+        "lazy/shared speedup at {par} workers: {speedup:.2}x ({} -> {})",
+        hli_obs::timing::fmt_ms(seq),
+        hli_obs::timing::fmt_ms(threaded)
     );
     if speedup < 1.0 {
         eprintln!("note: no parallel speedup observed (small scale or loaded machine?)");

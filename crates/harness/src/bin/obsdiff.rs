@@ -26,6 +26,7 @@ use std::collections::BTreeMap;
 /// Pass groups summed for the decision-count overview, mirroring the
 /// provenance pass-name namespace plus the counters each pass maintains.
 const GROUPS: &[&str] = &[
+    "attr.",
     "backend.ddg.",
     "backend.sched.",
     "backend.cse.",
@@ -110,16 +111,41 @@ impl Opts {
 }
 
 /// Read a snapshot file, skipping any leading table/log output before the
-/// JSON block (first line that is exactly `{`).
-fn load(path: &str) -> Json {
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+/// JSON block (first line that is exactly `{`). A missing file or a
+/// snapshot without a `schema_version` field produces a diagnostic naming
+/// the file, the expected schema generation, and how to regenerate —
+/// never a bare parse failure.
+fn try_load(path: &str) -> Result<(Json, u64), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read {path}: {e} — regenerate the snapshot with a current \
+             binary's `--stats json` (expected schema v{})",
+            hli_obs::SCHEMA_VERSION
+        )
+    })?;
     let start = text
         .lines()
         .position(|l| l.trim_end() == "{")
-        .unwrap_or_else(|| fail(&format!("{path}: no JSON snapshot found (no `{{` line)")));
+        .ok_or_else(|| format!("{path}: no JSON snapshot found (no `{{` line)"))?;
     let json: String = text.lines().skip(start).collect::<Vec<_>>().join("\n");
-    parse(&json).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+    let doc = parse(&json).map_err(|e| format!("{path}: {e}"))?;
+    let ver = doc
+        .get("schema_version")
+        .and_then(|v| v.as_num())
+        .map(|n| n as u64)
+        .ok_or_else(|| {
+            format!(
+                "{path}: snapshot has no `schema_version` field (expected v{}) — \
+                 it predates snapshot versioning; regenerate it with a current \
+                 binary's `--stats json`",
+                hli_obs::SCHEMA_VERSION
+            )
+        })?;
+    Ok((doc, ver))
+}
+
+fn load(path: &str) -> (Json, u64) {
+    try_load(path).unwrap_or_else(|e| fail(&e))
 }
 
 /// Pull one numeric section (`counters` or `gauges`) out of a snapshot.
@@ -136,21 +162,11 @@ fn group_sum(map: &BTreeMap<String, f64>, prefix: &str) -> f64 {
     map.iter().filter(|(k, _)| k.starts_with(prefix)).map(|(_, v)| v).sum()
 }
 
-/// Schema generation of a snapshot; artifacts written before the field
-/// existed count as version 1.
-fn schema_version(doc: &Json) -> u64 {
-    doc.get("schema_version")
-        .and_then(|v| v.as_num())
-        .map(|n| n as u64)
-        .unwrap_or(1)
-}
-
 fn main() {
     let opts = parse_opts(std::env::args().skip(1).collect());
-    let base_doc = load(&opts.baseline);
-    let cur_doc = load(&opts.current);
+    let (base_doc, bv) = load(&opts.baseline);
+    let (cur_doc, cv) = load(&opts.current);
 
-    let (bv, cv) = (schema_version(&base_doc), schema_version(&cur_doc));
     if bv != cv {
         fail(&format!(
             "schema_version mismatch: {} is v{bv}, {} is v{cv} — regenerate the baseline",
@@ -226,4 +242,52 @@ fn main() {
         opts.baseline, opts.current
     );
     std::process::exit(if regressions > 0 { 1 } else { 0 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_snapshot_diagnostic_names_file_and_schema() {
+        let missing = "/nonexistent/obsdiff_base.json";
+        let err = try_load(missing).unwrap_err();
+        assert!(err.contains(missing), "must name the file: {err}");
+        assert!(
+            err.contains(&format!("v{}", hli_obs::SCHEMA_VERSION)),
+            "must name the expected schema: {err}"
+        );
+        assert!(err.contains("--stats json"), "must say how to regenerate: {err}");
+    }
+
+    #[test]
+    fn schema_less_snapshot_diagnostic_is_clear() {
+        let dir = std::env::temp_dir();
+        let p = dir.join(format!("hli_obsdiff_noschema_{}.json", std::process::id()));
+        std::fs::write(&p, "{\n  \"counters\": {\"a\": 1},\n  \"gauges\": {}\n}\n").unwrap();
+        let err = try_load(p.to_str().unwrap()).unwrap_err();
+        assert!(
+            err.contains("no `schema_version`") && err.contains("regenerate"),
+            "schema-less baseline needs a clear diagnostic: {err}"
+        );
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn versioned_snapshot_loads_with_leading_transcript() {
+        let dir = std::env::temp_dir();
+        let p = dir.join(format!("hli_obsdiff_ok_{}.json", std::process::id()));
+        std::fs::write(
+            &p,
+            format!(
+                "Table 2. rows...\n{{\n  \"schema_version\": {},\n  \"counters\": {{}}\n}}\n",
+                hli_obs::SCHEMA_VERSION
+            ),
+        )
+        .unwrap();
+        let (doc, ver) = try_load(p.to_str().unwrap()).unwrap();
+        assert_eq!(ver, hli_obs::SCHEMA_VERSION);
+        assert!(matches!(doc.get("counters"), Some(Json::Obj(_))));
+        let _ = std::fs::remove_file(&p);
+    }
 }

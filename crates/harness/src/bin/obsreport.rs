@@ -1,0 +1,237 @@
+//! `obsreport` — join one run's `--stats json` snapshot with its
+//! `--provenance-out` decision records and answer, per pass / HLI table /
+//! function: *how many cycles did the HLI-justified decisions save, and
+//! what did computing the facts cost?*
+//!
+//! ```text
+//! obsreport --stats run.json --provenance run.jsonl [options]
+//!   --trace t.json     also report the span count of a --trace-out file
+//!   --json             emit the schema-versioned JSON rollup (else text)
+//!   --out FILE         write the rollup to FILE instead of stdout
+//!   --compare BASE     gate the JSON rollup against a pinned baseline:
+//!                      exact match exits 0, any drift exits 1
+//!   --top N            keep the N biggest functions by R10000 win (20)
+//! ```
+//!
+//! Both inputs must come from the *same* run: the stats snapshot carries
+//! the measured `attr.*` cycle counters and the `hli.query.*` cost
+//! counters, the JSONL the decision-time estimates and causal spans. The
+//! provenance file must lead with its `{"schema_version": N, "kind":
+//! "provenance"}` header (every `--provenance-out` writer emits one); a
+//! missing or stale header is a usage error, not a silent mis-join.
+//!
+//! Exit codes: 0 ok, 1 `--compare` drift, 2 usage/parse error.
+
+use hli_harness::attr::{flatten_json, rollup, AttrReport};
+use hli_obs::json::{parse, Json};
+use hli_obs::provenance::DecisionRecord;
+use std::collections::BTreeMap;
+
+const USAGE: &str = "usage: obsreport --stats run.json --provenance run.jsonl \
+    [--trace t.json] [--json] [--out FILE] [--compare BASE] [--top N]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obsreport: {msg}");
+    std::process::exit(2)
+}
+
+#[derive(Default)]
+struct Opts {
+    stats: String,
+    provenance: String,
+    trace: Option<String>,
+    json: bool,
+    out: Option<String>,
+    compare: Option<String>,
+    top: usize,
+}
+
+fn parse_opts(args: Vec<String>) -> Opts {
+    let mut o = Opts { top: 20, ..Default::default() };
+    let mut it = args.into_iter();
+    let val = |it: &mut std::vec::IntoIter<String>, flag: &str| {
+        it.next().unwrap_or_else(|| fail(&format!("{flag} needs a value\n{USAGE}")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stats" => o.stats = val(&mut it, "--stats"),
+            "--provenance" => o.provenance = val(&mut it, "--provenance"),
+            "--trace" => o.trace = Some(val(&mut it, "--trace")),
+            "--json" => o.json = true,
+            "--out" => o.out = Some(val(&mut it, "--out")),
+            "--compare" => o.compare = Some(val(&mut it, "--compare")),
+            "--top" => {
+                o.top =
+                    val(&mut it, "--top").parse().unwrap_or_else(|_| fail("--top needs a count"));
+            }
+            other => fail(&format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if o.stats.is_empty() || o.provenance.is_empty() {
+        fail(USAGE);
+    }
+    o
+}
+
+/// Read a `--stats json` snapshot (leading table/log lines skipped) and
+/// return its counters. Refuses snapshots from another schema generation.
+fn load_counters(path: &str) -> BTreeMap<String, u64> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let start = text
+        .lines()
+        .position(|l| l.trim_end() == "{")
+        .unwrap_or_else(|| fail(&format!("{path}: no JSON snapshot found (no `{{` line)")));
+    let json: String = text.lines().skip(start).collect::<Vec<_>>().join("\n");
+    let doc = parse(&json).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    let ver = doc.get("schema_version").and_then(Json::as_num).map(|n| n as u64).unwrap_or(1);
+    if ver != hli_obs::SCHEMA_VERSION {
+        fail(&format!(
+            "{path}: stats snapshot is schema v{ver}, this obsreport expects v{} — \
+             regenerate it with a current binary's `--stats json`",
+            hli_obs::SCHEMA_VERSION
+        ));
+    }
+    match doc.get("counters") {
+        Some(Json::Obj(m)) => m
+            .iter()
+            .filter_map(|(k, v)| v.as_num().map(|n| (k.clone(), n as u64)))
+            .collect(),
+        _ => fail(&format!("{path}: snapshot has no `counters` object")),
+    }
+}
+
+/// Read a `--provenance-out` JSONL file: validate the leading schema
+/// header, parse the decision records after it.
+fn load_records(path: &str) -> Vec<DecisionRecord> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or_else(|| fail(&format!("{path}: empty provenance file")));
+    let doc = parse(header)
+        .unwrap_or_else(|e| fail(&format!("{path}: provenance header is not JSON: {e}")));
+    if doc.get("kind").and_then(Json::as_str) != Some("provenance") {
+        fail(&format!(
+            "{path}: first line is not a provenance header \
+             (expected {{\"schema_version\": {}, \"kind\": \"provenance\"}}; \
+             was this file written by `--provenance-out`?)",
+            hli_obs::SCHEMA_VERSION
+        ));
+    }
+    let ver = doc.get("schema_version").and_then(Json::as_num).map(|n| n as u64).unwrap_or(1);
+    if ver != hli_obs::SCHEMA_VERSION {
+        fail(&format!(
+            "{path}: provenance file is schema v{ver}, this obsreport expects v{} — \
+             regenerate it with a current binary's `--provenance-out`",
+            hli_obs::SCHEMA_VERSION
+        ));
+    }
+    lines
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| {
+            DecisionRecord::parse_line(l)
+                .unwrap_or_else(|e| fail(&format!("{path}:{}: {e}", i + 2)))
+        })
+        .collect()
+}
+
+/// Count the events of a `--trace-out` Chrome trace.
+fn load_trace_events(path: &str) -> usize {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    doc.get("traceEvents")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| {
+            fail(&format!("{path}: no `traceEvents` array — not a --trace-out file"))
+        })
+        .len()
+}
+
+/// Gate the fresh rollup against a pinned baseline; returns the drift
+/// descriptions (empty = pass).
+fn compare_against(baseline_path: &str, report: &AttrReport) -> Vec<String> {
+    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        fail(&format!(
+            "cannot read baseline {baseline_path}: {e} — generate it with \
+             `obsreport --stats ... --provenance ... --json --out {baseline_path}` \
+             (see EXPERIMENTS.md)"
+        ))
+    });
+    let doc = parse(&text).unwrap_or_else(|e| fail(&format!("{baseline_path}: {e}")));
+    match doc.get("schema_version").and_then(Json::as_num).map(|n| n as u64) {
+        Some(v) if v == hli_obs::SCHEMA_VERSION => {}
+        Some(v) => fail(&format!(
+            "{baseline_path}: baseline is schema v{v}, expected v{} — regenerate it \
+             (see EXPERIMENTS.md)",
+            hli_obs::SCHEMA_VERSION
+        )),
+        None => fail(&format!(
+            "{baseline_path}: baseline has no `schema_version` field, expected v{} — \
+             not an obsreport baseline, or one predating versioning; regenerate it",
+            hli_obs::SCHEMA_VERSION
+        )),
+    }
+    if doc.get("kind").and_then(Json::as_str) != Some("obsreport") {
+        fail(&format!("{baseline_path}: `kind` is not \"obsreport\""));
+    }
+    let mut want = BTreeMap::new();
+    flatten_json(&doc, "", &mut want);
+    let cur_doc = parse(&report.to_json()).expect("own JSON parses");
+    let mut got = BTreeMap::new();
+    flatten_json(&cur_doc, "", &mut got);
+    let mut drift = Vec::new();
+    for (k, w) in &want {
+        match got.get(k) {
+            Some(g) if g == w => {}
+            Some(g) => drift.push(format!("{k}: baseline {w} -> current {g}")),
+            None => drift.push(format!("{k}: baseline {w} -> missing")),
+        }
+    }
+    for k in got.keys() {
+        if !want.contains_key(k) {
+            drift.push(format!("{k}: new key (not in baseline)"));
+        }
+    }
+    drift
+}
+
+fn main() {
+    let opts = parse_opts(std::env::args().skip(1).collect());
+    let counters = load_counters(&opts.stats);
+    let records = load_records(&opts.provenance);
+    let report = rollup(&counters, &records, opts.top);
+
+    let mut body = if opts.json {
+        report.to_json()
+    } else {
+        report.to_text()
+    };
+    if let Some(t) = &opts.trace {
+        let n = load_trace_events(t);
+        if !opts.json {
+            body.push_str(&format!("\ntrace: {n} span(s) in {t}\n"));
+        } else {
+            eprintln!("obsreport: {n} trace span(s) in {t}");
+        }
+    }
+    match &opts.out {
+        Some(path) => std::fs::write(path, &body)
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}"))),
+        None => print!("{body}"),
+    }
+
+    if let Some(base) = &opts.compare {
+        let drift = compare_against(base, &report);
+        if drift.is_empty() {
+            eprintln!("obsreport: rollup matches baseline {base}");
+        } else {
+            eprintln!("obsreport: rollup drifted from baseline {base}:");
+            for d in &drift {
+                eprintln!("  {d}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

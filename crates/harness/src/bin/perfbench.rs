@@ -34,7 +34,9 @@
 //! soft time/rate/memory sections move run to run.
 
 use hli_harness::cli::ObsArgs;
-use hli_harness::perf::{build_report, compare, parse_shape, CorpusEcho, PerfReport, Tolerances};
+use hli_harness::perf::{
+    build_report, compare, load_baseline, parse_shape, CorpusEcho, Tolerances,
+};
 use hli_harness::report::extract_jobs;
 use hli_harness::{run_benchmarks_jobs, BenchReport, ImportConfig};
 use hli_suite::corpus::{generate, CorpusSpec};
@@ -165,9 +167,9 @@ fn main() {
 
     let (reports, wall) = hli_obs::timing::time(|| run_corpus(&args));
     eprintln!(
-        "perfbench: {} program(s) validated against the interpreter in {:.1} ms",
+        "perfbench: {} program(s) validated against the interpreter in {}",
         reports.len(),
-        wall.as_secs_f64() * 1e3
+        hli_obs::timing::fmt_ms(wall)
     );
 
     let echo = CorpusEcho::new(&args.spec, &args.seeds);
@@ -188,12 +190,8 @@ fn main() {
 
     let mut exit = 0;
     if let Some(path) = &args.cmp {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("perfbench: cannot read {path}: {e}");
-            std::process::exit(2);
-        });
-        let prev = PerfReport::parse_str(&text).unwrap_or_else(|e| {
-            eprintln!("perfbench: {path}: {e}");
+        let prev = load_baseline(path).unwrap_or_else(|e| {
+            eprintln!("perfbench: {e}");
             std::process::exit(2);
         });
         match compare(&prev, &report, &args.tol) {

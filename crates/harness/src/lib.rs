@@ -25,12 +25,13 @@ use hli_core::serialize::{decode_file, encode_file, encode_file_v2, SerializeOpt
 use hli_core::{HliEntry, HliReader, QueryCache};
 use hli_frontend::{generate_hli_with, FrontendOptions};
 use hli_lang::compile_to_ast;
-use hli_machine::{r10000_cycles, r4600_cycles, R10000Config, R4600Config};
+use hli_machine::{r10000_cycles_per_func, r4600_cycles_per_func, R10000Config, R4600Config};
 use hli_obs::{MetricsRegistry, MetricsSnapshot};
 use hli_suite::{Benchmark, Scale};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+pub mod attr;
 pub mod cli;
 pub mod perf;
 pub mod report;
@@ -226,11 +227,15 @@ fn run_pipeline(
     let (hli_build, stats) = builds.next().expect("Combined pass result");
     drop(_sched_span);
 
-    // Machines: trace each build once, time on both models.
+    // Machines: trace each build once (with the owning-function index of
+    // every event), time on both models, and attribute simulated cycles to
+    // functions. The attribution counters join `DecisionRecord.function`
+    // to measured cycle deltas in `obsreport`; being simulated quantities
+    // they are deterministic and identical across `--jobs` values.
     let _mach_span = hli_obs::span("machine.execute");
-    let (gcc_res, gcc_trace) = hli_machine::execute_with_trace(&gcc_build)
+    let (gcc_res, gcc_trace, gcc_funcs) = hli_machine::execute_with_func_trace(&gcc_build)
         .map_err(|e| format!("{}: gcc build: {e}", b.name))?;
-    let (hli_res, hli_trace) = hli_machine::execute_with_trace(&hli_build)
+    let (hli_res, hli_trace, hli_funcs) = hli_machine::execute_with_func_trace(&hli_build)
         .map_err(|e| format!("{}: hli build: {e}", b.name))?;
     drop(_mach_span);
 
@@ -242,10 +247,23 @@ fn run_pipeline(
     let _time_span = hli_obs::span("machine.models");
     let c4 = R4600Config::default();
     let c10 = R10000Config::default();
-    let g4 = r4600_cycles(&gcc_trace, &c4).cycles;
-    let h4 = r4600_cycles(&hli_trace, &c4).cycles;
-    let g10 = r10000_cycles(&gcc_trace, &c10).cycles;
-    let h10 = r10000_cycles(&hli_trace, &c10).cycles;
+    let nfuncs = rtl.funcs.len();
+    let (s4g, g4_per) = r4600_cycles_per_func(&gcc_trace, &gcc_funcs, nfuncs, &c4);
+    let (s4h, h4_per) = r4600_cycles_per_func(&hli_trace, &hli_funcs, nfuncs, &c4);
+    let (s10g, g10_per) = r10000_cycles_per_func(&gcc_trace, &gcc_funcs, nfuncs, &c10);
+    let (s10h, h10_per) = r10000_cycles_per_func(&hli_trace, &hli_funcs, nfuncs, &c10);
+    let (g4, h4, g10, h10) = (s4g.cycles, s4h.cycles, s10g.cycles, s10h.cycles);
+    let reg = hli_obs::metrics::cur();
+    for (fi, f) in rtl.funcs.iter().enumerate() {
+        reg.counter(&format!("attr.func.{}.r4600.gcc_cycles", f.name)).add(g4_per[fi]);
+        reg.counter(&format!("attr.func.{}.r4600.hli_cycles", f.name)).add(h4_per[fi]);
+        reg.counter(&format!("attr.func.{}.r10000.gcc_cycles", f.name)).add(g10_per[fi]);
+        reg.counter(&format!("attr.func.{}.r10000.hli_cycles", f.name)).add(h10_per[fi]);
+    }
+    reg.counter("attr.total.r4600.gcc_cycles").add(g4);
+    reg.counter("attr.total.r4600.hli_cycles").add(h4);
+    reg.counter("attr.total.r10000.gcc_cycles").add(g10);
+    reg.counter("attr.total.r10000.hli_cycles").add(h10);
     drop(_time_span);
 
     Ok(BenchReport {
@@ -311,9 +329,9 @@ pub fn run_benchmarks_jobs(
     cfg: ImportConfig,
     jobs: usize,
 ) -> Vec<Result<BenchReport, String>> {
-    let prov_on = hli_obs::provenance::active().is_some();
+    let obs_cfg = hli_obs::CaptureCfg::from_env();
     let results = hli_pool::run(jobs, benches, |_w, b| {
-        hli_obs::capture(prov_on, || run_benchmark_cfg(b, FrontendOptions::default(), cfg))
+        hli_obs::capture_cfg(obs_cfg, || run_benchmark_cfg(b, FrontendOptions::default(), cfg))
     });
     results
         .into_iter()

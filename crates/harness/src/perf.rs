@@ -285,6 +285,38 @@ impl PerfReport {
     }
 }
 
+/// Read and parse a `BENCH_*.json` checkpoint for `--compare`, with
+/// diagnostics that name the file and the expected schema generation —
+/// a missing or pre-versioning baseline must say how to regenerate, not
+/// surface as a bare I/O or parse error.
+pub fn load_baseline(path: &str) -> Result<PerfReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read baseline {path}: {e} — regenerate it with \
+             `perfbench --out {path}` (expected schema v{})",
+            hli_obs::SCHEMA_VERSION
+        )
+    })?;
+    if !text.contains("\"schema_version\"") {
+        return Err(format!(
+            "{path}: baseline has no `schema_version` field (expected v{}) — not a \
+             perfbench checkpoint, or one predating versioning; regenerate it with \
+             `perfbench --out {path}`",
+            hli_obs::SCHEMA_VERSION
+        ));
+    }
+    let report = PerfReport::parse_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    if report.schema_version != hli_obs::SCHEMA_VERSION {
+        return Err(format!(
+            "{path}: baseline is schema v{}, this perfbench expects v{} — regenerate \
+             it with `perfbench --out {path}`",
+            report.schema_version,
+            hli_obs::SCHEMA_VERSION
+        ));
+    }
+    Ok(report)
+}
+
 fn num_map(doc: &Json, key: &str) -> Result<BTreeMap<String, f64>, String> {
     match doc.get(key) {
         Some(Json::Obj(m)) => {
@@ -511,6 +543,42 @@ mod tests {
         let mut wrong_corpus = sample();
         wrong_corpus.corpus.funcs += 1;
         assert!(compare(&prev, &wrong_corpus, &Tolerances::default()).is_err());
+    }
+
+    #[test]
+    fn load_baseline_diagnoses_missing_and_schema_less_files() {
+        let missing = "/nonexistent/BENCH_void.json";
+        let err = load_baseline(missing).unwrap_err();
+        assert!(err.contains(missing), "must name the file: {err}");
+        assert!(err.contains("regenerate"), "must say how to recover: {err}");
+        assert!(
+            err.contains(&format!("v{}", hli_obs::SCHEMA_VERSION)),
+            "must name the expected schema: {err}"
+        );
+
+        let dir = std::env::temp_dir();
+        let stale = dir.join(format!("hli_bench_stale_{}.json", std::process::id()));
+        // A structurally valid checkpoint predating the version field.
+        let body = sample()
+            .to_json()
+            .replace(&format!("  \"schema_version\": {},\n", hli_obs::SCHEMA_VERSION), "");
+        assert!(!body.contains("schema_version"));
+        std::fs::write(&stale, body).unwrap();
+        let err = load_baseline(stale.to_str().unwrap()).unwrap_err();
+        assert!(
+            err.contains("no `schema_version`") && err.contains("regenerate"),
+            "schema-less baseline needs a clear diagnostic: {err}"
+        );
+        let _ = std::fs::remove_file(&stale);
+    }
+
+    #[test]
+    fn load_baseline_round_trips_a_good_checkpoint() {
+        let dir = std::env::temp_dir();
+        let good = dir.join(format!("hli_bench_good_{}.json", std::process::id()));
+        std::fs::write(&good, sample().to_json()).unwrap();
+        assert_eq!(load_baseline(good.to_str().unwrap()).unwrap(), sample());
+        let _ = std::fs::remove_file(&good);
     }
 
     #[test]

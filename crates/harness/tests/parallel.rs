@@ -11,8 +11,12 @@ use hli_backend::ddg::DepMode;
 use hli_backend::driver::{schedule_program_passes, PassSpec};
 use hli_backend::lower::lower_program;
 use hli_backend::sched::LatencyModel;
-use hli_harness::{run_suite_jobs, ImportConfig};
-use hli_obs::{metrics, provenance, MetricsRegistry, ProvenanceSink};
+use hli_harness::attr::rollup;
+use hli_harness::{run_suite_jobs, BenchReport, ImportConfig};
+use hli_obs::{
+    metrics, provenance, trace, DecisionRecord, MetricsRegistry, MetricsSnapshot, ProvenanceSink,
+    Tracer,
+};
 use hli_suite::Scale;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
@@ -121,4 +125,94 @@ fn jobs_one_and_jobs_eight_are_byte_identical() {
             cfg.lazy
         );
     }
+}
+
+/// Run the tiny suite at `jobs` with a scoped **logical-clock** tracer
+/// installed, returning the Chrome JSON a `--trace-out` run would write.
+fn trace_obs_at(jobs: usize) -> String {
+    let reg = Arc::new(MetricsRegistry::new());
+    let tracer = Arc::new(Tracer::logical());
+    {
+        let _m = metrics::scoped(reg.clone());
+        let _t = trace::scoped(tracer.clone());
+        for r in run_suite_jobs(Scale::tiny(), ImportConfig::default(), jobs) {
+            assert!(r.expect("benchmark must compile").validated);
+        }
+    }
+    tracer.to_chrome_json()
+}
+
+#[test]
+fn chrome_trace_is_jobs_invariant_under_logical_clock() {
+    let seq = trace_obs_at(1);
+    let par = trace_obs_at(8);
+    assert!(
+        seq.contains("\"traceEvents\"") && seq.contains("bench."),
+        "a traced suite run must record per-benchmark spans: {seq}"
+    );
+    assert_eq!(
+        seq, par,
+        "--trace-out Chrome JSON diverges between --jobs 1 and --jobs 8: shard \
+         span absorption must renumber logical ticks in commit order"
+    );
+}
+
+/// Run the tiny suite at `jobs` and return the raw attribution inputs an
+/// `obsreport` invocation would ingest: the counter snapshot, the drained
+/// decision records, and the per-benchmark reports.
+fn attr_obs_at(jobs: usize) -> (MetricsSnapshot, Vec<DecisionRecord>, Vec<BenchReport>) {
+    let reg = Arc::new(MetricsRegistry::new());
+    let sink = Arc::new(ProvenanceSink::new());
+    sink.set_enabled(true);
+    let ids = Arc::new(AtomicU64::new(1));
+    let reports = {
+        let _m = metrics::scoped(reg.clone());
+        let _s = provenance::scoped(sink.clone());
+        let _i = provenance::scoped_ids(ids);
+        run_suite_jobs(Scale::tiny(), ImportConfig::default(), jobs)
+    };
+    let reports: Vec<BenchReport> =
+        reports.into_iter().map(|r| r.expect("benchmark must compile")).collect();
+    (reg.snapshot(), sink.drain(), reports)
+}
+
+#[test]
+fn obsreport_rollup_is_jobs_invariant_and_reconciles() {
+    let (snap1, recs1, reports) = attr_obs_at(1);
+    let (snap8, recs8, _) = attr_obs_at(8);
+    let r1 = rollup(&snap1.counters, &recs1, 20);
+    let r8 = rollup(&snap8.counters, &recs8, 20);
+
+    // The acceptance criterion of the attribution layer: the rollup an
+    // obsreport run produces is byte-identical across --jobs settings.
+    assert_eq!(
+        r1.to_json(),
+        r8.to_json(),
+        "obsreport rollup diverges between --jobs 1 and --jobs 8"
+    );
+    assert!(r1.totals.decisions > 0, "suite run must record decisions");
+    assert!(r1.totals.spans > 0, "scheduling decisions must carry causal spans");
+
+    // Reconciliation: the per-table measured-benefit apportionment must
+    // sum back to the aggregate measured delta exactly, and that aggregate
+    // must equal the Table-2 cycle delta of the same run.
+    let by_table_r4600: u64 = r1.per_table.values().map(|t| t.measured_r4600).sum();
+    let by_table_r10000: u64 = r1.per_table.values().map(|t| t.measured_r10000).sum();
+    assert_eq!(by_table_r4600, r1.totals.measured_r4600);
+    assert_eq!(by_table_r10000, r1.totals.measured_r10000);
+
+    let gcc_r4600: u64 = reports.iter().map(|r| r.r4600.0).sum();
+    let hli_r4600: u64 = reports.iter().map(|r| r.r4600.1).sum();
+    let gcc_r10000: u64 = reports.iter().map(|r| r.r10000.0).sum();
+    let hli_r10000: u64 = reports.iter().map(|r| r.r10000.1).sum();
+    assert_eq!(
+        r1.totals.measured_r4600,
+        gcc_r4600.saturating_sub(hli_r4600),
+        "attr.total r4600 delta must reconcile with the Table-2 aggregate"
+    );
+    assert_eq!(
+        r1.totals.measured_r10000,
+        gcc_r10000.saturating_sub(hli_r10000),
+        "attr.total r10000 delta must reconcile with the Table-2 aggregate"
+    );
 }

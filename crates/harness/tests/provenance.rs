@@ -90,6 +90,8 @@ fn decision_records_round_trip_through_jsonl() {
                 Some((rng.next() % 50) as u32)
             },
             order: i,
+            span: rng.next() % 1000,
+            est_cycles: rng.next() % 64,
             hli_queries: (0..rng.next() % 4).map(|_| QueryRef(rng.next() % 10_000)).collect(),
             verdict: if blocked {
                 Verdict::Blocked {
@@ -274,9 +276,11 @@ fn obsdiff_gates_on_counter_regressions() {
     let worse = dir.join(format!("hli_obsdiff_worse_{}.json", std::process::id()));
     let snapshot = |cse: u64| {
         format!(
-            "{{\n  \"counters\": {{\n    \"backend.cse.loads_eliminated\": {cse},\n    \
+            "{{\n  \"schema_version\": {},\n  \"counters\": {{\n    \
+             \"backend.cse.loads_eliminated\": {cse},\n    \
              \"provenance.cse.call.applied\": 1\n  }},\n  \"gauges\": {{}},\n  \
-             \"histograms\": {{}}\n}}\n"
+             \"histograms\": {{}}\n}}\n",
+            hli_obs::SCHEMA_VERSION
         )
     };
     std::fs::write(&base, snapshot(12)).unwrap();

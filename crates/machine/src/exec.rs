@@ -103,9 +103,29 @@ pub fn execute_with_trace(prog: &RtlProgram) -> Result<(RunResult, Vec<DynInsn>)
     Ok((res, trace))
 }
 
+/// Run and capture the dynamic trace plus, parallel to it, the index into
+/// `prog.funcs` of the function each event executed in. This is the join
+/// key for decision-to-cycles attribution: the cycle models charge every
+/// event (or stall) to its function, and `obsreport` matches those totals
+/// against the `DecisionRecord.function` of the decisions made there.
+/// A `Call` event belongs to the caller (it issues in the caller's frame);
+/// a `Ret` belongs to the returning callee.
+pub fn execute_with_func_trace(
+    prog: &RtlProgram,
+) -> Result<(RunResult, Vec<DynInsn>, Vec<u32>), ExecError> {
+    let _t = hli_obs::phase::timed("machine.execute");
+    let mut sink = FuncTrace::default();
+    let res = Machine::new(prog, 200_000_000).run(&mut sink)?;
+    Ok((res, sink.events, sink.funcs))
+}
+
 /// Trace consumers.
 pub trait TraceSink {
     fn event(&mut self, ev: DynInsn);
+    /// Control transferred into `prog.funcs[func_idx]`: program start,
+    /// a call entering its callee, or a return landing back in the
+    /// caller. Sinks that don't attribute events per function ignore it.
+    fn enter(&mut self, _func_idx: u32) {}
 }
 
 impl TraceSink for () {
@@ -115,6 +135,25 @@ impl TraceSink for () {
 impl TraceSink for Vec<DynInsn> {
     fn event(&mut self, ev: DynInsn) {
         self.push(ev);
+    }
+}
+
+/// Sink recording each event together with its executing function index.
+#[derive(Default)]
+struct FuncTrace {
+    events: Vec<DynInsn>,
+    funcs: Vec<u32>,
+    cur: u32,
+}
+
+impl TraceSink for FuncTrace {
+    fn event(&mut self, ev: DynInsn) {
+        self.events.push(ev);
+        self.funcs.push(self.cur);
+    }
+
+    fn enter(&mut self, func_idx: u32) {
+        self.cur = func_idx;
     }
 }
 
@@ -318,6 +357,7 @@ impl<'p> Machine<'p> {
         })?;
         let main = &self.prog.funcs[main_idx];
         self.push_frame(main, None)?;
+        sink.enter(main_idx as u32);
         self.calls -= 1; // main's activation is setup, not program behaviour
                          // Initialize globals.
         for &(addr, bits) in &self.prog.global_init {
@@ -453,6 +493,7 @@ impl<'p> Machine<'p> {
                     self.emit1(sink, DynKind::Call, None, args, 0);
                     self.frame_mut().pc = next_pc;
                     self.push_frame(callee, dst)?;
+                    sink.enter(fi as u32);
                     for (i, v) in arg_vals.iter().enumerate() {
                         if i < callee.param_regs.len() {
                             let pr = callee.param_regs[i];
@@ -488,6 +529,8 @@ impl<'p> Machine<'p> {
                             if let Some(d) = frame.ret_to {
                                 caller.regs[d as usize] = bits;
                             }
+                            let ci = self.func_index[caller.func.name.as_str()] as u32;
+                            sink.enter(ci);
                         }
                     }
                     continue 'outer;

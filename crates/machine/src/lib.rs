@@ -27,9 +27,11 @@ pub mod exec;
 pub mod r10000;
 pub mod r4600;
 
-pub use exec::{execute, execute_with_trace, DynInsn, DynKind, ExecError, RunResult};
-pub use r10000::{r10000_cycles, R10000Config, R10000Stats};
-pub use r4600::{r4600_cycles, R4600Config, R4600Stats};
+pub use exec::{
+    execute, execute_with_func_trace, execute_with_trace, DynInsn, DynKind, ExecError, RunResult,
+};
+pub use r10000::{r10000_cycles, r10000_cycles_per_func, R10000Config, R10000Stats};
+pub use r4600::{r4600_cycles, r4600_cycles_per_func, R4600Config, R4600Stats};
 
 /// Convenience: run a program on both machine models.
 pub fn time_on_both(

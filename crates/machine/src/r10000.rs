@@ -123,8 +123,11 @@ struct Slot {
     issued: bool,
 }
 
-/// Simulate the trace.
-pub fn r10000_cycles(trace: &[DynInsn], cfg: &R10000Config) -> R10000Stats {
+fn simulate(
+    trace: &[DynInsn],
+    cfg: &R10000Config,
+    mut per_func: Option<(&[u32], &mut [u64])>,
+) -> R10000Stats {
     let mut stats = R10000Stats { insns: trace.len() as u64, ..Default::default() };
     if trace.is_empty() {
         return stats;
@@ -256,6 +259,18 @@ pub fn r10000_cycles(trace: &[DynInsn], cfg: &R10000Config) -> R10000Stats {
             issued_this_cycle += 1;
         }
         occupancy.observe(window.len() as u64);
+        // Attribute the cycle to the function of the oldest in-flight
+        // instruction (the retirement bottleneck). The window holds trace
+        // indices [next_fetch - len, next_fetch); if everything already
+        // retired this cycle, charge the last-fetched function.
+        if let Some((funcs, bins)) = per_func.as_mut() {
+            let idx = if window.is_empty() {
+                next_fetch.saturating_sub(1)
+            } else {
+                next_fetch - window.len()
+            };
+            bins[funcs[idx] as usize] += 1;
+        }
         cycle += 1;
     }
     stats.cycles = cycle;
@@ -267,6 +282,28 @@ pub fn r10000_cycles(trace: &[DynInsn], cfg: &R10000Config) -> R10000Stats {
         reg.gauge("machine.r10000.ipc_milli").set(ipc as i64);
     }
     stats
+}
+
+/// Simulate the trace.
+pub fn r10000_cycles(trace: &[DynInsn], cfg: &R10000Config) -> R10000Stats {
+    simulate(trace, cfg, None)
+}
+
+/// Like [`r10000_cycles`], but also attributes cycles to functions.
+///
+/// `funcs[i]` names the function index owning `trace[i]`; each simulated
+/// cycle is charged to the function of the oldest in-flight instruction, so
+/// the returned bins sum to `stats.cycles`.
+pub fn r10000_cycles_per_func(
+    trace: &[DynInsn],
+    funcs: &[u32],
+    nfuncs: usize,
+    cfg: &R10000Config,
+) -> (R10000Stats, Vec<u64>) {
+    debug_assert_eq!(trace.len(), funcs.len());
+    let mut bins = vec![0u64; nfuncs];
+    let stats = simulate(trace, cfg, Some((funcs, &mut bins)));
+    (stats, bins)
 }
 
 #[cfg(test)]
@@ -384,6 +421,23 @@ mod tests {
         let s_small = r10000_cycles(&t, &small);
         let s_big = r10000_cycles(&t, &big);
         assert!(s_big.cycles < s_small.cycles);
+    }
+
+    #[test]
+    fn per_func_bins_sum_to_total() {
+        let mut t = vec![ins(DynKind::FDiv, Some(0), &[])];
+        for i in 1..6u64 {
+            t.push(ins(DynKind::FDiv, Some(i), &[i - 1]));
+        }
+        for i in 100..120u64 {
+            t.push(ins(DynKind::IAlu, Some(i), &[]));
+        }
+        let funcs: Vec<u32> = (0..t.len()).map(|i| if i < 6 { 0 } else { 1 }).collect();
+        let cfg = R10000Config::default();
+        let (stats, bins) = r10000_cycles_per_func(&t, &funcs, 2, &cfg);
+        assert_eq!(bins.iter().sum::<u64>(), stats.cycles);
+        assert_eq!(stats, r10000_cycles(&t, &cfg), "attribution must not perturb timing");
+        assert!(bins[0] > bins[1], "the fdiv chain holds retirement");
     }
 
     #[test]

@@ -65,12 +65,15 @@ pub struct R4600Stats {
     pub branch_bubbles: u64,
 }
 
-/// Simulate the trace on the in-order pipeline.
-pub fn r4600_cycles(trace: &[DynInsn], cfg: &R4600Config) -> R4600Stats {
+fn simulate(
+    trace: &[DynInsn],
+    cfg: &R4600Config,
+    mut per_func: Option<(&[u32], &mut [u64])>,
+) -> R4600Stats {
     let mut ready: HashMap<RegKey, u64> = HashMap::new();
     let mut time: u64 = 0;
     let mut stats = R4600Stats::default();
-    for ev in trace {
+    for (i, ev) in trace.iter().enumerate() {
         stats.insns += 1;
         let operands_ready = ev
             .sources()
@@ -80,6 +83,7 @@ pub fn r4600_cycles(trace: &[DynInsn], cfg: &R4600Config) -> R4600Stats {
             .unwrap_or(0);
         let issue = time.max(operands_ready);
         stats.stall_cycles += issue - time;
+        let before = time;
         time = issue + 1;
         match ev.kind {
             DynKind::Branch { taken: true } => {
@@ -94,6 +98,13 @@ pub fn r4600_cycles(trace: &[DynInsn], cfg: &R4600Config) -> R4600Stats {
         if let Some(d) = ev.dst {
             ready.insert(d, issue + cfg.latency(ev.kind));
         }
+        // Charge the full advance (issue stall + execute + bubbles) to the
+        // function that owns this event; the per-function sums then equal
+        // the total cycle count exactly.
+        if let Some((funcs, bins)) = per_func.as_mut() {
+            let f = funcs[i] as usize;
+            bins[f] += time - before;
+        }
     }
     stats.cycles = time;
     let reg = hli_obs::metrics::cur();
@@ -102,6 +113,28 @@ pub fn r4600_cycles(trace: &[DynInsn], cfg: &R4600Config) -> R4600Stats {
     reg.counter("machine.r4600.stall_cycles").add(stats.stall_cycles);
     reg.counter("machine.r4600.branch_bubbles").add(stats.branch_bubbles);
     stats
+}
+
+/// Simulate the trace on the in-order pipeline.
+pub fn r4600_cycles(trace: &[DynInsn], cfg: &R4600Config) -> R4600Stats {
+    simulate(trace, cfg, None)
+}
+
+/// Like [`r4600_cycles`], but also attributes cycles to functions.
+///
+/// `funcs[i]` names the function index owning `trace[i]` (as produced by
+/// `execute_with_func_trace`); the returned vector has `nfuncs` entries whose
+/// sum equals `stats.cycles`.
+pub fn r4600_cycles_per_func(
+    trace: &[DynInsn],
+    funcs: &[u32],
+    nfuncs: usize,
+    cfg: &R4600Config,
+) -> (R4600Stats, Vec<u64>) {
+    debug_assert_eq!(trace.len(), funcs.len());
+    let mut bins = vec![0u64; nfuncs];
+    let stats = simulate(trace, cfg, Some((funcs, &mut bins)));
+    (stats, bins)
 }
 
 #[cfg(test)]
@@ -167,6 +200,24 @@ mod tests {
         let s = r4600_cycles(&t, &R4600Config::default());
         assert_eq!(s.branch_bubbles, 1);
         assert_eq!(s.cycles, 3);
+    }
+
+    #[test]
+    fn per_func_bins_sum_to_total() {
+        let t = vec![
+            ins(DynKind::Load, Some(1), &[]),
+            ins(DynKind::IAlu, Some(2), &[1]),
+            ins(DynKind::Call, None, &[]),
+            ins(DynKind::FDiv, Some(3), &[]),
+            ins(DynKind::FAdd, Some(4), &[3]),
+            ins(DynKind::Ret, None, &[]),
+        ];
+        let funcs = vec![0, 0, 0, 1, 1, 1];
+        let cfg = R4600Config::default();
+        let (stats, bins) = r4600_cycles_per_func(&t, &funcs, 2, &cfg);
+        assert_eq!(bins.iter().sum::<u64>(), stats.cycles);
+        assert_eq!(stats, r4600_cycles(&t, &cfg), "attribution must not perturb timing");
+        assert!(bins[1] > bins[0], "fdiv chain dominates");
     }
 
     #[test]

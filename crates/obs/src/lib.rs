@@ -55,8 +55,8 @@ pub mod trace;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use provenance::{DecisionRecord, ProvenanceSink, QueryRef, Verdict};
 pub use ring::EventRing;
-pub use shard::{capture, commit, ObsShard};
-pub use trace::{span, SpanGuard, Tracer};
+pub use shard::{capture, capture_cfg, commit, CaptureCfg, ObsShard};
+pub use trace::{span, Clock, SpanGuard, Tracer};
 
 /// Version of every JSON artifact this workspace emits (`--stats json`
 /// snapshots, the provenance JSONL header record, `BENCH_*.json` perf

@@ -94,6 +94,16 @@ pub fn query_id_watermark() -> u64 {
     QUERY_ID.load(Ordering::Relaxed)
 }
 
+/// Allocate a causal span id. Span ids share the query-id space (one
+/// monotonic counter covers both), so the single block-reservation offset
+/// [`crate::shard::commit`] computes renumbers a shard's query ids *and*
+/// its span ids uniformly — `--provenance-out` stays byte-identical across
+/// `--jobs` values without a second counter to keep in sync. `0` is never
+/// issued and means "no span" on a [`DecisionRecord`].
+pub fn next_span_id() -> u64 {
+    next_query_id().0
+}
+
 /// The outcome of one optimization decision.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {
@@ -123,6 +133,18 @@ pub struct DecisionRecord {
     pub region_id: Option<u32>,
     /// Source line (or program order) of the RTL reference decided about.
     pub order: u32,
+    /// Causal span id from [`next_span_id`] linking this record to every
+    /// other record made under the same decision context (the block-DDG
+    /// build for `sched.*`, the call site for `cse.call`, the candidate
+    /// for `licm.hoist`, the loop for `unroll.loop`). `0` means no span
+    /// (maintenance and quarantine records). Renumbered together with
+    /// query ids on shard commit, so it is `--jobs`-invariant.
+    pub span: u64,
+    /// Benefit the pass estimated *at decision time*, in model cycles
+    /// (0 for blocked decisions and passes without an estimate model;
+    /// the per-pass formulas are documented in DESIGN.md). `obsreport`
+    /// joins this against the measured per-function cycle delta.
+    pub est_cycles: u64,
     /// The query chain that produced the verdict, in issue order.
     pub hli_queries: Vec<QueryRef>,
     pub verdict: Verdict,
@@ -144,6 +166,7 @@ impl DecisionRecord {
             None => s.push_str("null"),
         }
         let _ = write!(s, ", \"order\": {}", self.order);
+        let _ = write!(s, ", \"span\": {}, \"est\": {}", self.span, self.est_cycles);
         s.push_str(", \"queries\": [");
         for (i, q) in self.hli_queries.iter().enumerate() {
             if i > 0 {
@@ -195,11 +218,17 @@ impl DecisionRecord {
             "blocked" => Verdict::Blocked { reason: str_field("reason")? },
             other => return Err(format!("unknown verdict `{other}`")),
         };
+        // `span`/`est` were added in PR 7; lines written before then lack
+        // them and parse as 0 ("no span" / "no estimate").
+        let opt_u64 =
+            |k: &str| -> u64 { v.get(k).and_then(Json::as_num).map(|n| n as u64).unwrap_or(0) };
         Ok(DecisionRecord {
             pass: str_field("pass")?,
             function: str_field("function")?,
             region_id,
             order: num_field("order")? as u32,
+            span: opt_u64("span"),
+            est_cycles: opt_u64("est"),
             hli_queries: queries,
             verdict,
         })
@@ -226,13 +255,20 @@ pub fn to_text(records: &[DecisionRecord]) -> String {
             Verdict::Blocked { reason } => format!("blocked ({reason})"),
         };
         let qids: Vec<String> = r.hli_queries.iter().map(|q| q.0.to_string()).collect();
+        let span = if r.span == 0 {
+            "-".into()
+        } else {
+            format!("s{}", r.span)
+        };
         let _ = writeln!(
             out,
-            "{:<18} {:<16} {:>4} line {:<5} [{}] {}",
+            "{:<18} {:<16} {:>4} line {:<5} {:<6} est {:<5} [{}] {}",
             r.pass,
             r.function,
             region,
             r.order,
+            span,
+            r.est_cycles,
             qids.join(","),
             verdict
         );
@@ -430,6 +466,8 @@ mod tests {
             function: "main".into(),
             region_id: Some(2),
             order: 14,
+            span: 5,
+            est_cycles: 3,
             hli_queries: vec![QueryRef(3), QueryRef(4)],
             verdict,
         }
@@ -471,6 +509,8 @@ mod tests {
                             function: format!("f{i}"),
                             region_id: None,
                             order: i,
+                            span: 0,
+                            est_cycles: 0,
                             hli_queries: vec![],
                             verdict: Verdict::Applied,
                         });
@@ -495,6 +535,8 @@ mod tests {
             function: "we\"ird\\name\n".into(),
             region_id: None,
             order: 7,
+            span: 12,
+            est_cycles: 2,
             hli_queries: vec![QueryRef(1), QueryRef(99)],
             verdict: Verdict::Blocked { reason: "call may\tmodify".into() },
         };
@@ -503,6 +545,28 @@ mod tests {
         assert_eq!(DecisionRecord::parse_line(&line).unwrap(), r);
         let a = rec("sched.pair", Verdict::Applied);
         assert_eq!(DecisionRecord::parse_line(&a.to_json_line()).unwrap(), a);
+    }
+
+    #[test]
+    fn parse_defaults_span_and_est_for_pre_pr7_lines() {
+        // A line written before `span`/`est` existed still parses, with 0s.
+        let old = "{\"pass\": \"sched.pair\", \"function\": \"f\", \"region\": 1, \
+                   \"order\": 3, \"queries\": [7], \"verdict\": \"applied\"}";
+        let r = DecisionRecord::parse_line(old).unwrap();
+        assert_eq!(r.span, 0);
+        assert_eq!(r.est_cycles, 0);
+        assert_eq!(r.hli_queries, vec![QueryRef(7)]);
+    }
+
+    #[test]
+    fn span_ids_share_the_query_id_space() {
+        let src = Arc::new(AtomicU64::new(1));
+        let _g = scoped_ids(src);
+        let q = next_query_id();
+        let s = next_span_id();
+        let q2 = next_query_id();
+        assert_eq!(s, q.0 + 1, "span ids interleave in the same counter");
+        assert_eq!(q2.0, s + 1);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use crate::metrics::{self, MetricsRegistry, MetricsSnapshot};
 use crate::provenance::{self, DecisionRecord, ProvenanceSink};
+use crate::trace::{self, SpanRec, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -34,10 +35,41 @@ pub struct ObsShard {
     /// The worker-scoped registry's final state.
     pub metrics: MetricsSnapshot,
     /// Decision records in the worker's append order, citing **local**
-    /// query ids `1..=ids_used` (renumbered at [`commit`]).
+    /// query ids and span ids `1..=ids_used` (renumbered at [`commit`]).
     pub records: Vec<DecisionRecord>,
-    /// How many query ids the work item stamped.
+    /// How many query/span ids the work item stamped.
     pub ids_used: u64,
+    /// Logical spans the work item traced (local ticks `0..seq_used`,
+    /// rebased at [`commit`]); empty unless the capture ran with
+    /// [`CaptureCfg::trace`].
+    pub spans: Vec<SpanRec>,
+    /// Logical trace ticks the work item consumed.
+    pub seq_used: u64,
+}
+
+/// What a [`capture`] should isolate, decided on the *parent* thread —
+/// a pool worker cannot see the parent's thread-scoped sinks, so neither
+/// flag may be probed inside the work item.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaptureCfg {
+    /// Capture decision records + query ids (normally
+    /// `provenance::active().is_some()` on the parent thread).
+    pub provenance: bool,
+    /// Capture spans into a deterministic logical tracer (normally
+    /// `trace::cur().is_logical()` on the parent thread: a logical parent
+    /// wants jobs-invariant traces; a wall-clock parent — the `--trace-out`
+    /// global — keeps receiving worker spans directly, timestamps and all).
+    pub trace: bool,
+}
+
+impl CaptureCfg {
+    /// Probe both flags from the calling thread's current sinks.
+    pub fn from_env() -> Self {
+        CaptureCfg {
+            provenance: provenance::active().is_some(),
+            trace: trace::cur().is_logical(),
+        }
+    }
 }
 
 /// Run `f` under a fresh scoped metrics registry — plus, when
@@ -48,26 +80,35 @@ pub struct ObsShard {
 /// `provenance::active().is_some()` on the parent thread) rather than
 /// probed here: a pool worker thread cannot see the parent's thread-scoped
 /// sink, and the decision must not depend on which thread the item happens
-/// to run on.
+/// to run on. Use [`capture_cfg`] to also capture logical trace spans.
 pub fn capture<R>(provenance_on: bool, f: impl FnOnce() -> R) -> (R, ObsShard) {
+    capture_cfg(CaptureCfg { provenance: provenance_on, trace: false }, f)
+}
+
+/// [`capture`] with explicit control over every captured dimension.
+pub fn capture_cfg<R>(cfg: CaptureCfg, f: impl FnOnce() -> R) -> (R, ObsShard) {
     let reg = Arc::new(MetricsRegistry::new());
     // With provenance off we still install a (disabled) scoped sink: the
     // caller's verdict must hold on whatever thread the item runs on, even
     // if that thread could otherwise see an enabled global sink.
     let scoped_sink = Arc::new(ProvenanceSink::new());
-    scoped_sink.set_enabled(provenance_on);
-    let sink = provenance_on.then(|| scoped_sink.clone());
-    let ids = provenance_on.then(|| Arc::new(AtomicU64::new(1)));
+    scoped_sink.set_enabled(cfg.provenance);
+    let sink = cfg.provenance.then(|| scoped_sink.clone());
+    let ids = cfg.provenance.then(|| Arc::new(AtomicU64::new(1)));
+    let tracer = cfg.trace.then(|| Arc::new(Tracer::logical()));
     let out = {
         let _m = metrics::scoped(reg.clone());
         let _s = provenance::scoped(scoped_sink.clone());
         let _i = ids.clone().map(provenance::scoped_ids);
+        let _t = tracer.clone().map(trace::scoped);
         f()
     };
     let shard = ObsShard {
         metrics: reg.snapshot(),
         records: sink.map(|s| s.drain()).unwrap_or_default(),
         ids_used: ids.map(|i| i.load(Ordering::Relaxed) - 1).unwrap_or(0),
+        spans: tracer.as_ref().map(|t| t.drain_spans()).unwrap_or_default(),
+        seq_used: tracer.map(|t| t.seq_used()).unwrap_or(0),
     };
     (out, shard)
 }
@@ -81,6 +122,9 @@ pub fn capture<R>(provenance_on: bool, f: impl FnOnce() -> R) -> (R, ObsShard) {
 /// determinism.
 pub fn commit(shard: ObsShard) {
     metrics::cur().absorb(&shard.metrics);
+    if !shard.spans.is_empty() || shard.seq_used > 0 {
+        trace::cur().absorb_logical(shard.spans, shard.seq_used);
+    }
     if shard.ids_used == 0 && shard.records.is_empty() {
         return;
     }
@@ -98,6 +142,11 @@ pub fn commit(shard: ObsShard) {
             for q in &mut r.hli_queries {
                 q.0 += offset;
             }
+            // Span ids share the query-id space, so the same offset
+            // relocates them; 0 stays 0 ("no span").
+            if r.span != 0 {
+                r.span += offset;
+            }
             r
         }));
     }
@@ -114,6 +163,8 @@ mod tests {
             function: "f".into(),
             region_id: None,
             order: 1,
+            span: 0,
+            est_cycles: 0,
             hli_queries: queries.iter().map(|&q| provenance::QueryRef(q)).collect(),
             verdict: Verdict::Applied,
         }
@@ -224,5 +275,53 @@ mod tests {
         let out = parent_sink.drain();
         assert_eq!(out[0].hli_queries, vec![provenance::QueryRef(11)]);
         assert_eq!(out[1].hli_queries, vec![provenance::QueryRef(12)]);
+    }
+
+    #[test]
+    fn commit_renumbers_span_ids_with_the_query_offset() {
+        let parent_ids = Arc::new(AtomicU64::new(21));
+        let parent_sink = Arc::new(ProvenanceSink::new());
+        let _i = provenance::scoped_ids(parent_ids);
+        let _s = provenance::scoped(parent_sink.clone());
+        let ((), shard) = capture(true, || {
+            let span = provenance::next_span_id(); // local id 1
+            provenance::next_query_id(); // local id 2
+            let mut r = rec("sched.pair", &[2]);
+            r.span = span;
+            provenance::active().unwrap().record(r);
+            let r2 = rec("quarantine.unit", &[]); // span 0 stays 0
+            provenance::active().unwrap().record(r2);
+        });
+        assert_eq!(shard.ids_used, 2);
+        commit(shard);
+        let out = parent_sink.drain();
+        assert_eq!(out[0].span, 21, "span renumbered by the same offset");
+        assert_eq!(out[0].hli_queries, vec![provenance::QueryRef(22)]);
+        assert_eq!(out[1].span, 0, "no-span records keep 0");
+    }
+
+    #[test]
+    fn capture_cfg_traces_logically_and_commit_rebases() {
+        // A logical parent tracer + two committed shards: spans land
+        // rebased in commit order, independent of which thread ran what.
+        let parent = Arc::new(Tracer::logical());
+        let _t = trace::scoped(parent.clone());
+        assert!(CaptureCfg::from_env().trace, "logical parent ⇒ capture traces");
+        let mut shards = Vec::new();
+        for name in ["f1", "f2"] {
+            let ((), shard) = capture_cfg(CaptureCfg { provenance: false, trace: true }, || {
+                let _g = trace::span(name);
+            });
+            assert_eq!(shard.seq_used, 2);
+            shards.push(shard);
+        }
+        for s in shards {
+            commit(s);
+        }
+        let spans = parent.finished_spans();
+        assert_eq!(
+            spans.iter().map(|s| (s.name.as_str(), s.start_ns)).collect::<Vec<_>>(),
+            vec![("f1", 0), ("f2", 2)]
+        );
     }
 }

@@ -17,6 +17,15 @@ pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
     (r, start.elapsed())
 }
 
+/// Format a wall-clock duration the way every harness prints one:
+/// milliseconds with one decimal (`12.3 ms`). `importbench`'s grid,
+/// `faultbench`'s campaign phases and `perfbench`'s corpus runs all used
+/// to hand-roll `as_secs_f64() * 1e3`; one helper keeps the outputs
+/// comparable.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.1} ms", d.as_secs_f64() * 1e3)
+}
+
 /// A set of per-iteration duration samples (nanoseconds).
 #[derive(Debug, Clone, Default)]
 pub struct Samples {
@@ -105,6 +114,13 @@ mod tests {
         assert_eq!(s.quantile(1.0), 100);
         assert_eq!(s.total(), Duration::from_nanos(5050));
         assert!(s.summary().contains("median 50"));
+    }
+
+    #[test]
+    fn fmt_ms_is_one_decimal_milliseconds() {
+        assert_eq!(fmt_ms(Duration::from_millis(12)), "12.0 ms");
+        assert_eq!(fmt_ms(Duration::from_micros(1250)), "1.2 ms");
+        assert_eq!(fmt_ms(Duration::ZERO), "0.0 ms");
     }
 
     #[test]

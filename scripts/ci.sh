@@ -32,6 +32,14 @@ echo "== obsdiff against pinned baseline (tiny suite)"
 target/release/table2 12 2 --stats json 2>/dev/null > target/obsdiff-current.txt
 target/release/obsdiff tests/baselines/table2-tiny.json target/obsdiff-current.txt
 
+echo "== obsreport attribution gate (Fig.4/Fig.5 fixture: spans, estimates and"
+echo "   per-table benefit/cost rollup match the pinned baseline)"
+target/release/hlicc build tests/fixtures/fig45.c --cse --licm --stats json \
+  --provenance-out target/ci-fig45.jsonl > target/ci-fig45-stats.json 2>/dev/null
+target/release/obsreport --stats target/ci-fig45-stats.json \
+  --provenance target/ci-fig45.jsonl --json \
+  --compare tests/baselines/obsreport-fig45.json > /dev/null
+
 echo "== import/caching/threading smoke (lazy saves bytes, shared caches hit,"
 echo "   all 6 {import,cache,jobs} configurations agree on query counters)"
 target/release/importbench 12 2 --jobs 4 > /dev/null

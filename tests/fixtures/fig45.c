@@ -1,0 +1,32 @@
+int g;
+int h;
+int unrelated;
+int a[16];
+int b[16];
+
+void side() { unrelated = unrelated + 1; }
+
+int pure_g() { return g; }
+
+int kernel(int n) {
+    int i;
+    int s;
+    s = 0;
+    for (i = 0; i < n; i++) {
+        a[i] = b[i] + g;
+        s = s + a[i];
+    }
+    return s;
+}
+
+int main() {
+    int x;
+    int y;
+    g = 3;
+    x = g;
+    side();
+    y = g;
+    h = 1;
+    h = pure_g() + h;
+    return x + y + h + kernel(16);
+}
