@@ -41,7 +41,8 @@
 use crate::ddg::{DepMode, HliSide, QueryStats};
 use crate::rtl::RtlProgram;
 use crate::sched::{schedule_function, LatencyModel, SchedResult};
-use hli_core::{HliEntry, QueryCache};
+use hli_core::image::EntryRef;
+use hli_core::QueryCache;
 use std::collections::HashMap;
 
 /// Record one quarantined unit: bump the `backend.quarantine.*` counters
@@ -76,8 +77,18 @@ pub fn record_quarantine(function: &str, region: Option<u32>, error_count: u64, 
 /// records a quarantine ([`record_quarantine`]) and returns `false`, and
 /// the caller must fall back to the pure GCC-dependence path — the
 /// paper's no-HLI baseline — for that unit.
-pub fn vet_unit(function: &str, entry: &HliEntry) -> bool {
-    let errs = entry.verify();
+///
+/// Zero-copy units take the same gate: a view is materialized into a
+/// transient owned entry, semantically verified, and discarded — so
+/// `hli_core::verify` stays the single trust boundary for blindly mapped
+/// image bytes, at the cost of one short-lived decode per unit (never
+/// all units resident at once, which is where the zero-copy RSS win
+/// comes from).
+pub fn vet_unit(function: &str, entry: EntryRef<'_>) -> bool {
+    let errs = match entry {
+        EntryRef::Owned(e) => e.verify(),
+        EntryRef::View(_) => entry.materialize().verify(),
+    };
     if errs.is_empty() {
         return true;
     }
@@ -110,11 +121,15 @@ pub struct PassSpec<'c> {
 /// `lookup` resolves a function's HLI entry and is called once per pass
 /// per function — exactly the sequential driver's access pattern, so
 /// `hli.reader.{units_decoded,reused}` counts are unchanged. It runs on
-/// pool threads and must be `Sync`; both an eagerly-decoded
-/// [`hli_core::HliFile`] and a lazy [`hli_core::HliReader`] qualify.
+/// pool threads and must be `Sync`; an eagerly-decoded
+/// [`hli_core::HliFile`] and a lazy [`hli_core::HliReader`] qualify
+/// (wrap with [`EntryRef::Owned`]), as does a zero-copy
+/// [`hli_core::HliImage`] (`img.get_ref(n).ok().flatten()` — a unit
+/// whose bytes fail structural validation resolves to `None`, the same
+/// conservative no-HLI path a quarantined unit takes).
 pub fn schedule_program_passes<'h>(
     prog: &RtlProgram,
-    lookup: &(dyn Fn(&str) -> Option<&'h HliEntry> + Sync),
+    lookup: &(dyn Fn(&str) -> Option<EntryRef<'h>> + Sync),
     passes: &[PassSpec<'_>],
     lat: &LatencyModel,
     jobs: usize,
@@ -136,7 +151,7 @@ pub fn schedule_program_passes<'h>(
                 .iter()
                 .map(|pass| {
                     let entry = lookup(&f.name)
-                        .filter(|e| *vetted.get_or_insert_with(|| vet_unit(&f.name, e)));
+                        .filter(|e| *vetted.get_or_insert_with(|| vet_unit(&f.name, *e)));
                     match entry {
                         Some(e) => {
                             let fresh;
@@ -147,8 +162,8 @@ pub fn schedule_program_passes<'h>(
                                     &fresh
                                 }
                             };
-                            let q = cache.attach(e);
-                            let map = crate::mapping::map_function(f, e);
+                            let q = cache.attach_ref(e);
+                            let map = crate::mapping::map_function_ref(f, e);
                             let side = HliSide { query: &q, map: &map };
                             schedule_function(f, Some(&side), pass.mode, lat)
                         }
@@ -229,7 +244,7 @@ mod tests {
             ];
             schedule_program_passes(
                 &prog,
-                &|n| hli.entry(n),
+                &|n| hli.entry(n).map(EntryRef::Owned),
                 &passes,
                 &LatencyModel::default(),
                 jobs,
@@ -296,7 +311,7 @@ mod tests {
             ];
             schedule_program_passes(
                 &prog,
-                &|n| hli.entry(n),
+                &|n| hli.entry(n).map(EntryRef::Owned),
                 &passes,
                 &LatencyModel::default(),
                 jobs,
@@ -321,7 +336,13 @@ mod tests {
         ];
         let control = schedule_program_passes(
             &prog,
-            &|n| if n == "f2" { None } else { hli.entry(n) },
+            &|n| {
+                if n == "f2" {
+                    None
+                } else {
+                    hli.entry(n).map(EntryRef::Owned)
+                }
+            },
             &passes,
             &LatencyModel::default(),
             1,
@@ -369,11 +390,16 @@ mod tests {
         let prog = lower_program(&p, &s);
         let empty = HashMap::new();
         let passes = [PassSpec { mode: DepMode::Combined, caches: Some(&empty) }];
-        let with_map =
-            schedule_program_passes(&prog, &|n| hli.entry(n), &passes, &LatencyModel::default(), 2);
+        let with_map = schedule_program_passes(
+            &prog,
+            &|n| hli.entry(n).map(EntryRef::Owned),
+            &passes,
+            &LatencyModel::default(),
+            2,
+        );
         let no_map = schedule_program_passes(
             &prog,
-            &|n| hli.entry(n),
+            &|n| hli.entry(n).map(EntryRef::Owned),
             &[PassSpec { mode: DepMode::Combined, caches: None }],
             &LatencyModel::default(),
             2,

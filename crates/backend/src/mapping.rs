@@ -14,7 +14,8 @@
 //! instruction id.
 
 use crate::rtl::{InsnId, Op, RtlFunc};
-use hli_core::{HliEntry, ItemId, ItemType};
+use hli_core::image::EntryRef;
+use hli_core::{HliEntry, ItemEntry, ItemId, ItemType};
 use std::collections::{HashMap, HashSet};
 
 /// The bidirectional item ↔ instruction mapping for one function.
@@ -61,8 +62,16 @@ fn rtl_kind(op: &Op) -> Option<ItemType> {
     }
 }
 
-/// Build the mapping for one function against its HLI entry.
+/// Build the mapping for one function against its owned HLI entry.
 pub fn map_function(f: &RtlFunc, entry: &HliEntry) -> HliMap {
+    map_function_ref(f, EntryRef::Owned(entry))
+}
+
+/// Build the mapping for one function against an owned entry or a
+/// zero-copy view. The line table is consumed through the flat
+/// [`EntryRef::line_items`] stream (grouped back into per-line runs), so
+/// a view is mapped without decoding any owned tables.
+pub fn map_function_ref(f: &RtlFunc, entry: EntryRef<'_>) -> HliMap {
     let mut map = HliMap::default();
     // Group the function's memory/call instructions by line, preserving
     // chain order.
@@ -72,25 +81,37 @@ pub fn map_function(f: &RtlFunc, entry: &HliEntry) -> HliMap {
             by_line.entry(insn.line).or_default().push((insn.id, kind));
         }
     }
+    // Re-group the flat (line, item) stream into the per-line runs the
+    // matching below consumes. Line entries left empty by maintenance
+    // vanish here, which is behavior-preserving: an empty run binds
+    // nothing and leaves every instruction of its line unmapped — exactly
+    // what the "no line-table entry" fallthrough does.
+    let mut line_groups: Vec<(u32, Vec<ItemEntry>)> = Vec::new();
+    for (line, it) in entry.line_items() {
+        match line_groups.last_mut() {
+            Some((l, items)) if *l == line => items.push(it),
+            _ => line_groups.push((line, vec![it])),
+        }
+    }
     let mut seen_lines: HashSet<u32> = HashSet::new();
-    for line_entry in &entry.line_table.lines {
-        seen_lines.insert(line_entry.line);
-        let insns = by_line.get(&line_entry.line).map(|v| v.as_slice()).unwrap_or(&[]);
-        let n = line_entry.items.len().min(insns.len());
+    for (line, items) in &line_groups {
+        seen_lines.insert(*line);
+        let insns = by_line.get(line).map(|v| v.as_slice()).unwrap_or(&[]);
+        let n = items.len().min(insns.len());
         for k in 0..n {
-            let item = &line_entry.items[k];
+            let item = &items[k];
             let (insn, kind) = insns[k];
             if item.ty == kind {
                 map.bind(insn, item.id);
             } else {
                 // Order drift: the rest of this line cannot be trusted.
-                map.unmapped_items.extend(line_entry.items[k..].iter().map(|i| i.id));
+                map.unmapped_items.extend(items[k..].iter().map(|i| i.id));
                 map.unmapped_insns.extend(insns[k..].iter().map(|(id, _)| *id));
                 break;
             }
         }
-        if line_entry.items.len() > n {
-            map.unmapped_items.extend(line_entry.items[n..].iter().map(|i| i.id));
+        if items.len() > n {
+            map.unmapped_items.extend(items[n..].iter().map(|i| i.id));
         }
         if insns.len() > n {
             map.unmapped_insns.extend(insns[n..].iter().map(|(id, _)| *id));

@@ -32,8 +32,9 @@
 //! Cache traffic is metered as `backend.query_cache.{hit,miss,invalidate}`.
 
 use crate::ids::{ItemId, RegionId};
+use crate::image::{EntryRef, RegionMeta};
 use crate::query::{CallAcc, EquivAcc, HliQuery, LcddAnswer};
-use crate::tables::{HliEntry, ItemType, Region};
+use crate::tables::{HliEntry, ItemType};
 use hli_obs::provenance::QueryRef;
 use hli_obs::Counter;
 use std::collections::HashMap;
@@ -115,14 +116,24 @@ impl QueryCache {
     /// as long as the entry's `(unit_name, generation)` key is unchanged;
     /// any mismatch flushes them (counted as invalidations).
     pub fn attach<'a>(&'a self, entry: &'a HliEntry) -> CachedQuery<'a> {
+        self.attach_ref(EntryRef::Owned(entry))
+    }
+
+    /// [`attach`](QueryCache::attach) over an [`EntryRef`], so zero-copy
+    /// views get the same memoization. The `(unit, generation)` validity
+    /// key carries over unchanged: views report generation 0, and any
+    /// mutation happens on a materialized overlay whose generation the
+    /// maintenance API bumps past 0 — so a view→overlay transition always
+    /// flushes, and view→view reattaches keep memos warm.
+    pub fn attach_ref<'a>(&'a self, entry: EntryRef<'a>) -> CachedQuery<'a> {
         let mut s = self.state.lock().unwrap();
-        if s.unit != entry.unit_name || s.generation != entry.generation {
+        if s.unit != entry.unit_name() || s.generation != entry.generation() {
             self.flush(&mut s);
-            s.unit = entry.unit_name.clone();
-            s.generation = entry.generation;
+            s.unit = entry.unit_name().to_string();
+            s.generation = entry.generation();
         }
         drop(s);
-        CachedQuery { cache: self, inner: HliQuery::new(entry) }
+        CachedQuery { cache: self, inner: HliQuery::new_ref(entry) }
     }
 
     /// Surgical invalidation: drop only the memos whose keys mention one of
@@ -198,8 +209,8 @@ impl<'a> CachedQuery<'a> {
     }
 
     /// The entry this view serves.
-    pub fn entry(&self) -> &'a HliEntry {
-        self.inner.entry()
+    pub fn entry_ref(&self) -> EntryRef<'a> {
+        self.inner.entry_ref()
     }
 
     /// Direct access to the underlying index.
@@ -218,7 +229,7 @@ impl<'a> CachedQuery<'a> {
     }
 
     /// Region metadata (uncached: already a direct index into the entry).
-    pub fn region_info(&self, r: RegionId) -> &'a Region {
+    pub fn region_info(&self, r: RegionId) -> RegionMeta {
         self.inner.region_info(r)
     }
 

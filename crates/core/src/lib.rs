@@ -49,6 +49,7 @@
 
 pub mod cache;
 pub mod ids;
+pub mod image;
 pub mod maintain;
 pub mod query;
 pub mod reader;
@@ -59,6 +60,7 @@ pub mod verify;
 
 pub use cache::{CachedQuery, QueryCache};
 pub use ids::{ItemId, RegionId};
+pub use image::{encode_file_v3, EntryRef, HliEntryView, HliImage, RegionMeta};
 pub use query::{CallAcc, EquivAcc, HliQuery};
 pub use reader::HliReader;
 pub use tables::{

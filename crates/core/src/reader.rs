@@ -26,6 +26,7 @@ use crate::serialize::{
 use crate::tables::HliEntry;
 use hli_obs::Counter;
 use std::cell::UnsafeCell;
+use std::collections::HashMap;
 use std::sync::Once;
 
 /// One directory entry with its decode-once memo slot.
@@ -117,6 +118,12 @@ pub struct HliReader {
     data: Vec<u8>,
     opts: SerializeOpts,
     directory: Vec<Unit>,
+    /// Name → directory index, built once at open so every `get` is a
+    /// hash probe instead of a linear directory scan (which made
+    /// `preload` and per-function back-end access O(n²) in unit count).
+    /// On duplicate names the first entry wins, matching the old linear
+    /// `find` semantics.
+    index: HashMap<String, usize>,
     units_decoded: Counter,
     reused: Counter,
 }
@@ -145,11 +152,15 @@ impl HliReader {
             let mut offset = data.len() - b.len();
             let mut directory = Vec::with_capacity(lens.len());
             for (name, len) in lens {
-                if offset + len > data.len() {
-                    return Err(DecodeError(format!("entry `{name}` extends past end")));
-                }
+                // `checked_add`: a hostile directory can declare a length
+                // up to u64::MAX, and `offset + len` would wrap right past
+                // this bounds check on release builds.
+                let end = offset
+                    .checked_add(len)
+                    .filter(|&end| end <= data.len())
+                    .ok_or_else(|| DecodeError(format!("entry `{name}` extends past end")))?;
                 directory.push(Unit::new(name, offset, len));
-                offset += len;
+                offset = end;
             }
             if offset != data.len() {
                 return Err(DecodeError(format!(
@@ -180,7 +191,11 @@ impl HliReader {
         };
         opens.inc();
         units_total.add(directory.len() as u64);
-        Ok(HliReader { data, opts, directory, units_decoded, reused })
+        let mut index = HashMap::with_capacity(directory.len());
+        for (i, u) in directory.iter().enumerate() {
+            index.entry(u.name.clone()).or_insert(i);
+        }
+        Ok(HliReader { data, opts, directory, index, units_decoded, reused })
     }
 
     /// Unit names in file order.
@@ -211,7 +226,7 @@ impl HliReader {
     /// exactly one decodes it (and counts `units_decoded`); the others
     /// block on the memo and count `reused`, like any later caller.
     pub fn get(&self, unit: &str) -> Result<Option<&HliEntry>, DecodeError> {
-        let Some(u) = self.directory.iter().find(|u| u.name == unit) else {
+        let Some(u) = self.index.get(unit).map(|&i| &self.directory[i]) else {
             return Ok(None);
         };
         let (res, ran) = decode_once(u, || {
@@ -384,10 +399,90 @@ mod tests {
     }
 
     #[test]
+    fn hostile_directory_length_cannot_wrap_the_bounds_check() {
+        // Regression: `offset + len > data.len()` wrapped on a declared
+        // length near u64::MAX (debug builds panicked on the overflow;
+        // release builds wrapped past the check and registered a unit
+        // whose body slice would read out of bounds). A max-varint length
+        // must be rejected at open with a clean error.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&MAGIC_V2);
+        hostile.push(1); // one directory entry
+        hostile.push(3);
+        hostile.extend_from_slice(b"foo"); // name
+                                           // LEB128 for u64::MAX: nine 0xFF continuation bytes + 0x01.
+        hostile.extend_from_slice(&[0xFF; 9]);
+        hostile.push(0x01);
+        let err = match HliReader::open(hostile, SerializeOpts::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("u64::MAX body length must be rejected"),
+        };
+        assert!(err.0.contains("extends past end"), "got: {err:?}");
+    }
+
+    #[test]
+    fn many_unit_lookup_is_indexed_not_linear() {
+        // Regression for the O(n²) `preload`: `get` used to scan the
+        // directory linearly per call. With the name→index map, the cost
+        // of a (missing-name) lookup is independent of directory size, so
+        // k probes against a 100×-larger directory must not cost anywhere
+        // near 100× more. Missing names are probed so no decode time can
+        // mask the lookup cost; the 20× bound leaves a wide margin over
+        // the ~1× expected of a hash probe while staying far below the
+        // ~100× a linear scan exhibits.
+        let opts = SerializeOpts::default();
+        let build = |n: usize| {
+            let entries = (0..n)
+                .map(|i| {
+                    let mut e = figure2_like();
+                    e.unit_name = format!("unit_{i:06}");
+                    e
+                })
+                .collect();
+            HliReader::open(encode_file_v2(&HliFile { entries }, opts), opts).unwrap()
+        };
+        let small = build(40);
+        let large = build(4000);
+        let probes = 40_000;
+        let time_probes = |rdr: &HliReader| {
+            let start = std::time::Instant::now();
+            for i in 0..probes {
+                // Same name shape as real units so comparison cost matches.
+                assert!(rdr.get(&format!("unit_{i:06}_missing")).unwrap().is_none());
+            }
+            start.elapsed()
+        };
+        // Warm up allocator/caches once before timing either side.
+        time_probes(&small);
+        let t_small = time_probes(&small).max(std::time::Duration::from_micros(100));
+        let t_large = time_probes(&large);
+        let ratio = t_large.as_secs_f64() / t_small.as_secs_f64();
+        assert!(
+            ratio < 20.0,
+            "lookup cost scaled with directory size (100x units -> {ratio:.1}x \
+             time; a linear scan shows ~100x, an index ~1x)"
+        );
+        // The index must agree with directory order and still find real units.
+        assert_eq!(large.get("unit_003999").unwrap().unwrap().unit_name, "unit_003999");
+        assert_eq!(large.decoded_units(), 1);
+    }
+
+    #[test]
     fn corruption_fails_cleanly_never_panics() {
         let file = HliFile { entries: vec![figure2_like()] };
         let bytes = encode_file_v2(&file, SerializeOpts::default());
         assert!(HliReader::open(b"NOPE".to_vec(), SerializeOpts::default()).is_err());
+        // A directory entry declaring a max-varint (u64::MAX) body length
+        // must fail the checked bounds test, not wrap it (see
+        // `hostile_directory_length_cannot_wrap_the_bounds_check`).
+        let mut maxlen = Vec::new();
+        maxlen.extend_from_slice(&MAGIC_V2);
+        maxlen.push(1);
+        maxlen.push(1);
+        maxlen.push(b'f');
+        maxlen.extend_from_slice(&[0xFF; 9]);
+        maxlen.push(0x01);
+        assert!(HliReader::open(maxlen, SerializeOpts::default()).is_err());
         // Trailing garbage after the last body is rejected at open, matching
         // the v1 decoder's strictness.
         let mut trailing = bytes.clone();

@@ -43,7 +43,7 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-fn count_encoded(n: usize) {
+pub(crate) fn count_encoded(n: usize) {
     let r = hli_obs::metrics::cur();
     r.counter("hli.serialize.bytes").add(n as u64);
     r.counter("hli.serialize.calls").inc();

@@ -8,9 +8,12 @@
 //! binary stress-tests that contract at two layers:
 //!
 //! * **byte level** — seeded bit flips, byte substitutions, truncations
-//!   and zeroed windows on the encoded `HLI\x01` / `HLI\x02` images of
-//!   every suite benchmark, pushed through the real import + two-pass
-//!   scheduling pipeline under `catch_unwind`;
+//!   and zeroed windows on the encoded `HLI\x01` / `HLI\x02` / `HLI\x03`
+//!   images of every suite benchmark, pushed through the real import +
+//!   two-pass scheduling pipeline under `catch_unwind` (the `HLI\x03`
+//!   mutants exercise the zero-copy view path: structural validation at
+//!   first access, semantic verify on the transiently-materialized
+//!   entry);
 //! * **table level** — semantic mutations on *decoded* tables (flip an
 //!   LCDD entry's direction, drop an alias edge, re-home an item into a
 //!   different equivalence class), checking that the verifier rejects
@@ -28,9 +31,13 @@
 //! * a rejected or quarantined image whose combined counters leave the
 //!   `clean.combined ≤ mut.combined ≤ clean.gcc` degradation envelope,
 //!   or whose compiled output disagrees with the AST-interpreter oracle;
-//! * a byte mutant that decodes, passes the verifier, and either makes
-//!   the combined pass *more* aggressive than the clean run or
-//!   miscompiles.
+//! * a v1/v2 byte mutant that decodes, passes the verifier, and either
+//!   makes the combined pass *more* aggressive than the clean run or
+//!   miscompiles. (Verify-clean `HLI\x03` mutants get the table-level
+//!   stance instead: the fixed-word layout turns random byte damage
+//!   into well-formed *semantic* mutations no static verifier can
+//!   reject, so oracle-detected ones are counted, not failed — see
+//!   [`ByteClass::Caught`].)
 //!
 //! Table-level mutations that stay well-formed are *semantically wrong
 //! but syntactically trusted* — no static verifier can reject a
@@ -66,8 +73,9 @@ use hli_backend::driver::{schedule_program_passes, PassSpec};
 use hli_backend::lower::lower_program;
 use hli_backend::rtl::RtlProgram;
 use hli_backend::sched::LatencyModel;
+use hli_core::image::EntryRef;
 use hli_core::serialize::{decode_file, encode_file, encode_file_v2, SerializeOpts};
-use hli_core::{HliEntry, HliFile, HliReader, MemberRef, QueryCache};
+use hli_core::{encode_file_v3, HliFile, HliImage, HliReader, MemberRef, QueryCache};
 use hli_frontend::generate_hli;
 use hli_lang::compile_to_ast;
 use hli_obs::{metrics, provenance, MetricsRegistry, ProvenanceSink};
@@ -83,6 +91,7 @@ struct Prep {
     clean: HliFile,
     v1: Vec<u8>,
     v2: Vec<u8>,
+    v3: Vec<u8>,
     oracle_ret: i64,
     oracle_sum: u64,
     /// Combined-pass stats of the clean image (carries `gcc_yes` too).
@@ -94,7 +103,7 @@ struct Prep {
 /// Schedule the two compiler builds (GCC-only, then combined) inline.
 fn schedule<'h>(
     rtl: &RtlProgram,
-    lookup: &(dyn Fn(&str) -> Option<&'h HliEntry> + Sync),
+    lookup: &(dyn Fn(&str) -> Option<EntryRef<'h>> + Sync),
 ) -> (RtlProgram, RtlProgram, QueryStats) {
     let passes = [
         PassSpec { mode: DepMode::GccOnly, caches: None },
@@ -121,9 +130,11 @@ fn prepare() -> Vec<Prep> {
             let opts = SerializeOpts::default();
             let v1 = encode_file(&hli, opts);
             let v2 = encode_file_v2(&hli, opts);
+            let v3 = encode_file_v3(&hli, opts);
             let clean = decode_file(&v1, opts).unwrap_or_else(|e| die(&b.name, &e.0));
             let rtl = lower_program(&p, &s);
-            let (clean_gcc_prog, clean_hli_prog, clean_stats) = schedule(&rtl, &|n| clean.entry(n));
+            let (clean_gcc_prog, clean_hli_prog, clean_stats) =
+                schedule(&rtl, &|n| clean.entry(n).map(EntryRef::Owned));
 
             // The no-HLI control: the path every fully-rejected image
             // degrades to. Validated here once, then byte-level
@@ -147,6 +158,7 @@ fn prepare() -> Vec<Prep> {
                 clean,
                 v1,
                 v2,
+                v3,
                 oracle_ret: oracle.ret,
                 oracle_sum: oracle.global_checksum,
                 clean_stats,
@@ -183,6 +195,16 @@ enum ByteClass {
     Identical,
     /// Decoded to *different* tables that still pass the verifier.
     Variant,
+    /// A verify-clean `HLI\x03` variant whose compiled output the
+    /// differential executor caught. The fixed-word v3 layout lets a
+    /// random byte flip land as a *semantic* table mutation (one field
+    /// cleanly rewritten, everything still well-formed) — the same
+    /// wrong-but-trusted class the table-level campaign reports via
+    /// [`TableClass::Detected`] rather than hard-fails, because no
+    /// static verifier can reject it. For the variable-length v1/v2
+    /// encodings such landings are effectively impossible, so there a
+    /// verify-clean miscompile stays a hard failure (a verifier gap).
+    Caught,
 }
 
 fn mutate_bytes(bytes: &mut Vec<u8>, rng: &mut XorShift64) {
@@ -205,51 +227,75 @@ fn mutate_bytes(bytes: &mut Vec<u8>, rng: &mut XorShift64) {
     }
 }
 
+/// Which encoded format a byte-level iteration mutates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fmt {
+    V1,
+    V2,
+    V3,
+}
+
 fn byte_iteration(preps: &[Prep], seed: u64, k: u64) -> Result<ByteClass, String> {
     let mut rng = iter_rng(seed, k);
     let p = &preps[(k as usize) % preps.len()];
-    let use_v2 = rng.next_range(2) == 1;
-    let mut bytes = if use_v2 { p.v2.clone() } else { p.v1.clone() };
+    let fmt = match rng.next_range(3) {
+        0 => Fmt::V1,
+        1 => Fmt::V2,
+        _ => Fmt::V3,
+    };
+    let mut bytes = match fmt {
+        Fmt::V1 => p.v1.clone(),
+        Fmt::V2 => p.v2.clone(),
+        Fmt::V3 => p.v3.clone(),
+    };
     mutate_bytes(&mut bytes, &mut rng);
 
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_byte_mutant(p, bytes, use_v2)
-    }));
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_byte_mutant(p, bytes, fmt)));
     match outcome {
         Ok(r) => r.map_err(|e| format!("{} k={k}: {e}", p.name)),
         Err(_) => Err(format!("{} k={k}: PANIC escaped the import/compile pipeline", p.name)),
     }
 }
 
-/// A mutated image after the decode attempt: the whole v1 file, or the
-/// lazy v2 reader decoding units on first request.
+/// A mutated image after the decode attempt: the whole v1 file, the lazy
+/// v2 reader decoding units on first request, or the zero-copy v3 image
+/// serving structurally-validated views of the mutated bytes.
 enum Img {
     Eager(HliFile),
     Lazy(HliReader),
+    ZeroCopy(HliImage),
 }
 
-fn run_byte_mutant(p: &Prep, bytes: Vec<u8>, use_v2: bool) -> Result<ByteClass, String> {
+fn run_byte_mutant(p: &Prep, bytes: Vec<u8>, fmt: Fmt) -> Result<ByteClass, String> {
     let opts = SerializeOpts::default();
     let reg = Arc::new(MetricsRegistry::new());
     let _m = metrics::scoped(reg.clone());
 
     // Decode: eager whole-file for v1, per-unit through the reader for
-    // v2. Units that fail to decode become `None` in the lookup, exactly
-    // as `hlicc` treats them.
-    let img = if use_v2 {
-        match HliReader::open(bytes, opts) {
-            Ok(r) => Img::Lazy(r),
-            Err(_) => return Ok(ByteClass::Rejected),
-        }
-    } else {
-        match decode_file(&bytes, opts) {
+    // v2, borrowed views over the image for v3. Units that fail to
+    // decode (or fail the v3 structural validation) become `None` in the
+    // lookup, exactly as `hlicc` treats them.
+    let img = match fmt {
+        Fmt::V1 => match decode_file(&bytes, opts) {
             Ok(f) => Img::Eager(f),
             Err(_) => return Ok(ByteClass::Rejected),
-        }
+        },
+        Fmt::V2 => match HliReader::open(bytes, opts) {
+            Ok(r) => Img::Lazy(r),
+            Err(_) => return Ok(ByteClass::Rejected),
+        },
+        Fmt::V3 => match HliImage::open(bytes, opts) {
+            Ok(i) => Img::ZeroCopy(i),
+            Err(_) => return Ok(ByteClass::Rejected),
+        },
     };
-    let lookup = |n: &str| match &img {
-        Img::Eager(f) => f.entry(n),
-        Img::Lazy(r) => r.get(n).ok().flatten(),
+    let lookup = |n: &str| -> Option<EntryRef<'_>> {
+        match &img {
+            Img::Eager(f) => f.entry(n).map(EntryRef::Owned),
+            Img::Lazy(r) => r.get(n).ok().flatten().map(EntryRef::Owned),
+            Img::ZeroCopy(i) => i.get_ref(n).ok().flatten(),
+        }
     };
 
     let dropped = p.unit_names.iter().filter(|n| lookup(n).is_none()).count();
@@ -258,8 +304,11 @@ fn run_byte_mutant(p: &Prep, bytes: Vec<u8>, use_v2: bool) -> Result<ByteClass, 
         // control run validated during setup.
         return Ok(ByteClass::Rejected);
     }
-    let identical_content =
-        dropped == 0 && p.clean.entries.iter().all(|clean| lookup(&clean.unit_name) == Some(clean));
+    let identical_content = dropped == 0
+        && p.clean
+            .entries
+            .iter()
+            .all(|clean| lookup(&clean.unit_name).is_some_and(|e| e.same_tables(clean)));
 
     let (gcc_prog, hli_prog, stats) = schedule(&p.rtl, &lookup);
     let quarantined = reg.snapshot().counter("backend.quarantine.units");
@@ -305,9 +354,20 @@ fn run_byte_mutant(p: &Prep, bytes: Vec<u8>, use_v2: bool) -> Result<ByteClass, 
         return Ok(ByteClass::Quarantined);
     }
 
-    // A verify-clean variant: the strictest stance — it must not be more
-    // aggressive than the clean image, and it must not miscompile. A
-    // failure here means the verifier has a gap worth closing.
+    // A verify-clean variant. For v1/v2 the strictest stance holds — it
+    // must not be more aggressive than the clean image and must not
+    // miscompile; a failure means the verifier has a gap worth closing.
+    // For v3 the fixed-word layout makes byte damage land as well-formed
+    // semantic mutations (see [`ByteClass::Caught`]), so the campaign
+    // takes the table-level stance: aggressive-but-validated variants
+    // are reported as variants, oracle-detected ones as `Caught`.
+    if fmt == Fmt::V3 {
+        return Ok(if exec_matches()? {
+            ByteClass::Variant
+        } else {
+            ByteClass::Caught
+        });
+    }
     if stats.combined_yes < p.clean_stats.combined_yes {
         return Err(format!(
             "verify-clean byte mutant went aggressive: combined {} < clean {}",
@@ -423,7 +483,7 @@ fn table_iteration(preps: &[Prep], seed: u64, k: u64) -> Result<TableClass, Stri
 fn run_table_mutant(p: &Prep, file: &HliFile, kind: &str) -> Result<TableClass, String> {
     let reg = Arc::new(MetricsRegistry::new());
     let _m = metrics::scoped(reg.clone());
-    let (gcc_prog, hli_prog, stats) = schedule(&p.rtl, &|n| file.entry(n));
+    let (gcc_prog, hli_prog, stats) = schedule(&p.rtl, &|n| file.entry(n).map(EntryRef::Owned));
     let quarantined = reg.snapshot().counter("backend.quarantine.units");
 
     if stats.total_tests != p.clean_stats.total_tests || stats.gcc_yes != p.clean_stats.gcc_yes {
@@ -513,7 +573,13 @@ fn run_quarantined(jobs: usize) -> (String, String) {
             PassSpec { mode: DepMode::GccOnly, caches: Some(&caches) },
             PassSpec { mode: DepMode::Combined, caches: Some(&caches) },
         ];
-        schedule_program_passes(&prog, &|n| hli.entry(n), &passes, &LatencyModel::default(), jobs);
+        schedule_program_passes(
+            &prog,
+            &|n| hli.entry(n).map(EntryRef::Owned),
+            &passes,
+            &LatencyModel::default(),
+            jobs,
+        );
     }
     (reg.snapshot().to_json(), provenance::to_jsonl(&sink.drain()))
 }
@@ -601,23 +667,25 @@ fn main() {
     let ks: Vec<u64> = (0..n).collect();
     let (byte_out, byte_wall) =
         hli_obs::timing::time(|| hli_harness::par_map(&ks, |&k| byte_iteration(&preps, seed, k)));
-    let mut bc = [0u64; 4];
+    let mut bc = [0u64; 5];
     for o in byte_out {
         match o {
             Ok(ByteClass::Rejected) => bc[0] += 1,
             Ok(ByteClass::Quarantined) => bc[1] += 1,
             Ok(ByteClass::Identical) => bc[2] += 1,
             Ok(ByteClass::Variant) => bc[3] += 1,
+            Ok(ByteClass::Caught) => bc[4] += 1,
             Err(e) => failures.push(e),
         }
     }
     println!(
         "byte-level ({n} mutations): {} rejected, {} quarantined, {} identical, \
-         {} verify-clean variant(s)   [{}]",
+         {} verify-clean variant(s), {} caught by differential executor   [{}]",
         bc[0],
         bc[1],
         bc[2],
         bc[3],
+        bc[4],
         hli_obs::timing::fmt_ms(byte_wall)
     );
 

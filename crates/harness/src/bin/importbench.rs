@@ -1,27 +1,35 @@
-//! `importbench` — eager-vs-lazy import, cold-vs-shared query-cache and
-//! sequential-vs-parallel driver comparison over the whole suite.
+//! `importbench` — eager-vs-lazy-vs-zero-copy import, cold-vs-shared
+//! query-cache and sequential-vs-parallel driver comparison over the
+//! whole suite.
 //!
-//! Runs the measurement pipeline over a configuration grid — the four
-//! {eager, lazy} × {per-pass, shared} cache configurations on one worker,
-//! then the two shared-cache configurations again on `--jobs N` workers
-//! (default: all CPUs) — and prints, for each configuration, the wall
-//! time, the bytes the decoder actually consumed
-//! (`hli.deserialize.bytes`), the units the v2 reader decoded, and the
-//! query-cache hit/miss/invalidate counters.
+//! Runs the measurement pipeline over a configuration grid — the
+//! {eager, lazy, zcopy} × {per-pass, shared} cache configurations on one
+//! worker, then the three shared-cache configurations again on `--jobs N`
+//! workers (default: all CPUs) — and prints, for each configuration, the
+//! wall time, the bytes the decoder actually consumed
+//! (`hli.deserialize.bytes`), the units the v2 reader decoded or the v3
+//! image structurally validated, the per-configuration peak RSS
+//! (`obs.mem.peak_rss_kb`, high-water mark reset between rows where the
+//! kernel allows), and the query-cache hit/miss/invalidate counters.
 //!
 //! The run doubles as a self-check and exits 1 if any of the claims the
 //! configurations exist to demonstrate fails to hold:
 //!
 //! * lazy import must deserialize strictly fewer bytes than eager;
+//! * zero-copy import must deserialize strictly fewer bytes than lazy —
+//!   opening an `HLI\x03` image decodes only the header, directory and
+//!   name pool, never the unit bodies;
 //! * shared caches must produce hits (the second scheduling pass re-asks
 //!   what the first already asked);
 //! * every configuration — including the multi-threaded ones — must
-//!   report identical Table-2 query counters: caching, laziness and
-//!   parallelism change cost, never answers.
+//!   report identical Table-2 query counters: caching, laziness,
+//!   zero-copy views and parallelism change cost, never answers.
 //!
-//! The lazy/shared speedup at `--jobs N` over one worker is printed; it
-//! is reported rather than hard-checked because wall-clock ratios on a
-//! loaded or single-core CI machine are not a soundness property.
+//! The lazy/shared speedup at `--jobs N` over one worker and the
+//! zero-copy peak-RSS delta against eager are printed; they are reported
+//! rather than hard-checked because wall-clock ratios and allocator
+//! high-water marks on a loaded or sandboxed CI machine are not
+//! soundness properties.
 //!
 //! Usage: `cargo run --release -p hli-harness --bin importbench [n iters]
 //! [--jobs N] [--stats text|json] [--trace-out t.json]
@@ -33,23 +41,31 @@ use hli_harness::ImportConfig;
 fn main() {
     let (scale, obs, _, jobs) = bench_args("importbench");
     let par = hli_pool::resolve_jobs(jobs).max(2);
-    let eager_shared = ImportConfig { lazy: false, shared_cache: true };
-    let lazy_shared = ImportConfig { lazy: true, shared_cache: true };
+    let eager_shared = ImportConfig { lazy: false, zero_copy: false, shared_cache: true };
+    let lazy_shared = ImportConfig { lazy: true, zero_copy: false, shared_cache: true };
+    let zcopy_shared = ImportConfig { lazy: false, zero_copy: true, shared_cache: true };
     let configs = [
         (
             "eager, per-pass caches",
-            ImportConfig { lazy: false, shared_cache: false },
+            ImportConfig { lazy: false, zero_copy: false, shared_cache: false },
             1,
         ),
         ("eager, shared caches", eager_shared, 1),
         (
             "lazy,  per-pass caches",
-            ImportConfig { lazy: true, shared_cache: false },
+            ImportConfig { lazy: true, zero_copy: false, shared_cache: false },
             1,
         ),
         ("lazy,  shared caches", lazy_shared, 1),
+        (
+            "zcopy, per-pass caches",
+            ImportConfig { lazy: false, zero_copy: true, shared_cache: false },
+            1,
+        ),
+        ("zcopy, shared caches", zcopy_shared, 1),
         ("eager, shared caches", eager_shared, par),
         ("lazy,  shared caches", lazy_shared, par),
+        ("zcopy, shared caches", zcopy_shared, par),
     ];
 
     eprintln!(
@@ -59,52 +75,73 @@ fn main() {
         scale.iters
     );
     println!(
-        "{:<24} {:>7} {:>10} {:>12} {:>9} {:>9} {:>9} {:>11}",
-        "Configuration", "threads", "wall", "deser (B)", "units", "hits", "misses", "invalidated"
+        "{:<24} {:>7} {:>10} {:>12} {:>9} {:>10} {:>9} {:>9} {:>11}",
+        "Configuration",
+        "threads",
+        "wall",
+        "deser (B)",
+        "units",
+        "peak (kB)",
+        "hits",
+        "misses",
+        "invalidated"
     );
-    println!("{}", "-".repeat(96));
+    println!("{}", "-".repeat(108));
 
+    // Reset the kernel's RSS high-water mark before each row so the peak
+    // column describes that configuration alone, not the process so far.
+    // When the reset is refused (read-only procfs) the column degrades to
+    // the process-lifetime peak and the RSS comparison is skipped.
+    let rss_resets = hli_obs::mem::reset_peak_rss();
     let mut rows = Vec::new();
     for (label, cfg, row_jobs) in configs {
+        hli_obs::mem::reset_peak_rss();
         let (reports, wall) = hli_obs::timing::time(|| collect_suite_jobs(scale, cfg, row_jobs));
+        let peak_kb = hli_obs::mem::peak_rss_kb();
         let reports = reports.unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(1);
         });
         let m = merged_metrics(&reports);
         let stats = total_query_stats(&reports);
+        // One counter per import path: the v2 reader counts decoded
+        // units, the v3 image counts structurally-validated units.
+        let units = m.counter("hli.reader.units_decoded") + m.counter("hli.image.units_validated");
         println!(
-            "{:<24} {:>7} {:>10} {:>12} {:>9} {:>9} {:>9} {:>11}",
+            "{:<24} {:>7} {:>10} {:>12} {:>9} {:>10} {:>9} {:>9} {:>11}",
             label,
             row_jobs,
             hli_obs::timing::fmt_ms(wall),
             m.counter("hli.deserialize.bytes"),
-            m.counter("hli.reader.units_decoded"),
+            units,
+            peak_kb.map(|k| k.to_string()).unwrap_or_else(|| "-".into()),
             m.counter("backend.query_cache.hit"),
             m.counter("backend.query_cache.miss"),
             m.counter("backend.query_cache.invalidate"),
         );
-        rows.push((label, cfg, row_jobs, wall, m, stats));
+        rows.push((label, cfg, row_jobs, wall, m, stats, peak_kb));
     }
 
     let mut ok = true;
-    let eager_bytes = rows
-        .iter()
-        .filter(|(_, c, ..)| !c.lazy)
-        .map(|(.., m, _)| m.counter("hli.deserialize.bytes"))
-        .max()
-        .unwrap();
-    let lazy_bytes = rows
-        .iter()
-        .filter(|(_, c, ..)| c.lazy)
-        .map(|(.., m, _)| m.counter("hli.deserialize.bytes"))
-        .max()
-        .unwrap();
+    let bytes_of = |pick: fn(&ImportConfig) -> bool| {
+        rows.iter()
+            .filter(|(_, c, ..)| pick(c))
+            .map(|(.., m, _, _)| m.counter("hli.deserialize.bytes"))
+            .max()
+            .unwrap()
+    };
+    let eager_bytes = bytes_of(|c| !c.lazy && !c.zero_copy);
+    let lazy_bytes = bytes_of(|c| c.lazy);
+    let zcopy_bytes = bytes_of(|c| c.zero_copy);
     if lazy_bytes >= eager_bytes {
         eprintln!("FAIL: lazy import deserialized {lazy_bytes} B, eager {eager_bytes} B");
         ok = false;
     }
-    for (label, cfg, row_jobs, _, m, _) in &rows {
+    if zcopy_bytes >= lazy_bytes {
+        eprintln!("FAIL: zero-copy import deserialized {zcopy_bytes} B, lazy {lazy_bytes} B");
+        ok = false;
+    }
+    for (label, cfg, row_jobs, _, m, _, _) in &rows {
         if cfg.shared_cache && m.counter("backend.query_cache.hit") == 0 {
             eprintln!(
                 "FAIL: `{label}` ({row_jobs} threads) saw no cache hits despite shared caches"
@@ -113,7 +150,7 @@ fn main() {
         }
     }
     let baseline = &rows[0].5;
-    for (label, _, row_jobs, _, _, stats) in &rows[1..] {
+    for (label, _, row_jobs, _, _, stats, _) in &rows[1..] {
         if stats != baseline {
             eprintln!(
                 "FAIL: `{label}` ({row_jobs} threads) changed the Table-2 counters: \
@@ -125,7 +162,7 @@ fn main() {
     let wall_of = |cfg: ImportConfig, j: usize| {
         rows.iter()
             .find(|(_, c, rj, ..)| *c == cfg && *rj == j)
-            .map(|(.., w, _, _)| *w)
+            .map(|(.., w, _, _, _)| *w)
             .unwrap()
     };
     let seq = wall_of(lazy_shared, 1);
@@ -140,9 +177,28 @@ fn main() {
     if speedup < 1.0 {
         eprintln!("note: no parallel speedup observed (small scale or loaded machine?)");
     }
+    let peak_of = |cfg: ImportConfig, j: usize| {
+        rows.iter().find(|(_, c, rj, ..)| *c == cfg && *rj == j).and_then(|r| r.6)
+    };
+    match (rss_resets, peak_of(eager_shared, 1), peak_of(zcopy_shared, 1)) {
+        (true, Some(eager_kb), Some(zcopy_kb)) => {
+            println!(
+                "peak RSS (1 worker, shared caches): eager {eager_kb} kB, zero-copy {zcopy_kb} kB \
+                 ({:+} kB)",
+                zcopy_kb as i64 - eager_kb as i64
+            );
+            if zcopy_kb >= eager_kb {
+                eprintln!("note: no zero-copy RSS drop observed (allocator reuse at this scale?)");
+            }
+        }
+        _ => {
+            println!("peak RSS comparison skipped (VmHWM reset or procfs unavailable)");
+        }
+    }
     println!(
-        "checks: lazy deserializes fewer bytes ({lazy_bytes} < {eager_bytes}), shared caches \
-         hit, all {} configurations agree on query counters: {}",
+        "checks: lazy deserializes fewer bytes ({lazy_bytes} < {eager_bytes}), zero-copy fewer \
+         still ({zcopy_bytes} < {lazy_bytes}), shared caches hit, all {} configurations agree \
+         on query counters: {}",
         rows.len(),
         if ok { "ok" } else { "FAILED" }
     );

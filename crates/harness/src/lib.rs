@@ -21,8 +21,9 @@ use hli_backend::ddg::{DepMode, QueryStats};
 use hli_backend::driver::{schedule_program_passes, PassSpec};
 use hli_backend::lower::lower_program;
 use hli_backend::sched::LatencyModel;
+use hli_core::image::EntryRef;
 use hli_core::serialize::{decode_file, encode_file, encode_file_v2, SerializeOpts};
-use hli_core::{HliEntry, HliReader, QueryCache};
+use hli_core::{HliImage, HliReader, QueryCache};
 use hli_frontend::{generate_hli_with, FrontendOptions};
 use hli_lang::compile_to_ast;
 use hli_machine::{r10000_cycles_per_func, r4600_cycles_per_func, R10000Config, R4600Config};
@@ -91,6 +92,10 @@ pub struct ImportConfig {
     /// units on first request, instead of eagerly decoding the whole v1
     /// image up front.
     pub lazy: bool,
+    /// Open the `HLI\x03` word-aligned image through [`HliImage`] and
+    /// serve queries from borrowed views of the image bytes — no owned
+    /// tables are decoded at all. Takes precedence over `lazy`.
+    pub zero_copy: bool,
     /// Keep one query-memo cache per function across the two scheduling
     /// passes (GCC-only then Combined) instead of starting each pass cold.
     pub shared_cache: bool,
@@ -98,7 +103,7 @@ pub struct ImportConfig {
 
 impl Default for ImportConfig {
     fn default() -> Self {
-        ImportConfig { lazy: false, shared_cache: true }
+        ImportConfig { lazy: false, zero_copy: false, shared_cache: true }
     }
 }
 
@@ -174,23 +179,31 @@ fn run_pipeline(
     // Back-end import: round-trip the HLI through its encoded image, the
     // way a separately-invoked back-end receives it (Section 3.2.1).
     // Eager decodes every unit of the v1 image up front; lazy opens the
-    // indexed `HLI\x02` image and decodes units on first request.
+    // indexed `HLI\x02` image and decodes units on first request;
+    // zero-copy opens the word-aligned `HLI\x03` image and serves borrowed
+    // views straight from the image bytes.
     let _import_span = hli_obs::span("harness.import_hli");
-    let (imported, reader) = if cfg.lazy {
+    let (imported, reader, image) = if cfg.zero_copy {
+        let bytes = hli_core::encode_file_v3(&hli, SerializeOpts::default());
+        let img = HliImage::open(bytes, SerializeOpts::default())
+            .map_err(|e| format!("{}: v3 import: {e}", b.name))?;
+        (None, None, Some(img))
+    } else if cfg.lazy {
         let bytes = encode_file_v2(&hli, SerializeOpts::default());
         let r = HliReader::open(bytes, SerializeOpts::default())
             .map_err(|e| format!("{}: v2 import: {e}", b.name))?;
-        (None, Some(r))
+        (None, Some(r), None)
     } else {
         let f = decode_file(&v1_bytes, SerializeOpts::default())
             .map_err(|e| format!("{}: v1 import: {e}", b.name))?;
-        (Some(f), None)
+        (Some(f), None, None)
     };
     drop(_import_span);
-    let lookup = |name: &str| -> Option<&HliEntry> {
-        match (&imported, &reader) {
-            (Some(f), _) => f.entry(name),
-            (_, Some(r)) => r.get(name).ok().flatten(),
+    let lookup = |name: &str| -> Option<EntryRef<'_>> {
+        match (&imported, &reader, &image) {
+            (Some(f), _, _) => f.entry(name).map(EntryRef::Owned),
+            (_, Some(r), _) => r.get(name).ok().flatten().map(EntryRef::Owned),
+            (_, _, Some(img)) => img.get_ref(name).ok().flatten(),
             _ => None,
         }
     };

@@ -10,8 +10,9 @@ use hli_obs::MetricsSnapshot;
 use hli_suite::Scale;
 
 /// Parse the command line shared by every suite-level binary —
-/// `[n iters]` plus the observability flags, `--lazy-import` and
-/// `--jobs N` — exiting with a uniform usage message on a malformed flag.
+/// `[n iters]` plus the observability flags, `--lazy-import`,
+/// `--zero-copy` and `--jobs N` — exiting with a uniform usage message on
+/// a malformed flag.
 /// `table1`, `table2` and `ablation` call this instead of keeping their
 /// own copies of the loop. The returned job count feeds
 /// [`run_suite_jobs`]: `0` (the default) means one worker per CPU.
@@ -24,8 +25,8 @@ pub fn bench_args_from(bin: &str, mut args: Vec<String>) -> (Scale, ObsArgs, Imp
     let usage = |e: String| -> ! {
         eprintln!("{bin}: {e}");
         eprintln!(
-            "usage: {bin} [n iters] [--lazy-import] [--jobs N] [--stats text|json] \
-             [--trace-out t.json] [--provenance-out p.jsonl]"
+            "usage: {bin} [n iters] [--lazy-import] [--zero-copy] [--jobs N] \
+             [--stats text|json] [--trace-out t.json] [--provenance-out p.jsonl]"
         );
         std::process::exit(1);
     };
@@ -33,11 +34,15 @@ pub fn bench_args_from(bin: &str, mut args: Vec<String>) -> (Scale, ObsArgs, Imp
     let jobs = extract_jobs(&mut args).unwrap_or_else(|e| usage(e));
     let mut cfg = ImportConfig::default();
     args.retain(|a| {
-        let hit = a == "--lazy-import";
-        if hit {
+        let lazy = a == "--lazy-import";
+        let zero = a == "--zero-copy";
+        if lazy {
             cfg.lazy = true;
         }
-        !hit
+        if zero {
+            cfg.zero_copy = true;
+        }
+        !(lazy || zero)
     });
     let n = args.first().and_then(|a| a.parse().ok()).unwrap_or(64);
     let iters = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(12);
@@ -187,8 +192,10 @@ mod tests {
         let (scale, _, cfg, jobs) =
             bench_args_from("table2", v(&["12", "--lazy-import", "--jobs", "3", "2"]));
         assert_eq!((scale.n, scale.iters), (12, 2));
-        assert!(cfg.lazy && cfg.shared_cache);
+        assert!(cfg.lazy && cfg.shared_cache && !cfg.zero_copy);
         assert_eq!(jobs, 3);
+        let (_, _, cfg, _) = bench_args_from("table2", v(&["--zero-copy"]));
+        assert!(cfg.zero_copy && !cfg.lazy);
     }
 
     #[test]

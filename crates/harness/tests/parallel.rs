@@ -11,6 +11,7 @@ use hli_backend::ddg::DepMode;
 use hli_backend::driver::{schedule_program_passes, PassSpec};
 use hli_backend::lower::lower_program;
 use hli_backend::sched::LatencyModel;
+use hli_core::image::EntryRef;
 use hli_harness::attr::rollup;
 use hli_harness::{run_suite_jobs, BenchReport, ImportConfig};
 use hli_obs::{
@@ -22,8 +23,9 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// Run the tiny suite at `jobs` under fresh scoped observability state,
-/// returning the stats-JSON and provenance-JSONL a binary would emit.
-fn suite_obs_at(jobs: usize, cfg: ImportConfig) -> (String, String) {
+/// returning the metrics snapshot and provenance-JSONL a binary would
+/// emit (`snapshot.to_json()` is the `--stats json` output).
+fn suite_obs_at(jobs: usize, cfg: ImportConfig) -> (MetricsSnapshot, String) {
     let reg = Arc::new(MetricsRegistry::new());
     let sink = Arc::new(ProvenanceSink::new());
     let ids = Arc::new(AtomicU64::new(1));
@@ -36,7 +38,7 @@ fn suite_obs_at(jobs: usize, cfg: ImportConfig) -> (String, String) {
     for r in reports {
         assert!(r.expect("benchmark must compile").validated);
     }
-    (reg.snapshot().to_json(), provenance::to_jsonl(&sink.drain()))
+    (reg.snapshot(), provenance::to_jsonl(&sink.drain()))
 }
 
 /// Compile a four-function program whose `f2` unit carries an injected
@@ -71,7 +73,13 @@ fn quarantined_obs_at(jobs: usize) -> (String, String) {
             PassSpec { mode: DepMode::GccOnly, caches: None },
             PassSpec { mode: DepMode::Combined, caches: None },
         ];
-        schedule_program_passes(&prog, &|n| hli.entry(n), &passes, &LatencyModel::default(), jobs);
+        schedule_program_passes(
+            &prog,
+            &|n| hli.entry(n).map(EntryRef::Owned),
+            &passes,
+            &LatencyModel::default(),
+            jobs,
+        );
     }
     (reg.snapshot().to_json(), provenance::to_jsonl(&sink.drain()))
 }
@@ -101,19 +109,21 @@ fn quarantine_counters_and_provenance_are_jobs_invariant() {
 #[test]
 fn jobs_one_and_jobs_eight_are_byte_identical() {
     for cfg in [
-        ImportConfig { lazy: false, shared_cache: true },
-        ImportConfig { lazy: true, shared_cache: true },
+        ImportConfig { lazy: false, zero_copy: false, shared_cache: true },
+        ImportConfig { lazy: true, zero_copy: false, shared_cache: true },
+        ImportConfig { lazy: false, zero_copy: true, shared_cache: true },
     ] {
-        let (seq_json, seq_prov) = suite_obs_at(1, cfg);
-        let (par_json, par_prov) = suite_obs_at(8, cfg);
+        let (seq_snap, seq_prov) = suite_obs_at(1, cfg);
+        let (par_snap, par_prov) = suite_obs_at(8, cfg);
+        let (seq_json, par_json) = (seq_snap.to_json(), par_snap.to_json());
         assert!(
             seq_json.contains("backend.ddg.total_tests"),
             "snapshot must carry the pipeline's counters"
         );
         assert_eq!(
             seq_json, par_json,
-            "--stats json diverges between --jobs 1 and --jobs 8 (lazy={})",
-            cfg.lazy
+            "--stats json diverges between --jobs 1 and --jobs 8 (lazy={}, zero_copy={})",
+            cfg.lazy, cfg.zero_copy
         );
         assert!(
             !seq_prov.is_empty(),
@@ -121,8 +131,56 @@ fn jobs_one_and_jobs_eight_are_byte_identical() {
         );
         assert_eq!(
             seq_prov, par_prov,
-            "--provenance-out diverges between --jobs 1 and --jobs 8 (lazy={})",
-            cfg.lazy
+            "--provenance-out diverges between --jobs 1 and --jobs 8 (lazy={}, zero_copy={})",
+            cfg.lazy, cfg.zero_copy
+        );
+    }
+}
+
+/// Counters of the layers whose answers must not depend on the import
+/// format. Import-layer metering (`hli.serialize.*`, `hli.deserialize.*`,
+/// `hli.reader.*`, `hli.image.*`, `hli.cache.*`) is excluded: the three
+/// formats meter different open/decode work *by design*, and that
+/// difference is exactly what importbench's byte checks pin.
+fn semantic_counters(snap: &MetricsSnapshot) -> Vec<(String, u64)> {
+    const PREFIXES: [&str; 5] = ["hli.query.", "backend.", "attr.", "machine.", "frontend."];
+    snap.counters
+        .iter()
+        .filter(|(k, _)| PREFIXES.iter().any(|p| k.starts_with(p)))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// The zero-copy acceptance gate: serving queries from borrowed image
+/// views instead of owned decoded tables changes *cost only, never
+/// answers*. Every query/backend/attribution/machine/front-end counter
+/// and the full provenance JSONL are byte-identical between the
+/// eager-owned and zero-copy suite runs, at 1 and at 8 workers.
+#[test]
+fn zero_copy_answers_are_byte_identical_to_owned() {
+    let owned_cfg = ImportConfig::default();
+    let zcopy_cfg = ImportConfig { lazy: false, zero_copy: true, shared_cache: true };
+    for jobs in [1usize, 8] {
+        let (owned_snap, owned_prov) = suite_obs_at(jobs, owned_cfg);
+        let (zcopy_snap, zcopy_prov) = suite_obs_at(jobs, zcopy_cfg);
+        assert!(
+            zcopy_snap.counter("hli.image.units_validated") > 0,
+            "zero-copy run must actually validate views"
+        );
+        assert_eq!(
+            zcopy_snap.counter("hli.reader.units_decoded"),
+            0,
+            "zero-copy run must not decode owned units"
+        );
+        assert_eq!(
+            semantic_counters(&owned_snap),
+            semantic_counters(&zcopy_snap),
+            "query/backend counters diverge between owned and zero-copy at --jobs {jobs}"
+        );
+        assert!(!owned_prov.is_empty(), "provenance must record scheduling decisions");
+        assert_eq!(
+            owned_prov, zcopy_prov,
+            "provenance JSONL diverges between owned and zero-copy at --jobs {jobs}"
         );
     }
 }

@@ -9,47 +9,81 @@
 /// Peak resident-set size of this process in kilobytes (`VmHWM`), or
 /// `None` off Linux / when procfs is unavailable.
 pub fn peak_rss_kb() -> Option<u64> {
-    status_field("VmHWM:")
+    rss_pair().0
 }
 
 /// Current resident-set size in kilobytes (`VmRSS`), or `None` off Linux.
 pub fn current_rss_kb() -> Option<u64> {
-    status_field("VmRSS:")
+    rss_pair().1
 }
 
+/// `(VmHWM, VmRSS)` from one read of `/proc/self/status`. Both fields
+/// come from the same snapshot: the old per-field helper read and parsed
+/// the whole file once per field, doubling the procfs traffic per stamp
+/// and letting the two values disagree about the moment they describe.
 #[cfg(target_os = "linux")]
-fn status_field(field: &str) -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    parse_status_field(&status, field)
+fn rss_pair() -> (Option<u64>, Option<u64>) {
+    match std::fs::read_to_string("/proc/self/status") {
+        Ok(status) => parse_rss_pair(&status),
+        Err(_) => (None, None),
+    }
 }
 
 #[cfg(not(target_os = "linux"))]
-fn status_field(_field: &str) -> Option<u64> {
-    None
+fn rss_pair() -> (Option<u64>, Option<u64>) {
+    (None, None)
 }
 
-/// Extract `<field> <n> kB` from a `/proc/self/status` body. Kept
-/// platform-independent so the parser is testable everywhere.
-fn parse_status_field(status: &str, field: &str) -> Option<u64> {
-    status
-        .lines()
-        .find(|l| l.starts_with(field))?
-        .split_ascii_whitespace()
-        .nth(1)?
-        .parse()
-        .ok()
+/// Extract `(VmHWM, VmRSS)` from a `/proc/self/status` body in a single
+/// pass. Kept platform-independent so the parser is testable everywhere.
+fn parse_rss_pair(status: &str) -> (Option<u64>, Option<u64>) {
+    let (mut peak, mut cur) = (None, None);
+    for line in status.lines() {
+        if line.starts_with("VmHWM:") {
+            peak = parse_kb_value(line);
+        } else if line.starts_with("VmRSS:") {
+            cur = parse_kb_value(line);
+        }
+        if peak.is_some() && cur.is_some() {
+            break;
+        }
+    }
+    (peak, cur)
+}
+
+/// Parse the `<n>` out of a `Vm...:\t  <n> kB` status line.
+fn parse_kb_value(line: &str) -> Option<u64> {
+    line.split_ascii_whitespace().nth(1)?.parse().ok()
+}
+
+/// Reset the kernel's RSS high-water mark (`VmHWM`) to the current RSS by
+/// writing `5` to `/proc/self/clear_refs`, so a caller can measure the
+/// peak of one phase rather than of the whole process lifetime. Returns
+/// `false` off Linux or when the write is not permitted (some sandboxes
+/// mount procfs read-only); callers must treat the peak as
+/// process-lifetime when it fails.
+pub fn reset_peak_rss() -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        std::fs::write("/proc/self/clear_refs", "5").is_ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
 }
 
 /// Record the `obs.mem.peak_rss_kb` / `obs.mem.current_rss_kb` gauges
 /// into `snap` (the snapshot a `--stats` emitter is about to print).
 /// Gauges are used because RSS is a level, not a monotone count; `obsdiff`
 /// skips gauges by default, so the machine-dependent values never trip
-/// the counter-determinism gates.
+/// the counter-determinism gates. One procfs read serves both gauges.
 pub fn stamp_rss(snap: &mut crate::MetricsSnapshot) {
-    if let Some(kb) = peak_rss_kb() {
+    let (peak, cur) = rss_pair();
+    if let Some(kb) = peak {
         snap.gauges.insert("obs.mem.peak_rss_kb".into(), kb as i64);
     }
-    if let Some(kb) = current_rss_kb() {
+    if let Some(kb) = cur {
         snap.gauges.insert("obs.mem.current_rss_kb".into(), kb as i64);
     }
 }
@@ -60,21 +94,47 @@ mod tests {
 
     #[test]
     fn parser_reads_kb_fields() {
+        // Field order in /proc/self/status is VmHWM before VmRSS on real
+        // kernels, but the single-pass parser must not depend on it.
         let body = "Name:\tx\nVmRSS:\t  123 kB\nVmHWM:\t  456 kB\n";
-        assert_eq!(parse_status_field(body, "VmRSS:"), Some(123));
-        assert_eq!(parse_status_field(body, "VmHWM:"), Some(456));
-        assert_eq!(parse_status_field(body, "VmSwap:"), None);
-        assert_eq!(parse_status_field("VmHWM:\tgarbage kB\n", "VmHWM:"), None);
+        assert_eq!(parse_rss_pair(body), (Some(456), Some(123)));
+        let kernel_order = "Name:\tx\nVmHWM:\t  456 kB\nVmRSS:\t  123 kB\nVmSwap:\t 0 kB\n";
+        assert_eq!(parse_rss_pair(kernel_order), (Some(456), Some(123)));
+        assert_eq!(parse_rss_pair("Name:\tx\n"), (None, None));
+        assert_eq!(parse_rss_pair("VmHWM:\tgarbage kB\nVmRSS:\t 9 kB\n"), (None, Some(9)));
+    }
+
+    #[test]
+    fn stamp_is_one_snapshot() {
+        // Regression for the double-read: both gauges must come from one
+        // parse of the same status body, so a body carrying only one of
+        // the two fields yields exactly that gauge.
+        assert_eq!(parse_rss_pair("VmHWM:\t 77 kB\n"), (Some(77), None));
+        assert_eq!(parse_rss_pair("VmRSS:\t 33 kB\n"), (None, Some(33)));
     }
 
     #[cfg(target_os = "linux")]
     #[test]
     fn linux_reports_a_nonzero_peak_at_least_current() {
-        let peak = peak_rss_kb().expect("procfs available");
-        let cur = current_rss_kb().expect("procfs available");
-        assert!(peak > 0 && peak >= cur);
+        // One snapshot: within a single read of /proc/self/status the
+        // high-water mark can never trail the current RSS. (Two separate
+        // reads — the pre-fix behaviour — can see RSS grow past a stale
+        // peak, which is precisely why `stamp_rss` reads once now.)
+        let (peak, cur) = rss_pair();
+        let peak = peak.expect("procfs available");
+        let cur = cur.expect("procfs available");
+        assert!(
+            peak > 0 && peak >= cur,
+            "peak {peak} kB < current {cur} kB in one snapshot"
+        );
         let mut snap = crate::MetricsSnapshot::default();
         stamp_rss(&mut snap);
-        assert_eq!(snap.gauges["obs.mem.peak_rss_kb"], peak as i64);
+        assert!(snap.gauges["obs.mem.peak_rss_kb"] as u64 >= peak, "VmHWM is monotone");
+        assert!(snap.gauges.contains_key("obs.mem.current_rss_kb"));
+        // Resetting the high-water mark is best-effort (read-only procfs
+        // mounts refuse the write); either way the pair must stay readable.
+        let _ = reset_peak_rss();
+        let (p2, c2) = rss_pair();
+        assert!(p2.is_some() && c2.is_some());
     }
 }

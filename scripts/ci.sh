@@ -40,8 +40,9 @@ target/release/obsreport --stats target/ci-fig45-stats.json \
   --provenance target/ci-fig45.jsonl --json \
   --compare tests/baselines/obsreport-fig45.json > /dev/null
 
-echo "== import/caching/threading smoke (lazy saves bytes, shared caches hit,"
-echo "   all 6 {import,cache,jobs} configurations agree on query counters)"
+echo "== import/caching/threading smoke (lazy saves bytes, zero-copy saves more,"
+echo "   shared caches hit, all 9 {import,cache,jobs} configurations — including"
+echo "   the owned-vs-view pairs — agree on the Table-2 query counters)"
 target/release/importbench 12 2 --jobs 4 > /dev/null
 
 echo "== faultbench smoke (seeded mutation campaign: no panics, no unsound"
