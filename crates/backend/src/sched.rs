@@ -15,7 +15,7 @@ use crate::rtl::{FBinOp, IBinOp, Insn, Op, RtlFunc};
 /// Operation latencies in cycles (defaults roughly match an R4600-class
 /// scalar core; the machine models have their own copies — the scheduler
 /// only needs relative weights).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyModel {
     pub load: u32,
     pub ialu: u32,

@@ -9,7 +9,13 @@
 //! hlicc front  <input.c> [-o out.hli]      # front end: write the HLI file
 //! hlicc back   <input.c> <in.hli> [flags]  # back end: import, schedule, run
 //! hlicc build  <input.c> [flags]           # both halves through a temp file
+//! hlicc serve  [serve flags]               # batched compile daemon (docs/SERVE.md)
 //! ```
+//!
+//! `serve` speaks NDJSON on stdin/stdout (or `--socket <path>`), answering
+//! from a persistent content-addressed cache at `--cache <dir>` (default
+//! `.hlicc-cache`); `--cache-max-mb N` bounds it, `--jobs N` sizes the
+//! miss fan-out pool. The wire and cache contract is docs/SERVE.md.
 //!
 //! Back-end flags: `--no-hli` (GCC-only build), `--dump-rtl`, `--unroll N`,
 //! `--cse`, `--licm`, `--time` (simulate on both machine models).
@@ -279,9 +285,54 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
     }
 }
 
+fn serve(rest: &[String]) {
+    let mut cfg = hli_serve::ServeConfig {
+        cache_dir: std::path::PathBuf::from(".hlicc-cache"),
+        cache_max_bytes: 0,
+        jobs: 0,
+    };
+    let mut socket: Option<std::path::PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache" => {
+                cfg.cache_dir =
+                    it.next().unwrap_or_else(|| fail("--cache needs a directory")).into();
+            }
+            "--cache-max-mb" => {
+                let mb: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--cache-max-mb needs a size"));
+                cfg.cache_max_bytes = mb * 1024 * 1024;
+            }
+            "--jobs" => {
+                cfg.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--jobs needs a worker count"));
+            }
+            "--socket" => {
+                socket = Some(it.next().unwrap_or_else(|| fail("--socket needs a path")).into());
+            }
+            other => fail(&format!("unknown serve flag `{other}`")),
+        }
+    }
+    let server = hli_serve::Server::new(cfg).unwrap_or_else(|e| fail(&format!("cache: {e}")));
+    let result = match socket {
+        Some(path) => server.run_unix(&path),
+        None => {
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            server.run(stdin.lock(), &mut stdout).map(|_| ())
+        }
+    };
+    result.unwrap_or_else(|e| fail(&format!("serve: {e}")));
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: hlicc front <input.c> [-o out.hli]\n       hlicc back <input.c> <in.hli> [--no-hli --lazy-import --jobs N --dump-rtl --unroll N --cse --licm --time]\n       hlicc build <input.c> [back-end flags]\n       (all: --stats [text|json], --trace-out <file.json>, --provenance-out <file.jsonl>)";
+    let usage = "usage: hlicc front <input.c> [-o out.hli]\n       hlicc back <input.c> <in.hli> [--no-hli --lazy-import --jobs N --dump-rtl --unroll N --cse --licm --time]\n       hlicc build <input.c> [back-end flags]\n       hlicc serve [--cache DIR --cache-max-mb N --jobs N --socket PATH]\n       (all: --stats [text|json], --trace-out <file.json>, --provenance-out <file.jsonl>)";
     let obs = hli_harness::cli::ObsArgs::extract(&mut args).unwrap_or_else(|e| fail(&e));
     let Some(cmd) = args.first() else { fail(usage) };
     match cmd.as_str() {
@@ -345,6 +396,7 @@ fn main() {
             }
             back(&input, &hli_path, flags);
         }
+        "serve" => serve(&args[1..]),
         _ => fail(usage),
     }
     obs.emit();

@@ -22,6 +22,7 @@ const DOCUMENTED_PREFIXES: &[&str] = &[
     "provenance.", // per-pass decision verdict tallies
     "obs.",        // the observability layer's own overhead (ring, trace, mem, phase)
     "attr.",       // decision-to-cycles attribution (per-function and total)
+    "serve.",      // the hlicc serve daemon: batches, cache hits/misses/bytes
 ];
 
 fn check(kind: &str, key: &str) {
@@ -43,6 +44,31 @@ fn every_pipeline_metric_key_is_in_a_documented_namespace() {
         let _m = metrics::scoped(reg.clone());
         let _s = provenance::scoped(sink.clone());
         let _i = provenance::scoped_ids(ids);
+        // A serve batch rides the same scoped registry, so the daemon's
+        // own keys (`serve.*`) are held to the same namespace contract.
+        let dir = std::env::temp_dir()
+            .join(format!("hli-metrics-namespace-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = hli_serve::Server::new(hli_serve::ServeConfig {
+            cache_dir: dir.clone(),
+            cache_max_bytes: 0,
+            jobs: 1,
+        })
+        .unwrap();
+        let req = hli_serve::Request::Compile {
+            id: 1,
+            programs: vec![hli_serve::ProgramReq {
+                name: "ns".into(),
+                source: "int main() { return 0; }\n".into(),
+                flags: hli_serve::CompileFlags::default(),
+            }],
+        };
+        let (resp, _) = server.handle_line(&req.to_line());
+        assert!(matches!(
+            hli_serve::Response::parse(&resp),
+            Ok(hli_serve::Response::Compile { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
         run_suite_jobs(Scale::tiny(), ImportConfig::default(), 2)
     };
     for r in reports {

@@ -1,0 +1,166 @@
+//! Integration gates for `hlicc serve` over the generated corpus — the
+//! docs/SERVE.md "Determinism contract" enforced in-process:
+//!
+//! * cold vs. warm runs are byte-identical in compile metrics and
+//!   provenance (only `serve.*` may differ);
+//! * `jobs = 1` vs `jobs = 8` runs are byte-identical in everything,
+//!   `serve.*` included;
+//! * the edit-recompile steady state misses exactly once per epoch
+//!   (hit rate (N−1)/N ≥ 80% for any corpus with ≥ 5 functions).
+
+use hli_obs::provenance::ProvenanceSink;
+use hli_obs::{metrics, provenance, MetricsRegistry, MetricsSnapshot};
+use hli_serve::{CompileFlags, ProgramReq, Request, Response, ServeConfig, Server};
+use hli_suite::corpus::{edit_program, generate, CorpusSpec};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hli-serve-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Three epochs of the servebench workload: pristine corpus, then two
+/// one-function edits, whole corpus resubmitted each time.
+fn workload() -> Vec<String> {
+    let spec = CorpusSpec { programs: 2, funcs: 5, seed: 0xBEEF, ..Default::default() };
+    let pristine: Vec<(String, String)> =
+        generate(&spec).into_iter().map(|b| (b.name, b.source)).collect();
+    let mut lines = Vec::new();
+    for epoch in 0..3u64 {
+        let programs = pristine
+            .iter()
+            .enumerate()
+            .map(|(pi, (name, source))| {
+                let src = match (epoch, pi) {
+                    (1, 0) | (2, 0) => edit_program(source, 1, 10 * epoch).unwrap(),
+                    _ => source.clone(),
+                };
+                ProgramReq {
+                    name: name.clone(),
+                    source: src,
+                    flags: CompileFlags::default(),
+                }
+            })
+            .collect();
+        lines.push(Request::Compile { id: epoch, programs }.to_line());
+    }
+    lines
+}
+
+struct RunOut {
+    responses: Vec<String>,
+    outcomes: Vec<(u64, u64)>,
+    snapshot: MetricsSnapshot,
+    jsonl: String,
+}
+
+fn run_at(cache_dir: &Path, jobs: usize, lines: &[String]) -> RunOut {
+    let reg = Arc::new(MetricsRegistry::new());
+    let sink = Arc::new(ProvenanceSink::new());
+    sink.set_enabled(true);
+    let _m = metrics::scoped(reg.clone());
+    let _s = provenance::scoped(sink.clone());
+    let _i = provenance::scoped_ids(Arc::new(AtomicU64::new(1)));
+    let server =
+        Server::new(ServeConfig { cache_dir: cache_dir.to_path_buf(), cache_max_bytes: 0, jobs })
+            .unwrap();
+    let responses: Vec<String> = lines.iter().map(|l| server.handle_line(l).0).collect();
+    let outcomes = responses
+        .iter()
+        .map(|r| match Response::parse(r).unwrap() {
+            Response::Compile { hits, misses, results, .. } => {
+                assert!(results.iter().all(|p| p.outcome.is_ok()));
+                (hits, misses)
+            }
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    RunOut {
+        responses,
+        outcomes,
+        snapshot: reg.snapshot(),
+        jsonl: provenance::to_jsonl(&sink.drain()),
+    }
+}
+
+fn strip_serve(snap: &MetricsSnapshot) -> String {
+    let mut s = snap.clone();
+    s.counters.retain(|k, _| !k.starts_with("serve."));
+    s.gauges.retain(|k, _| !k.starts_with("serve."));
+    s.histograms.retain(|k, _| !k.starts_with("serve."));
+    s.to_json()
+}
+
+fn neutral(line: &str) -> String {
+    let mut r = Response::parse(line).unwrap();
+    if let Response::Compile { results, hits, misses, .. } = &mut r {
+        (*hits, *misses) = (0, 0);
+        for pr in results.iter_mut() {
+            if let Ok(funcs) = &mut pr.outcome {
+                for f in funcs {
+                    f.cached = false;
+                }
+            }
+        }
+    }
+    r.to_line()
+}
+
+#[test]
+fn jobs_1_and_8_are_byte_identical_including_serve_metrics() {
+    let lines = workload();
+    let a = run_at(&tmp("j1"), 1, &lines);
+    let b = run_at(&tmp("j8"), 8, &lines);
+    assert_eq!(a.responses, b.responses, "wire payloads must not depend on pool size");
+    assert_eq!(
+        a.snapshot.to_json(),
+        b.snapshot.to_json(),
+        "metrics (serve.* included) must not depend on pool size"
+    );
+    assert_eq!(a.jsonl, b.jsonl, "provenance must not depend on pool size");
+}
+
+#[test]
+fn warm_cache_answers_are_byte_identical_to_cold_outside_serve() {
+    let dir = tmp("warmcold");
+    let lines = workload();
+    let cold = run_at(&dir, 2, &lines);
+    let warm = run_at(&dir, 2, &lines);
+    assert_eq!(
+        warm.outcomes.iter().map(|&(_, m)| m).sum::<u64>(),
+        0,
+        "warm replay all-hit"
+    );
+    assert_eq!(
+        cold.responses.iter().map(|l| neutral(l)).collect::<Vec<_>>(),
+        warm.responses.iter().map(|l| neutral(l)).collect::<Vec<_>>(),
+        "cached answers must be byte-identical to cold ones modulo cache markers"
+    );
+    assert_eq!(
+        strip_serve(&cold.snapshot),
+        strip_serve(&warm.snapshot),
+        "compile metrics must not depend on cache state"
+    );
+    assert_eq!(cold.jsonl, warm.jsonl, "provenance must not depend on cache state");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn steady_state_edit_recompile_misses_exactly_once_per_epoch() {
+    let dir = tmp("steady");
+    let lines = workload();
+    let run = run_at(&dir, 2, &lines);
+    let per_batch = 2 * (5 + 1); // programs × (funcs + main)
+    assert_eq!(run.outcomes[0], (0, per_batch), "epoch 0 is fully cold");
+    assert_eq!(run.outcomes[1], (per_batch - 1, 1), "one edit ⇒ one miss");
+    assert_eq!(run.outcomes[2], (per_batch - 1, 1), "accumulated edit ⇒ still one miss");
+    let (hits, total) = (2 * (per_batch - 1), 2 * per_batch);
+    assert!(
+        hits as f64 / total as f64 >= 0.8,
+        "steady-state hit rate below the 80% gate"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,607 @@
+//! The NDJSON wire protocol — request/response types and their canonical
+//! codecs, normative in docs/SERVE.md ("Wire framing").
+//!
+//! Emission is canonical: a fixed field order, `", "` separators, full
+//! (defaulted) `flags` objects. Parsing is lenient where the doc says so
+//! (`flags` and its fields may be omitted) and strict everywhere else.
+//! `crates/serve/tests/docpin.rs` parses the doc's example lines and
+//! re-emits them byte-for-byte, so these codecs and the doc cannot
+//! drift apart.
+//!
+//! 64-bit hashes travel as 16-hex-digit *strings* (`key`, `sched_hash`):
+//! JSON numbers round-trip through `f64` in our std-only parser and
+//! would silently lose low bits past 2^53.
+
+use hli_backend::ddg::{DepMode, QueryStats};
+use hli_backend::sched::LatencyModel;
+use hli_obs::json::{self, escape_into, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Dependence-combination mode of the scheduling pass (a cache-key
+/// component).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// `gcc_value * hli_value` — the paper's shipped configuration.
+    #[default]
+    Combined,
+    /// GCC's own dependence test only (the no-HLI baseline).
+    GccOnly,
+    /// HLI answers only (the paper's measured-not-shipped column).
+    HliOnly,
+}
+
+impl Mode {
+    /// The canonical wire string (also the cache-key component bytes).
+    pub fn canonical(&self) -> &'static str {
+        match self {
+            Mode::Combined => "combined",
+            Mode::GccOnly => "gcc-only",
+            Mode::HliOnly => "hli-only",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Mode> {
+        match s {
+            "combined" => Some(Mode::Combined),
+            "gcc-only" => Some(Mode::GccOnly),
+            "hli-only" => Some(Mode::HliOnly),
+            _ => None,
+        }
+    }
+
+    /// The back-end driver mode this wire mode selects.
+    pub fn dep_mode(&self) -> DepMode {
+        match self {
+            Mode::Combined => DepMode::Combined,
+            Mode::GccOnly => DepMode::GccOnly,
+            Mode::HliOnly => DepMode::HliOnly,
+        }
+    }
+}
+
+/// Target machine model (a cache-key component): picks the scheduler's
+/// latency table, so the two machines genuinely produce different
+/// schedules for latency-sensitive code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Machine {
+    /// In-order MIPS R4600-ish weights ([`LatencyModel::default`]).
+    #[default]
+    R4600,
+    /// Out-of-order MIPS R10000-ish weights: faster FP and divide,
+    /// slower loads (cache-miss-exposed), cheap calls.
+    R10000,
+}
+
+impl Machine {
+    pub fn canonical(&self) -> &'static str {
+        match self {
+            Machine::R4600 => "r4600",
+            Machine::R10000 => "r10000",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Machine> {
+        match s {
+            "r4600" => Some(Machine::R4600),
+            "r10000" => Some(Machine::R10000),
+            _ => None,
+        }
+    }
+
+    /// The latency model the scheduler runs with.
+    pub fn latency(&self) -> LatencyModel {
+        match self {
+            Machine::R4600 => LatencyModel::default(),
+            Machine::R10000 => LatencyModel {
+                load: 3,
+                ialu: 1,
+                imul: 6,
+                idiv: 20,
+                fadd: 2,
+                fmul: 2,
+                fdiv: 12,
+                call: 1,
+            },
+        }
+    }
+}
+
+/// Per-program compile flags. `mode` and `machine` are cache-key
+/// components; `dump` only widens the response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompileFlags {
+    pub mode: Mode,
+    pub machine: Machine,
+    /// Return the scheduled RTL text per function.
+    pub dump: bool,
+}
+
+impl CompileFlags {
+    fn emit_into(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"mode\": \"{}\", \"machine\": \"{}\", \"dump\": {}}}",
+            self.mode.canonical(),
+            self.machine.canonical(),
+            self.dump
+        );
+    }
+
+    fn from_json(v: Option<&Json>) -> Result<CompileFlags, String> {
+        let mut flags = CompileFlags::default();
+        let Some(v) = v else { return Ok(flags) };
+        if let Some(m) = v.get("mode") {
+            let s = m.as_str().ok_or("`flags.mode` must be a string")?;
+            flags.mode = Mode::parse(s).ok_or_else(|| format!("unknown mode `{s}`"))?;
+        }
+        if let Some(m) = v.get("machine") {
+            let s = m.as_str().ok_or("`flags.machine` must be a string")?;
+            flags.machine = Machine::parse(s).ok_or_else(|| format!("unknown machine `{s}`"))?;
+        }
+        if let Some(d) = v.get("dump") {
+            flags.dump = match d {
+                Json::Bool(b) => *b,
+                _ => return Err("`flags.dump` must be a bool".into()),
+            };
+        }
+        Ok(flags)
+    }
+}
+
+/// One program inside a compile batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramReq {
+    pub name: String,
+    pub source: String,
+    pub flags: CompileFlags,
+}
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Compile { id: u64, programs: Vec<ProgramReq> },
+    Stats { id: u64 },
+    Shutdown { id: u64 },
+}
+
+fn num_u64(v: &Json) -> Option<u64> {
+    let n = v.as_num()?;
+    (n >= 0.0 && n.fract() == 0.0 && n <= (1u64 << 53) as f64).then_some(n as u64)
+}
+
+fn req_id(v: &Json) -> Result<u64, String> {
+    v.get("id")
+        .and_then(num_u64)
+        .ok_or_else(|| "missing or non-integer `id`".to_string())
+}
+
+impl Request {
+    /// Parse one request line (the inverse of [`Request::to_line`]).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = json::parse(line).map_err(|e| format!("parse error: {e}"))?;
+        let op = v.get("op").and_then(Json::as_str).ok_or("missing string field `op`")?;
+        match op {
+            "compile" => {
+                let id = req_id(&v)?;
+                let programs = v
+                    .get("programs")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing array field `programs`")?
+                    .iter()
+                    .map(|p| {
+                        let field = |k: &str| {
+                            p.get(k)
+                                .and_then(Json::as_str)
+                                .map(str::to_owned)
+                                .ok_or_else(|| format!("program missing string field `{k}`"))
+                        };
+                        Ok(ProgramReq {
+                            name: field("name")?,
+                            source: field("source")?,
+                            flags: CompileFlags::from_json(p.get("flags"))?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Request::Compile { id, programs })
+            }
+            "stats" => Ok(Request::Stats { id: req_id(&v)? }),
+            "shutdown" => Ok(Request::Shutdown { id: req_id(&v)? }),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// Canonical one-line rendering (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut s = String::new();
+        match self {
+            Request::Compile { id, programs } => {
+                let _ = write!(s, "{{\"op\": \"compile\", \"id\": {id}, \"programs\": [");
+                for (i, p) in programs.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str("{\"name\": ");
+                    escape_into(&mut s, &p.name);
+                    s.push_str(", \"source\": ");
+                    escape_into(&mut s, &p.source);
+                    s.push_str(", \"flags\": ");
+                    p.flags.emit_into(&mut s);
+                    s.push('}');
+                }
+                s.push_str("]}");
+            }
+            Request::Stats { id } => {
+                let _ = write!(s, "{{\"op\": \"stats\", \"id\": {id}}}");
+            }
+            Request::Shutdown { id } => {
+                let _ = write!(s, "{{\"op\": \"shutdown\", \"id\": {id}}}");
+            }
+        }
+        s
+    }
+}
+
+/// One function's answer inside a compile response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncResult {
+    pub function: String,
+    /// 16-hex cache key.
+    pub key: String,
+    /// `true` when answered from the cache (`"source": "cache"`).
+    pub cached: bool,
+    /// 16-hex FNV-1a 64 of the scheduled RTL dump.
+    pub sched_hash: String,
+    pub stats: QueryStats,
+    /// The scheduled RTL text, present iff the request set `flags.dump`.
+    pub dump: Option<String>,
+}
+
+/// One program's answer: name-sorted function results, or the front-end
+/// diagnostic that stopped it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramResult {
+    pub program: String,
+    pub outcome: Result<Vec<FuncResult>, String>,
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Compile {
+        id: u64,
+        results: Vec<ProgramResult>,
+        hits: u64,
+        misses: u64,
+    },
+    Stats {
+        id: u64,
+        stats: BTreeMap<String, u64>,
+    },
+    Shutdown {
+        id: u64,
+    },
+    Error {
+        id: Option<u64>,
+        error: String,
+    },
+}
+
+fn emit_stats(out: &mut String, q: &QueryStats) {
+    let _ = write!(
+        out,
+        "{{\"total_tests\": {}, \"gcc_yes\": {}, \"hli_yes\": {}, \
+         \"combined_yes\": {}, \"call_queries\": {}}}",
+        q.total_tests, q.gcc_yes, q.hli_yes, q.combined_yes, q.call_queries
+    );
+}
+
+fn parse_stats(v: &Json) -> Result<QueryStats, String> {
+    let f = |k: &str| {
+        v.get(k)
+            .and_then(num_u64)
+            .ok_or_else(|| format!("stats missing integer field `{k}`"))
+    };
+    Ok(QueryStats {
+        total_tests: f("total_tests")?,
+        gcc_yes: f("gcc_yes")?,
+        hli_yes: f("hli_yes")?,
+        combined_yes: f("combined_yes")?,
+        call_queries: f("call_queries")?,
+    })
+}
+
+impl Response {
+    fn head(id: Option<u64>) -> String {
+        let mut s = format!(
+            "{{\"schema_version\": {}, \"serve_version\": {}, \"id\": ",
+            hli_obs::SCHEMA_VERSION,
+            crate::SERVE_VERSION
+        );
+        match id {
+            Some(id) => {
+                let _ = write!(s, "{id}");
+            }
+            None => s.push_str("null"),
+        }
+        s
+    }
+
+    /// Canonical one-line rendering (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Compile { id, results, hits, misses } => {
+                let mut s = Self::head(Some(*id));
+                s.push_str(", \"results\": [");
+                for (i, r) in results.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str("{\"program\": ");
+                    escape_into(&mut s, &r.program);
+                    match &r.outcome {
+                        Ok(funcs) => {
+                            s.push_str(", \"status\": \"ok\", \"functions\": [");
+                            for (j, f) in funcs.iter().enumerate() {
+                                if j > 0 {
+                                    s.push_str(", ");
+                                }
+                                s.push_str("{\"function\": ");
+                                escape_into(&mut s, &f.function);
+                                let _ = write!(
+                                    s,
+                                    ", \"key\": \"{}\", \"source\": \"{}\", \
+                                     \"sched_hash\": \"{}\", \"stats\": ",
+                                    f.key,
+                                    if f.cached { "cache" } else { "cold" },
+                                    f.sched_hash
+                                );
+                                emit_stats(&mut s, &f.stats);
+                                if let Some(d) = &f.dump {
+                                    s.push_str(", \"dump\": ");
+                                    escape_into(&mut s, d);
+                                }
+                                s.push('}');
+                            }
+                            s.push_str("]}");
+                        }
+                        Err(e) => {
+                            s.push_str(", \"status\": \"error\", \"error\": ");
+                            escape_into(&mut s, e);
+                            s.push('}');
+                        }
+                    }
+                }
+                let _ = write!(s, "], \"cache\": {{\"hits\": {hits}, \"misses\": {misses}}}}}");
+                s
+            }
+            Response::Stats { id, stats } => {
+                let mut s = Self::head(Some(*id));
+                s.push_str(", \"stats\": {");
+                for (i, (k, v)) in stats.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    escape_into(&mut s, k);
+                    let _ = write!(s, ": {v}");
+                }
+                s.push_str("}}");
+                s
+            }
+            Response::Shutdown { id } => {
+                let mut s = Self::head(Some(*id));
+                s.push_str(", \"ok\": true}");
+                s
+            }
+            Response::Error { id, error } => {
+                let mut s = Self::head(*id);
+                s.push_str(", \"error\": ");
+                escape_into(&mut s, error);
+                s.push('}');
+                s
+            }
+        }
+    }
+
+    /// Parse one response line (the inverse of [`Response::to_line`]).
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let v = json::parse(line).map_err(|e| format!("parse error: {e}"))?;
+        let id = match v.get("id") {
+            Some(Json::Null) => None,
+            Some(n) => Some(num_u64(n).ok_or("`id` must be an integer or null")?),
+            None => return Err("missing field `id`".into()),
+        };
+        if let Some(e) = v.get("error") {
+            let error = e.as_str().ok_or("`error` must be a string")?.to_string();
+            return Ok(Response::Error { id, error });
+        }
+        let id = id.ok_or("non-error response with null `id`")?;
+        if let Some(results) = v.get("results") {
+            let results = results
+                .as_arr()
+                .ok_or("`results` must be an array")?
+                .iter()
+                .map(parse_program_result)
+                .collect::<Result<Vec<_>, String>>()?;
+            let cache = v.get("cache").ok_or("missing field `cache`")?;
+            let hits = cache.get("hits").and_then(num_u64).ok_or("missing `cache.hits`")?;
+            let misses = cache.get("misses").and_then(num_u64).ok_or("missing `cache.misses`")?;
+            return Ok(Response::Compile { id, results, hits, misses });
+        }
+        if let Some(stats) = v.get("stats") {
+            let Json::Obj(m) = stats else {
+                return Err("`stats` must be an object".into());
+            };
+            let stats = m
+                .iter()
+                .map(|(k, v)| {
+                    num_u64(v)
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| format!("non-integer stats value for `{k}`"))
+                })
+                .collect::<Result<BTreeMap<_, _>, String>>()?;
+            return Ok(Response::Stats { id, stats });
+        }
+        if v.get("ok") == Some(&Json::Bool(true)) {
+            return Ok(Response::Shutdown { id });
+        }
+        Err("unrecognized response shape".into())
+    }
+}
+
+fn parse_program_result(v: &Json) -> Result<ProgramResult, String> {
+    let program = v
+        .get("program")
+        .and_then(Json::as_str)
+        .ok_or("result missing `program`")?
+        .to_string();
+    let status = v.get("status").and_then(Json::as_str).ok_or("result missing `status`")?;
+    let outcome = match status {
+        "ok" => Ok(v
+            .get("functions")
+            .and_then(Json::as_arr)
+            .ok_or("ok result missing `functions`")?
+            .iter()
+            .map(parse_func_result)
+            .collect::<Result<Vec<_>, String>>()?),
+        "error" => Err(v
+            .get("error")
+            .and_then(Json::as_str)
+            .ok_or("error result missing `error`")?
+            .to_string()),
+        other => return Err(format!("unknown status `{other}`")),
+    };
+    Ok(ProgramResult { program, outcome })
+}
+
+fn parse_func_result(v: &Json) -> Result<FuncResult, String> {
+    let field = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("function result missing `{k}`"))
+    };
+    let cached = match field("source")?.as_str() {
+        "cache" => true,
+        "cold" => false,
+        other => return Err(format!("unknown source `{other}`")),
+    };
+    Ok(FuncResult {
+        function: field("function")?,
+        key: field("key")?,
+        cached,
+        sched_hash: field("sched_hash")?,
+        stats: parse_stats(v.get("stats").ok_or("function result missing `stats`")?)?,
+        dump: v.get("dump").and_then(Json::as_str).map(str::to_owned),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile_req() -> Request {
+        Request::Compile {
+            id: 7,
+            programs: vec![ProgramReq {
+                name: "p\"0".into(),
+                source: "int main() {\n    return 0;\n}\n".into(),
+                flags: CompileFlags { dump: true, ..Default::default() },
+            }],
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            compile_req(),
+            Request::Stats { id: 0 },
+            Request::Shutdown { id: 9 },
+        ] {
+            let line = req.to_line();
+            assert_eq!(Request::parse(&line).unwrap(), req, "{line}");
+            // Canonical emission is a fixed point.
+            assert_eq!(Request::parse(&line).unwrap().to_line(), line);
+        }
+    }
+
+    #[test]
+    fn request_flags_default_when_omitted() {
+        let r = Request::parse(
+            r#"{"op": "compile", "id": 1, "programs": [{"name": "a", "source": "s"}]}"#,
+        )
+        .unwrap();
+        let Request::Compile { programs, .. } = r else { panic!() };
+        assert_eq!(programs[0].flags, CompileFlags::default());
+        let r = Request::parse(
+            r#"{"op": "compile", "id": 1, "programs": [{"name": "a", "source": "s", "flags": {"machine": "r10000"}}]}"#,
+        )
+        .unwrap();
+        let Request::Compile { programs, .. } = r else { panic!() };
+        assert_eq!(programs[0].flags.machine, Machine::R10000);
+        assert_eq!(programs[0].flags.mode, Mode::Combined);
+    }
+
+    #[test]
+    fn request_rejects_malformed() {
+        for bad in [
+            "",
+            "{}",
+            r#"{"op": "compile"}"#,
+            r#"{"op": "compile", "id": 1}"#,
+            r#"{"op": "compile", "id": -1, "programs": []}"#,
+            r#"{"op": "nope", "id": 1}"#,
+            r#"{"op": "compile", "id": 1, "programs": [{"name": "a"}]}"#,
+            r#"{"op": "compile", "id": 1, "programs": [{"name": "a", "source": "s", "flags": {"mode": "O3"}}]}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::Compile {
+            id: 7,
+            results: vec![
+                ProgramResult {
+                    program: "a".into(),
+                    outcome: Ok(vec![FuncResult {
+                        function: "f0".into(),
+                        key: "0123456789abcdef".into(),
+                        cached: true,
+                        sched_hash: "fedcba9876543210".into(),
+                        stats: QueryStats {
+                            total_tests: 4,
+                            gcc_yes: 3,
+                            hli_yes: 2,
+                            combined_yes: 2,
+                            call_queries: 1,
+                        },
+                        dump: Some("func f0:\n  1 @2 nop\n".into()),
+                    }]),
+                },
+                ProgramResult {
+                    program: "b".into(),
+                    outcome: Err("line 3: expected `;`".into()),
+                },
+            ],
+            hits: 1,
+            misses: 0,
+        };
+        let stats = Response::Stats {
+            id: 8,
+            stats: [("serve.batches".to_string(), 3u64)].into_iter().collect(),
+        };
+        let err = Response::Error { id: None, error: "parse error: bad".into() };
+        for r in [resp, stats, Response::Shutdown { id: 9 }, err] {
+            let line = r.to_line();
+            assert_eq!(Response::parse(&line).unwrap(), r, "{line}");
+            assert_eq!(Response::parse(&line).unwrap().to_line(), line);
+        }
+    }
+
+    #[test]
+    fn machines_have_distinct_latency_models() {
+        assert_ne!(Machine::R4600.latency(), Machine::R10000.latency());
+    }
+}

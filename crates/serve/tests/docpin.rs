@@ -1,0 +1,102 @@
+//! Pins docs/SERVE.md to the implementation: every ```json example line
+//! in the doc must round-trip byte-for-byte through the wire codecs, and
+//! the documented compile/shutdown exchanges must be answered *exactly*
+//! as printed by a live server. The doc is the contract; this test is
+//! what stops the contract and the code from drifting apart.
+
+use hli_serve::{Request, Response, ServeConfig, Server};
+use std::path::PathBuf;
+
+const DOC: &str = include_str!("../../../docs/SERVE.md");
+
+/// The doc's ```json fences, in order: compile request, compile
+/// response, stats request, stats response, shutdown request, shutdown
+/// response, error response.
+fn json_blocks() -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut cur: Option<String> = None;
+    for line in DOC.lines() {
+        match (&mut cur, line.trim_end()) {
+            (None, "```json") => cur = Some(String::new()),
+            (Some(b), "```") => {
+                blocks.push(b.trim_end().to_string());
+                cur = None;
+            }
+            (Some(b), l) => {
+                b.push_str(l);
+                b.push('\n');
+            }
+            (None, _) => {}
+        }
+    }
+    assert!(cur.is_none(), "unterminated ```json fence in docs/SERVE.md");
+    blocks
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hli-serve-docpin-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn every_documented_example_line_reemits_byte_for_byte() {
+    let blocks = json_blocks();
+    assert_eq!(
+        blocks.len(),
+        7,
+        "docs/SERVE.md example inventory changed — update docpin.rs"
+    );
+    for (i, is_request) in [(0, true), (2, true), (4, true)].iter().map(|&(i, r)| (i, r)) {
+        let _ = is_request;
+        let line = &blocks[i];
+        let req = Request::parse(line).unwrap_or_else(|e| panic!("doc block {i}: {e}\n{line}"));
+        assert_eq!(req.to_line(), *line, "doc request block {i} is not canonical");
+    }
+    for i in [1, 3, 5, 6] {
+        let line = &blocks[i];
+        let resp = Response::parse(line).unwrap_or_else(|e| panic!("doc block {i}: {e}\n{line}"));
+        assert_eq!(resp.to_line(), *line, "doc response block {i} is not canonical");
+    }
+}
+
+#[test]
+fn documented_compile_exchange_matches_a_live_server() {
+    let blocks = json_blocks();
+    let dir = tmp("compile");
+    let reg = std::sync::Arc::new(hli_obs::MetricsRegistry::new());
+    let _g = hli_obs::metrics::scoped(reg);
+    let server =
+        Server::new(ServeConfig { cache_dir: dir.clone(), cache_max_bytes: 0, jobs: 1 }).unwrap();
+    // Cold: the doc's compile request must be answered with exactly the
+    // doc's compile response — real key, real sched_hash, real stats.
+    let (line, shutdown) = server.handle_line(&blocks[0]);
+    assert!(!shutdown);
+    assert_eq!(
+        line, blocks[1],
+        "docs/SERVE.md compile response drifted from the daemon"
+    );
+    // Warm: same request again is a pure cache hit with the same
+    // key/hash/stats payload.
+    let (warm, _) = server.handle_line(&blocks[0]);
+    assert_eq!(
+        warm,
+        blocks[1]
+            .replace("\"source\": \"cold\"", "\"source\": \"cache\"")
+            .replace("{\"hits\": 0, \"misses\": 1}", "{\"hits\": 1, \"misses\": 0}"),
+        "warm answer must differ only in source + hit counters"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn documented_shutdown_exchange_matches_a_live_server() {
+    let blocks = json_blocks();
+    let dir = tmp("shutdown");
+    let server =
+        Server::new(ServeConfig { cache_dir: dir.clone(), cache_max_bytes: 0, jobs: 1 }).unwrap();
+    let (line, shutdown) = server.handle_line(&blocks[4]);
+    assert!(shutdown, "shutdown request must stop the read loop");
+    assert_eq!(line, blocks[5]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -132,6 +132,38 @@ pub fn generate(spec: &CorpusSpec) -> Vec<Benchmark> {
         .collect()
 }
 
+/// Apply a line-count-preserving one-constant edit to function `f<func>`
+/// of a generated program: the seed statement `    t = <k+3>;` right
+/// after the declarations becomes `    t = <k+3+delta>;`. Returns `None`
+/// when the function (or its seed statement) is not present.
+///
+/// Because the edit rewrites digits on one existing line, every other
+/// function keeps its exact source text *and* source line numbers, so
+/// its lowered RTL and HLI unit are byte-identical to the pristine
+/// program's. `servebench` leans on that to get exactly one cache miss
+/// per steady-state epoch.
+pub fn edit_program(source: &str, func: usize, delta: u64) -> Option<String> {
+    let header = format!("int f{func}(int *p, int *q, int n) {{\n");
+    let body_at = source.find(&header)? + header.len();
+    const PAT: &str = "    t = ";
+    let mut at = body_at;
+    loop {
+        let num_at = at + source[at..].find(PAT)? + PAT.len();
+        let digits = source[num_at..].bytes().take_while(|b| b.is_ascii_digit()).count();
+        // Only the pure-constant seed assignment qualifies; expressions
+        // (`t = t + …`, `t = ((t * 5) …`) fall through to the next line.
+        if digits > 0 && source[num_at + digits..].starts_with(";\n") {
+            let n: u64 = source[num_at..num_at + digits].parse().ok()?;
+            let mut out = String::with_capacity(source.len() + 4);
+            out.push_str(&source[..num_at]);
+            let _ = write!(out, "{}", n + delta);
+            out.push_str(&source[num_at + digits..]);
+            return Some(out);
+        }
+        at = num_at;
+    }
+}
+
 /// Parent of function `k` (`None` for roots) under the spec's shape.
 fn parent_of(shape: CallShape, k: usize) -> Option<usize> {
     if k == 0 {
@@ -403,6 +435,24 @@ mod tests {
         assert!(has_depth3, "depth-3 spec never generated a depth-3 nest");
         let flat = generate(&CorpusSpec { max_loop_depth: 1, seed: 7, ..Default::default() });
         assert!(flat.iter().all(|b| !b.source.contains("for (j = 0")));
+    }
+
+    #[test]
+    fn edit_program_changes_one_line_and_nothing_else() {
+        let spec = CorpusSpec::smoke();
+        let src = generate_program(&spec, 0);
+        let edited = edit_program(&src, 1, 10).unwrap();
+        assert_eq!(src.lines().count(), edited.lines().count(), "line count preserved");
+        let diffs: Vec<(&str, &str)> =
+            src.lines().zip(edited.lines()).filter(|(a, b)| a != b).collect();
+        assert_eq!(diffs.len(), 1, "exactly one line differs");
+        assert_eq!(diffs[0], ("    t = 4;", "    t = 14;"), "f1's seed constant (1+3)");
+        // Deterministic, and the edited program still compiles and runs.
+        assert_eq!(edit_program(&src, 1, 10).unwrap(), edited);
+        let (p, s) = compile_to_ast(&edited).unwrap();
+        run_program_limited(&p, &s, 10_000_000).unwrap();
+        // Unknown function index: no silent fallback edit.
+        assert!(edit_program(&src, spec.funcs + 7, 1).is_none());
     }
 
     #[test]

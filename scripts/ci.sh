@@ -58,4 +58,8 @@ target/release/perfbench --seeds 7 --programs 3 --funcs 10 --jobs 4 > /dev/null
 echo "== perfbench regression gate (counters exact, times/rates/RSS soft)"
 target/release/perfbench --compare BENCH_6.json > /dev/null
 
+echo "== servebench check (docs/SERVE.md determinism contract: jobs-1-vs-8 and"
+echo "   cold-vs-warm byte identity, steady-state hit rate >= 80%)"
+target/release/servebench --programs 2 --funcs 5 --epochs 3 --jobs 4 --check > /dev/null
+
 echo "CI green."
