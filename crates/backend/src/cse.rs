@@ -19,12 +19,7 @@ use crate::mapping::HliMap;
 use crate::rtl::{InsnId, MemRef, Op, RtlFunc};
 use hli_core::maintain;
 use hli_core::{CachedQuery, HliEntry, ItemId, QueryCache};
-
-/// Estimated cycles saved by keeping one available entry across a call:
-/// the reload it avoids, at the default scheduler load latency
-/// ([`crate::sched::LatencyModel::load`] = 2). Documented in DESIGN.md
-/// under "Estimated-benefit models".
-const EST_LOAD_CYCLES: u64 = 2;
+use hli_lir::{MachineBackend, OpClass};
 
 /// Outcome of running CSE on one function.
 #[derive(Debug, Clone)]
@@ -54,7 +49,12 @@ pub fn cse_function(
     f: &RtlFunc,
     mut hli: Option<(&mut HliEntry, &mut HliMap)>,
     mode: DepMode,
+    mach: &dyn MachineBackend,
 ) -> CseResult {
+    // Estimated cycles saved by keeping one available entry across a
+    // call: the reload it avoids, at the active machine's load latency
+    // (DESIGN.md, "Estimated-benefit models").
+    let est_load_cycles = mach.class_latency(OpClass::Load);
     let use_hli = matches!(mode, DepMode::HliOnly | DepMode::Combined) && hli.is_some();
     // Queries need an immutable view; clone the entry for querying and
     // apply maintenance afterwards.
@@ -158,7 +158,7 @@ pub fn cse_function(
                                     span,
                                     // A kept entry saves the reload the purge
                                     // would have forced: one load latency.
-                                    est_cycles: if purge { 0 } else { EST_LOAD_CYCLES },
+                                    est_cycles: if purge { 0 } else { est_load_cycles },
                                     hli_queries: q.queries_since(mark),
                                     verdict,
                                 });
@@ -274,11 +274,16 @@ mod tests {
             let hli = generate_hli(&p, &s);
             let mut entry = hli.entry(func).unwrap().clone();
             let mut map = map_function(f, &entry);
-            let r = cse_function(f, Some((&mut entry, &mut map)), mode);
+            let r = cse_function(
+                f,
+                Some((&mut entry, &mut map)),
+                mode,
+                &hli_lir::TableBackend::scalar(),
+            );
             assert!(entry.validate().is_empty(), "{:?}", entry.validate());
             r
         } else {
-            cse_function(f, None, mode)
+            cse_function(f, None, mode, &hli_lir::TableBackend::scalar())
         }
     }
 
@@ -380,7 +385,12 @@ mod tests {
         let mut entry = hli.entry("main").unwrap().clone();
         let before = entry.line_table.item_count();
         let mut map = map_function(f, &entry);
-        let r = cse_function(f, Some((&mut entry, &mut map)), DepMode::Combined);
+        let r = cse_function(
+            f,
+            Some((&mut entry, &mut map)),
+            DepMode::Combined,
+            &hli_lir::TableBackend::scalar(),
+        );
         assert_eq!(entry.line_table.item_count(), before - r.deleted_items.len());
         assert!(entry.validate().is_empty());
         // The mapping no longer mentions deleted items.

@@ -40,9 +40,10 @@
 
 use crate::ddg::{DepMode, HliSide, QueryStats};
 use crate::rtl::RtlProgram;
-use crate::sched::{schedule_function, LatencyModel, SchedResult};
+use crate::sched::{schedule_function, SchedResult};
 use hli_core::image::EntryRef;
 use hli_core::QueryCache;
+use hli_lir::MachineBackend;
 use std::collections::HashMap;
 
 /// Record one quarantined unit: bump the `backend.quarantine.*` counters
@@ -131,7 +132,7 @@ pub fn schedule_program_passes<'h>(
     prog: &RtlProgram,
     lookup: &(dyn Fn(&str) -> Option<EntryRef<'h>> + Sync),
     passes: &[PassSpec<'_>],
-    lat: &LatencyModel,
+    mach: &dyn MachineBackend,
     jobs: usize,
 ) -> Vec<(RtlProgram, QueryStats)> {
     let _t = hli_obs::phase::timed("backend.schedule");
@@ -165,9 +166,9 @@ pub fn schedule_program_passes<'h>(
                             let q = cache.attach_ref(e);
                             let map = crate::mapping::map_function_ref(f, e);
                             let side = HliSide { query: &q, map: &map };
-                            schedule_function(f, Some(&side), pass.mode, lat)
+                            schedule_function(f, Some(&side), pass.mode, mach)
                         }
-                        None => schedule_function(f, None, DepMode::GccOnly, lat),
+                        None => schedule_function(f, None, DepMode::GccOnly, mach),
                     }
                 })
                 .collect::<Vec<SchedResult>>()
@@ -246,7 +247,7 @@ mod tests {
                 &prog,
                 &|n| hli.entry(n).map(EntryRef::Owned),
                 &passes,
-                &LatencyModel::default(),
+                &hli_lir::TableBackend::scalar(),
                 jobs,
             )
         };
@@ -313,7 +314,7 @@ mod tests {
                 &prog,
                 &|n| hli.entry(n).map(EntryRef::Owned),
                 &passes,
-                &LatencyModel::default(),
+                &hli_lir::TableBackend::scalar(),
                 jobs,
             )
         };
@@ -344,7 +345,7 @@ mod tests {
                 }
             },
             &passes,
-            &LatencyModel::default(),
+            &hli_lir::TableBackend::scalar(),
             1,
         );
         for ((qp, qs), (cp, cs)) in quarantined.iter().zip(control.iter()) {
@@ -394,14 +395,14 @@ mod tests {
             &prog,
             &|n| hli.entry(n).map(EntryRef::Owned),
             &passes,
-            &LatencyModel::default(),
+            &hli_lir::TableBackend::scalar(),
             2,
         );
         let no_map = schedule_program_passes(
             &prog,
             &|n| hli.entry(n).map(EntryRef::Owned),
             &[PassSpec { mode: DepMode::Combined, caches: None }],
-            &LatencyModel::default(),
+            &hli_lir::TableBackend::scalar(),
             2,
         );
         assert_eq!(with_map[0].0, no_map[0].0);

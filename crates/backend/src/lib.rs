@@ -21,8 +21,13 @@
 //! * [`ddg`] — data dependence graph construction for the scheduler with
 //!   the Figure-5 combiner (`gcc_value * hli_value`) and the Table-2 query
 //!   counters;
+//! * [`lir`] — RTL → canonical-LIR lowering: the pre-resolved op-class /
+//!   operand-kind view ([`hli_lir`]) the scheduler and benefit estimators
+//!   price instructions through, against the active
+//!   [`hli_lir::MachineBackend`];
 //! * [`sched`] — a basic-block list scheduler (the paper's experiments
-//!   schedule within basic blocks only);
+//!   schedule within basic blocks only); latencies and issue width come
+//!   from the machine backend, never from a scheduler-private table;
 //! * [`cse`] — local common-subexpression elimination with the Figure-4
 //!   REF/MOD-selective purge on calls;
 //! * [`licm`] — loop-invariant load hoisting with alias/REF/MOD legality
@@ -38,6 +43,7 @@ pub mod ddg;
 pub mod driver;
 pub mod gccdep;
 pub mod licm;
+pub mod lir;
 pub mod lower;
 pub mod mapping;
 pub mod rtl;
@@ -47,6 +53,7 @@ pub mod unroll;
 
 pub use ddg::{DepMode, QueryStats};
 pub use driver::{schedule_program_passes, PassSpec};
+pub use lir::{lir_function, op_class};
 pub use lower::lower_program;
 pub use mapping::HliMap;
 pub use rtl::{Insn, MemRef, Op, RtlFunc, RtlProgram};

@@ -15,16 +15,13 @@ use crate::mapping::HliMap;
 use crate::rtl::{Label, Op, RtlFunc};
 use hli_core::maintain;
 use hli_core::{CachedQuery, HliEntry, QueryCache};
+use hli_lir::{MachineBackend, OpClass};
 use std::collections::HashSet;
 
 /// Assumed iteration count for a loop whose trip is unknown at LICM time;
 /// feeds the `licm.hoist` estimated-benefit model (DESIGN.md,
 /// "Estimated-benefit models").
 const NOMINAL_TRIP: u64 = 8;
-
-/// Cycles one avoided in-loop load costs, at the default scheduler load
-/// latency ([`crate::sched::LatencyModel::load`] = 2).
-const EST_LOAD_CYCLES: u64 = 2;
 
 /// Outcome of LICM on one function.
 #[derive(Debug, Clone)]
@@ -83,7 +80,11 @@ pub fn licm_function(
     f: &RtlFunc,
     mut hli: Option<(&mut HliEntry, &mut HliMap)>,
     mode: DepMode,
+    mach: &dyn MachineBackend,
 ) -> LicmResult {
+    // Cycles one avoided in-loop load costs, at the active machine's load
+    // latency — the same table the scheduler and simulator read.
+    let est_load_cycles = mach.class_latency(OpClass::Load);
     let use_hli = matches!(mode, DepMode::HliOnly | DepMode::Combined) && hli.is_some();
     let query_entry = hli.as_ref().map(|(e, _)| (**e).clone());
     let cache = QueryCache::new();
@@ -203,7 +204,7 @@ pub fn licm_function(
                         // iteration; trip counts are unknown here, so the
                         // estimate assumes NOMINAL_TRIP iterations.
                         est_cycles: if safe {
-                            (NOMINAL_TRIP - 1) * EST_LOAD_CYCLES
+                            (NOMINAL_TRIP - 1) * est_load_cycles
                         } else {
                             0
                         },
@@ -306,10 +307,15 @@ mod tests {
             let hli = generate_hli(&p, &s);
             let mut entry = hli.entry(func).unwrap().clone();
             let mut map = map_function(f, &entry);
-            let r = licm_function(f, Some((&mut entry, &mut map)), mode);
+            let r = licm_function(
+                f,
+                Some((&mut entry, &mut map)),
+                mode,
+                &hli_lir::TableBackend::scalar(),
+            );
             (r, Some(entry))
         } else {
-            (licm_function(f, None, mode), None)
+            (licm_function(f, None, mode, &hli_lir::TableBackend::scalar()), None)
         }
     }
 
@@ -358,7 +364,12 @@ mod tests {
             .map(|(_, it)| it.id)
             .unwrap();
         let before_region = entry.owning_region(g_item).unwrap();
-        let r = licm_function(f, Some((&mut entry, &mut map)), DepMode::Combined);
+        let r = licm_function(
+            f,
+            Some((&mut entry, &mut map)),
+            DepMode::Combined,
+            &hli_lir::TableBackend::scalar(),
+        );
         assert_eq!(r.hoisted, 1);
         let after_region = entry.owning_region(g_item).unwrap();
         assert_ne!(before_region, after_region);

@@ -7,57 +7,20 @@
 //! scheduling over the [`crate::ddg`] graph. Labels stay at block starts,
 //! control transfers stay at block ends, and instruction *ids* are
 //! preserved so the HLI mapping survives scheduling.
+//!
+//! Latencies and issue width come from the active
+//! [`hli_lir::MachineBackend`] — the scheduler owns **no** latency table
+//! of its own (it used to, and the hand-copy drifted from the machine
+//! models; the latency-agreement test in `hli-machine` pins that this
+//! cannot recur). Ops are priced through the canonical LIR
+//! ([`crate::lir::lir_function`]), and makespans are modeled at the
+//! target's issue width.
 
 use crate::cfg::{blocks, Block};
 use crate::ddg::{build_block_ddg, DepMode, HliSide, QueryStats};
-use crate::rtl::{FBinOp, IBinOp, Insn, Op, RtlFunc};
-
-/// Operation latencies in cycles (defaults roughly match an R4600-class
-/// scalar core; the machine models have their own copies — the scheduler
-/// only needs relative weights).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LatencyModel {
-    pub load: u32,
-    pub ialu: u32,
-    pub imul: u32,
-    pub idiv: u32,
-    pub fadd: u32,
-    pub fmul: u32,
-    pub fdiv: u32,
-    pub call: u32,
-}
-
-impl Default for LatencyModel {
-    fn default() -> Self {
-        LatencyModel {
-            load: 2,
-            ialu: 1,
-            imul: 8,
-            idiv: 36,
-            fadd: 4,
-            fmul: 8,
-            fdiv: 36,
-            call: 2,
-        }
-    }
-}
-
-impl LatencyModel {
-    pub fn of(&self, op: &Op) -> u32 {
-        match op {
-            Op::Load(..) => self.load,
-            Op::IBin(IBinOp::Mul, ..) | Op::IBinI(IBinOp::Mul, ..) => self.imul,
-            Op::IBin(IBinOp::Div | IBinOp::Rem, ..) | Op::IBinI(IBinOp::Div | IBinOp::Rem, ..) => {
-                self.idiv
-            }
-            Op::FBin(FBinOp::Add | FBinOp::Sub, ..) => self.fadd,
-            Op::FBin(FBinOp::Mul, ..) => self.fmul,
-            Op::FBin(FBinOp::Div, ..) => self.fdiv,
-            Op::Call { .. } => self.call,
-            _ => self.ialu,
-        }
-    }
-}
+use crate::lir::lir_function;
+use crate::rtl::{Insn, Op, RtlFunc};
+use hli_lir::{LirFunc, MachineBackend};
 
 /// Result of scheduling one function.
 #[derive(Debug, Clone)]
@@ -69,15 +32,15 @@ pub struct SchedResult {
     pub blocks_total: usize,
 }
 
-/// Schedule every basic block of `f`. `hli` supplies the mapping/query side
-/// when `mode` uses HLI answers; pass `None` for the pure-GCC build (the
-/// counters then still see GCC results but HLI columns count conservative
-/// answers).
+/// Schedule every basic block of `f` for the target `mach`. `hli` supplies
+/// the mapping/query side when `mode` uses HLI answers; pass `None` for
+/// the pure-GCC build (the counters then still see GCC results but HLI
+/// columns count conservative answers).
 pub fn schedule_function(
     f: &RtlFunc,
     hli: Option<&HliSide<'_>>,
     mode: DepMode,
-    lat: &LatencyModel,
+    mach: &dyn MachineBackend,
 ) -> SchedResult {
     let reg = hli_obs::metrics::cur();
     let ready_hist = reg.histogram("backend.sched.ready_list");
@@ -85,11 +48,12 @@ pub fn schedule_function(
     let mut stats = QueryStats::default();
     let mut new_insns: Vec<Insn> = Vec::with_capacity(f.insns.len());
     let mut blocks_changed = 0;
+    let lir = lir_function(f);
     let bs = blocks(f);
     let blocks_total = bs.len();
     for b in &bs {
         let (order, span, est_cycles) =
-            schedule_block(f, b, hli, mode, lat, &mut stats, &ready_hist);
+            schedule_block(f, &lir, b, hli, mode, mach, &mut stats, &ready_hist);
         let mut emitted: Vec<Insn> = Vec::with_capacity(b.len());
         // Leading labels.
         let mut i = b.start;
@@ -130,8 +94,9 @@ pub fn schedule_function(
                     // is causally downstream of those answers.
                     span,
                     // Estimated benefit: original-program-order makespan
-                    // minus scheduled makespan under the same DDG and
-                    // latency model (DESIGN.md, "Estimated-benefit models").
+                    // minus scheduled makespan under the same DDG and the
+                    // active machine's latency table (DESIGN.md,
+                    // "Estimated-benefit models").
                     est_cycles,
                     hli_queries: Vec::new(),
                     verdict: hli_obs::Verdict::Applied,
@@ -158,10 +123,11 @@ pub fn schedule_function(
 #[allow(clippy::too_many_arguments)]
 fn schedule_block(
     f: &RtlFunc,
+    lir: &LirFunc,
     b: &Block,
     hli: Option<&HliSide<'_>>,
     mode: DepMode,
-    lat: &LatencyModel,
+    mach: &dyn MachineBackend,
     stats: &mut QueryStats,
     ready_hist: &hli_obs::Histogram,
 ) -> (Vec<usize>, u64, u64) {
@@ -170,54 +136,72 @@ fn schedule_block(
     if n == 0 {
         return (Vec::new(), g.span, 0);
     }
+    let width = mach.schedule_constraints().issue_width.max(1) as u64;
+    let lat = |k: usize| mach.latency(&lir.ops[g.nodes[k]]);
     // Priority: latency-weighted height (critical path to a sink).
-    let mut height = vec![0u32; n];
+    let mut height = vec![0u64; n];
     for k in (0..n).rev() {
-        let own = lat.of(&f.insns[g.nodes[k]].op);
         let best_succ = g.succs[k].iter().map(|&s| height[s]).max().unwrap_or(0);
-        height[k] = own + best_succ;
+        height[k] = lat(k) + best_succ;
     }
     let mut remaining_preds: Vec<usize> = g.preds.iter().map(|p| p.len()).collect();
     let mut ready: Vec<usize> = (0..n).filter(|&k| remaining_preds[k] == 0).collect();
     let mut finish = vec![0u64; n];
     let mut order = Vec::with_capacity(n);
-    let mut time: u64 = 0;
     let mut scheduled = vec![false; n];
+    let mut time: u64 = 0;
+    let mut issued: u64 = 0;
     while order.len() < n {
         ready_hist.observe(ready.len() as u64);
         // Earliest start per ready node.
         let earliest =
             |k: usize| -> u64 { g.preds[k].iter().map(|&p| finish[p]).max().unwrap_or(0) };
-        // Prefer nodes startable now, by height then program order.
-        let pick = ready
-            .iter()
-            .copied()
-            .filter(|&k| earliest(k) <= time)
-            .max_by_key(|&k| (height[k], std::cmp::Reverse(k)))
-            .or_else(|| ready.iter().copied().min_by_key(|&k| earliest(k)));
-        let Some(k) = pick else {
-            unreachable!("acyclic graph always has ready nodes")
+        // Prefer nodes startable in the current cycle, by height then
+        // program order — while the cycle has free issue slots.
+        let pick = if issued < width {
+            ready
+                .iter()
+                .copied()
+                .filter(|&k| earliest(k) <= time)
+                .max_by_key(|&k| (height[k], std::cmp::Reverse(k)))
+        } else {
+            None
         };
-        let start = time.max(earliest(k));
-        finish[k] = start + lat.of(&f.insns[g.nodes[k]].op) as u64;
-        time = start + 1;
-        scheduled[k] = true;
-        ready.retain(|&r| r != k);
-        order.push(g.nodes[k]);
-        for &s in &g.succs[k] {
-            remaining_preds[s] -= 1;
-            if remaining_preds[s] == 0 && !scheduled[s] {
-                ready.push(s);
+        match pick {
+            Some(k) => {
+                finish[k] = time + lat(k);
+                issued += 1;
+                scheduled[k] = true;
+                ready.retain(|&r| r != k);
+                order.push(g.nodes[k]);
+                for &s in &g.succs[k] {
+                    remaining_preds[s] -= 1;
+                    if remaining_preds[s] == 0 && !scheduled[s] {
+                        ready.push(s);
+                    }
+                }
+            }
+            None => {
+                // Advance the clock: to the next cycle when this one is
+                // merely full, or straight to the first cycle anything
+                // becomes startable when nothing is.
+                let soonest = ready.iter().copied().map(earliest).min().unwrap_or(0);
+                time = if soonest > time {
+                    soonest.max(time + 1)
+                } else {
+                    time + 1
+                };
+                issued = 0;
             }
         }
     }
     // Estimated benefit for the block's provenance record: what the same
-    // DDG + latency model predict program order would have cost, minus
+    // DDG + latency table predict program order would have cost, minus
     // what the chosen schedule costs. Only computed when a record could be
     // written (g.span != 0 ⇔ provenance on).
     let est = if g.span != 0 {
         let sched_makespan = finish.iter().copied().max().unwrap_or(0);
-        makespan(f, &g, lat, &(0..n).collect::<Vec<_>>()).saturating_sub(sched_makespan)
+        makespan(lir, &g, mach, &(0..n).collect::<Vec<_>>()).saturating_sub(sched_makespan)
     } else {
         0
     };
@@ -225,17 +209,27 @@ fn schedule_block(
 }
 
 /// Makespan of issuing the block's nodes in `seq` order (node positions),
-/// one issue per cycle, operands ready at their producers' finish times —
-/// the same timing rule the list scheduler itself uses.
-fn makespan(f: &RtlFunc, g: &crate::ddg::Ddg, lat: &LatencyModel, seq: &[usize]) -> u64 {
+/// up to the target's issue width per cycle, operands ready at their
+/// producers' finish times — the same timing rule the list scheduler
+/// itself uses.
+fn makespan(lir: &LirFunc, g: &crate::ddg::Ddg, mach: &dyn MachineBackend, seq: &[usize]) -> u64 {
+    let width = mach.schedule_constraints().issue_width.max(1) as u64;
     let mut finish = vec![0u64; g.nodes.len()];
     let mut time: u64 = 0;
+    let mut issued: u64 = 0;
     let mut span = 0u64;
     for &k in seq {
         let earliest = g.preds[k].iter().map(|&p| finish[p]).max().unwrap_or(0);
-        let start = time.max(earliest);
-        finish[k] = start + lat.of(&f.insns[g.nodes[k]].op) as u64;
-        time = start + 1;
+        if issued >= width {
+            time += 1;
+            issued = 0;
+        }
+        if earliest > time {
+            time = earliest;
+            issued = 0;
+        }
+        finish[k] = time + mach.latency(&lir.ops[g.nodes[k]]);
+        issued += 1;
         span = span.max(finish[k]);
     }
     span
@@ -250,14 +244,14 @@ pub fn schedule_program(
     prog: &crate::rtl::RtlProgram,
     hli: &hli_core::HliFile,
     mode: DepMode,
-    lat: &LatencyModel,
+    mach: &dyn MachineBackend,
 ) -> (crate::rtl::RtlProgram, QueryStats) {
     let caches: std::collections::HashMap<String, hli_core::QueryCache> = prog
         .funcs
         .iter()
         .map(|f| (f.name.clone(), hli_core::QueryCache::new()))
         .collect();
-    schedule_program_cached(prog, |n| hli.entry(n), mode, lat, &caches)
+    schedule_program_cached(prog, |n| hli.entry(n), mode, mach, &caches)
 }
 
 /// Schedule every function, resolving HLI entries through `lookup` (so the
@@ -270,7 +264,7 @@ pub fn schedule_program_cached<'h>(
     prog: &crate::rtl::RtlProgram,
     lookup: impl Fn(&str) -> Option<&'h hli_core::HliEntry>,
     mode: DepMode,
-    lat: &LatencyModel,
+    mach: &dyn MachineBackend,
     caches: &std::collections::HashMap<String, hli_core::QueryCache>,
 ) -> (crate::rtl::RtlProgram, QueryStats) {
     let mut out = prog.clone();
@@ -290,9 +284,9 @@ pub fn schedule_program_cached<'h>(
                 let q = cache.attach(e);
                 let map = crate::mapping::map_function(f, e);
                 let side = HliSide { query: &q, map: &map };
-                schedule_function(f, Some(&side), mode, lat)
+                schedule_function(f, Some(&side), mode, mach)
             }
-            None => schedule_function(f, None, DepMode::GccOnly, lat),
+            None => schedule_function(f, None, DepMode::GccOnly, mach),
         };
         total.add(&r.stats);
         *f = r.func;
@@ -305,9 +299,11 @@ mod tests {
     use super::*;
     use crate::lower::lower_program;
     use crate::mapping::map_function;
+    use crate::rtl::IBinOp;
     use hli_core::QueryCache;
     use hli_frontend::generate_hli;
     use hli_lang::compile_to_ast;
+    use hli_lir::TableBackend;
 
     fn sched(src: &str, func: &str, mode: DepMode) -> (RtlFunc, RtlFunc, QueryStats) {
         let (p, s) = compile_to_ast(src).unwrap();
@@ -319,7 +315,7 @@ mod tests {
         let q = cache.attach(entry);
         let map = map_function(f, entry);
         let side = HliSide { query: &q, map: &map };
-        let r = schedule_function(f, Some(&side), mode, &LatencyModel::default());
+        let r = schedule_function(f, Some(&side), mode, &TableBackend::scalar());
         (f.clone(), r.func, r.stats)
     }
 
@@ -414,10 +410,38 @@ mod tests {
     }
 
     #[test]
-    fn latency_model_classifies_ops() {
-        let lat = LatencyModel::default();
-        assert_eq!(lat.of(&Op::Load(0, crate::rtl::MemRef::sym(0))), 2);
-        assert!(lat.of(&Op::FBin(FBinOp::Div, 0, 1, 2)) > lat.of(&Op::FBin(FBinOp::Add, 0, 1, 2)));
-        assert_eq!(lat.of(&Op::LiI(0, 3)), 1);
+    fn wide_target_schedules_are_still_legal() {
+        // A 4-issue in-order table: same latencies, four slots per cycle.
+        let wide = TableBackend { issue_width: 4, ..TableBackend::scalar() };
+        let src = "int a[16]; int b[16]; int g;\n\
+            int main() {\n int i;\n for (i = 0; i < 16; i++) {\n  a[i] = g * 3;\n  b[i] = a[i] + g;\n }\n return b[7];\n}";
+        let (p, s) = compile_to_ast(src).unwrap();
+        let prog = lower_program(&p, &s);
+        let f = prog.func("main").unwrap();
+        let r = schedule_function(f, None, DepMode::GccOnly, &wide);
+        assert_legal(f, &r.func, DepMode::GccOnly);
+    }
+
+    #[test]
+    fn scheduler_latencies_come_from_the_backend() {
+        // Two backends that differ only in the load latency must be able
+        // to produce different critical-path heights — i.e. the scheduler
+        // reads the backend's table, not a private copy.
+        let a = TableBackend::scalar();
+        let mut b = TableBackend::scalar();
+        b.table[hli_lir::OpClass::Load.index()] = 40;
+        let src = "int g; int h;\nint main() { return g + h; }";
+        let (p, s) = compile_to_ast(src).unwrap();
+        let prog = lower_program(&p, &s);
+        let f = prog.func("main").unwrap();
+        let lir = lir_function(f);
+        let load = lir.ops.iter().find(|o| o.class == hli_lir::OpClass::Load).unwrap();
+        assert_eq!(a.latency(load), 2);
+        assert_eq!(b.latency(load), 40);
+        // Both schedules stay legal permutations.
+        for mach in [&a, &b] {
+            let r = schedule_function(f, None, DepMode::GccOnly, mach);
+            assert_legal(f, &r.func, DepMode::GccOnly);
+        }
     }
 }

@@ -17,6 +17,7 @@ use crate::mapping::HliMap;
 use crate::rtl::{CmpOp, Insn, InsnId, Label, Op, RtlFunc};
 use hli_core::maintain;
 use hli_core::{HliEntry, RegionKind};
+use hli_lir::{MachineBackend, OpClass};
 use std::collections::HashMap;
 
 /// Metadata the lowerer records per canonical constant-trip loop.
@@ -52,6 +53,7 @@ pub fn unroll_function(
     metas: &[LoopMeta],
     factor: u32,
     mut hli: Option<(&mut HliEntry, &mut HliMap)>,
+    mach: &dyn MachineBackend,
 ) -> UnrollResult {
     assert!(factor >= 2, "unroll factor must be >= 2");
     let mut func = f.clone();
@@ -79,14 +81,17 @@ pub fn unroll_function(
                 }
             };
             // Estimated benefit: the trip count is known here, so count
-            // the loop-overhead (condition test + backward branch, ~2
-            // cycles) of the iterations the unrolled body absorbs. The
-            // remainder loop keeps its own overhead.
+            // the loop-overhead (condition test + backward branch, at the
+            // active machine's ALU and branch latencies) of the iterations
+            // the unrolled body absorbs. The remainder loop keeps its own
+            // overhead.
             let est_cycles = if ok {
                 let trip = meta.trip as u64;
                 let u = factor as u64;
                 let kept_iters = trip / u + trip % u;
-                (trip - kept_iters) * 2
+                let per_iter =
+                    mach.class_latency(OpClass::IAlu) + mach.class_latency(OpClass::Branch);
+                (trip - kept_iters) * per_iter
             } else {
                 0
             };
@@ -345,10 +350,19 @@ mod tests {
             let hli = generate_hli(&p, &s);
             let mut entry = hli.entry(fname).unwrap().clone();
             let mut map = map_function(f, &entry);
-            let r = unroll_function(f, metas, factor, Some((&mut entry, &mut map)));
+            let r = unroll_function(
+                f,
+                metas,
+                factor,
+                Some((&mut entry, &mut map)),
+                &hli_lir::TableBackend::scalar(),
+            );
             (r, Some((entry, map)))
         } else {
-            (unroll_function(f, metas, factor, None), None)
+            (
+                unroll_function(f, metas, factor, None, &hli_lir::TableBackend::scalar()),
+                None,
+            )
         }
     }
 

@@ -11,7 +11,7 @@ use hli_backend::cse::cse_function;
 use hli_backend::ddg::DepMode;
 use hli_backend::licm::licm_function;
 use hli_backend::mapping::map_function;
-use hli_backend::sched::{schedule_program, LatencyModel};
+use hli_backend::sched::schedule_program;
 use hli_backend::unroll::unroll_function;
 use hli_bench::bench;
 use hli_frontend::FrontendOptions;
@@ -21,23 +21,45 @@ fn bench_cse_refmod() {
     let p = hli_bench::prepare("015.doduc", Scale::tiny());
     let f = p.rtl.func("main").unwrap();
     bench("ablations/cse/gcc-purge-all", || {
-        cse_function(f, None, DepMode::GccOnly)
+        cse_function(
+            f,
+            None,
+            DepMode::GccOnly,
+            hli_machine::backend_by_name("r4600").unwrap(),
+        )
     });
     bench("ablations/cse/hli-refmod-purge", || {
         let mut entry = p.hli.entry("main").unwrap().clone();
         let mut map = map_function(f, &entry);
-        cse_function(f, Some((&mut entry, &mut map)), DepMode::Combined)
+        cse_function(
+            f,
+            Some((&mut entry, &mut map)),
+            DepMode::Combined,
+            hli_machine::backend_by_name("r4600").unwrap(),
+        )
     });
 }
 
 fn bench_licm() {
     let p = hli_bench::prepare("101.tomcatv", Scale::tiny());
     let f = p.rtl.func("residuals").unwrap();
-    bench("ablations/licm/gcc", || licm_function(f, None, DepMode::GccOnly));
+    bench("ablations/licm/gcc", || {
+        licm_function(
+            f,
+            None,
+            DepMode::GccOnly,
+            hli_machine::backend_by_name("r4600").unwrap(),
+        )
+    });
     bench("ablations/licm/hli", || {
         let mut entry = p.hli.entry("residuals").unwrap().clone();
         let mut map = map_function(f, &entry);
-        licm_function(f, Some((&mut entry, &mut map)), DepMode::Combined)
+        licm_function(
+            f,
+            Some((&mut entry, &mut map)),
+            DepMode::Combined,
+            hli_machine::backend_by_name("r4600").unwrap(),
+        )
     });
 }
 
@@ -53,7 +75,13 @@ fn bench_unroll_factors() {
         bench(&format!("ablations/unroll/factor-{factor}"), || {
             let mut entry = hli.entry("init_md").unwrap().clone();
             let mut map = map_function(f, &entry);
-            unroll_function(f, metas, factor, Some((&mut entry, &mut map)))
+            unroll_function(
+                f,
+                metas,
+                factor,
+                Some((&mut entry, &mut map)),
+                hli_machine::backend_by_name("r4600").unwrap(),
+            )
         });
     }
 }
@@ -62,7 +90,7 @@ fn bench_frontend_precision() {
     let b = hli_suite::by_name("077.mdljsp2", Scale::tiny()).unwrap();
     let (prog, sema) = hli_lang::compile_to_ast(&b.source).unwrap();
     let rtl = hli_backend::lower::lower_program(&prog, &sema);
-    let lat = LatencyModel::default();
+    let lat = hli_machine::backend_by_name("r4600").unwrap();
     let variants = [
         ("full", FrontendOptions::default()),
         (
@@ -81,7 +109,7 @@ fn bench_frontend_precision() {
     for (label, opts) in variants {
         bench(&format!("ablations/frontend-precision/{label}"), || {
             let hli = hli_frontend::generate_hli_with(&prog, &sema, opts);
-            let (_, stats) = schedule_program(&rtl, &hli, DepMode::Combined, &lat);
+            let (_, stats) = schedule_program(&rtl, &hli, DepMode::Combined, lat);
             stats.combined_yes
         });
     }

@@ -4,7 +4,7 @@
 //! machine-model replay throughput.
 
 use hli_backend::ddg::DepMode;
-use hli_backend::sched::{schedule_program, LatencyModel};
+use hli_backend::sched::schedule_program;
 use hli_bench::bench;
 use hli_machine::{r10000_cycles, r4600_cycles, R10000Config, R4600Config};
 use hli_suite::Scale;
@@ -12,10 +12,10 @@ use hli_suite::Scale;
 fn bench_schedule_modes() {
     for name in ["034.mdljdp2", "102.swim"] {
         let p = hli_bench::prepare(name, Scale::tiny());
-        let lat = LatencyModel::default();
+        let lat = hli_machine::backend_by_name("r4600").unwrap();
         for (label, mode) in [("gcc", DepMode::GccOnly), ("combined", DepMode::Combined)] {
             bench(&format!("table2/schedule/{name}/{label}"), || {
-                schedule_program(&p.rtl, &p.hli, mode, &lat)
+                schedule_program(&p.rtl, &p.hli, mode, lat)
             });
         }
     }
@@ -34,7 +34,12 @@ fn bench_mapping() {
 
 fn bench_machines() {
     let p = hli_bench::prepare("129.compress", Scale::tiny());
-    let (sched, _) = schedule_program(&p.rtl, &p.hli, DepMode::Combined, &LatencyModel::default());
+    let (sched, _) = schedule_program(
+        &p.rtl,
+        &p.hli,
+        DepMode::Combined,
+        hli_machine::backend_by_name("r4600").unwrap(),
+    );
     let (_, trace) = hli_machine::execute_with_trace(&sched).unwrap();
     println!("table2/machines: replaying {} dynamic insns", trace.len());
     bench("table2/machines/r4600-replay", || {
@@ -42,6 +47,9 @@ fn bench_machines() {
     });
     bench("table2/machines/r10000-replay", || {
         r10000_cycles(&trace, &R10000Config::default())
+    });
+    bench("table2/machines/w4-replay", || {
+        hli_machine::w4_cycles(&trace, &hli_machine::W4Config::default())
     });
     bench("table2/machines/functional-execute", || {
         hli_machine::execute(&sched).unwrap()

@@ -9,10 +9,12 @@
 
 use hli_frontend::FrontendOptions;
 use hli_harness::report::bench_args;
-use hli_harness::{mean, run_benchmark_cfg};
+use hli_harness::{mean, run_benchmark_on};
 
 fn main() {
-    let (scale, obs, cfg, jobs) = bench_args("ablation");
+    let a = bench_args("ablation");
+    let (scale, obs, cfg, jobs) = (a.scale, a.obs, a.cfg, a.jobs);
+    let machines = a.machines;
     let variants: Vec<(&str, FrontendOptions)> = vec![
         ("full HLI", FrontendOptions::default()),
         (
@@ -60,7 +62,7 @@ fn main() {
             variants
                 .iter()
                 .map(|(_, opts)| {
-                    run_benchmark_cfg(b, *opts, cfg)
+                    run_benchmark_on(b, *opts, cfg, &machines)
                         .map(|r| r.reduction() * 100.0)
                         .unwrap_or(f64::NAN)
                 })

@@ -72,7 +72,6 @@ use hli_backend::ddg::{DepMode, QueryStats};
 use hli_backend::driver::{schedule_program_passes, PassSpec};
 use hli_backend::lower::lower_program;
 use hli_backend::rtl::RtlProgram;
-use hli_backend::sched::LatencyModel;
 use hli_core::image::EntryRef;
 use hli_core::serialize::{decode_file, encode_file, encode_file_v2, SerializeOpts};
 use hli_core::{encode_file_v3, HliFile, HliImage, HliReader, MemberRef, QueryCache};
@@ -109,8 +108,14 @@ fn schedule<'h>(
         PassSpec { mode: DepMode::GccOnly, caches: None },
         PassSpec { mode: DepMode::Combined, caches: None },
     ];
-    let mut out =
-        schedule_program_passes(rtl, lookup, &passes, &LatencyModel::default(), 1).into_iter();
+    let mut out = schedule_program_passes(
+        rtl,
+        lookup,
+        &passes,
+        hli_machine::backend_by_name("r4600").unwrap(),
+        1,
+    )
+    .into_iter();
     let (gcc_prog, _) = out.next().expect("GccOnly pass result");
     let (hli_prog, stats) = out.next().expect("Combined pass result");
     (gcc_prog, hli_prog, stats)
@@ -577,7 +582,7 @@ fn run_quarantined(jobs: usize) -> (String, String) {
             &prog,
             &|n| hli.entry(n).map(EntryRef::Owned),
             &passes,
-            &LatencyModel::default(),
+            hli_machine::backend_by_name("r4600").unwrap(),
             jobs,
         );
     }

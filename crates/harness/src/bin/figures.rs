@@ -62,11 +62,12 @@ fn figure4() {
     let (p, s) = compile_to_ast(src).unwrap();
     let rtl = lower_program(&p, &s);
     let f = rtl.func("main").unwrap();
-    let without = cse_function(f, None, DepMode::GccOnly);
+    let mach = hli_machine::backend_by_name("r4600").unwrap();
+    let without = cse_function(f, None, DepMode::GccOnly, mach);
     let hli = generate_hli(&p, &s);
     let mut entry = hli.entry("main").unwrap().clone();
     let mut map = map_function(f, &entry);
-    let with = cse_function(f, Some((&mut entry, &mut map)), DepMode::Combined);
+    let with = cse_function(f, Some((&mut entry, &mut map)), DepMode::Combined, mach);
     println!("source: load g; call side() [mods only `unrelated`]; load g again");
     println!(
         "GCC alone : {} loads eliminated, {} entries purged at the call",
@@ -92,7 +93,8 @@ fn figure6() {
     let f = rtl.func("main").unwrap();
     let mut entry = entry0.clone();
     let mut map = map_function(f, &entry);
-    let r = unroll_function(f, &loops["main"], 3, Some((&mut entry, &mut map)));
+    let mach = hli_machine::backend_by_name("r4600").unwrap();
+    let r = unroll_function(f, &loops["main"], 3, Some((&mut entry, &mut map)), mach);
     println!("\n-- after unrolling by 3 ({} loop(s) unrolled) --", r.unrolled);
     print!("{}", dump_entry(&entry));
     let errs = entry.verify();

@@ -18,7 +18,9 @@
 //! miss fan-out pool. The wire and cache contract is docs/SERVE.md.
 //!
 //! Back-end flags: `--no-hli` (GCC-only build), `--dump-rtl`, `--unroll N`,
-//! `--cse`, `--licm`, `--time` (simulate on both machine models).
+//! `--cse`, `--licm`, `--machine NAME[,NAME...]` (select machine models;
+//! the first drives the scheduler's latency table), `--time` (simulate on
+//! every selected model).
 //!
 //! Every subcommand also accepts the observability flags:
 //! `--stats [text|json]` prints the metrics registry after the normal
@@ -32,13 +34,13 @@ use hli_backend::licm::licm_function;
 use hli_backend::lower::lower_with_loops;
 use hli_backend::mapping::map_function;
 use hli_backend::rtl::dump_func;
-use hli_backend::sched::{schedule_function, LatencyModel};
+use hli_backend::sched::schedule_function;
 use hli_backend::unroll::unroll_function;
 use hli_core::serialize::{encode_file_v2, SerializeOpts};
 use hli_core::{HliReader, QueryCache};
 use hli_frontend::generate_hli;
 use hli_lang::compile_to_ast;
-use hli_machine::{r10000_cycles, r4600_cycles, R10000Config, R4600Config};
+use hli_machine::MachineBackend;
 
 fn fail(msg: &str) -> ! {
     eprintln!("hlicc: {msg}");
@@ -79,6 +81,11 @@ struct BackFlags {
     time: bool,
     lazy_import: bool,
     jobs: usize,
+    /// Machine models (`--machine NAME[,NAME...]`): the first supplies the
+    /// scheduler's and the estimators' latency table, and `--time`
+    /// simulates on every listed model — so the timed configs are, by
+    /// construction, the ones the scheduler assumed.
+    machines: Vec<&'static dyn MachineBackend>,
 }
 
 /// Everything one function's trip through the back-end produced, carried
@@ -117,7 +124,7 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
     } else {
         DepMode::GccOnly
     };
-    let lat = LatencyModel::default();
+    let mach = *flags.machines.first().unwrap_or_else(|| fail("no machine models selected"));
 
     // One pool work item per function (`--jobs N`, 0 = all CPUs). Each
     // item captures its metrics/provenance into a shard and returns its
@@ -176,8 +183,13 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
                         ));
                     }
                     if let Some(u) = flags.unroll {
-                        let r =
-                            unroll_function(&cur, &loops[&f.name], u, Some((&mut entry, &mut map)));
+                        let r = unroll_function(
+                            &cur,
+                            &loops[&f.name],
+                            u,
+                            Some((&mut entry, &mut map)),
+                            mach,
+                        );
                         cur = r.func;
                         if r.unrolled > 0 {
                             messages.push(format!(
@@ -187,7 +199,7 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
                         }
                     }
                     if flags.cse {
-                        let r = cse_function(&cur, Some((&mut entry, &mut map)), mode);
+                        let r = cse_function(&cur, Some((&mut entry, &mut map)), mode, mach);
                         if r.loads_eliminated > 0 {
                             messages.push(format!(
                                 "`{}`: CSE removed {} load(s)",
@@ -197,7 +209,7 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
                         cur = r.func;
                     }
                     if flags.licm {
-                        let r = licm_function(&cur, Some((&mut entry, &mut map)), mode);
+                        let r = licm_function(&cur, Some((&mut entry, &mut map)), mode, mach);
                         if r.hoisted > 0 {
                             messages
                                 .push(format!("`{}`: LICM hoisted {} load(s)", f.name, r.hoisted));
@@ -218,18 +230,18 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
                     let cache = QueryCache::new();
                     let q = cache.attach(&entry);
                     let side = hli_backend::ddg::HliSide { query: &q, map: &map };
-                    let r = schedule_function(&cur, Some(&side), mode, &lat);
+                    let r = schedule_function(&cur, Some(&side), mode, mach);
                     stats.add(&r.stats);
                     r.func
                 }
                 _ => {
                     if flags.cse {
-                        cur = cse_function(&cur, None, DepMode::GccOnly).func;
+                        cur = cse_function(&cur, None, DepMode::GccOnly, mach).func;
                     }
                     if flags.licm {
-                        cur = licm_function(&cur, None, DepMode::GccOnly).func;
+                        cur = licm_function(&cur, None, DepMode::GccOnly, mach).func;
                     }
-                    let r = schedule_function(&cur, None, DepMode::GccOnly, &lat);
+                    let r = schedule_function(&cur, None, DepMode::GccOnly, mach);
                     stats.add(&r.stats);
                     r.func
                 }
@@ -278,10 +290,14 @@ fn back(input: &str, hli_path: &str, flags: BackFlags) {
         res.ret, res.dyn_insns, res.loads, res.stores
     );
     if flags.time {
-        let a = r4600_cycles(&trace, &R4600Config::default());
-        let b = r10000_cycles(&trace, &R10000Config::default());
-        println!("R4600 : {} cycles ({} operand-stall)", a.cycles, a.stall_cycles);
-        println!("R10000: {} cycles ({} LSQ stalls)", b.cycles, b.lsq_stalls);
+        // Time on exactly the models the scheduler assumed (the first one
+        // supplied its latency table) — no hardcoded config pair.
+        for m in &flags.machines {
+            let s = m.cycles(&trace);
+            let detail: Vec<String> =
+                s.detail.iter().map(|(k, v)| format!("{v} {}", k.replace('_', " "))).collect();
+            println!("{:<7}: {} cycles ({})", m.name(), s.cycles, detail.join(", "));
+        }
     }
 }
 
@@ -332,7 +348,7 @@ fn serve(rest: &[String]) {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: hlicc front <input.c> [-o out.hli]\n       hlicc back <input.c> <in.hli> [--no-hli --lazy-import --jobs N --dump-rtl --unroll N --cse --licm --time]\n       hlicc build <input.c> [back-end flags]\n       hlicc serve [--cache DIR --cache-max-mb N --jobs N --socket PATH]\n       (all: --stats [text|json], --trace-out <file.json>, --provenance-out <file.jsonl>)";
+    let usage = "usage: hlicc front <input.c> [-o out.hli]\n       hlicc back <input.c> <in.hli> [--no-hli --lazy-import --jobs N --machine NAME[,NAME...] --dump-rtl --unroll N --cse --licm --time]\n       hlicc build <input.c> [back-end flags]\n       hlicc serve [--cache DIR --cache-max-mb N --jobs N --socket PATH]\n       (all: --stats [text|json], --trace-out <file.json>, --provenance-out <file.jsonl>)";
     let obs = hli_harness::cli::ObsArgs::extract(&mut args).unwrap_or_else(|e| fail(&e));
     let Some(cmd) = args.first() else { fail(usage) };
     match cmd.as_str() {
@@ -365,6 +381,7 @@ fn main() {
                 time: false,
                 lazy_import: false,
                 jobs: 0,
+                machines: hli_harness::default_machines(),
             };
             let mut it = rest.iter();
             while let Some(a) = it.next() {
@@ -380,6 +397,21 @@ fn main() {
                             .next()
                             .and_then(|v| v.parse().ok())
                             .unwrap_or_else(|| fail("--jobs needs a worker count"));
+                    }
+                    "--machine" => {
+                        let spec =
+                            it.next().unwrap_or_else(|| fail("--machine needs a target name"));
+                        flags.machines = spec
+                            .split(',')
+                            .map(|n| {
+                                hli_machine::backend_by_name(n).unwrap_or_else(|| {
+                                    fail(&format!(
+                                        "--machine: unknown target `{n}` (known: {})",
+                                        hli_machine::backend_names().join(", ")
+                                    ))
+                                })
+                            })
+                            .collect();
                     }
                     "--unroll" => {
                         let n: u32 = it

@@ -39,7 +39,8 @@ use hli_harness::report::{bench_args, collect_suite_jobs, merged_metrics, total_
 use hli_harness::ImportConfig;
 
 fn main() {
-    let (scale, obs, _, jobs) = bench_args("importbench");
+    let a = bench_args("importbench");
+    let (scale, obs, jobs) = (a.scale, a.obs, a.jobs);
     let par = hli_pool::resolve_jobs(jobs).max(2);
     let eager_shared = ImportConfig { lazy: false, zero_copy: false, shared_cache: true };
     let lazy_shared = ImportConfig { lazy: true, zero_copy: false, shared_cache: true };

@@ -12,6 +12,9 @@
 //!   --alias PCT        aliasing density at call sites (default 30)
 //!   --depth D          max loop-nest depth 1..3     (default 2)
 //!   --jobs N           pool workers (0 = all CPUs)  (default 0)
+//!   --machine M[,M..]  machine models to simulate    (default r4600,r10000;
+//!                      first named model drives the scheduler; --compare
+//!                      needs baseline and run to use the same list)
 //!   --out FILE         write the report JSON to FILE (default: stdout)
 //!   --compare FILE     additionally gate against a stored checkpoint
 //!   --time-tol PCT     soft tolerance for times_ms   (default 75)
@@ -37,8 +40,9 @@ use hli_harness::cli::ObsArgs;
 use hli_harness::perf::{
     build_report, compare, load_baseline, parse_shape, CorpusEcho, Tolerances,
 };
-use hli_harness::report::extract_jobs;
-use hli_harness::{run_benchmarks_jobs, BenchReport, ImportConfig};
+use hli_harness::report::{extract_jobs, extract_machines};
+use hli_harness::{run_benchmarks_jobs_on, BenchReport, ImportConfig};
+use hli_machine::MachineBackend;
 use hli_suite::corpus::{generate, CorpusSpec};
 
 fn usage(msg: &str) -> ! {
@@ -46,7 +50,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: perfbench [--seeds A,B,..] [--programs P] [--funcs F] \
          [--shape chain|balanced|wide] [--alias PCT] [--depth D] [--jobs N] \
-         [--out FILE] [--compare FILE] [--time-tol PCT] [--rss-tol PCT] \
+         [--machine NAME[,NAME...]] [--out FILE] [--compare FILE] \
+         [--time-tol PCT] [--rss-tol PCT] \
          [--stats text|json] [--trace-out t.json] [--provenance-out p.jsonl]"
     );
     std::process::exit(2)
@@ -56,6 +61,7 @@ struct Args {
     seeds: Vec<u64>,
     spec: CorpusSpec,
     jobs: usize,
+    machines: Vec<&'static dyn MachineBackend>,
     out: Option<String>,
     cmp: Option<String>,
     tol: Tolerances,
@@ -66,10 +72,12 @@ fn parse_args() -> Args {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let obs = ObsArgs::extract(&mut raw).unwrap_or_else(|e| usage(&e));
     let jobs = extract_jobs(&mut raw).unwrap_or_else(|e| usage(&e));
+    let machines = extract_machines(&mut raw).unwrap_or_else(|e| usage(&e));
     let mut a = Args {
         seeds: vec![1, 2, 3],
         spec: CorpusSpec { seed: 0, programs: 12, funcs: 28, ..Default::default() },
         jobs,
+        machines,
         out: None,
         cmp: None,
         tol: Tolerances::default(),
@@ -129,7 +137,9 @@ fn run_corpus(args: &Args) -> Vec<BenchReport> {
     for &seed in &args.seeds {
         let spec = CorpusSpec { seed, ..args.spec };
         let benches = generate(&spec);
-        for r in run_benchmarks_jobs(&benches, ImportConfig::default(), args.jobs) {
+        for r in
+            run_benchmarks_jobs_on(&benches, ImportConfig::default(), args.jobs, &args.machines)
+        {
             match r {
                 Ok(rep) => reports.push(rep),
                 Err(e) => {

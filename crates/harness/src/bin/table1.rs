@@ -2,16 +2,21 @@
 //! code size in lines, HLI size, and HLI bytes per source line.
 //!
 //! Usage: `cargo run --release -p hli-harness --bin table1 [n iters]
-//! [--lazy-import] [--jobs N] [--stats text|json] [--trace-out t.json]
-//! [--provenance-out p.jsonl]`
+//! [--lazy-import] [--jobs N] [--machine NAME[,NAME...]]
+//! [--stats text|json] [--trace-out t.json] [--provenance-out p.jsonl]`
+//!
+//! Table 1 reports machine-independent characteristics; `--machine` only
+//! selects which models the underlying pipeline simulates (visible in
+//! `--stats` counters), never the table itself.
 
 use hli_harness::format_table1;
-use hli_harness::report::{bench_args, collect_suite_jobs};
+use hli_harness::report::{bench_args, collect_suite_jobs_on};
 
 fn main() {
-    let (scale, obs, cfg, jobs) = bench_args("table1");
+    let a = bench_args("table1");
+    let (scale, obs, cfg, jobs) = (a.scale, a.obs, a.cfg, a.jobs);
     eprintln!("running suite at scale n={} iters={}...", scale.n, scale.iters);
-    let reports = collect_suite_jobs(scale, cfg, jobs).unwrap_or_else(|e| {
+    let reports = collect_suite_jobs_on(scale, cfg, jobs, &a.machines).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });

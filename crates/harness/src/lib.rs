@@ -20,13 +20,12 @@
 use hli_backend::ddg::{DepMode, QueryStats};
 use hli_backend::driver::{schedule_program_passes, PassSpec};
 use hli_backend::lower::lower_program;
-use hli_backend::sched::LatencyModel;
 use hli_core::image::EntryRef;
 use hli_core::serialize::{decode_file, encode_file, encode_file_v2, SerializeOpts};
 use hli_core::{HliImage, HliReader, QueryCache};
 use hli_frontend::{generate_hli_with, FrontendOptions};
 use hli_lang::compile_to_ast;
-use hli_machine::{r10000_cycles_per_func, r4600_cycles_per_func, R10000Config, R4600Config};
+use hli_machine::{backend_by_name, MachineBackend};
 use hli_obs::{MetricsRegistry, MetricsSnapshot};
 use hli_suite::{Benchmark, Scale};
 use std::collections::HashMap;
@@ -36,6 +35,34 @@ pub mod attr;
 pub mod cli;
 pub mod perf;
 pub mod report;
+
+/// Simulated cycles of the two builds (GCC-scheduled vs HLI-scheduled) on
+/// one machine model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineCycles {
+    /// Canonical backend name (`"r4600"`, `"r10000"`, `"w4"`).
+    pub machine: &'static str,
+    /// Cycles of the GCC-scheduled build.
+    pub gcc: u64,
+    /// Cycles of the HLI-scheduled build.
+    pub hli: u64,
+}
+
+impl MachineCycles {
+    pub fn speedup(&self) -> f64 {
+        self.gcc as f64 / self.hli.max(1) as f64
+    }
+}
+
+/// The machine models a pipeline run times on when none are named: the
+/// paper's two MIPS cores, with the R4600 (first entry) as the scheduler's
+/// latency source.
+pub fn default_machines() -> Vec<&'static dyn MachineBackend> {
+    vec![
+        backend_by_name("r4600").unwrap(),
+        backend_by_name("r10000").unwrap(),
+    ]
+}
 
 /// Everything measured about one benchmark.
 #[derive(Debug, Clone)]
@@ -49,9 +76,10 @@ pub struct BenchReport {
     pub hli_bytes: usize,
     /// Table 2 dependence-query counters (from the scheduling pass).
     pub stats: QueryStats,
-    /// Simulated cycles: (GCC-sched, HLI-sched) on each machine.
-    pub r4600: (u64, u64),
-    pub r10000: (u64, u64),
+    /// Simulated cycles on every selected machine model, in selection
+    /// order. The first entry's model also supplied the scheduler's
+    /// latencies (the single-source contract — see DESIGN.md).
+    pub machines: Vec<MachineCycles>,
     /// Dynamic instructions executed (identical for both schedules).
     pub dyn_insns: u64,
     /// Correctness: all executions agreed with the AST interpreter.
@@ -72,12 +100,22 @@ impl BenchReport {
         self.stats.total_tests as f64 / self.code_lines.max(1) as f64
     }
 
+    /// Cycle pair on the named machine, if it was selected for this run.
+    pub fn cycles_on(&self, machine: &str) -> Option<MachineCycles> {
+        self.machines.iter().copied().find(|m| m.machine == machine)
+    }
+
+    /// HLI-over-GCC speedup on the named machine (`1.0` if not selected).
+    pub fn speedup_on(&self, machine: &str) -> f64 {
+        self.cycles_on(machine).map(|m| m.speedup()).unwrap_or(1.0)
+    }
+
     pub fn speedup_r4600(&self) -> f64 {
-        self.r4600.0 as f64 / self.r4600.1.max(1) as f64
+        self.speedup_on("r4600")
     }
 
     pub fn speedup_r10000(&self) -> f64 {
-        self.r10000.0 as f64 / self.r10000.1.max(1) as f64
+        self.speedup_on("r10000")
     }
 
     pub fn hli_bytes_per_line(&self) -> f64 {
@@ -118,22 +156,35 @@ pub fn run_benchmark_with(b: &Benchmark, opts: FrontendOptions) -> Result<BenchR
     run_benchmark_cfg(b, opts, ImportConfig::default())
 }
 
-/// [`run_benchmark_with`] with an explicit import strategy.
-///
-/// The pipeline runs under a scoped per-run [`MetricsRegistry`]; the
-/// resulting snapshot is carried on the report and also absorbed into the
-/// registry that was current at entry (normally the global one), so both
-/// per-benchmark and whole-suite totals stay available.
+/// [`run_benchmark_with`] with an explicit import strategy, on the
+/// default machine list.
 pub fn run_benchmark_cfg(
     b: &Benchmark,
     opts: FrontendOptions,
     cfg: ImportConfig,
 ) -> Result<BenchReport, String> {
+    run_benchmark_on(b, opts, cfg, &default_machines())
+}
+
+/// [`run_benchmark_cfg`] on an explicit machine list. The first machine is
+/// the scheduler's latency source; every listed machine is simulated and
+/// reported.
+///
+/// The pipeline runs under a scoped per-run [`MetricsRegistry`]; the
+/// resulting snapshot is carried on the report and also absorbed into the
+/// registry that was current at entry (normally the global one), so both
+/// per-benchmark and whole-suite totals stay available.
+pub fn run_benchmark_on(
+    b: &Benchmark,
+    opts: FrontendOptions,
+    cfg: ImportConfig,
+    machines: &[&'static dyn MachineBackend],
+) -> Result<BenchReport, String> {
     let parent = hli_obs::metrics::cur();
     let local = Arc::new(MetricsRegistry::new());
     let result = {
         let _scope = hli_obs::metrics::scoped(local.clone());
-        run_pipeline(b, opts, cfg)
+        run_pipeline(b, opts, cfg, machines)
     };
     let metrics = local.snapshot();
     parent.absorb(&metrics);
@@ -148,6 +199,7 @@ fn run_pipeline(
     b: &Benchmark,
     opts: FrontendOptions,
     cfg: ImportConfig,
+    machines: &[&'static dyn MachineBackend],
 ) -> Result<BenchReport, String> {
     let _run = hli_obs::span(format!("bench.{}", b.name));
     let (prog, sema) = {
@@ -218,7 +270,11 @@ fn run_pipeline(
         let _s = hli_obs::span("backend.lower");
         lower_program(&prog, &sema)
     };
-    let lat = LatencyModel::default();
+    // The first selected machine is the scheduler's latency source — the
+    // same table the simulator below prices the resulting trace with.
+    let mach0 = *machines
+        .first()
+        .ok_or_else(|| format!("{}: no machine models selected", b.name))?;
     let _sched_span = hli_obs::span("backend.schedule");
     let fresh_caches = || -> HashMap<String, QueryCache> {
         rtl.funcs.iter().map(|f| (f.name.clone(), QueryCache::new())).collect()
@@ -235,7 +291,7 @@ fn run_pipeline(
         PassSpec { mode: DepMode::GccOnly, caches: Some(&caches) },
         PassSpec { mode: DepMode::Combined, caches: Some(caches2) },
     ];
-    let mut builds = schedule_program_passes(&rtl, &lookup, &passes, &lat, 1).into_iter();
+    let mut builds = schedule_program_passes(&rtl, &lookup, &passes, mach0, 1).into_iter();
     let (gcc_build, _) = builds.next().expect("GccOnly pass result");
     let (hli_build, stats) = builds.next().expect("Combined pass result");
     drop(_sched_span);
@@ -258,25 +314,21 @@ fn run_pipeline(
         && hli_res.global_checksum == oracle.global_checksum;
 
     let _time_span = hli_obs::span("machine.models");
-    let c4 = R4600Config::default();
-    let c10 = R10000Config::default();
     let nfuncs = rtl.funcs.len();
-    let (s4g, g4_per) = r4600_cycles_per_func(&gcc_trace, &gcc_funcs, nfuncs, &c4);
-    let (s4h, h4_per) = r4600_cycles_per_func(&hli_trace, &hli_funcs, nfuncs, &c4);
-    let (s10g, g10_per) = r10000_cycles_per_func(&gcc_trace, &gcc_funcs, nfuncs, &c10);
-    let (s10h, h10_per) = r10000_cycles_per_func(&hli_trace, &hli_funcs, nfuncs, &c10);
-    let (g4, h4, g10, h10) = (s4g.cycles, s4h.cycles, s10g.cycles, s10h.cycles);
     let reg = hli_obs::metrics::cur();
-    for (fi, f) in rtl.funcs.iter().enumerate() {
-        reg.counter(&format!("attr.func.{}.r4600.gcc_cycles", f.name)).add(g4_per[fi]);
-        reg.counter(&format!("attr.func.{}.r4600.hli_cycles", f.name)).add(h4_per[fi]);
-        reg.counter(&format!("attr.func.{}.r10000.gcc_cycles", f.name)).add(g10_per[fi]);
-        reg.counter(&format!("attr.func.{}.r10000.hli_cycles", f.name)).add(h10_per[fi]);
+    let mut cycles = Vec::with_capacity(machines.len());
+    for mach in machines {
+        let (gs, g_per) = mach.cycles_per_func(&gcc_trace, &gcc_funcs, nfuncs);
+        let (hs, h_per) = mach.cycles_per_func(&hli_trace, &hli_funcs, nfuncs);
+        let name = mach.name();
+        for (fi, f) in rtl.funcs.iter().enumerate() {
+            reg.counter(&format!("attr.func.{}.{name}.gcc_cycles", f.name)).add(g_per[fi]);
+            reg.counter(&format!("attr.func.{}.{name}.hli_cycles", f.name)).add(h_per[fi]);
+        }
+        reg.counter(&format!("attr.total.{name}.gcc_cycles")).add(gs.cycles);
+        reg.counter(&format!("attr.total.{name}.hli_cycles")).add(hs.cycles);
+        cycles.push(MachineCycles { machine: name, gcc: gs.cycles, hli: hs.cycles });
     }
-    reg.counter("attr.total.r4600.gcc_cycles").add(g4);
-    reg.counter("attr.total.r4600.hli_cycles").add(h4);
-    reg.counter("attr.total.r10000.gcc_cycles").add(g10);
-    reg.counter("attr.total.r10000.hli_cycles").add(h10);
     drop(_time_span);
 
     Ok(BenchReport {
@@ -286,8 +338,7 @@ fn run_pipeline(
         code_lines: b.source.lines().count(),
         hli_bytes,
         stats,
-        r4600: (g4, h4),
-        r10000: (g10, h10),
+        machines: cycles,
         dyn_insns: gcc_res.dyn_insns,
         validated,
         metrics: MetricsSnapshot::default(),
@@ -333,6 +384,17 @@ pub fn run_suite_jobs(
     run_benchmarks_jobs(&hli_suite::all(scale), cfg, jobs)
 }
 
+/// [`run_suite_jobs`] on an explicit machine list (the `--machine` path of
+/// the table binaries).
+pub fn run_suite_jobs_on(
+    scale: Scale,
+    cfg: ImportConfig,
+    jobs: usize,
+    machines: &[&'static dyn MachineBackend],
+) -> Vec<Result<BenchReport, String>> {
+    run_benchmarks_jobs_on(&hli_suite::all(scale), cfg, jobs, machines)
+}
+
 /// The suite driver generalized over any benchmark list (the fixed paper
 /// suite, or a generated [`hli_suite::corpus`]): parallel over `jobs`
 /// workers, shard capture/commit in input order, same determinism
@@ -342,9 +404,23 @@ pub fn run_benchmarks_jobs(
     cfg: ImportConfig,
     jobs: usize,
 ) -> Vec<Result<BenchReport, String>> {
+    run_benchmarks_jobs_on(benches, cfg, jobs, &default_machines())
+}
+
+/// [`run_benchmarks_jobs`] on an explicit machine list; the determinism
+/// guarantees hold per machine list (shard capture/commit is in input
+/// order regardless of which machines are simulated).
+pub fn run_benchmarks_jobs_on(
+    benches: &[Benchmark],
+    cfg: ImportConfig,
+    jobs: usize,
+    machines: &[&'static dyn MachineBackend],
+) -> Vec<Result<BenchReport, String>> {
     let obs_cfg = hli_obs::CaptureCfg::from_env();
     let results = hli_pool::run(jobs, benches, |_w, b| {
-        hli_obs::capture_cfg(obs_cfg, || run_benchmark_cfg(b, FrontendOptions::default(), cfg))
+        hli_obs::capture_cfg(obs_cfg, || {
+            run_benchmark_on(b, FrontendOptions::default(), cfg, machines)
+        })
     });
     results
         .into_iter()
@@ -406,36 +482,44 @@ pub fn format_table1(reports: &[BenchReport]) -> String {
     out
 }
 
-/// Format Table 2 (dependence tests and speedups).
+/// Format Table 2 (dependence tests and speedups): one speedup column per
+/// machine the reports were timed on, in selection order.
 pub fn format_table2(reports: &[BenchReport]) -> String {
     use std::fmt::Write;
+    let machs: Vec<&'static str> = reports
+        .first()
+        .map(|r| r.machines.iter().map(|m| m.machine).collect())
+        .unwrap_or_default();
     let mut out = String::new();
-    let _ = writeln!(
+    let _ = write!(
         out,
-        "{:<14} {:>7} {:>9} {:>12} {:>12} {:>12} {:>6} {:>8} {:>8} {:>3}",
-        "Benchmark",
-        "Tests",
-        "Per line",
-        "GCC yes",
-        "HLI yes",
-        "Combined",
-        "Red%",
-        "R4600",
-        "R10000",
-        "OK"
+        "{:<14} {:>7} {:>9} {:>12} {:>12} {:>12} {:>6}",
+        "Benchmark", "Tests", "Per line", "GCC yes", "HLI yes", "Combined", "Red%",
     );
-    let _ = writeln!(out, "{}", "-".repeat(100));
+    for m in &machs {
+        let _ = write!(out, " {:>8}", m.to_uppercase());
+    }
+    let _ = writeln!(out, " {:>3}", "OK");
+    let _ = writeln!(out, "{}", "-".repeat(78 + 9 * machs.len() + 4));
     let split = |rs: &[&BenchReport], label: &str, out: &mut String| {
         let red: Vec<f64> = rs.iter().map(|r| r.reduction() * 100.0).collect();
-        let s4: Vec<f64> = rs.iter().map(|r| r.speedup_r4600()).collect();
-        let s10: Vec<f64> = rs.iter().map(|r| r.speedup_r10000()).collect();
         let tpl: Vec<f64> = rs.iter().map(|r| r.tests_per_line()).collect();
-        let _ =
-            writeln!(
+        let _ = write!(
             out,
-            "{:<14} {:>7} {:>9.2} {:>12} {:>12} {:>12} {:>6.0} {:>8.2} {:>8.2}      ({label} mean)",
-            "mean", "-", mean(&tpl), "-", "-", "-", mean(&red), geomean(&s4), geomean(&s10)
+            "{:<14} {:>7} {:>9.2} {:>12} {:>12} {:>12} {:>6.0}",
+            "mean",
+            "-",
+            mean(&tpl),
+            "-",
+            "-",
+            "-",
+            mean(&red)
         );
+        for m in &machs {
+            let sp: Vec<f64> = rs.iter().map(|r| r.speedup_on(m)).collect();
+            let _ = write!(out, " {:>8.2}", geomean(&sp));
+        }
+        let _ = writeln!(out, "      ({label} mean)");
     };
     for (i, r) in reports.iter().enumerate() {
         if i == 4 {
@@ -449,9 +533,9 @@ pub fn format_table2(reports: &[BenchReport]) -> String {
                 100.0 * num as f64 / r.stats.total_tests as f64
             }
         };
-        let _ = writeln!(
+        let _ = write!(
             out,
-            "{:<14} {:>7} {:>9.2} {:>6} ({:>3.0}%) {:>6} ({:>3.0}%) {:>6} ({:>3.0}%) {:>6.0} {:>8.2} {:>8.2} {:>3}",
+            "{:<14} {:>7} {:>9.2} {:>6} ({:>3.0}%) {:>6} ({:>3.0}%) {:>6} ({:>3.0}%) {:>6.0}",
             r.name,
             r.stats.total_tests,
             r.tests_per_line(),
@@ -462,10 +546,11 @@ pub fn format_table2(reports: &[BenchReport]) -> String {
             r.stats.combined_yes,
             pct(r.stats.combined_yes),
             r.reduction() * 100.0,
-            r.speedup_r4600(),
-            r.speedup_r10000(),
-            if r.validated { "ok" } else { "BAD" }
         );
+        for m in &machs {
+            let _ = write!(out, " {:>8.2}", r.speedup_on(m));
+        }
+        let _ = writeln!(out, " {:>3}", if r.validated { "ok" } else { "BAD" });
     }
     let fps: Vec<&BenchReport> = reports[4..].iter().collect();
     split(&fps, "fp", &mut out);
@@ -500,7 +585,9 @@ mod tests {
         assert!(r.stats.total_tests > 0);
         assert!(r.stats.combined_yes <= r.stats.gcc_yes);
         assert!(r.hli_bytes > 0);
-        assert!(r.r4600.0 > 0 && r.r10000.0 > 0);
+        assert!(r.cycles_on("r4600").unwrap().gcc > 0);
+        assert!(r.cycles_on("r10000").unwrap().gcc > 0);
+        assert!(r.cycles_on("w4").is_none(), "w4 is opt-in via --machine");
     }
 
     #[test]

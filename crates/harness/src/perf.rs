@@ -171,10 +171,16 @@ pub fn build_report(
     c("query.combined_yes", stats.combined_yes);
     c("query.call_queries", stats.call_queries);
     c("machine.dyn_insns", reports.iter().map(|r| r.dyn_insns).sum());
-    c("cycles.r4600.gcc", reports.iter().map(|r| r.r4600.0).sum());
-    c("cycles.r4600.hli", reports.iter().map(|r| r.r4600.1).sum());
-    c("cycles.r10000.gcc", reports.iter().map(|r| r.r10000.0).sum());
-    c("cycles.r10000.hli", reports.iter().map(|r| r.r10000.1).sum());
+    if let Some(first) = reports.first() {
+        for mc in &first.machines {
+            let m = mc.machine;
+            let sum = |pick: fn(crate::MachineCycles) -> u64| -> u64 {
+                reports.iter().filter_map(|r| r.cycles_on(m)).map(pick).sum()
+            };
+            c(&format!("cycles.{m}.gcc"), sum(|mc| mc.gcc));
+            c(&format!("cycles.{m}.hli"), sum(|mc| mc.hli));
+        }
+    }
 
     let mut times_ms = BTreeMap::new();
     for (k, h) in &phase_snap.histograms {

@@ -4,34 +4,61 @@
 //! [`BenchReport`]s.
 
 use crate::cli::ObsArgs;
-use crate::{run_suite_jobs, BenchReport, ImportConfig};
+use crate::{default_machines, run_suite_jobs_on, BenchReport, ImportConfig};
 use hli_backend::ddg::QueryStats;
+use hli_machine::{backend_by_name, MachineBackend};
 use hli_obs::MetricsSnapshot;
 use hli_suite::Scale;
 
-/// Parse the command line shared by every suite-level binary —
-/// `[n iters]` plus the observability flags, `--lazy-import`,
-/// `--zero-copy` and `--jobs N` — exiting with a uniform usage message on
-/// a malformed flag.
-/// `table1`, `table2` and `ablation` call this instead of keeping their
-/// own copies of the loop. The returned job count feeds
-/// [`run_suite_jobs`]: `0` (the default) means one worker per CPU.
-pub fn bench_args(bin: &str) -> (Scale, ObsArgs, ImportConfig, usize) {
-    bench_args_from(bin, std::env::args().skip(1).collect())
+/// Everything the suite-level binaries parse from their command line.
+pub struct BenchArgs {
+    pub scale: Scale,
+    pub obs: ObsArgs,
+    pub cfg: ImportConfig,
+    /// Pool workers for [`run_suite_jobs_on`] (`0` = one per CPU).
+    pub jobs: usize,
+    /// Machine models to simulate, in order; the first also supplies the
+    /// scheduler's latency table.
+    pub machines: Vec<&'static dyn MachineBackend>,
 }
 
-/// Testable core of [`bench_args`]: same parse over an explicit vector.
-pub fn bench_args_from(bin: &str, mut args: Vec<String>) -> (Scale, ObsArgs, ImportConfig, usize) {
-    let usage = |e: String| -> ! {
+impl std::fmt::Debug for BenchArgs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchArgs")
+            .field("scale", &(self.scale.n, self.scale.iters))
+            .field("cfg", &self.cfg)
+            .field("jobs", &self.jobs)
+            .field("machines", &self.machines.iter().map(|m| m.name()).collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Parse the command line shared by every suite-level binary —
+/// `[n iters]` plus the observability flags, `--lazy-import`,
+/// `--zero-copy`, `--jobs N` and `--machine NAME[,NAME...]` — exiting
+/// with a uniform usage message on a malformed flag or a conflicting
+/// flag pair.
+/// `table1`, `table2` and `ablation` call this instead of keeping their
+/// own copies of the loop.
+pub fn bench_args(bin: &str) -> BenchArgs {
+    bench_args_from(bin, std::env::args().skip(1).collect()).unwrap_or_else(|e| {
         eprintln!("{bin}: {e}");
         eprintln!(
             "usage: {bin} [n iters] [--lazy-import] [--zero-copy] [--jobs N] \
-             [--stats text|json] [--trace-out t.json] [--provenance-out p.jsonl]"
+             [--machine NAME[,NAME...]] [--stats text|json] [--trace-out t.json] \
+             [--provenance-out p.jsonl]"
         );
         std::process::exit(1);
-    };
-    let obs = ObsArgs::extract(&mut args).unwrap_or_else(|e| usage(e));
-    let jobs = extract_jobs(&mut args).unwrap_or_else(|e| usage(e));
+    })
+}
+
+/// Testable core of [`bench_args`]: same parse over an explicit vector,
+/// returning the error instead of exiting.
+pub fn bench_args_from(bin: &str, mut args: Vec<String>) -> Result<BenchArgs, String> {
+    let _ = bin;
+    let obs = ObsArgs::extract(&mut args)?;
+    let jobs = extract_jobs(&mut args)?;
+    let machines = extract_machines(&mut args)?;
     let mut cfg = ImportConfig::default();
     args.retain(|a| {
         let lazy = a == "--lazy-import";
@@ -44,9 +71,47 @@ pub fn bench_args_from(bin: &str, mut args: Vec<String>) -> (Scale, ObsArgs, Imp
         }
         !(lazy || zero)
     });
+    if cfg.lazy && cfg.zero_copy {
+        return Err(
+            "--zero-copy and --lazy-import are conflicting import strategies; pick one".into(),
+        );
+    }
     let n = args.first().and_then(|a| a.parse().ok()).unwrap_or(64);
     let iters = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(12);
-    (Scale { n, iters }, obs, cfg, jobs)
+    Ok(BenchArgs { scale: Scale { n, iters }, obs, cfg, jobs, machines })
+}
+
+/// Strip `--machine NAME[,NAME...]` from `args` and resolve every name
+/// through the backend registry; absent flag means the default pair
+/// (r4600 first, so it drives the scheduler).
+pub fn extract_machines(
+    args: &mut Vec<String>,
+) -> Result<Vec<&'static dyn MachineBackend>, String> {
+    let Some(i) = args.iter().position(|a| a == "--machine") else {
+        return Ok(default_machines());
+    };
+    if i + 1 >= args.len() {
+        return Err("--machine needs a target name (r4600, r10000 or w4)".into());
+    }
+    let spec = args[i + 1].clone();
+    args.drain(i..=i + 1);
+    if args.iter().any(|a| a == "--machine") {
+        return Err("--machine given twice; pass one comma-separated list".into());
+    }
+    let mut machines = Vec::new();
+    for name in spec.split(',') {
+        let m = backend_by_name(name).ok_or_else(|| {
+            format!(
+                "--machine: unknown target `{name}` (known: {})",
+                hli_machine::backend_names().join(", ")
+            )
+        })?;
+        if machines.iter().any(|p: &&dyn MachineBackend| p.name() == m.name()) {
+            return Err(format!("--machine: target `{name}` listed twice"));
+        }
+        machines.push(m);
+    }
+    Ok(machines)
 }
 
 /// Strip `--jobs N` from `args` and return the parsed count (`0` when the
@@ -82,8 +147,18 @@ pub fn collect_suite_jobs(
     cfg: ImportConfig,
     jobs: usize,
 ) -> Result<Vec<BenchReport>, String> {
+    collect_suite_jobs_on(scale, cfg, jobs, &default_machines())
+}
+
+/// [`collect_suite_jobs`] on an explicit machine list.
+pub fn collect_suite_jobs_on(
+    scale: Scale,
+    cfg: ImportConfig,
+    jobs: usize,
+    machines: &[&'static dyn MachineBackend],
+) -> Result<Vec<BenchReport>, String> {
     let mut reports = Vec::with_capacity(10);
-    for r in run_suite_jobs(scale, cfg, jobs) {
+    for r in run_suite_jobs_on(scale, cfg, jobs, machines) {
         reports.push(r?);
     }
     Ok(reports)
@@ -111,7 +186,7 @@ pub fn merged_metrics(reports: &[BenchReport]) -> MetricsSnapshot {
 mod tests {
     use super::*;
     use hli_backend::ddg::DepMode;
-    use hli_backend::sched::{schedule_program, LatencyModel};
+    use hli_backend::sched::schedule_program;
     use std::sync::Arc;
 
     /// The `backend.ddg.*` counters are a faithful view of the `QueryStats`
@@ -126,8 +201,12 @@ mod tests {
         let local = Arc::new(hli_obs::MetricsRegistry::new());
         let stats = {
             let _scope = hli_obs::metrics::scoped(local.clone());
-            let (_, stats) =
-                schedule_program(&rtl, &hli, DepMode::Combined, &LatencyModel::default());
+            let (_, stats) = schedule_program(
+                &rtl,
+                &hli,
+                DepMode::Combined,
+                hli_machine::backend_by_name("r4600").unwrap(),
+            );
             stats
         };
         assert!(stats.total_tests > 0);
@@ -177,25 +256,68 @@ mod tests {
     #[test]
     fn bench_args_parse_scale_and_obs_flags() {
         let v = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        let (scale, obs, cfg, jobs) = bench_args_from("table2", v(&["12", "2", "--stats", "json"]));
-        assert_eq!((scale.n, scale.iters), (12, 2));
-        assert_eq!(obs.stats, Some(crate::cli::StatsFormat::Json));
-        assert!(!cfg.lazy);
-        assert_eq!(jobs, 0, "no --jobs flag means all CPUs");
-        let (scale, obs, cfg, jobs) = bench_args_from("table1", v(&[]));
-        assert_eq!((scale.n, scale.iters), (64, 12));
-        assert!(obs.stats.is_none() && obs.trace_out.is_none() && obs.provenance_out.is_none());
-        assert_eq!(cfg, ImportConfig::default());
-        assert_eq!(jobs, 0);
+        let a = bench_args_from("table2", v(&["12", "2", "--stats", "json"])).unwrap();
+        assert_eq!((a.scale.n, a.scale.iters), (12, 2));
+        assert_eq!(a.obs.stats, Some(crate::cli::StatsFormat::Json));
+        assert!(!a.cfg.lazy);
+        assert_eq!(a.jobs, 0, "no --jobs flag means all CPUs");
+        let a = bench_args_from("table1", v(&[])).unwrap();
+        assert_eq!((a.scale.n, a.scale.iters), (64, 12));
+        assert!(a.obs.stats.is_none() && a.obs.trace_out.is_none());
+        assert!(a.obs.provenance_out.is_none());
+        assert_eq!(a.cfg, ImportConfig::default());
+        assert_eq!(a.jobs, 0);
+        let names: Vec<_> = a.machines.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["r4600", "r10000"], "default machine pair, r4600 first");
         // `--lazy-import` and `--jobs` may appear anywhere among the
         // positionals.
-        let (scale, _, cfg, jobs) =
-            bench_args_from("table2", v(&["12", "--lazy-import", "--jobs", "3", "2"]));
-        assert_eq!((scale.n, scale.iters), (12, 2));
-        assert!(cfg.lazy && cfg.shared_cache && !cfg.zero_copy);
-        assert_eq!(jobs, 3);
-        let (_, _, cfg, _) = bench_args_from("table2", v(&["--zero-copy"]));
-        assert!(cfg.zero_copy && !cfg.lazy);
+        let a = bench_args_from("table2", v(&["12", "--lazy-import", "--jobs", "3", "2"])).unwrap();
+        assert_eq!((a.scale.n, a.scale.iters), (12, 2));
+        assert!(a.cfg.lazy && a.cfg.shared_cache && !a.cfg.zero_copy);
+        assert_eq!(a.jobs, 3);
+        let a = bench_args_from("table2", v(&["--zero-copy"])).unwrap();
+        assert!(a.cfg.zero_copy && !a.cfg.lazy);
+    }
+
+    /// Satellite bugfix: `--zero-copy --lazy-import` used to silently take
+    /// whichever the `ImportConfig` precedence preferred; now it is a hard
+    /// parse error, in either flag order.
+    #[test]
+    fn bench_args_reject_conflicting_import_flags() {
+        let v = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        for order in [
+            &["--zero-copy", "--lazy-import"][..],
+            &["--lazy-import", "12", "--zero-copy"][..],
+        ] {
+            let err = bench_args_from("table2", v(order)).unwrap_err();
+            assert!(
+                err.contains("--zero-copy") && err.contains("--lazy-import"),
+                "error must name both flags: {err}"
+            );
+            assert!(err.contains("conflict"), "error must say they conflict: {err}");
+        }
+    }
+
+    /// `--machine` selects and orders the simulated targets; unknown or
+    /// duplicate names are parse errors that list the known targets.
+    #[test]
+    fn bench_args_parse_machine_list() {
+        let v = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let a = bench_args_from("table2", v(&["12", "2", "--machine", "w4"])).unwrap();
+        assert_eq!((a.scale.n, a.scale.iters), (12, 2));
+        let names: Vec<_> = a.machines.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["w4"]);
+        let a = bench_args_from("table2", v(&["--machine", "w4,r4600"])).unwrap();
+        let names: Vec<_> = a.machines.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["w4", "r4600"], "order preserved; w4 drives the scheduler");
+        let err = bench_args_from("table2", v(&["--machine", "r8000"])).unwrap_err();
+        assert!(
+            err.contains("r8000") && err.contains("w4"),
+            "lists known targets: {err}"
+        );
+        assert!(bench_args_from("table2", v(&["--machine"])).is_err());
+        assert!(bench_args_from("table2", v(&["--machine", "w4,w4"])).is_err());
+        assert!(bench_args_from("t", v(&["--machine", "w4", "--machine", "r4600"])).is_err());
     }
 
     #[test]

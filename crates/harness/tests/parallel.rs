@@ -10,10 +10,10 @@
 use hli_backend::ddg::DepMode;
 use hli_backend::driver::{schedule_program_passes, PassSpec};
 use hli_backend::lower::lower_program;
-use hli_backend::sched::LatencyModel;
 use hli_core::image::EntryRef;
 use hli_harness::attr::rollup;
-use hli_harness::{run_suite_jobs, BenchReport, ImportConfig};
+use hli_harness::{run_suite_jobs, run_suite_jobs_on, BenchReport, ImportConfig};
+use hli_machine::MachineBackend;
 use hli_obs::{
     metrics, provenance, trace, DecisionRecord, MetricsRegistry, MetricsSnapshot, ProvenanceSink,
     Tracer,
@@ -77,7 +77,7 @@ fn quarantined_obs_at(jobs: usize) -> (String, String) {
             &prog,
             &|n| hli.entry(n).map(EntryRef::Owned),
             &passes,
-            &LatencyModel::default(),
+            hli_machine::backend_by_name("r4600").unwrap(),
             jobs,
         );
     }
@@ -135,6 +135,51 @@ fn jobs_one_and_jobs_eight_are_byte_identical() {
             cfg.lazy, cfg.zero_copy
         );
     }
+}
+
+/// The determinism contract holds per machine list too: the whole
+/// pipeline against the w4 backend (its latency table drives the
+/// scheduler AND it is the simulated target) produces byte-identical
+/// `--stats json` and provenance JSONL at `--jobs 1` and `--jobs 8`.
+#[test]
+fn w4_stats_and_provenance_are_jobs_invariant() {
+    let machines: Vec<&'static dyn MachineBackend> =
+        vec![hli_machine::backend_by_name("w4").unwrap()];
+    let run = |jobs: usize| -> (String, String) {
+        let reg = Arc::new(MetricsRegistry::new());
+        let sink = Arc::new(ProvenanceSink::new());
+        sink.set_enabled(true);
+        let ids = Arc::new(AtomicU64::new(1));
+        let reports = {
+            let _m = metrics::scoped(reg.clone());
+            let _s = provenance::scoped(sink.clone());
+            let _i = provenance::scoped_ids(ids);
+            run_suite_jobs_on(Scale::tiny(), ImportConfig::default(), jobs, &machines)
+        };
+        for r in reports {
+            assert!(r.expect("benchmark must compile").validated, "w4 run must stay correct");
+        }
+        (reg.snapshot().to_json(), provenance::to_jsonl(&sink.drain()))
+    };
+    let (seq_json, seq_prov) = run(1);
+    let (par_json, par_prov) = run(8);
+    assert!(
+        seq_json.contains("machine.w4.cycles"),
+        "w4 run must meter its own counters: {seq_json}"
+    );
+    assert!(
+        !seq_json.contains("attr.total.r4600") && !seq_json.contains("attr.total.r10000"),
+        "a w4-only run must not attribute cycles to unselected machines"
+    );
+    assert_eq!(
+        seq_json, par_json,
+        "w4 --stats json diverges between --jobs 1 and --jobs 8"
+    );
+    assert!(!seq_prov.is_empty(), "w4 run must record scheduling decisions");
+    assert_eq!(
+        seq_prov, par_prov,
+        "w4 provenance diverges between --jobs 1 and --jobs 8"
+    );
 }
 
 /// Counters of the layers whose answers must not depend on the import
@@ -259,10 +304,13 @@ fn obsreport_rollup_is_jobs_invariant_and_reconciles() {
     assert_eq!(by_table_r4600, r1.totals.measured_r4600);
     assert_eq!(by_table_r10000, r1.totals.measured_r10000);
 
-    let gcc_r4600: u64 = reports.iter().map(|r| r.r4600.0).sum();
-    let hli_r4600: u64 = reports.iter().map(|r| r.r4600.1).sum();
-    let gcc_r10000: u64 = reports.iter().map(|r| r.r10000.0).sum();
-    let hli_r10000: u64 = reports.iter().map(|r| r.r10000.1).sum();
+    let on = |m: &str, pick: fn(hli_harness::MachineCycles) -> u64| -> u64 {
+        reports.iter().filter_map(|r| r.cycles_on(m)).map(pick).sum()
+    };
+    let gcc_r4600 = on("r4600", |c| c.gcc);
+    let hli_r4600 = on("r4600", |c| c.hli);
+    let gcc_r10000 = on("r10000", |c| c.gcc);
+    let hli_r10000 = on("r10000", |c| c.hli);
     assert_eq!(
         r1.totals.measured_r4600,
         gcc_r4600.saturating_sub(hli_r4600),

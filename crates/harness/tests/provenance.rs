@@ -7,7 +7,7 @@ use hli_backend::cse::cse_function;
 use hli_backend::ddg::{DepMode, HliSide};
 use hli_backend::lower::{lower_program, lower_with_loops};
 use hli_backend::mapping::map_function;
-use hli_backend::sched::{schedule_function, LatencyModel};
+use hli_backend::sched::schedule_function;
 use hli_backend::unroll::unroll_function;
 use hli_core::QueryCache;
 use hli_frontend::generate_hli;
@@ -58,7 +58,12 @@ fn cse_records(src: &str) -> Vec<DecisionRecord> {
     let hli = generate_hli(&p, &s);
     let mut entry = hli.entry("main").unwrap().clone();
     let mut map = map_function(f, &entry);
-    let _ = cse_function(f, Some((&mut entry, &mut map)), DepMode::Combined);
+    let _ = cse_function(
+        f,
+        Some((&mut entry, &mut map)),
+        DepMode::Combined,
+        hli_machine::backend_by_name("r4600").unwrap(),
+    );
     sink.drain()
 }
 
@@ -178,7 +183,12 @@ fn figure5_hoist_across_call_record_pinned() {
         let cache = QueryCache::new();
         let q = cache.attach(&entry);
         let side = HliSide { query: &q, map: &map };
-        let _ = schedule_function(f, Some(&side), DepMode::Combined, &LatencyModel::default());
+        let _ = schedule_function(
+            f,
+            Some(&side),
+            DepMode::Combined,
+            hli_machine::backend_by_name("r4600").unwrap(),
+        );
         sink.drain()
     };
     let hoists: Vec<_> = records
@@ -208,7 +218,13 @@ fn unroll_emits_loop_and_maintenance_records() {
         let hli = generate_hli(&p, &s);
         let mut entry = hli.entry("main").unwrap().clone();
         let mut map = map_function(f, &entry);
-        let r = unroll_function(f, &loops["main"], 3, Some((&mut entry, &mut map)));
+        let r = unroll_function(
+            f,
+            &loops["main"],
+            3,
+            Some((&mut entry, &mut map)),
+            hli_machine::backend_by_name("r4600").unwrap(),
+        );
         assert_eq!(r.unrolled, 1);
         sink.drain()
     };

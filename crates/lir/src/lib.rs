@@ -1,0 +1,444 @@
+//! # hli-lir — the canonical low-level IR and the machine-backend contract
+//!
+//! The crates above this one used to disagree about what an instruction
+//! costs: the scheduler carried its own latency table, each timing
+//! simulator carried another, and the serve daemon carried a third.
+//! Hand-copied tables drift (the scheduler's `imul`/`idiv`/`fdiv` entries
+//! had already drifted from the R4600 model's), and a drifted table
+//! silently corrupts every `est_cycles` estimate and every
+//! decision-to-cycles rollup.
+//!
+//! This crate is the fix, in two layers:
+//!
+//! * **A canonical LIR.** [`OpClass`] is the closed set of opcode classes
+//!   a machine model prices; [`LirOp`]/[`LirFunc`] are the pre-resolved,
+//!   deterministically ordered view of a lowered function (one `LirOp`
+//!   per RTL instruction, index-aligned, carrying the opcode class, the
+//!   operand kinds and the source line that joins back to HLI items and
+//!   provenance records). [`DynKind`]/[`DynInsn`] are the *dynamic* side:
+//!   trace events the executor emits and the timing models consume.
+//! * **The [`MachineBackend`] trait.** One object per target; its
+//!   [`MachineBackend::class_latency`] table is the **single source of
+//!   truth** for operation cost. The scheduler, the LICM/unroll/CSE
+//!   benefit estimators and the cycle simulators all consume latencies
+//!   through the trait, so scheduler/simulator drift is impossible by
+//!   construction (pinned by the latency-agreement test in
+//!   `hli-machine`).
+//!
+//! The crate is dependency-free on purpose: it sits *below* both the
+//! back-end (which schedules against a backend) and the machine crate
+//! (which implements backends), the same way a shared ASDL pickle sits
+//! between lcc's front and back ends.
+
+use std::collections::HashMap;
+
+/// The closed set of opcode classes a machine model prices. Every RTL
+/// `Op` and every dynamic [`DynKind`] maps into exactly one class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer ALU work: adds, logicals, compares, moves, immediates,
+    /// address formation.
+    IAlu,
+    IMul,
+    IDiv,
+    /// FP add/sub (and compares/conversions, which share the adder).
+    FAdd,
+    FMul,
+    FDiv,
+    Load,
+    Store,
+    /// Control transfer (jump or conditional branch).
+    Branch,
+    Call,
+    Ret,
+}
+
+impl OpClass {
+    /// Every class, in a fixed order (the latency-agreement test and
+    /// [`TableBackend`] both iterate/index this).
+    pub const ALL: [OpClass; 11] = [
+        OpClass::IAlu,
+        OpClass::IMul,
+        OpClass::IDiv,
+        OpClass::FAdd,
+        OpClass::FMul,
+        OpClass::FDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Call,
+        OpClass::Ret,
+    ];
+
+    /// Stable dense index (position in [`OpClass::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::IAlu => 0,
+            OpClass::IMul => 1,
+            OpClass::IDiv => 2,
+            OpClass::FAdd => 3,
+            OpClass::FMul => 4,
+            OpClass::FDiv => 5,
+            OpClass::Load => 6,
+            OpClass::Store => 7,
+            OpClass::Branch => 8,
+            OpClass::Call => 9,
+            OpClass::Ret => 10,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::IAlu => "ialu",
+            OpClass::IMul => "imul",
+            OpClass::IDiv => "idiv",
+            OpClass::FAdd => "fadd",
+            OpClass::FMul => "fmul",
+            OpClass::FDiv => "fdiv",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Call => "call",
+            OpClass::Ret => "ret",
+        }
+    }
+}
+
+/// Kind of a dynamic instruction, as the timing models see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynKind {
+    IAlu,
+    IMul,
+    IDiv,
+    FAdd,
+    FMul,
+    FDiv,
+    Load,
+    Store,
+    Call,
+    Ret,
+    /// Control transfer (jump or branch; `taken` distinguishes fall-through
+    /// branches for front-end bubbles).
+    Branch {
+        taken: bool,
+    },
+    /// Register-only bookkeeping (moves, immediates, address formation).
+    Simple,
+}
+
+impl DynKind {
+    /// The opcode class a machine model prices this event at.
+    pub fn class(self) -> OpClass {
+        match self {
+            DynKind::IAlu | DynKind::Simple => OpClass::IAlu,
+            DynKind::IMul => OpClass::IMul,
+            DynKind::IDiv => OpClass::IDiv,
+            DynKind::FAdd => OpClass::FAdd,
+            DynKind::FMul => OpClass::FMul,
+            DynKind::FDiv => OpClass::FDiv,
+            DynKind::Load => OpClass::Load,
+            DynKind::Store => OpClass::Store,
+            DynKind::Call => OpClass::Call,
+            DynKind::Ret => OpClass::Ret,
+            DynKind::Branch { .. } => OpClass::Branch,
+        }
+    }
+}
+
+/// A register identity unique across frames (frame serial ⊕ register).
+pub type RegKey = u64;
+
+/// One dynamic instruction event.
+#[derive(Debug, Clone, Copy)]
+pub struct DynInsn {
+    pub kind: DynKind,
+    /// Destination register, if any.
+    pub dst: Option<RegKey>,
+    /// Up to three source registers.
+    pub srcs: [RegKey; 3],
+    pub n_srcs: u8,
+    /// Effective byte address for loads/stores.
+    pub addr: i64,
+}
+
+impl DynInsn {
+    pub fn sources(&self) -> &[RegKey] {
+        &self.srcs[..self.n_srcs as usize]
+    }
+}
+
+/// What an operand *is*, statically. The LIR does not rename or renumber —
+/// it only classifies, so a backend can price an op without looking at the
+/// RTL it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OperandKind {
+    /// No operand in this slot.
+    #[default]
+    None,
+    /// A virtual register.
+    Reg,
+    /// An integer or FP immediate.
+    Imm,
+    /// A memory reference (the op's single load/store slot).
+    Mem,
+    /// A symbol (global address, call target).
+    Sym,
+    /// A branch/jump label.
+    Label,
+}
+
+/// One pre-resolved low-level op: the opcode class, the operand kinds and
+/// the provenance hooks (`id` joins to the RTL instruction and through it
+/// to the HLI mapping; `line` joins to `DecisionRecord.order`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LirOp {
+    /// The originating RTL instruction id (stable across scheduling).
+    pub id: u32,
+    /// Source line, for provenance joins.
+    pub line: u32,
+    pub class: OpClass,
+    pub dst: OperandKind,
+    pub srcs: [OperandKind; 3],
+    pub n_srcs: u8,
+}
+
+/// The LIR view of one function: `ops[i]` describes the function's `i`-th
+/// instruction, in instruction order. Deterministic by construction — the
+/// lowering is a pure index-aligned map, so two workers lowering the same
+/// function produce byte-identical LIR (pipeit ADR-025's property: keep
+/// the IR pre-resolved and ordered so parallel determinism stays cheap).
+#[derive(Debug, Clone, Default)]
+pub struct LirFunc {
+    pub name: String,
+    pub ops: Vec<LirOp>,
+}
+
+/// Structural scheduling facts about a target — what the static scheduler
+/// is allowed to assume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleConstraints {
+    /// Whether the machine issues strictly in program order (the schedule
+    /// *is* the issue order) or reorders dynamically.
+    pub in_order: bool,
+    /// Instructions the machine can issue per cycle; the list scheduler
+    /// models its makespans at this width.
+    pub issue_width: u32,
+    /// Dynamic lookahead (active-list size); 1 for pure in-order targets.
+    pub window: u32,
+}
+
+/// Timing outcome of running a trace on a backend, in target-neutral
+/// shape. `detail` carries the model-specific counters (stall cycles, LSQ
+/// stalls, idle slots ...) keyed by their metric leaf names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachStats {
+    pub cycles: u64,
+    pub insns: u64,
+    pub detail: Vec<(&'static str, u64)>,
+}
+
+impl MachStats {
+    /// Look up a model-specific counter by leaf name.
+    pub fn detail(&self, name: &str) -> Option<u64> {
+        self.detail.iter().find(|(k, _)| *k == name).map(|(_, v)| *v)
+    }
+}
+
+/// A pluggable target machine: the one place its latency table, issue
+/// shape and cycle simulator live.
+///
+/// The contract (DESIGN.md, "Machine description is the single latency
+/// source"): [`MachineBackend::class_latency`] is the *only* latency
+/// table. The default [`MachineBackend::latency`] derives per-op cost
+/// from it, the scheduler and benefit estimators call through it, and a
+/// conforming `cycles` implementation prices operands with it too — so a
+/// scheduler and simulator handed the same backend cannot disagree.
+pub trait MachineBackend: Sync {
+    /// Stable target id ("r4600", "r10000", "w4"); used in CLI flags,
+    /// metric keys (`machine.<name>.*`, `attr.*.<name>.*`) and the serve
+    /// cache key.
+    fn name(&self) -> &'static str;
+
+    /// Cycles until a result of this class is usable — the single source
+    /// of truth for this target's operation costs.
+    fn class_latency(&self, class: OpClass) -> u64;
+
+    /// Latency of one LIR op. Defaults to the class table; a backend may
+    /// refine per-op (e.g. operand-kind-dependent costs) but must stay a
+    /// pure function of the op.
+    fn latency(&self, op: &LirOp) -> u64 {
+        self.class_latency(op.class)
+    }
+
+    fn issue_width(&self) -> u32 {
+        self.schedule_constraints().issue_width
+    }
+
+    fn schedule_constraints(&self) -> ScheduleConstraints;
+
+    /// Run the dynamic trace through this target's timing model.
+    fn cycles(&self, trace: &[DynInsn]) -> MachStats;
+
+    /// Like [`MachineBackend::cycles`], but also attributes cycles to
+    /// functions: `funcs[i]` is the index of the function owning
+    /// `trace[i]`, and the returned vector has `nfuncs` bins whose sum
+    /// equals `stats.cycles` exactly.
+    fn cycles_per_func(
+        &self,
+        trace: &[DynInsn],
+        funcs: &[u32],
+        nfuncs: usize,
+    ) -> (MachStats, Vec<u64>);
+}
+
+/// A minimal concrete backend: a named per-class latency table over a
+/// scalar stall-on-use pipeline. This is the test double the back-end's
+/// own unit tests schedule against (they cannot see `hli-machine`, which
+/// sits above the back-end), and a convenient base for experiments.
+#[derive(Debug, Clone)]
+pub struct TableBackend {
+    pub name: &'static str,
+    /// Latency per class, indexed by [`OpClass::index`].
+    pub table: [u64; OpClass::ALL.len()],
+    pub issue_width: u32,
+}
+
+impl TableBackend {
+    /// A scalar table matching classic in-order defaults (load 2, ialu 1,
+    /// imul 10, idiv 42, fadd 4, fmul 8, fdiv 32, everything else 1).
+    pub fn scalar() -> TableBackend {
+        let mut table = [1u64; OpClass::ALL.len()];
+        table[OpClass::Load.index()] = 2;
+        table[OpClass::IMul.index()] = 10;
+        table[OpClass::IDiv.index()] = 42;
+        table[OpClass::FAdd.index()] = 4;
+        table[OpClass::FMul.index()] = 8;
+        table[OpClass::FDiv.index()] = 32;
+        TableBackend { name: "table", table, issue_width: 1 }
+    }
+}
+
+impl MachineBackend for TableBackend {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn class_latency(&self, class: OpClass) -> u64 {
+        self.table[class.index()]
+    }
+
+    fn schedule_constraints(&self) -> ScheduleConstraints {
+        ScheduleConstraints { in_order: true, issue_width: self.issue_width, window: 1 }
+    }
+
+    fn cycles(&self, trace: &[DynInsn]) -> MachStats {
+        self.cycles_per_func(trace, &[], 0).0
+    }
+
+    fn cycles_per_func(
+        &self,
+        trace: &[DynInsn],
+        funcs: &[u32],
+        nfuncs: usize,
+    ) -> (MachStats, Vec<u64>) {
+        // Scalar in-order stall-on-use: one issue per cycle, an
+        // instruction waits for its operands' producing latencies.
+        let mut ready: HashMap<RegKey, u64> = HashMap::new();
+        let mut bins = vec![0u64; nfuncs];
+        let mut time: u64 = 0;
+        let mut stalls: u64 = 0;
+        for (i, ev) in trace.iter().enumerate() {
+            let operands_ready = ev
+                .sources()
+                .iter()
+                .map(|r| ready.get(r).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
+            let issue = time.max(operands_ready);
+            stalls += issue - time;
+            let before = time;
+            time = issue + 1;
+            if let Some(d) = ev.dst {
+                ready.insert(d, issue + self.class_latency(ev.kind.class()));
+            }
+            if let (Some(&f), true) = (funcs.get(i), nfuncs > 0) {
+                bins[f as usize] += time - before;
+            }
+        }
+        let stats = MachStats {
+            cycles: time,
+            insns: trace.len() as u64,
+            detail: vec![("stall_cycles", stalls)],
+        };
+        (stats, bins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(kind: DynKind, dst: Option<RegKey>, srcs: &[RegKey]) -> DynInsn {
+        let mut s = [0u64; 3];
+        for (i, &r) in srcs.iter().take(3).enumerate() {
+            s[i] = r;
+        }
+        DynInsn { kind, dst, srcs: s, n_srcs: srcs.len() as u8, addr: 0 }
+    }
+
+    #[test]
+    fn class_index_matches_all_order() {
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn every_dynkind_has_a_class() {
+        assert_eq!(DynKind::Simple.class(), OpClass::IAlu);
+        assert_eq!(DynKind::Branch { taken: true }.class(), OpClass::Branch);
+        assert_eq!(DynKind::Branch { taken: false }.class(), OpClass::Branch);
+        assert_eq!(DynKind::Load.class(), OpClass::Load);
+    }
+
+    #[test]
+    fn default_latency_is_the_class_table() {
+        let b = TableBackend::scalar();
+        let op = LirOp {
+            id: 0,
+            line: 1,
+            class: OpClass::IDiv,
+            dst: OperandKind::Reg,
+            srcs: [OperandKind::Reg, OperandKind::Reg, OperandKind::None],
+            n_srcs: 2,
+        };
+        assert_eq!(b.latency(&op), b.class_latency(OpClass::IDiv));
+    }
+
+    #[test]
+    fn table_backend_stalls_on_use() {
+        let b = TableBackend::scalar();
+        let t = vec![
+            ins(DynKind::Load, Some(1), &[]),
+            ins(DynKind::IAlu, Some(2), &[1]),
+        ];
+        let s = b.cycles(&t);
+        assert_eq!(s.cycles, 3);
+        assert_eq!(s.detail("stall_cycles"), Some(1));
+    }
+
+    #[test]
+    fn table_backend_bins_sum_to_total() {
+        let b = TableBackend::scalar();
+        let t = vec![
+            ins(DynKind::Load, Some(1), &[]),
+            ins(DynKind::IAlu, Some(2), &[1]),
+            ins(DynKind::FDiv, Some(3), &[]),
+            ins(DynKind::FAdd, Some(4), &[3]),
+        ];
+        let funcs = vec![0, 0, 1, 1];
+        let (stats, bins) = b.cycles_per_func(&t, &funcs, 2);
+        assert_eq!(bins.iter().sum::<u64>(), stats.cycles);
+        assert_eq!(stats, b.cycles(&t));
+    }
+}

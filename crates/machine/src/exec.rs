@@ -44,49 +44,11 @@ pub struct RunResult {
     pub calls: u64,
 }
 
-/// Kind of a dynamic instruction, as the timing models see it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DynKind {
-    IAlu,
-    IMul,
-    IDiv,
-    FAdd,
-    FMul,
-    FDiv,
-    Load,
-    Store,
-    Call,
-    Ret,
-    /// Control transfer (jump or branch; `taken` distinguishes fall-through
-    /// branches for front-end bubbles).
-    Branch {
-        taken: bool,
-    },
-    /// Register-only bookkeeping (moves, immediates, address formation).
-    Simple,
-}
-
-/// A register identity unique across frames (frame serial ⊕ register).
-pub type RegKey = u64;
-
-/// One dynamic instruction event.
-#[derive(Debug, Clone, Copy)]
-pub struct DynInsn {
-    pub kind: DynKind,
-    /// Destination register, if any.
-    pub dst: Option<RegKey>,
-    /// Up to three source registers.
-    pub srcs: [RegKey; 3],
-    pub n_srcs: u8,
-    /// Effective byte address for loads/stores.
-    pub addr: i64,
-}
-
-impl DynInsn {
-    pub fn sources(&self) -> &[RegKey] {
-        &self.srcs[..self.n_srcs as usize]
-    }
-}
+// The dynamic-trace vocabulary (`DynKind`, `DynInsn`, `RegKey`) is the
+// canonical-LIR crate's: the executor emits it, every `MachineBackend`
+// prices it, and re-exporting here keeps `hli_machine::exec::DynInsn`
+// paths working.
+pub use hli_lir::{DynInsn, DynKind, RegKey};
 
 /// Run functionally, discarding the trace.
 pub fn execute(prog: &RtlProgram) -> Result<RunResult, ExecError> {
@@ -817,7 +779,7 @@ mod tests {
     #[test]
     fn scheduled_code_remains_correct() {
         use hli_backend::ddg::DepMode;
-        use hli_backend::sched::{schedule_program, LatencyModel};
+        use hli_backend::sched::schedule_program;
         use hli_frontend::generate_hli;
         let src = "double x[32]; double y[32]; int g = 3;\n\
             void axpy(double *p, double *q, int n) { int i; for (i = 0; i < n; i++) p[i] = p[i] * 2.0 + q[i]; }\n\
@@ -827,7 +789,7 @@ mod tests {
         let rtl = lower_program(&p, &s);
         let hli = generate_hli(&p, &s);
         for mode in [DepMode::GccOnly, DepMode::Combined] {
-            let (scheduled, _) = schedule_program(&rtl, &hli, mode, &LatencyModel::default());
+            let (scheduled, _) = schedule_program(&rtl, &hli, mode, &crate::R4600Config::DEFAULT);
             let res = execute(&scheduled).unwrap();
             assert_eq!(res.ret, interp.ret, "{mode:?} broke the program");
             assert_eq!(res.global_checksum, interp.global_checksum);
@@ -850,7 +812,13 @@ mod tests {
             let f = prog.func("main").unwrap().clone();
             let mut entry = hli.entry("main").unwrap().clone();
             let mut map = map_function(&f, &entry);
-            let r = unroll_function(&f, &loops["main"], factor, Some((&mut entry, &mut map)));
+            let r = unroll_function(
+                &f,
+                &loops["main"],
+                factor,
+                Some((&mut entry, &mut map)),
+                &crate::R4600Config::DEFAULT,
+            );
             assert_eq!(r.unrolled, 1, "factor {factor}");
             *prog.func_mut("main").unwrap() = r.func;
             let res = execute(&prog).unwrap();
@@ -927,8 +895,18 @@ mod tests {
             let f = prog.func(fname).unwrap().clone();
             let mut entry = hli.entry(fname).unwrap().clone();
             let mut map = map_function(&f, &entry);
-            let cse = cse_function(&f, Some((&mut entry, &mut map)), DepMode::Combined);
-            let licm = licm_function(&cse.func, Some((&mut entry, &mut map)), DepMode::Combined);
+            let cse = cse_function(
+                &f,
+                Some((&mut entry, &mut map)),
+                DepMode::Combined,
+                &crate::R4600Config::DEFAULT,
+            );
+            let licm = licm_function(
+                &cse.func,
+                Some((&mut entry, &mut map)),
+                DepMode::Combined,
+                &crate::R4600Config::DEFAULT,
+            );
             *prog.func_mut(fname).unwrap() = licm.func;
         }
         let res = execute(&prog).unwrap();

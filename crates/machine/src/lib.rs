@@ -18,27 +18,63 @@
 //!   load/store queue in which a load may not begin until every earlier
 //!   store in the window has computed its address (and must wait for
 //!   overlapping store data);
+//! * [`w4`] — a wide in-order (VLIW-ish) model: 4 issue slots, no dynamic
+//!   reordering, exposed latencies — the target where the static schedule
+//!   is the *whole* story.
 //!
-//! Simulated cycle counts replace the paper's wall-clock seconds; speedup
-//! ratios (GCC-scheduled vs HLI-scheduled code on the same model) are the
-//! reproduced quantity.
+//! Every model implements [`hli_lir::MachineBackend`]; its
+//! `class_latency` table is the single latency source the scheduler, the
+//! benefit estimators and the simulator itself all read (the
+//! latency-agreement regression test pins this). Simulated cycle counts
+//! replace the paper's wall-clock seconds; speedup ratios (GCC-scheduled
+//! vs HLI-scheduled code on the same model) are the reproduced quantity.
 
 pub mod exec;
 pub mod r10000;
 pub mod r4600;
+pub mod w4;
 
 pub use exec::{
     execute, execute_with_func_trace, execute_with_trace, DynInsn, DynKind, ExecError, RunResult,
 };
+pub use hli_lir::{MachStats, MachineBackend, OpClass, ScheduleConstraints};
 pub use r10000::{r10000_cycles, r10000_cycles_per_func, R10000Config, R10000Stats};
 pub use r4600::{r4600_cycles, r4600_cycles_per_func, R4600Config, R4600Stats};
+pub use w4::{w4_cycles, w4_cycles_per_func, W4Config, W4Stats};
 
-/// Convenience: run a program on both machine models.
-pub fn time_on_both(
+/// The default-configured targets, as registry statics (`'static` so a
+/// `&'static dyn MachineBackend` can be passed around freely).
+pub static R4600_DEFAULT: R4600Config = R4600Config::DEFAULT;
+pub static R10000_DEFAULT: R10000Config = R10000Config::DEFAULT;
+pub static W4_DEFAULT: W4Config = W4Config::DEFAULT;
+
+/// Every registered target, in canonical order (the order `--machine`
+/// help text, target matrices and the cross-target tests use).
+pub fn all_backends() -> [&'static dyn MachineBackend; 3] {
+    [&R4600_DEFAULT, &R10000_DEFAULT, &W4_DEFAULT]
+}
+
+/// Resolve a target by its stable id ("r4600", "r10000", "w4").
+pub fn backend_by_name(name: &str) -> Option<&'static dyn MachineBackend> {
+    all_backends().into_iter().find(|b| b.name() == name)
+}
+
+/// The ids of every registered target, for error messages and usage text.
+pub fn backend_names() -> Vec<&'static str> {
+    all_backends().iter().map(|b| b.name()).collect()
+}
+
+/// Run a program once and time the shared trace on each given backend.
+///
+/// The caller names the backends (typically the same ones the scheduler
+/// assumed), so a harness bin cannot silently time on a config that
+/// differs from the one the schedule was built for. Returns one
+/// [`MachStats`] per backend, in input order.
+pub fn time_on(
     prog: &hli_backend::RtlProgram,
-) -> Result<(RunResult, R4600Stats, R10000Stats), ExecError> {
+    machs: &[&dyn MachineBackend],
+) -> Result<(RunResult, Vec<MachStats>), ExecError> {
     let (res, trace) = execute_with_trace(prog)?;
-    let a = r4600_cycles(&trace, &R4600Config::default());
-    let b = r10000_cycles(&trace, &R10000Config::default());
-    Ok((res, a, b))
+    let stats = machs.iter().map(|m| m.cycles(&trace)).collect();
+    Ok((res, stats))
 }

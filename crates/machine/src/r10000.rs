@@ -18,6 +18,7 @@
 //! compiler configurations being compared).
 
 use crate::exec::{DynInsn, DynKind, RegKey};
+use hli_lir::{MachStats, MachineBackend, OpClass, ScheduleConstraints};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -45,36 +46,30 @@ pub struct R10000Config {
 
 impl Default for R10000Config {
     fn default() -> Self {
-        // R10000: 4-wide, 32-entry active list, 2 int ALUs, 2 FPUs, 1 LSU.
-        R10000Config {
-            width: 4,
-            window: 32,
-            int_units: 2,
-            fp_units: 2,
-            ls_units: 1,
-            load: 2,
-            ialu: 1,
-            imul: 6,
-            idiv: 35,
-            fadd: 2,
-            fmul: 3,
-            fdiv: 19,
-        }
+        R10000Config::DEFAULT
     }
 }
 
 impl R10000Config {
+    /// R10000: 4-wide, 32-entry active list, 2 int ALUs, 2 FPUs, 1 LSU
+    /// (const so the registry can hold a `'static` instance).
+    pub const DEFAULT: R10000Config = R10000Config {
+        width: 4,
+        window: 32,
+        int_units: 2,
+        fp_units: 2,
+        ls_units: 1,
+        load: 2,
+        ialu: 1,
+        imul: 6,
+        idiv: 35,
+        fadd: 2,
+        fmul: 3,
+        fdiv: 19,
+    };
+
     fn latency(&self, k: DynKind) -> u64 {
-        match k {
-            DynKind::Load => self.load,
-            DynKind::IMul => self.imul,
-            DynKind::IDiv => self.idiv,
-            DynKind::FAdd => self.fadd,
-            DynKind::FMul => self.fmul,
-            DynKind::FDiv => self.fdiv,
-            DynKind::Store => 1,
-            _ => self.ialu,
-        }
+        self.class_latency(k.class())
     }
 
     fn unit_of(&self, k: DynKind) -> Unit {
@@ -82,6 +77,61 @@ impl R10000Config {
             DynKind::Load | DynKind::Store => Unit::Ls,
             DynKind::FAdd | DynKind::FMul | DynKind::FDiv => Unit::Fp,
             _ => Unit::Int,
+        }
+    }
+}
+
+impl MachineBackend for R10000Config {
+    fn name(&self) -> &'static str {
+        "r10000"
+    }
+
+    /// The one latency table for this target; the OoO simulator's
+    /// completion times and the scheduler's weights both read it.
+    fn class_latency(&self, class: OpClass) -> u64 {
+        match class {
+            OpClass::Load => self.load,
+            OpClass::IMul => self.imul,
+            OpClass::IDiv => self.idiv,
+            OpClass::FAdd => self.fadd,
+            OpClass::FMul => self.fmul,
+            OpClass::FDiv => self.fdiv,
+            // A store completes (address + data to the LSQ) in one cycle;
+            // ALU-class ops, branches and call/ret results at ALU speed.
+            OpClass::Store => 1,
+            _ => self.ialu,
+        }
+    }
+
+    fn schedule_constraints(&self) -> ScheduleConstraints {
+        ScheduleConstraints {
+            in_order: false,
+            issue_width: self.width as u32,
+            window: self.window as u32,
+        }
+    }
+
+    fn cycles(&self, trace: &[DynInsn]) -> MachStats {
+        r10000_cycles(trace, self).into()
+    }
+
+    fn cycles_per_func(
+        &self,
+        trace: &[DynInsn],
+        funcs: &[u32],
+        nfuncs: usize,
+    ) -> (MachStats, Vec<u64>) {
+        let (stats, bins) = r10000_cycles_per_func(trace, funcs, nfuncs, self);
+        (stats.into(), bins)
+    }
+}
+
+impl From<R10000Stats> for MachStats {
+    fn from(s: R10000Stats) -> MachStats {
+        MachStats {
+            cycles: s.cycles,
+            insns: s.insns,
+            detail: vec![("lsq_stalls", s.lsq_stalls), ("forwards", s.forwards)],
         }
     }
 }

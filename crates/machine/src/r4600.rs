@@ -7,6 +7,7 @@
 //! has completed; a taken branch costs one bubble.
 
 use crate::exec::{DynInsn, DynKind, RegKey};
+use hli_lir::{MachStats, MachineBackend, OpClass, ScheduleConstraints};
 use std::collections::HashMap;
 
 /// Latency configuration (cycles until the result is usable).
@@ -23,33 +24,82 @@ pub struct R4600Config {
     pub taken_branch_bubble: u64,
 }
 
-impl Default for R4600Config {
-    fn default() -> Self {
-        // Roughly R4600-class numbers.
-        R4600Config {
-            load: 2,
-            ialu: 1,
-            imul: 10,
-            idiv: 42,
-            fadd: 4,
-            fmul: 8,
-            fdiv: 32,
-            call_overhead: 2,
-            taken_branch_bubble: 1,
-        }
+impl R4600Config {
+    /// Roughly R4600-class numbers (const so the registry can hold a
+    /// `'static` instance).
+    pub const DEFAULT: R4600Config = R4600Config {
+        load: 2,
+        ialu: 1,
+        imul: 10,
+        idiv: 42,
+        fadd: 4,
+        fmul: 8,
+        fdiv: 32,
+        call_overhead: 2,
+        taken_branch_bubble: 1,
+    };
+
+    fn latency(&self, k: DynKind) -> u64 {
+        self.class_latency(k.class())
     }
 }
 
-impl R4600Config {
-    fn latency(&self, k: DynKind) -> u64 {
-        match k {
-            DynKind::Load => self.load,
-            DynKind::IMul => self.imul,
-            DynKind::IDiv => self.idiv,
-            DynKind::FAdd => self.fadd,
-            DynKind::FMul => self.fmul,
-            DynKind::FDiv => self.fdiv,
+impl Default for R4600Config {
+    fn default() -> Self {
+        R4600Config::DEFAULT
+    }
+}
+
+impl MachineBackend for R4600Config {
+    fn name(&self) -> &'static str {
+        "r4600"
+    }
+
+    /// The one latency table: the simulator's stall-on-use delays and the
+    /// scheduler's critical-path weights both read it.
+    fn class_latency(&self, class: OpClass) -> u64 {
+        match class {
+            OpClass::Load => self.load,
+            OpClass::IMul => self.imul,
+            OpClass::IDiv => self.idiv,
+            OpClass::FAdd => self.fadd,
+            OpClass::FMul => self.fmul,
+            OpClass::FDiv => self.fdiv,
+            // Stores, branches, calls and plain ALU ops produce (or
+            // forward) results at ALU speed; call/branch *overheads* are
+            // pipeline effects the simulator adds separately.
             _ => self.ialu,
+        }
+    }
+
+    fn schedule_constraints(&self) -> ScheduleConstraints {
+        ScheduleConstraints { in_order: true, issue_width: 1, window: 1 }
+    }
+
+    fn cycles(&self, trace: &[DynInsn]) -> MachStats {
+        r4600_cycles(trace, self).into()
+    }
+
+    fn cycles_per_func(
+        &self,
+        trace: &[DynInsn],
+        funcs: &[u32],
+        nfuncs: usize,
+    ) -> (MachStats, Vec<u64>) {
+        let (stats, bins) = r4600_cycles_per_func(trace, funcs, nfuncs, self);
+        (stats.into(), bins)
+    }
+}
+
+impl From<R4600Stats> for MachStats {
+    fn from(s: R4600Stats) -> MachStats {
+        MachStats {
+            cycles: s.cycles,
+            insns: s.insns,
+            detail: vec![
+                ("stall_cycles", s.stall_cycles),
+                ("branch_bubbles", s.branch_bubbles),
+            ],
         }
     }
 }

@@ -1,0 +1,307 @@
+//! `w4` — a wide in-order (VLIW-ish) timing model: 4-issue, no dynamic
+//! reordering, fully exposed latencies.
+//!
+//! The point of a third target is to make the Table-2 claim *per machine*:
+//! the two MIPS models reward HLI scheduling for different reasons (the
+//! scalar R4600 for covered load-use delays, the OoO R10000 for loads
+//! lifted above stores in the LSQ), and a wide in-order core is different
+//! from both — it has slots to fill **every cycle** and no hardware to
+//! fill them itself, so the static schedule is the whole story. Exposed
+//! ILP pays up to `width`-fold; a dependent chain wastes `width - 1`
+//! slots per cycle.
+//!
+//! Model: up to `width` instructions issue per cycle, strictly in program
+//! order (issue stops at the first instruction whose operands are not
+//! ready — no skipping). An instruction's result is usable
+//! `class_latency` cycles after issue. A taken branch ends its issue
+//! group and costs `taken_branch_bubble`; calls/returns end the group and
+//! cost `call_overhead` (the same pipeline effects the R4600 model
+//! charges).
+
+use crate::exec::{DynInsn, DynKind, RegKey};
+use hli_lir::{MachStats, MachineBackend, OpClass, ScheduleConstraints};
+use std::collections::HashMap;
+
+/// Latency/shape configuration for the wide in-order core.
+#[derive(Debug, Clone, Copy)]
+pub struct W4Config {
+    /// Issue slots per cycle.
+    pub width: usize,
+    pub load: u64,
+    pub ialu: u64,
+    pub imul: u64,
+    pub idiv: u64,
+    pub fadd: u64,
+    pub fmul: u64,
+    pub fdiv: u64,
+    pub call_overhead: u64,
+    pub taken_branch_bubble: u64,
+}
+
+impl W4Config {
+    /// A plausible wide-issue embedded-class table: shorter arithmetic
+    /// pipes than the R4600, a slower cache than the R10000, four slots.
+    pub const DEFAULT: W4Config = W4Config {
+        width: 4,
+        load: 3,
+        ialu: 1,
+        imul: 6,
+        idiv: 24,
+        fadd: 3,
+        fmul: 4,
+        fdiv: 24,
+        call_overhead: 2,
+        taken_branch_bubble: 2,
+    };
+}
+
+impl Default for W4Config {
+    fn default() -> Self {
+        W4Config::DEFAULT
+    }
+}
+
+/// Timing outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct W4Stats {
+    pub cycles: u64,
+    pub insns: u64,
+    /// Cycles the issue head spent waiting for operands.
+    pub stall_cycles: u64,
+    /// Issue slots left empty (hazards, group-ending branches/calls).
+    pub idle_slots: u64,
+}
+
+fn simulate(
+    trace: &[DynInsn],
+    cfg: &W4Config,
+    mut per_func: Option<(&[u32], &mut [u64])>,
+) -> W4Stats {
+    let mut ready: HashMap<RegKey, u64> = HashMap::new();
+    let mut stats = W4Stats::default();
+    // `time` is the cycle the current issue group occupies; `slots` how
+    // many of its issue slots are filled.
+    let mut time: u64 = 0;
+    let mut slots: usize = 0;
+    let width = cfg.width.max(1);
+    for (i, ev) in trace.iter().enumerate() {
+        stats.insns += 1;
+        let before = time;
+        if slots == width {
+            time += 1;
+            slots = 0;
+        }
+        let operands_ready = ev
+            .sources()
+            .iter()
+            .map(|r| ready.get(r).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        if operands_ready > time {
+            // Head-of-line hazard: the whole machine waits (no reordering),
+            // wasting the rest of this group and every intervening cycle.
+            stats.stall_cycles += operands_ready - time;
+            stats.idle_slots += (width - slots) as u64 + (operands_ready - time - 1) * width as u64;
+            time = operands_ready;
+            slots = 0;
+        }
+        slots += 1;
+        if let Some(d) = ev.dst {
+            ready.insert(d, time + cfg.class_latency(ev.kind.class()));
+        }
+        match ev.kind {
+            DynKind::Branch { taken: true } => {
+                stats.idle_slots += (width - slots) as u64;
+                time += 1 + cfg.taken_branch_bubble;
+                slots = 0;
+            }
+            DynKind::Call | DynKind::Ret => {
+                stats.idle_slots += (width - slots) as u64;
+                time += 1 + cfg.call_overhead;
+                slots = 0;
+            }
+            _ => {}
+        }
+        // Charge the full advance to the owning function; per-function
+        // sums then equal the total exactly (the trailing partial group
+        // is charged to the last event below).
+        if let Some((funcs, bins)) = per_func.as_mut() {
+            bins[funcs[i] as usize] += time - before;
+        }
+    }
+    if slots > 0 {
+        // The last partially-filled group still takes its cycle.
+        time += 1;
+        if let Some((funcs, bins)) = per_func.as_mut() {
+            if let Some(&f) = funcs.last() {
+                bins[f as usize] += 1;
+            }
+        }
+    }
+    stats.cycles = time;
+    let reg = hli_obs::metrics::cur();
+    reg.counter("machine.w4.cycles").add(stats.cycles);
+    reg.counter("machine.w4.insns").add(stats.insns);
+    reg.counter("machine.w4.stall_cycles").add(stats.stall_cycles);
+    reg.counter("machine.w4.idle_slots").add(stats.idle_slots);
+    stats
+}
+
+/// Simulate the trace on the wide in-order pipeline.
+pub fn w4_cycles(trace: &[DynInsn], cfg: &W4Config) -> W4Stats {
+    simulate(trace, cfg, None)
+}
+
+/// Like [`w4_cycles`], but also attributes cycles to functions; the
+/// returned bins sum to `stats.cycles` exactly.
+pub fn w4_cycles_per_func(
+    trace: &[DynInsn],
+    funcs: &[u32],
+    nfuncs: usize,
+    cfg: &W4Config,
+) -> (W4Stats, Vec<u64>) {
+    debug_assert_eq!(trace.len(), funcs.len());
+    let mut bins = vec![0u64; nfuncs];
+    let stats = simulate(trace, cfg, Some((funcs, &mut bins)));
+    (stats, bins)
+}
+
+impl MachineBackend for W4Config {
+    fn name(&self) -> &'static str {
+        "w4"
+    }
+
+    fn class_latency(&self, class: OpClass) -> u64 {
+        match class {
+            OpClass::Load => self.load,
+            OpClass::IMul => self.imul,
+            OpClass::IDiv => self.idiv,
+            OpClass::FAdd => self.fadd,
+            OpClass::FMul => self.fmul,
+            OpClass::FDiv => self.fdiv,
+            _ => self.ialu,
+        }
+    }
+
+    fn schedule_constraints(&self) -> ScheduleConstraints {
+        ScheduleConstraints { in_order: true, issue_width: self.width as u32, window: 1 }
+    }
+
+    fn cycles(&self, trace: &[DynInsn]) -> MachStats {
+        w4_cycles(trace, self).into()
+    }
+
+    fn cycles_per_func(
+        &self,
+        trace: &[DynInsn],
+        funcs: &[u32],
+        nfuncs: usize,
+    ) -> (MachStats, Vec<u64>) {
+        let (stats, bins) = w4_cycles_per_func(trace, funcs, nfuncs, self);
+        (stats.into(), bins)
+    }
+}
+
+impl From<W4Stats> for MachStats {
+    fn from(s: W4Stats) -> MachStats {
+        MachStats {
+            cycles: s.cycles,
+            insns: s.insns,
+            detail: vec![
+                ("stall_cycles", s.stall_cycles),
+                ("idle_slots", s.idle_slots),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(kind: DynKind, dst: Option<RegKey>, srcs: &[RegKey]) -> DynInsn {
+        let mut s = [0u64; 3];
+        for (i, &r) in srcs.iter().take(3).enumerate() {
+            s[i] = r;
+        }
+        DynInsn { kind, dst, srcs: s, n_srcs: srcs.len() as u8, addr: 0 }
+    }
+
+    #[test]
+    fn independent_insns_pack_four_wide() {
+        let t: Vec<DynInsn> = (0..16).map(|i| ins(DynKind::IAlu, Some(i), &[])).collect();
+        let s = w4_cycles(&t, &W4Config::default());
+        assert_eq!(s.cycles, 4, "16 independent ops in 4 groups");
+        assert_eq!(s.stall_cycles, 0);
+        assert_eq!(s.idle_slots, 0);
+    }
+
+    #[test]
+    fn dependent_chain_wastes_the_width() {
+        let mut t = vec![ins(DynKind::IAlu, Some(0), &[])];
+        for i in 1..8u64 {
+            t.push(ins(DynKind::IAlu, Some(i), &[i - 1]));
+        }
+        let s = w4_cycles(&t, &W4Config::default());
+        assert_eq!(s.cycles, 8, "one issue per cycle down a chain");
+        assert!(s.idle_slots >= 7 * 3, "three empty slots per chained cycle");
+    }
+
+    #[test]
+    fn head_of_line_load_blocks_everything() {
+        // Independent work *behind* the load's consumer cannot pass it:
+        // the machine is in-order, so the whole group waits.
+        let t = vec![
+            ins(DynKind::Load, Some(1), &[]),
+            ins(DynKind::IAlu, Some(2), &[1]),
+            ins(DynKind::IAlu, Some(3), &[]),
+        ];
+        let s = w4_cycles(&t, &W4Config::default());
+        assert!(s.stall_cycles >= W4Config::DEFAULT.load - 1);
+        // Scheduling the independent op between load and use hides it.
+        let sched = vec![
+            ins(DynKind::Load, Some(1), &[]),
+            ins(DynKind::IAlu, Some(3), &[]),
+            ins(DynKind::IAlu, Some(2), &[1]),
+        ];
+        let s2 = w4_cycles(&sched, &W4Config::default());
+        assert!(s2.cycles <= s.cycles);
+    }
+
+    #[test]
+    fn taken_branch_ends_the_group() {
+        let t = vec![
+            ins(DynKind::IAlu, Some(1), &[]),
+            ins(DynKind::Branch { taken: true }, None, &[]),
+            ins(DynKind::IAlu, Some(2), &[]),
+        ];
+        let s = w4_cycles(&t, &W4Config::default());
+        // Group 1 (alu + branch) at cycle 0, bubble, then the next group.
+        assert_eq!(s.cycles, 1 + 1 + W4Config::DEFAULT.taken_branch_bubble + 1 - 1);
+        assert!(s.idle_slots >= 2, "branch leaves its group's tail empty");
+    }
+
+    #[test]
+    fn per_func_bins_sum_to_total() {
+        let t = vec![
+            ins(DynKind::Load, Some(1), &[]),
+            ins(DynKind::IAlu, Some(2), &[1]),
+            ins(DynKind::Call, None, &[]),
+            ins(DynKind::FDiv, Some(3), &[]),
+            ins(DynKind::FAdd, Some(4), &[3]),
+            ins(DynKind::Ret, None, &[]),
+        ];
+        let funcs = vec![0, 0, 0, 1, 1, 1];
+        let cfg = W4Config::default();
+        let (stats, bins) = w4_cycles_per_func(&t, &funcs, 2, &cfg);
+        assert_eq!(bins.iter().sum::<u64>(), stats.cycles);
+        assert_eq!(stats, w4_cycles(&t, &cfg), "attribution must not perturb timing");
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let s = w4_cycles(&[], &W4Config::default());
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.insns, 0);
+    }
+}

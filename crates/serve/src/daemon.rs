@@ -102,13 +102,13 @@ fn compile_one(prep: &PrepProg, plan: &FuncPlan) -> (String, QueryStats) {
         global_init: prep.rtl.global_init.clone(),
         globals_end: prep.rtl.globals_end,
     };
-    let lat = prep.flags.machine.latency();
+    let mach = prep.flags.machine.backend();
     let passes = [PassSpec { mode: prep.flags.mode.dep_mode(), caches: None }];
     let mut out = schedule_program_passes(
         &single,
         &|n| prep.hli.entry(n).map(EntryRef::Owned),
         &passes,
-        &lat,
+        mach,
         1,
     );
     let (sched, stats) = out.pop().expect("one pass in, one result out");

@@ -13,7 +13,7 @@
 //! would silently lose low bits past 2^53.
 
 use hli_backend::ddg::{DepMode, QueryStats};
-use hli_backend::sched::LatencyModel;
+use hli_machine::MachineBackend;
 use hli_obs::json::{self, escape_into, Json};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -61,16 +61,17 @@ impl Mode {
 }
 
 /// Target machine model (a cache-key component): picks the scheduler's
-/// latency table, so the two machines genuinely produce different
+/// latency table, so different machines genuinely produce different
 /// schedules for latency-sensitive code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Machine {
-    /// In-order MIPS R4600-ish weights ([`LatencyModel::default`]).
+    /// In-order MIPS R4600-ish model.
     #[default]
     R4600,
-    /// Out-of-order MIPS R10000-ish weights: faster FP and divide,
-    /// slower loads (cache-miss-exposed), cheap calls.
+    /// Out-of-order MIPS R10000-ish model.
     R10000,
+    /// Wide 4-issue in-order model with exposed latencies.
+    W4,
 }
 
 impl Machine {
@@ -78,6 +79,7 @@ impl Machine {
         match self {
             Machine::R4600 => "r4600",
             Machine::R10000 => "r10000",
+            Machine::W4 => "w4",
         }
     }
 
@@ -85,25 +87,17 @@ impl Machine {
         match s {
             "r4600" => Some(Machine::R4600),
             "r10000" => Some(Machine::R10000),
+            "w4" => Some(Machine::W4),
             _ => None,
         }
     }
 
-    /// The latency model the scheduler runs with.
-    pub fn latency(&self) -> LatencyModel {
-        match self {
-            Machine::R4600 => LatencyModel::default(),
-            Machine::R10000 => LatencyModel {
-                load: 3,
-                ialu: 1,
-                imul: 6,
-                idiv: 20,
-                fadd: 2,
-                fmul: 2,
-                fdiv: 12,
-                call: 1,
-            },
-        }
+    /// The machine backend the scheduler runs against — the same model
+    /// the simulators price traces with (the single-latency-source
+    /// contract; the serve layer holds no latency table of its own).
+    pub fn backend(&self) -> &'static dyn MachineBackend {
+        hli_machine::backend_by_name(self.canonical())
+            .expect("every wire machine is in the backend registry")
     }
 }
 
@@ -602,6 +596,30 @@ mod tests {
 
     #[test]
     fn machines_have_distinct_latency_models() {
-        assert_ne!(Machine::R4600.latency(), Machine::R10000.latency());
+        use hli_machine::OpClass;
+        let pairs = [
+            (Machine::R4600, Machine::R10000),
+            (Machine::R4600, Machine::W4),
+            (Machine::R10000, Machine::W4),
+        ];
+        for (a, b) in pairs {
+            assert!(
+                OpClass::ALL
+                    .iter()
+                    .any(|&c| a.backend().class_latency(c) != b.backend().class_latency(c)),
+                "{} and {} price every class identically",
+                a.canonical(),
+                b.canonical()
+            );
+        }
+    }
+
+    #[test]
+    fn wire_machines_round_trip_through_the_registry() {
+        for m in [Machine::R4600, Machine::R10000, Machine::W4] {
+            assert_eq!(Machine::parse(m.canonical()), Some(m));
+            assert_eq!(m.backend().name(), m.canonical());
+        }
+        assert_eq!(Machine::parse("r8000"), None);
     }
 }

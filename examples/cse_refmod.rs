@@ -48,7 +48,12 @@ fn main() {
     let f = rtl.func("main").unwrap();
 
     // GCC alone: every call clobbers the expression table.
-    let plain = cse_function(f, None, DepMode::GccOnly);
+    let plain = cse_function(
+        f,
+        None,
+        DepMode::GccOnly,
+        hli_machine::backend_by_name("r4600").unwrap(),
+    );
     println!(
         "GCC CSE : {} loads eliminated, {} availability entries purged at calls",
         plain.loads_eliminated, plain.purged_by_call
@@ -58,7 +63,12 @@ fn main() {
     // stay available across it; `update_rate` really does kill `rate`.
     let mut entry = hli.entry("main").unwrap().clone();
     let mut map = map_function(f, &entry);
-    let smart = cse_function(f, Some((&mut entry, &mut map)), DepMode::Combined);
+    let smart = cse_function(
+        f,
+        Some((&mut entry, &mut map)),
+        DepMode::Combined,
+        hli_machine::backend_by_name("r4600").unwrap(),
+    );
     println!(
         "HLI CSE : {} loads eliminated, {} entries kept across calls, {} purged",
         smart.loads_eliminated, smart.kept_across_call, smart.purged_by_call

@@ -11,7 +11,7 @@
 use hli_backend::ddg::DepMode;
 use hli_backend::lower::lower_program;
 use hli_backend::mapping::map_function;
-use hli_backend::sched::{schedule_program, LatencyModel};
+use hli_backend::sched::schedule_program;
 use hli_core::query::HliQuery;
 use hli_core::serialize::{encode_file, SerializeOpts};
 use hli_frontend::generate_hli;
@@ -68,9 +68,9 @@ fn main() {
         map.insn_to_item.len(),
         map.unmapped_insns.len()
     );
-    let lat = LatencyModel::default();
-    let (gcc_build, _) = schedule_program(&rtl, &hli, DepMode::GccOnly, &lat);
-    let (hli_build, stats) = schedule_program(&rtl, &hli, DepMode::Combined, &lat);
+    let lat = hli_machine::backend_by_name("r4600").unwrap();
+    let (gcc_build, _) = schedule_program(&rtl, &hli, DepMode::GccOnly, lat);
+    let (hli_build, stats) = schedule_program(&rtl, &hli, DepMode::Combined, lat);
     println!(
         "dependence queries: {} total, GCC yes {}, HLI yes {}, combined {} (reduction {:.0}%)",
         stats.total_tests,

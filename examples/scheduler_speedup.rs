@@ -9,7 +9,7 @@
 
 use hli_backend::ddg::DepMode;
 use hli_backend::lower::lower_program;
-use hli_backend::sched::{schedule_program, LatencyModel};
+use hli_backend::sched::schedule_program;
 use hli_frontend::generate_hli;
 use hli_lang::compile_to_ast;
 use hli_machine::{r10000_cycles, r4600_cycles, R10000Config, R4600Config};
@@ -27,10 +27,10 @@ fn main() {
     let oracle = hli_lang::interp::run_program(&prog, &sema).unwrap();
     let hli = generate_hli(&prog, &sema);
     let rtl = lower_program(&prog, &sema);
-    let lat = LatencyModel::default();
+    let lat = hli_machine::backend_by_name("r4600").unwrap();
 
-    let (gcc_build, _) = schedule_program(&rtl, &hli, DepMode::GccOnly, &lat);
-    let (hli_build, stats) = schedule_program(&rtl, &hli, DepMode::Combined, &lat);
+    let (gcc_build, _) = schedule_program(&rtl, &hli, DepMode::GccOnly, lat);
+    let (hli_build, stats) = schedule_program(&rtl, &hli, DepMode::Combined, lat);
     println!(
         "dependence queries {} | GCC yes {} | HLI yes {} | combined {} | reduction {:.0}%",
         stats.total_tests,

@@ -38,7 +38,13 @@ fn main() {
     let f = rtl.func("main").unwrap();
     let mut entry = hli.entry("main").unwrap().clone();
     let mut map = map_function(f, &entry);
-    let r = unroll_function(f, &loops["main"], factor, Some((&mut entry, &mut map)));
+    let r = unroll_function(
+        f,
+        &loops["main"],
+        factor,
+        Some((&mut entry, &mut map)),
+        hli_machine::backend_by_name("r4600").unwrap(),
+    );
     println!(
         "\nunrolled {} loop(s) by {factor} (skipped {}); {} items now in the line table",
         r.unrolled,

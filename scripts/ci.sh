@@ -28,6 +28,14 @@ cargo test -q --doc --workspace
 echo "== decoder fuzz tests (release)"
 cargo test -q --release -p hli-core --test fuzz_decode
 
+echo "== latency agreement (scheduler table == simulator table on every target)"
+cargo test -q --release -p hli-machine --test latency_agreement
+
+echo "== three-target smoke (tiny Table 2 on every registered machine model)"
+for m in r4600 r10000 w4; do
+  target/release/table2 12 2 --machine "$m" > /dev/null
+done
+
 echo "== obsdiff against pinned baseline (tiny suite)"
 target/release/table2 12 2 --stats json 2>/dev/null > target/obsdiff-current.txt
 target/release/obsdiff tests/baselines/table2-tiny.json target/obsdiff-current.txt

@@ -6,7 +6,7 @@ use hli_backend::ddg::DepMode;
 use hli_backend::licm::licm_function;
 use hli_backend::lower::lower_with_loops;
 use hli_backend::mapping::map_function;
-use hli_backend::sched::{schedule_function, LatencyModel};
+use hli_backend::sched::schedule_function;
 use hli_backend::unroll::unroll_function;
 use hli_core::QueryCache;
 use hli_frontend::generate_hli;
@@ -47,12 +47,28 @@ fn full_pass_stack(name: &str, src: &str, mode: DepMode, unroll_factor: Option<u
         let mut map = map_function(f, &entry);
         let mut cur = f.clone();
         if let Some(u) = unroll_factor {
-            let r = unroll_function(&cur, &loops[&f.name], u, Some((&mut entry, &mut map)));
+            let r = unroll_function(
+                &cur,
+                &loops[&f.name],
+                u,
+                Some((&mut entry, &mut map)),
+                hli_machine::backend_by_name("r4600").unwrap(),
+            );
             cur = r.func;
         }
-        let r = cse_function(&cur, Some((&mut entry, &mut map)), mode);
+        let r = cse_function(
+            &cur,
+            Some((&mut entry, &mut map)),
+            mode,
+            hli_machine::backend_by_name("r4600").unwrap(),
+        );
         cur = r.func;
-        let r = licm_function(&cur, Some((&mut entry, &mut map)), mode);
+        let r = licm_function(
+            &cur,
+            Some((&mut entry, &mut map)),
+            mode,
+            hli_machine::backend_by_name("r4600").unwrap(),
+        );
         cur = r.func;
         // HLI must stay structurally valid after all maintenance.
         let errs = entry.validate();
@@ -61,7 +77,12 @@ fn full_pass_stack(name: &str, src: &str, mode: DepMode, unroll_factor: Option<u
         let cache = QueryCache::new();
         let q = cache.attach(&entry);
         let side = hli_backend::ddg::HliSide { query: &q, map: &map };
-        let r = schedule_function(&cur, Some(&side), mode, &LatencyModel::default());
+        let r = schedule_function(
+            &cur,
+            Some(&side),
+            mode,
+            hli_machine::backend_by_name("r4600").unwrap(),
+        );
         *out.func_mut(&f.name).unwrap() = r.func;
     }
     let res = hli_machine::execute(&out)
@@ -104,10 +125,20 @@ fn cse_improvement_is_monotone_in_information() {
         let rtl = hli_backend::lower::lower_program(&prog, &sema);
         let hli = generate_hli(&prog, &sema);
         for f in &rtl.funcs {
-            let plain = cse_function(f, None, DepMode::GccOnly);
+            let plain = cse_function(
+                f,
+                None,
+                DepMode::GccOnly,
+                hli_machine::backend_by_name("r4600").unwrap(),
+            );
             let mut entry = hli.entry(&f.name).unwrap().clone();
             let mut map = map_function(f, &entry);
-            let smart = cse_function(f, Some((&mut entry, &mut map)), DepMode::Combined);
+            let smart = cse_function(
+                f,
+                Some((&mut entry, &mut map)),
+                DepMode::Combined,
+                hli_machine::backend_by_name("r4600").unwrap(),
+            );
             assert!(
                 smart.loads_eliminated >= plain.loads_eliminated,
                 "{name} `{}`: {} < {}",
@@ -131,7 +162,12 @@ fn licm_never_hoists_conflicting_loads() {
     for mode in [DepMode::GccOnly, DepMode::Combined] {
         let mut entry = hli.entry("main").unwrap().clone();
         let mut map = map_function(f, &entry);
-        let r = licm_function(f, Some((&mut entry, &mut map)), mode);
+        let r = licm_function(
+            f,
+            Some((&mut entry, &mut map)),
+            mode,
+            hli_machine::backend_by_name("r4600").unwrap(),
+        );
         assert_eq!(r.hoisted, 0, "{mode:?} must not hoist the recurrence load");
     }
 }
@@ -161,7 +197,12 @@ fn licm_never_speculates_guarded_pointer_loads() {
     let f = rtl.func("main").unwrap();
     let mut entry = hli.entry("main").unwrap().clone();
     let mut map = map_function(f, &entry);
-    let r = licm_function(f, Some((&mut entry, &mut map)), DepMode::Combined);
+    let r = licm_function(
+        f,
+        Some((&mut entry, &mut map)),
+        DepMode::Combined,
+        hli_machine::backend_by_name("r4600").unwrap(),
+    );
     let mut p2 = rtl.clone();
     *p2.func_mut("main").unwrap() = r.func;
     let res = hli_machine::execute(&p2)
@@ -182,7 +223,12 @@ fn licm_still_hoists_named_object_loads_in_bodies() {
     let f = rtl.func("main").unwrap();
     let mut entry = hli.entry("main").unwrap().clone();
     let mut map = map_function(f, &entry);
-    let r = licm_function(f, Some((&mut entry, &mut map)), DepMode::Combined);
+    let r = licm_function(
+        f,
+        Some((&mut entry, &mut map)),
+        DepMode::Combined,
+        hli_machine::backend_by_name("r4600").unwrap(),
+    );
     assert_eq!(r.hoisted, 1, "the g load must still hoist");
     let mut p2 = rtl.clone();
     *p2.func_mut("main").unwrap() = r.func;

@@ -5,7 +5,7 @@
 use hli_backend::ddg::DepMode;
 use hli_backend::lower::lower_program;
 use hli_backend::mapping::map_function;
-use hli_backend::sched::{schedule_program, LatencyModel};
+use hli_backend::sched::schedule_program;
 use hli_frontend::generate_hli;
 use hli_lang::compile_to_ast;
 use hli_suite::Scale;
@@ -23,7 +23,8 @@ fn every_benchmark_validates_and_agrees_across_all_schedules() {
         }
         let rtl = lower_program(&prog, &sema);
         for mode in [DepMode::GccOnly, DepMode::HliOnly, DepMode::Combined] {
-            let (build, _) = schedule_program(&rtl, &hli, mode, &LatencyModel::default());
+            let (build, _) =
+                schedule_program(&rtl, &hli, mode, hli_machine::backend_by_name("r4600").unwrap());
             let res =
                 hli_machine::execute(&build).unwrap_or_else(|e| panic!("{} {mode:?}: {e}", b.name));
             assert_eq!(res.ret, oracle.ret, "{} {mode:?}: wrong result", b.name);
@@ -64,7 +65,12 @@ fn combined_yes_never_exceeds_either_side() {
         let (prog, sema) = compile_to_ast(&b.source).unwrap();
         let hli = generate_hli(&prog, &sema);
         let rtl = lower_program(&prog, &sema);
-        let (_, stats) = schedule_program(&rtl, &hli, DepMode::Combined, &LatencyModel::default());
+        let (_, stats) = schedule_program(
+            &rtl,
+            &hli,
+            DepMode::Combined,
+            hli_machine::backend_by_name("r4600").unwrap(),
+        );
         assert!(stats.combined_yes <= stats.gcc_yes, "{}", b.name);
         assert!(stats.combined_yes <= stats.hli_yes, "{}", b.name);
         assert!(stats.gcc_yes <= stats.total_tests, "{}", b.name);

@@ -21,7 +21,7 @@
 use hli_backend::ddg::DepMode;
 use hli_backend::lower::lower_program;
 use hli_backend::mapping::map_function;
-use hli_backend::sched::{schedule_program, LatencyModel};
+use hli_backend::sched::schedule_program;
 use hli_frontend::generate_hli;
 use hli_lang::compile_to_ast;
 use hli_lang::interp::run_program_limited;
@@ -264,7 +264,8 @@ fn scheduling_preserves_semantics() {
         let hli = generate_hli(&prog, &sema);
         let rtl = lower_program(&prog, &sema);
         for mode in [DepMode::GccOnly, DepMode::HliOnly, DepMode::Combined] {
-            let (build, stats) = schedule_program(&rtl, &hli, mode, &LatencyModel::default());
+            let (build, stats) =
+                schedule_program(&rtl, &hli, mode, hli_machine::backend_by_name("r4600").unwrap());
             let res = hli_machine::execute(&build)
                 .unwrap_or_else(|e| panic!("{mode:?} failed: {e}\n{src}"));
             assert_eq!(oracle.ret, res.ret, "{mode:?} changed the result\n{src}");
